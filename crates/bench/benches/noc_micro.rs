@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the mesh network model: injection and
+//! delivery throughput under uniform-random traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsocc_noc::{Mesh, MeshTopology, NocConfig, VNet};
+use tsocc_sim::{Cycle, Xoshiro256StarStar};
+
+fn bench_uniform_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_uniform_random");
+    for n in [16usize, 32, 64] {
+        group.bench_function(format!("{n}_routers_1k_msgs"), |b| {
+            b.iter(|| {
+                let topo = MeshTopology::for_tiles(n);
+                let mut mesh: Mesh<u32> = Mesh::new(topo, NocConfig::default());
+                let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+                let mut delivered = 0usize;
+                let mut t = 0u64;
+                for i in 0..1000u32 {
+                    let src = rng.index(n);
+                    let dst = rng.index(n);
+                    let flits = if i % 3 == 0 { 5 } else { 1 };
+                    mesh.send(Cycle::new(t), src, dst, VNet::Request, flits, i);
+                    if i % 4 == 0 {
+                        t += 1;
+                        delivered += mesh.deliver(Cycle::new(t)).len();
+                    }
+                }
+                while !mesh.is_idle() {
+                    t += 1;
+                    delivered += mesh.deliver(Cycle::new(t)).len();
+                }
+                assert_eq!(delivered, 1000);
+                black_box(mesh.stats().flit_hops.get())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_xy_routing(c: &mut Criterion) {
+    let topo = MeshTopology::for_tiles(128);
+    c.bench_function("xy_route_128", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for src in (0..128).step_by(7) {
+                for dst in (0..128).step_by(11) {
+                    total += topo.route(src, dst).len();
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_uniform_random, bench_xy_routing);
+criterion_main!(benches);

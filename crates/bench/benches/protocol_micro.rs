@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks: protocol-level simulation throughput on
+//! small fixed workloads (simulator performance, not paper metrics —
+//! the paper's figures come from the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsocc::{Protocol, System, SystemConfig};
+use tsocc_isa::{Asm, Reg};
+use tsocc_proto::TsoCcConfig;
+
+/// The Figure 1 producer-consumer pair.
+fn mp_programs() -> Vec<tsocc_isa::Program> {
+    let data = 0x8000u64;
+    let flag = 0x8040u64;
+    let mut p = Asm::new();
+    p.movi(Reg::R1, 42);
+    p.store_abs(Reg::R1, data);
+    p.movi(Reg::R2, 1);
+    p.store_abs(Reg::R2, flag);
+    p.halt();
+    let mut c = Asm::new();
+    let spin = c.new_label();
+    c.bind(spin);
+    c.load_abs(Reg::R1, flag);
+    c.beq(Reg::R1, Reg::R0, spin);
+    c.load_abs(Reg::R2, data);
+    c.halt();
+    vec![p.finish(), c.finish()]
+}
+
+fn bench_message_passing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_passing");
+    for protocol in [
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+        Protocol::TsoCc(TsoCcConfig::basic()),
+    ] {
+        group.bench_function(protocol.name(), |b| {
+            b.iter(|| {
+                let cfg = SystemConfig::small_test(2, protocol);
+                let mut sys = System::new(cfg, mp_programs());
+                black_box(sys.run(1_000_000).expect("terminates"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended_rmw(c: &mut Criterion) {
+    let make = || {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 1);
+        a.movi(Reg::R2, 0);
+        let top = a.new_label();
+        a.bind(top);
+        a.fetch_add(Reg::R3, Reg::R0, 0x9000, Reg::R1);
+        a.addi(Reg::R2, Reg::R2, 1);
+        a.blt_imm(Reg::R2, 20, top);
+        a.halt();
+        a.finish()
+    };
+    let mut group = c.benchmark_group("contended_rmw");
+    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
+        group.bench_function(protocol.name(), |b| {
+            b.iter(|| {
+                let cfg = SystemConfig::small_test(4, protocol);
+                let mut sys = System::new(cfg, vec![make(), make(), make(), make()]);
+                black_box(sys.run(10_000_000).expect("terminates"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_message_passing, bench_contended_rmw);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Ablation sweeps over TSO-CC's design parameters (§4.2's
+//! design-space exploration, beyond the seven headline configurations):
+//!
+//! - `Bmaxacc`: the Shared-line access budget (the paper fixed 4 bits =
+//!   16 hits after its own exploration),
+//! - `Bts`: timestamp width, small enough here to force resets,
+//! - write-group size, trading reset frequency against acquire-detection
+//!   precision,
+//! - decay threshold for the Shared→SharedRO transition.
+//!
+//! Env: TSOCC_CORES (default 16), TSOCC_SEED.
+
+use tsocc::{Protocol, SystemConfig};
+use tsocc_proto::{TsParams, TsoCcConfig};
+use tsocc_workloads::{run_workload, Benchmark, Scale};
+
+fn run(protocol: Protocol, n_cores: usize, bench: Benchmark, seed: u64) -> tsocc::RunStats {
+    let w = bench.build(n_cores, Scale::Small, seed);
+    let mut cfg = SystemConfig::table2_with_cores(protocol, n_cores);
+    cfg.seed = seed;
+    run_workload(&w, cfg).expect("terminates")
+}
+
+fn main() {
+    let n: usize = std::env::var("TSOCC_CORES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let seed: u64 = std::env::var("TSOCC_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+
+    println!("== Ablation 1: Shared-line access budget (max_acc), x264 wavefront ==");
+    println!("{:<12} {:>10} {:>12} {:>14}", "max_acc", "cycles", "flits", "rd-miss(S)");
+    for max_acc in [0u64, 1, 4, 16, 64, 256] {
+        let cfg = TsoCcConfig { max_acc, ..TsoCcConfig::realistic(12, 3) };
+        let s = run(Protocol::TsoCc(cfg), n, Benchmark::X264, seed);
+        println!(
+            "{:<12} {:>10} {:>12} {:>14}",
+            max_acc,
+            s.cycles,
+            s.total_flits(),
+            s.l1.read_miss_shared.get()
+        );
+    }
+
+    println!("\n== Ablation 2: timestamp width (forces resets), canneal ==");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>12}",
+        "ts_bits", "cycles", "flits", "resets", "selfinv"
+    );
+    for ts_bits in [4u32, 6, 9, 12, 31] {
+        let cfg = TsoCcConfig {
+            write_ts: Some(TsParams { ts_bits, write_group_bits: 0 }),
+            ..TsoCcConfig::realistic(12, 3)
+        };
+        let s = run(Protocol::TsoCc(cfg), n, Benchmark::Canneal, seed);
+        println!(
+            "{:<12} {:>10} {:>12} {:>10} {:>12}",
+            ts_bits,
+            s.cycles,
+            s.total_flits(),
+            s.l1.ts_resets.get(),
+            s.l1.selfinv_total()
+        );
+    }
+
+    println!("\n== Ablation 3: write-group size at fixed 6-bit timestamps, fft ==");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12}",
+        "group", "cycles", "resets", "selfinv"
+    );
+    for wg_bits in [0u32, 1, 3, 5] {
+        let cfg = TsoCcConfig {
+            write_ts: Some(TsParams { ts_bits: 6, write_group_bits: wg_bits }),
+            ..TsoCcConfig::realistic(12, 3)
+        };
+        let s = run(Protocol::TsoCc(cfg), n, Benchmark::Fft, seed);
+        println!(
+            "{:<12} {:>10} {:>10} {:>12}",
+            1u64 << wg_bits,
+            s.cycles,
+            s.l1.ts_resets.get(),
+            s.l1.selfinv_total()
+        );
+    }
+
+    println!("\n== Ablation 4: Shared->SharedRO decay threshold (write-once/read-many kernel) ==");
+    println!(
+        "{:<12} {:>10} {:>10} {:>16}",
+        "decay", "cycles", "decays", "SRO read hits"
+    );
+    for decay in [None, Some(16u64), Some(64), Some(256), Some(4096)] {
+        let cfg = TsoCcConfig { decay_writes: decay, ..TsoCcConfig::realistic(12, 0) };
+        // Small caches force evictions, which is how the L2's last-seen
+        // timestamp table learns that writers have moved on (decay is
+        // driven by that table, §3.4).
+        let sys_cfg = SystemConfig::small_test(2, Protocol::TsoCc(cfg));
+        let s = run_workload(&decay_workload(), sys_cfg).expect("terminates");
+        println!(
+            "{:<12} {:>10} {:>10} {:>16}",
+            decay.map_or("off".to_string(), |d| d.to_string()),
+            s.cycles,
+            s.l2.decays.get(),
+            s.l1.read_hit_sharedro.get()
+        );
+    }
+}
+
+/// The decay pattern: one line written once, then read repeatedly while
+/// the writer streams writes elsewhere (advancing its timestamp past
+/// the line's by more than the decay threshold).
+fn decay_workload() -> tsocc_workloads::Workload {
+    use tsocc_isa::{Asm, Reg};
+    let hot = 0x4000u64;
+    let stop = 0x4040u64;
+    let mut writer = Asm::new();
+    writer.movi(Reg::R1, 7);
+    writer.store_abs(Reg::R1, hot);
+    // Stream of private writes: conflict misses in the tiny L1 push
+    // PutMs (and thus fresh timestamps) to the L2.
+    writer.movi(Reg::R2, 0);
+    let top = writer.new_label();
+    writer.bind(top);
+    writer.remi(Reg::R17, Reg::R2, 8);
+    writer.muli(Reg::R17, Reg::R17, 0x200);
+    writer.store(Reg::R2, Reg::R17, 0x10000);
+    writer.addi(Reg::R2, Reg::R2, 1);
+    writer.blt_imm(Reg::R2, 600, top);
+    writer.movi(Reg::R3, 1);
+    writer.store_abs(Reg::R3, stop);
+    writer.halt();
+    // Reader: hammer the hot line; its Shared copy keeps expiring until
+    // the L2 decays the line to SharedRO, after which hits are free.
+    let mut reader = Asm::new();
+    let rtop = reader.new_label();
+    reader.bind(rtop);
+    reader.load_abs(Reg::R1, hot);
+    reader.load_abs(Reg::R2, stop);
+    reader.beq(Reg::R2, Reg::R0, rtop);
+    reader.halt();
+    tsocc_workloads::Workload {
+        name: "decay-synthetic".to_string(),
+        programs: vec![writer.finish(), reader.finish()],
+        init: Vec::new(),
+    }
+}

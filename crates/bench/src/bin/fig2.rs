@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 2 (storage overhead vs core count).
+fn main() {
+    tsocc_bench::figures::print_fig2();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 7 from a full benchmark sweep.
+//! Env: TSOCC_CORES, TSOCC_SCALE (tiny/small/full), TSOCC_SEED.
+use tsocc_bench::{figures, Sweep, SweepOpts};
+fn main() {
+    let sweep = Sweep::run(SweepOpts::from_env());
+    figures::print_fig7(&sweep);
+}

@@ -1,0 +1,35 @@
+//! §4.3 verification: runs the TSO litmus suite against every protocol
+//! configuration and reports forbidden-outcome counts.
+//! Env: TSOCC_LITMUS_ITERS (default 200).
+use tsocc::Protocol;
+use tsocc_workloads::{litmus_suite, run_litmus};
+
+fn main() {
+    let iters: u64 = std::env::var("TSOCC_LITMUS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let mut failures = 0u64;
+    println!("{:<16} {:<16} {:>6} {:>10} {:>8}  outcomes", "test", "config", "iters", "forbidden", "relaxed");
+    for protocol in Protocol::paper_configs() {
+        for test in litmus_suite() {
+            let report = run_litmus(&test, protocol, iters, 0xBEEF);
+            failures += report.forbidden_count;
+            println!(
+                "{:<16} {:<16} {:>6} {:>10} {:>8}  {:?}",
+                test.name,
+                protocol.name(),
+                report.iterations,
+                report.forbidden_count,
+                if report.relaxed_seen { "yes" } else { "-" },
+                report.outcomes.iter().map(|(k, v)| format!("{k:?}x{v}")).collect::<Vec<_>>().join(" "),
+            );
+        }
+    }
+    if failures == 0 {
+        println!("\nTSO SATISFIED: no forbidden outcomes across all configurations.");
+    } else {
+        println!("\nTSO VIOLATED: {failures} forbidden outcomes!");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1 (TSO-CC storage breakdown).
+fn main() {
+    tsocc_bench::figures::print_table1();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 2 (system parameters).
+fn main() {
+    let opts = tsocc_bench::SweepOpts::from_env();
+    tsocc_bench::figures::print_table2(&opts);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (benchmark suite).
+fn main() {
+    tsocc_bench::figures::print_table3();
+}

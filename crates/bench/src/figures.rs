@@ -1,0 +1,307 @@
+//! Textual renderings of every table and figure in the paper.
+//!
+//! Each `print_*` function emits the same rows/series the paper plots,
+//! as aligned text tables (normalized against MESI where the paper
+//! normalizes). `EXPERIMENTS.md` is produced from this output.
+
+use tsocc::storage::StorageModel;
+use tsocc::RunStats;
+use tsocc_coherence::SelfInvCause;
+use tsocc_proto::TsoCcConfig;
+use tsocc_sim::stats::geometric_mean;
+use tsocc_workloads::Benchmark;
+
+use crate::sweep::Sweep;
+
+fn header(cols: &[String]) {
+    print!("{:<16}", "benchmark");
+    for c in cols {
+        print!(" {c:>16}");
+    }
+    println!();
+}
+
+/// Per-benchmark normalized metric table with a gmean row — the shape
+/// of Figures 3, 4 and 8.
+fn print_normalized<F>(sweep: &Sweep, title: &str, metric: F)
+where
+    F: Fn(&RunStats) -> f64,
+{
+    println!("\n== {title} (normalized to MESI; lower is better) ==");
+    let configs = Sweep::config_names();
+    header(&configs);
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for bench in Sweep::bench_names() {
+        let base = metric(sweep.get(bench, "MESI")).max(1e-12);
+        print!("{bench:<16}");
+        for (i, cfg) in configs.iter().enumerate() {
+            let v = metric(sweep.get(bench, cfg)) / base;
+            per_config[i].push(v);
+            print!(" {v:>16.3}");
+        }
+        println!();
+    }
+    print!("{:<16}", "gmean");
+    for vals in &per_config {
+        print!(" {:>16.3}", geometric_mean(vals));
+    }
+    println!();
+}
+
+/// Figure 3: normalized execution times.
+pub fn print_fig3(sweep: &Sweep) {
+    print_normalized(sweep, "Figure 3: execution time", |s| s.cycles as f64);
+}
+
+/// Figure 4: normalized network traffic (total flits).
+pub fn print_fig4(sweep: &Sweep) {
+    print_normalized(sweep, "Figure 4: network traffic (total flits)", |s| {
+        s.total_flits() as f64
+    });
+}
+
+/// Figure 8: normalized RMW latency.
+pub fn print_fig8(sweep: &Sweep) {
+    print_normalized(sweep, "Figure 8: RMW latency", |s| {
+        s.rmw_latency.mean().max(1e-12)
+    });
+}
+
+/// Figure 5: L1 cache misses (% of accesses) broken down by the state
+/// the miss hit (Invalid / Shared / SharedRO, read vs write).
+pub fn print_fig5(sweep: &Sweep) {
+    println!("\n== Figure 5: L1 cache miss breakdown (% of L1 accesses) ==");
+    println!("columns: Rd(Inv) Wr(Inv) Rd(Shared) Wr(Shared) Wr(SharedRO) | total");
+    for bench in Sweep::bench_names() {
+        println!("{bench}:");
+        for cfg in Sweep::config_names() {
+            let s = sweep.get(bench, &cfg);
+            let acc = s.l1.accesses().max(1) as f64;
+            let pct = |c: u64| 100.0 * c as f64 / acc;
+            println!(
+                "  {:<16} {:>6.2} {:>6.2} {:>9.2} {:>9.2} {:>11.2} | {:>6.2}",
+                cfg,
+                pct(s.l1.read_miss_invalid.get()),
+                pct(s.l1.write_miss_invalid.get()),
+                pct(s.l1.read_miss_shared.get()),
+                pct(s.l1.write_miss_shared.get()),
+                pct(s.l1.write_miss_sharedro.get()),
+                100.0 * s.l1_miss_rate(),
+            );
+        }
+    }
+}
+
+/// Figure 6: L1 hits and misses (% of accesses), hits split by state.
+pub fn print_fig6(sweep: &Sweep) {
+    println!("\n== Figure 6: L1 hits & misses (% of L1 accesses) ==");
+    println!("columns: RdMiss WrMiss RdHit(Shared) RdHit(SharedRO) RdHit(Priv) WrHit(Priv)");
+    for bench in Sweep::bench_names() {
+        println!("{bench}:");
+        for cfg in Sweep::config_names() {
+            let s = sweep.get(bench, &cfg);
+            let acc = s.l1.accesses().max(1) as f64;
+            let pct = |c: u64| 100.0 * c as f64 / acc;
+            println!(
+                "  {:<16} {:>6.2} {:>6.2} {:>13.2} {:>15.2} {:>11.2} {:>11.2}",
+                cfg,
+                pct(s.l1.read_misses()),
+                pct(s.l1.write_misses()),
+                pct(s.l1.read_hit_shared.get()),
+                pct(s.l1.read_hit_sharedro.get()),
+                pct(s.l1.read_hit_private.get()),
+                pct(s.l1.write_hit_private.get()),
+            );
+        }
+    }
+}
+
+/// The TSO-CC configurations shown in Figures 7 and 9.
+fn tsocc_configs() -> Vec<String> {
+    Sweep::config_names()
+        .into_iter()
+        .filter(|c| c.starts_with("TSO-CC"))
+        .collect()
+}
+
+/// Figure 7: percentage of L1 data responses that triggered
+/// self-invalidation, split by trigger.
+pub fn print_fig7(sweep: &Sweep) {
+    println!("\n== Figure 7: L1 self-invalidations triggered by data responses (% of misses) ==");
+    println!("columns: invalid-ts p.acquire(non-SRO) p.acquire(SRO) | total");
+    for bench in Sweep::bench_names() {
+        println!("{bench}:");
+        for cfg in tsocc_configs() {
+            let s = sweep.get(bench, &cfg);
+            let misses = (s.l1.read_misses() + s.l1.write_misses()).max(1) as f64;
+            let pct = |c: SelfInvCause| {
+                100.0 * s.l1.selfinv_events[c.index()].get() as f64 / misses
+            };
+            println!(
+                "  {:<16} {:>10.2} {:>18.2} {:>14.2} | {:>6.2}",
+                cfg,
+                pct(SelfInvCause::InvalidTs),
+                pct(SelfInvCause::AcquireNonSro),
+                pct(SelfInvCause::AcquireSro),
+                100.0 * s.selfinv_rate_per_miss(),
+            );
+        }
+    }
+}
+
+/// Figure 9: breakdown of self-invalidation causes (% of events).
+pub fn print_fig9(sweep: &Sweep) {
+    println!("\n== Figure 9: breakdown of L1 self-invalidation cause (% of events) ==");
+    println!("columns: invalid-ts p.acquire(non-SRO) p.acquire(SRO) fence");
+    for bench in Sweep::bench_names() {
+        println!("{bench}:");
+        for cfg in tsocc_configs() {
+            let s = sweep.get(bench, &cfg);
+            let fr = s.selfinv_cause_fractions();
+            println!(
+                "  {:<16} {:>10.1} {:>18.1} {:>14.1} {:>6.1}",
+                cfg,
+                100.0 * fr[0].1,
+                100.0 * fr[1].1,
+                100.0 * fr[2].1,
+                100.0 * fr[3].1,
+            );
+        }
+    }
+}
+
+/// Figure 2: coherence storage overhead (MB) vs core count.
+pub fn print_fig2() {
+    println!("\n== Figure 2: coherence storage overhead (MB) vs core count ==");
+    let configs: Vec<(String, Option<TsoCcConfig>)> = vec![
+        ("MESI".into(), None),
+        ("TSO-CC-4-12-3".into(), Some(TsoCcConfig::realistic(12, 3))),
+        ("TSO-CC-4-12-0".into(), Some(TsoCcConfig::realistic(12, 0))),
+        ("TSO-CC-4-9-3".into(), Some(TsoCcConfig::realistic(9, 3))),
+        ("TSO-CC-4-basic".into(), Some(TsoCcConfig::basic())),
+    ];
+    print!("{:<8}", "cores");
+    for (name, _) in &configs {
+        print!(" {name:>16}");
+    }
+    println!();
+    for n in [8usize, 16, 32, 48, 64, 96, 128] {
+        let model = StorageModel::paper(n);
+        print!("{n:<8}");
+        for (_, cfg) in &configs {
+            let bits = match cfg {
+                None => model.mesi_bits(),
+                Some(c) => model.tsocc_bits(c),
+            };
+            print!(" {:>16.2}", StorageModel::to_mb(bits));
+        }
+        println!();
+    }
+    for n in [32usize, 128] {
+        let model = StorageModel::paper(n);
+        println!(
+            "reduction vs MESI at {n} cores: TSO-CC-4-12-3 {:.0}%  TSO-CC-4-basic {:.0}%  (paper: 38%/82% and 75% at 32)",
+            100.0 * model.reduction_vs_mesi(&TsoCcConfig::realistic(12, 3)),
+            100.0 * model.reduction_vs_mesi(&TsoCcConfig::basic()),
+        );
+    }
+}
+
+/// Table 1: TSO-CC storage requirement breakdown for one configuration.
+pub fn print_table1() {
+    println!("\n== Table 1: TSO-CC per-structure storage (TSO-CC-4-12-3, 32 cores) ==");
+    let n = 32u64;
+    let cfg = TsoCcConfig::realistic(12, 3);
+    let ts = cfg.write_ts.expect("realistic config has timestamps");
+    let (bts, bwg, bep, bacc) = (ts.ts_bits as u64, ts.write_group_bits as u64, 3u64, 4u64);
+    let owner = 5u64; // log2(32)
+    println!("L1 per node:");
+    println!("  current timestamp        {bts:>6} bits");
+    println!("  write-group counter      {bwg:>6} bits");
+    println!("  current epoch-id         {bep:>6} bits");
+    println!("  ts_L1[{n}]                {:>6} bits", n * bts);
+    println!("  epoch_ids_L1[{n}]         {:>6} bits", n * bep);
+    println!("  ts_L2[{n}] (SharedRO opt) {:>6} bits", n * bts);
+    println!("  epoch_ids_L2[{n}]         {:>6} bits", n * bep);
+    println!("L1 per line:");
+    println!("  access counter b.acnt    {bacc:>6} bits");
+    println!("  last-written ts b.ts     {bts:>6} bits");
+    println!("L2 per tile:");
+    println!("  ts_L1[{n}]                {:>6} bits", n * bts);
+    println!("  epoch_ids_L1[{n}]         {:>6} bits", n * bep);
+    println!("  SharedRO ts + epoch + flags {:>3} bits", bts + bep + 2);
+    println!("L2 per line:");
+    println!("  timestamp b.ts           {bts:>6} bits");
+    println!("  b.owner                  {owner:>6} bits  (vs {n}-bit MESI sharing vector)");
+    let model = StorageModel::paper(32);
+    println!(
+        "total: {:.2} MB vs MESI {:.2} MB ({:.0}% reduction)",
+        StorageModel::to_mb(model.tsocc_bits(&cfg)),
+        StorageModel::to_mb(model.mesi_bits()),
+        100.0 * model.reduction_vs_mesi(&cfg),
+    );
+}
+
+/// Table 2: system parameters.
+pub fn print_table2(opts: &crate::SweepOpts) {
+    println!("\n== Table 2: system parameters ==");
+    println!("Core count & frequency   {} (in-order + 32-entry FIFO write buffer) @ 2GHz", opts.n_cores);
+    println!("Write buffer entries     32, FIFO");
+    println!("L1 D-cache (private)     32KB, 64B lines, 4-way, 3-cycle hit");
+    println!("L2 cache (NUCA, shared)  1MB x {} tiles, 64B lines, 16-way, ~30-80 cycle", opts.n_cores);
+    println!("Memory                   ~150-230 cycles (4 controllers at mesh corners)");
+    println!("On-chip network          2D mesh, XY routing, 16B flits, 3 vnets");
+}
+
+/// Table 3: benchmarks and their input parameters.
+pub fn print_table3() {
+    println!("\n== Table 3: benchmarks (synthetic kernels; see DESIGN.md §3) ==");
+    for suite in ["PARSEC", "SPLASH-2", "STAMP"] {
+        println!("{suite}:");
+        for b in Benchmark::ALL.iter().filter(|b| b.suite() == suite) {
+            println!("  {}", b.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepOpts;
+    use tsocc_workloads::Scale;
+
+    /// A tiny two-benchmark sweep so the printers can be smoke-tested.
+    fn mini_sweep() -> Sweep {
+        let opts = SweepOpts {
+            n_cores: 4,
+            scale: Scale::Tiny,
+            seed: 3,
+        };
+        let mut results = std::collections::BTreeMap::new();
+        for bench in Benchmark::ALL {
+            for p in tsocc::Protocol::paper_configs() {
+                // Reuse one cheap run per config for every benchmark to
+                // keep the test fast; printers only need the keys.
+                let stats = Sweep::run_one(Benchmark::Fft, p, opts);
+                results.insert((bench.name().to_string(), p.name()), stats);
+            }
+        }
+        Sweep { opts, results }
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        let sweep = mini_sweep();
+        print_fig3(&sweep);
+        print_fig4(&sweep);
+        print_fig5(&sweep);
+        print_fig6(&sweep);
+        print_fig7(&sweep);
+        print_fig8(&sweep);
+        print_fig9(&sweep);
+        print_fig2();
+        print_table1();
+        print_table2(&sweep.opts);
+        print_table3();
+    }
+}

@@ -1,0 +1,16 @@
+//! Evaluation harness: regenerates every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md §6):
+//! `table1`–`table3`, `fig2`–`fig9`, `litmus`, and `all_figures` (which
+//! runs the benchmark sweep once and prints everything).
+//!
+//! Environment knobs (read by [`SweepOpts::from_env`]):
+//!
+//! - `TSOCC_CORES` — core count (default 32, the paper's Table 2),
+//! - `TSOCC_SCALE` — `tiny` / `small` / `full` workload scale,
+//! - `TSOCC_SEED` — simulation seed.
+
+pub mod figures;
+pub mod sweep;
+
+pub use sweep::{Sweep, SweepOpts};

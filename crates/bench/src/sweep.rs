@@ -1,0 +1,153 @@
+//! The benchmark sweep: every Table 3 kernel × every §4.2 protocol
+//! configuration.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use tsocc::{Protocol, RunStats, SystemConfig};
+use tsocc_workloads::{run_workload, Benchmark, Scale};
+
+/// Sweep parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepOpts {
+    /// Core count (paper: 32).
+    pub n_cores: usize,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            n_cores: 32,
+            scale: Scale::Small,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SweepOpts {
+    /// Reads `TSOCC_CORES`, `TSOCC_SCALE` and `TSOCC_SEED` from the
+    /// environment, falling back to the paper defaults.
+    pub fn from_env() -> Self {
+        let mut opts = SweepOpts::default();
+        if let Ok(v) = std::env::var("TSOCC_CORES") {
+            if let Ok(n) = v.parse() {
+                opts.n_cores = n;
+            }
+        }
+        if let Ok(v) = std::env::var("TSOCC_SCALE") {
+            opts.scale = match v.to_ascii_lowercase().as_str() {
+                "tiny" => Scale::Tiny,
+                "full" => Scale::Full,
+                _ => Scale::Small,
+            };
+        }
+        if let Ok(v) = std::env::var("TSOCC_SEED") {
+            if let Ok(n) = v.parse() {
+                opts.seed = n;
+            }
+        }
+        opts
+    }
+}
+
+/// Results of one full sweep, keyed by (benchmark, configuration).
+#[derive(Debug)]
+pub struct Sweep {
+    /// Parameters the sweep ran with.
+    pub opts: SweepOpts,
+    /// `(benchmark name, config name) → stats`.
+    pub results: BTreeMap<(String, String), RunStats>,
+}
+
+impl Sweep {
+    /// Runs one benchmark under one protocol.
+    pub fn run_one(bench: Benchmark, protocol: Protocol, opts: SweepOpts) -> RunStats {
+        let threads = opts.n_cores;
+        let workload = bench.build(threads, opts.scale, opts.seed);
+        let mut cfg = SystemConfig::table2_with_cores(protocol, opts.n_cores);
+        cfg.seed = opts.seed;
+        run_workload(&workload, cfg)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), protocol.name()))
+    }
+
+    /// Runs the full 16×7 sweep, printing progress to stderr.
+    pub fn run(opts: SweepOpts) -> Sweep {
+        let mut results = BTreeMap::new();
+        let configs = Protocol::paper_configs();
+        let start = Instant::now();
+        for bench in Benchmark::ALL {
+            for protocol in &configs {
+                let t = Instant::now();
+                let stats = Sweep::run_one(bench, *protocol, opts);
+                eprintln!(
+                    "[{:>7.1?}] {:<16} {:<16} {:>10} cycles {:>10} flits ({:.1?})",
+                    start.elapsed(),
+                    bench.name(),
+                    protocol.name(),
+                    stats.cycles,
+                    stats.total_flits(),
+                    t.elapsed(),
+                );
+                results.insert(
+                    (bench.name().to_string(), protocol.name().to_string()),
+                    stats,
+                );
+            }
+        }
+        Sweep { opts, results }
+    }
+
+    /// Stats for one (benchmark, config) cell.
+    pub fn get(&self, bench: &str, config: &str) -> &RunStats {
+        self.results
+            .get(&(bench.to_string(), config.to_string()))
+            .unwrap_or_else(|| panic!("missing sweep cell {bench}/{config}"))
+    }
+
+    /// Configuration names in the paper's figure order.
+    pub fn config_names() -> Vec<String> {
+        Protocol::paper_configs()
+            .iter()
+            .map(Protocol::name)
+            .collect()
+    }
+
+    /// Benchmark names in the paper's figure order.
+    pub fn bench_names() -> Vec<&'static str> {
+        Benchmark::ALL.iter().map(Benchmark::name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        let o = SweepOpts::default();
+        assert_eq!(o.n_cores, 32);
+        assert!(matches!(o.scale, Scale::Small));
+    }
+
+    #[test]
+    fn run_one_tiny() {
+        let opts = SweepOpts {
+            n_cores: 4,
+            scale: Scale::Tiny,
+            seed: 1,
+        };
+        let s = Sweep::run_one(Benchmark::Fft, Protocol::Mesi, opts);
+        assert!(s.cycles > 0);
+        assert!(s.total_flits() > 0);
+    }
+
+    #[test]
+    fn names_align_with_paper() {
+        assert_eq!(Sweep::config_names().len(), 7);
+        assert_eq!(Sweep::bench_names().len(), 16);
+    }
+}

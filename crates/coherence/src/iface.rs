@@ -1,0 +1,111 @@
+//! Controller interfaces through which the system assembly drives the
+//! protocols.
+
+use tsocc_mem::Addr;
+use tsocc_sim::Cycle;
+
+use crate::msg::{Agent, Msg, NetMsg};
+use crate::stats::L1Stats;
+use tsocc_isa::RmwOp;
+
+/// A memory operation submitted by the core pipeline / write buffer to
+/// its L1 controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreOp {
+    /// Read one word.
+    Load(Addr),
+    /// Write one word (issued when the store reaches the write-buffer
+    /// head).
+    Store(Addr, u64),
+    /// Atomic read-modify-write (core guarantees the write buffer is
+    /// empty).
+    Rmw(Addr, RmwOp),
+    /// Full fence (core guarantees the write buffer is empty).
+    Fence,
+}
+
+impl CoreOp {
+    /// The access address, if any.
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            CoreOp::Load(a) | CoreOp::Store(a, _) | CoreOp::Rmw(a, _) => Some(*a),
+            CoreOp::Fence => None,
+        }
+    }
+}
+
+/// Immediate result of submitting a [`CoreOp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Submit {
+    /// The operation hit in the L1 and is complete; for loads and RMWs
+    /// the returned word is the (old) value. The core charges the L1 hit
+    /// latency itself.
+    Hit(u64),
+    /// The operation missed and was accepted; a [`Completion`] will be
+    /// produced later.
+    Miss,
+    /// The controller cannot accept the operation right now (MSHR
+    /// conflict on the same line); retry next cycle.
+    Retry,
+}
+
+/// A finished miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completion {
+    /// An outstanding load or RMW finished with this value.
+    Load(u64),
+    /// An outstanding store finished (write-buffer entry may retire).
+    Store,
+}
+
+/// Common behaviour of every coherence controller (L1, L2 tile, memory
+/// controller): receive network messages, advance internal time, and
+/// emit outgoing messages.
+pub trait CacheController {
+    /// Delivers one message from the network.
+    fn handle_message(&mut self, now: Cycle, src: Agent, msg: Msg);
+
+    /// Advances internal state by one cycle (retries, sweeps).
+    fn tick(&mut self, now: Cycle);
+
+    /// Takes every outgoing message that is ready to inject at `now`.
+    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg>;
+
+    /// Whether this controller has no in-flight transactions and no
+    /// queued messages (used for run-loop termination diagnostics).
+    fn is_quiescent(&self) -> bool;
+}
+
+/// The core-facing interface of an L1 controller, implemented by both
+/// the MESI and the TSO-CC L1s.
+pub trait L1Controller: CacheController {
+    /// Attempts to perform `op`.
+    fn submit(&mut self, now: Cycle, op: CoreOp) -> Submit;
+
+    /// Takes all miss completions that became ready.
+    fn pop_completions(&mut self) -> Vec<Completion>;
+
+    /// Per-L1 statistics for the paper's Figures 5–9.
+    fn stats(&self) -> &L1Stats;
+}
+
+/// The system-facing interface of an L2 tile controller.
+pub trait L2Controller: CacheController {
+    /// Per-tile statistics.
+    fn stats(&self) -> &crate::stats::L2Stats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_op_addr() {
+        assert_eq!(CoreOp::Load(Addr::new(8)).addr(), Some(Addr::new(8)));
+        assert_eq!(
+            CoreOp::Store(Addr::new(16), 1).addr(),
+            Some(Addr::new(16))
+        );
+        assert_eq!(CoreOp::Fence.addr(), None);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Protocol-agnostic coherence plumbing shared by the MESI baseline and
+//! the TSO-CC protocol.
+//!
+//! This crate defines:
+//!
+//! - the on-chip [`Msg`] vocabulary and [`Agent`] addressing,
+//! - logical timestamps ([`Ts`]) and epoch-ids ([`Epoch`]) used by
+//!   TSO-CC's transitive-reduction optimization (paper §3.3/§3.5),
+//! - the controller interfaces ([`L1Controller`], [`CacheController`])
+//!   through which the system assembly drives either protocol,
+//! - an [`Outbox`] with modelled controller latency,
+//! - shared statistics ([`L1Stats`], [`L2Stats`]) matching the paper's
+//!   figure breakdowns,
+//! - the protocol-independent [`MemCtrl`] DRAM controller,
+//! - a [`WritebackBuffer`] that holds evicted lines until the directory
+//!   acknowledges the writeback (needed to resolve eviction/forward
+//!   races in both protocols).
+//!
+//! Design note: both protocols share a single `Msg` enum (each uses a
+//! subset) rather than being generic over a message type. This keeps the
+//! system assembly monomorphic and the protocol code legible, at the
+//! cost of a few variants that MESI never sends.
+
+pub mod iface;
+pub mod memctrl;
+pub mod msg;
+pub mod outbox;
+pub mod stats;
+pub mod wb;
+
+pub use iface::{CacheController, Completion, CoreOp, L1Controller, L2Controller, Submit};
+pub use memctrl::MemCtrl;
+pub use msg::{Agent, Epoch, Grant, Msg, NetMsg, Ts, TsSource};
+pub use outbox::Outbox;
+pub use stats::{L1Stats, L2Stats, SelfInvCause};
+pub use wb::WritebackBuffer;

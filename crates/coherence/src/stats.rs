@@ -1,0 +1,240 @@
+//! Per-controller statistics matching the paper's figure breakdowns.
+
+use tsocc_sim::Counter;
+
+/// Why a TSO-CC L1 self-invalidated its Shared lines (Figures 7 and 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SelfInvCause {
+    /// The data response carried an invalid timestamp, or the receiver
+    /// had no last-seen entry for the writer.
+    InvalidTs,
+    /// Potential acquire detected on a non-SharedRO data response
+    /// (line timestamp newer than last-seen from that writer).
+    AcquireNonSro,
+    /// Potential acquire detected on a SharedRO data response
+    /// (L2-tile timestamp newer than last seen from that tile).
+    AcquireSro,
+    /// An explicit fence instruction (unconditional, §3.6).
+    Fence,
+}
+
+impl SelfInvCause {
+    /// All causes in display order (matches Figure 9's legend).
+    pub const ALL: [SelfInvCause; 4] = [
+        SelfInvCause::InvalidTs,
+        SelfInvCause::AcquireNonSro,
+        SelfInvCause::AcquireSro,
+        SelfInvCause::Fence,
+    ];
+
+    /// Dense index.
+    pub const fn index(self) -> usize {
+        match self {
+            SelfInvCause::InvalidTs => 0,
+            SelfInvCause::AcquireNonSro => 1,
+            SelfInvCause::AcquireSro => 2,
+            SelfInvCause::Fence => 3,
+        }
+    }
+
+    /// Human-readable label used by the figure harness.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SelfInvCause::InvalidTs => "invalid timestamp",
+            SelfInvCause::AcquireNonSro => "p. acquire (non-SharedRO)",
+            SelfInvCause::AcquireSro => "p. acquire (SharedRO)",
+            SelfInvCause::Fence => "fence",
+        }
+    }
+}
+
+/// L1 cache statistics.
+///
+/// The hit/miss categories follow Figures 5 and 6 exactly: misses are
+/// split by the state the line was in when the access missed
+/// (Invalid / Shared / SharedRO), hits by the state they hit in.
+#[derive(Clone, Debug, Default)]
+pub struct L1Stats {
+    /// Loads that hit a private (Exclusive or Modified) line.
+    pub read_hit_private: Counter,
+    /// Loads that hit a Shared line (within its access budget).
+    pub read_hit_shared: Counter,
+    /// Loads that hit a SharedRO line.
+    pub read_hit_sharedro: Counter,
+    /// Stores that hit a private line.
+    pub write_hit_private: Counter,
+    /// Loads that missed with the line absent.
+    pub read_miss_invalid: Counter,
+    /// Loads that missed because a Shared line exceeded its access
+    /// budget (TSO-CC) — or, for MESI, zero by construction.
+    pub read_miss_shared: Counter,
+    /// Stores that missed with the line absent.
+    pub write_miss_invalid: Counter,
+    /// Stores that missed on a Shared line (upgrade).
+    pub write_miss_shared: Counter,
+    /// Stores that missed on a SharedRO line (broadcast invalidation).
+    pub write_miss_sharedro: Counter,
+    /// RMWs that required a coherence transaction (diagnostic; RMW
+    /// misses are *also* counted in the `write_miss_*` categories).
+    pub rmw_miss: Counter,
+    /// RMWs that hit a private line (diagnostic; also counted in
+    /// `write_hit_private`).
+    pub rmw_hit: Counter,
+    /// Self-invalidation *events*, by cause (each event sweeps all
+    /// Shared lines).
+    pub selfinv_events: [Counter; 4],
+    /// Total Shared lines invalidated across all sweeps.
+    pub selfinv_lines: Counter,
+    /// Timestamp resets broadcast by this core's write counter.
+    pub ts_resets: Counter,
+}
+
+impl L1Stats {
+    /// Records a self-invalidation event that swept `lines` lines.
+    pub fn record_selfinv(&mut self, cause: SelfInvCause, lines: u64) {
+        self.selfinv_events[cause.index()].inc();
+        self.selfinv_lines.add(lines);
+    }
+
+    /// Total read misses.
+    pub fn read_misses(&self) -> u64 {
+        self.read_miss_invalid.get() + self.read_miss_shared.get()
+    }
+
+    /// Total write misses (RMW transactions are included via the
+    /// per-state `write_miss_*` counters).
+    pub fn write_misses(&self) -> u64 {
+        self.write_miss_invalid.get()
+            + self.write_miss_shared.get()
+            + self.write_miss_sharedro.get()
+    }
+
+    /// Total hits (RMW hits are included via `write_hit_private`).
+    pub fn hits(&self) -> u64 {
+        self.read_hit_private.get()
+            + self.read_hit_shared.get()
+            + self.read_hit_sharedro.get()
+            + self.write_hit_private.get()
+    }
+
+    /// Total accesses (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits() + self.read_misses() + self.write_misses()
+    }
+
+    /// Total self-invalidation events over all causes.
+    pub fn selfinv_total(&self) -> u64 {
+        self.selfinv_events.iter().map(|c| c.get()).sum()
+    }
+
+    /// Merges another L1's statistics into this one (whole-system
+    /// aggregation).
+    pub fn merge(&mut self, other: &L1Stats) {
+        self.read_hit_private += other.read_hit_private.get();
+        self.read_hit_shared += other.read_hit_shared.get();
+        self.read_hit_sharedro += other.read_hit_sharedro.get();
+        self.write_hit_private += other.write_hit_private.get();
+        self.read_miss_invalid += other.read_miss_invalid.get();
+        self.read_miss_shared += other.read_miss_shared.get();
+        self.write_miss_invalid += other.write_miss_invalid.get();
+        self.write_miss_shared += other.write_miss_shared.get();
+        self.write_miss_sharedro += other.write_miss_sharedro.get();
+        self.rmw_miss += other.rmw_miss.get();
+        self.rmw_hit += other.rmw_hit.get();
+        for i in 0..4 {
+            self.selfinv_events[i] += other.selfinv_events[i].get();
+        }
+        self.selfinv_lines += other.selfinv_lines.get();
+        self.ts_resets += other.ts_resets.get();
+    }
+}
+
+/// L2 tile statistics.
+#[derive(Clone, Debug, Default)]
+pub struct L2Stats {
+    /// Requests serviced without a memory fetch.
+    pub hits: Counter,
+    /// Requests that required fetching the line from memory.
+    pub misses: Counter,
+    /// Lines written back to memory on eviction.
+    pub writebacks: Counter,
+    /// Shared→SharedRO decay transitions (TSO-CC §3.4).
+    pub decays: Counter,
+    /// SharedRO broadcast invalidation rounds (writes to SharedRO).
+    pub sro_invalidations: Counter,
+    /// Timestamp resets broadcast by this tile's SharedRO counter.
+    pub ts_resets: Counter,
+}
+
+impl L2Stats {
+    /// Merges another tile's statistics into this one.
+    pub fn merge(&mut self, other: &L2Stats) {
+        self.hits += other.hits.get();
+        self.misses += other.misses.get();
+        self.writebacks += other.writebacks.get();
+        self.decays += other.decays.get();
+        self.sro_invalidations += other.sro_invalidations.get();
+        self.ts_resets += other.ts_resets.get();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_indices_are_dense_and_labelled() {
+        for (i, c) in SelfInvCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn l1_totals() {
+        let mut s = L1Stats::default();
+        s.read_hit_private.add(10);
+        s.read_miss_invalid.add(2);
+        s.read_miss_shared.add(3);
+        s.write_miss_shared.add(1);
+        s.rmw_miss.add(1);
+        s.rmw_hit.add(4);
+        assert_eq!(s.read_misses(), 5);
+        assert_eq!(s.write_misses(), 1, "rmw_miss is diagnostic-only");
+        assert_eq!(s.hits(), 10, "rmw_hit is diagnostic-only");
+        assert_eq!(s.accesses(), 16);
+    }
+
+    #[test]
+    fn selfinv_recording() {
+        let mut s = L1Stats::default();
+        s.record_selfinv(SelfInvCause::Fence, 7);
+        s.record_selfinv(SelfInvCause::InvalidTs, 3);
+        s.record_selfinv(SelfInvCause::Fence, 0);
+        assert_eq!(s.selfinv_total(), 3);
+        assert_eq!(s.selfinv_events[SelfInvCause::Fence.index()].get(), 2);
+        assert_eq!(s.selfinv_lines.get(), 10);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = L1Stats::default();
+        a.read_hit_private.add(1);
+        let mut b = L1Stats::default();
+        b.read_hit_private.add(2);
+        b.record_selfinv(SelfInvCause::AcquireSro, 5);
+        a.merge(&b);
+        assert_eq!(a.read_hit_private.get(), 3);
+        assert_eq!(a.selfinv_total(), 1);
+        assert_eq!(a.selfinv_lines.get(), 5);
+
+        let mut x = L2Stats::default();
+        x.hits.add(4);
+        let mut y = L2Stats::default();
+        y.hits.add(6);
+        y.decays.add(1);
+        x.merge(&y);
+        assert_eq!(x.hits.get(), 10);
+        assert_eq!(x.decays.get(), 1);
+    }
+}

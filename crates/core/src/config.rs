@@ -1,0 +1,147 @@
+//! System configuration (the paper's Table 2).
+
+use tsocc_cpu::CoreConfig;
+use tsocc_mem::CacheParams;
+use tsocc_noc::NocConfig;
+use tsocc_proto::TsoCcConfig;
+
+/// Which coherence protocol the system runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// The MESI directory baseline with a full sharing vector.
+    Mesi,
+    /// TSO-CC in any of its configurations (§4.2); includes
+    /// CC-shared-to-L2 via [`TsoCcConfig::cc_shared_to_l2`].
+    TsoCc(TsoCcConfig),
+}
+
+impl Protocol {
+    /// The paper's name for this configuration (Figure 3 legend).
+    pub fn name(&self) -> String {
+        match self {
+            Protocol::Mesi => "MESI".to_string(),
+            Protocol::TsoCc(cfg) => cfg.name(),
+        }
+    }
+
+    /// All seven configurations evaluated in the paper, in figure
+    /// order.
+    pub fn paper_configs() -> Vec<Protocol> {
+        vec![
+            Protocol::Mesi,
+            Protocol::TsoCc(TsoCcConfig::cc_shared_to_l2()),
+            Protocol::TsoCc(TsoCcConfig::basic()),
+            Protocol::TsoCc(TsoCcConfig::noreset()),
+            Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+            Protocol::TsoCc(TsoCcConfig::realistic(12, 0)),
+            Protocol::TsoCc(TsoCcConfig::realistic(9, 3)),
+        ]
+    }
+}
+
+/// Full machine configuration.
+///
+/// [`SystemConfig::table2`] reproduces the paper's simulated machine;
+/// [`SystemConfig::small_test`] shrinks the caches so unit and litmus
+/// tests exercise evictions and run fast.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Number of cores (32 in Table 2); one L2 tile per core.
+    pub n_cores: usize,
+    /// Number of memory controllers (mesh corners).
+    pub n_mem: usize,
+    /// Core pipeline/write-buffer parameters.
+    pub core: CoreConfig,
+    /// L1 geometry.
+    pub l1_params: CacheParams,
+    /// L2 tile geometry.
+    pub l2_params: CacheParams,
+    /// L2 array access latency (cycles).
+    pub l2_latency: u64,
+    /// Memory access latency (cycles).
+    pub mem_latency: u64,
+    /// Network parameters.
+    pub noc: NocConfig,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Seed for all deterministic randomness (workload perturbation).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 2 machine: 32 cores, 32KiB 4-way L1s, 1MiB
+    /// 16-way L2 tiles, 2D mesh, 4 memory controllers.
+    pub fn table2(protocol: Protocol) -> Self {
+        SystemConfig {
+            n_cores: 32,
+            n_mem: 4,
+            core: CoreConfig::default(),
+            l1_params: CacheParams::from_capacity(32 * 1024, 4),
+            l2_params: CacheParams::from_capacity(1024 * 1024, 16),
+            l2_latency: 20,
+            mem_latency: 150,
+            noc: NocConfig::default(),
+            protocol,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Like [`SystemConfig::table2`] but with `n` cores.
+    pub fn table2_with_cores(protocol: Protocol, n: usize) -> Self {
+        let mut cfg = SystemConfig::table2(protocol);
+        cfg.n_cores = n;
+        cfg.n_mem = n.min(4).max(1);
+        cfg
+    }
+
+    /// A small machine for tests: tiny caches force evictions, small
+    /// latencies keep litmus iteration fast.
+    pub fn small_test(n_cores: usize, protocol: Protocol) -> Self {
+        SystemConfig {
+            n_cores,
+            n_mem: n_cores.min(2).max(1),
+            core: CoreConfig {
+                write_buffer_entries: 8,
+                l1_hit_latency: 1,
+            },
+            l1_params: CacheParams::new(8, 2),
+            l2_params: CacheParams::new(16, 4),
+            l2_latency: 4,
+            mem_latency: 20,
+            noc: NocConfig::default(),
+            protocol,
+            seed: 42,
+        }
+    }
+
+    /// Number of L2 tiles (one per core).
+    pub fn n_tiles(&self) -> usize {
+        self.n_cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_seven_with_unique_names() {
+        let configs = Protocol::paper_configs();
+        assert_eq!(configs.len(), 7);
+        let mut names: Vec<String> = configs.iter().map(|c| c.name()).collect();
+        assert_eq!(names[0], "MESI");
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 7, "names must be distinct");
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let cfg = SystemConfig::table2(Protocol::Mesi);
+        assert_eq!(cfg.n_cores, 32);
+        assert_eq!(cfg.core.write_buffer_entries, 32);
+        assert_eq!(cfg.l1_params.lines() * 64, 32 * 1024);
+        assert_eq!(cfg.l2_params.lines() * 64, 1024 * 1024);
+        assert_eq!(cfg.n_tiles(), 32);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Full-system assembly for the TSO-CC reproduction.
+//!
+//! This crate wires the substrates into the paper's Table 2 machine:
+//! n cores (each a [`tsocc_cpu::Core`] with a private L1), n NUCA L2
+//! tiles co-located with the cores on a 2D mesh, and four memory
+//! controllers at the mesh corners — running either the MESI baseline
+//! or any TSO-CC configuration.
+//!
+//! Entry points:
+//!
+//! - [`SystemConfig`] / [`Protocol`] — machine and protocol selection,
+//! - [`System`] — build with programs, [`System::run`] to completion,
+//! - [`RunStats`] — every metric behind the paper's Figures 3–9,
+//! - [`storage`] — the analytic storage-overhead model of Figure 2 and
+//!   Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsocc::{Protocol, System, SystemConfig};
+//! use tsocc_isa::{Asm, Reg};
+//!
+//! // One core stores then loads through the full memory system.
+//! let mut asm = Asm::new();
+//! asm.movi(Reg::R1, 99);
+//! asm.store_abs(Reg::R1, 0x1000);
+//! asm.load_abs(Reg::R2, 0x1000);
+//! asm.halt();
+//!
+//! let cfg = SystemConfig::small_test(2, Protocol::TsoCc(Default::default()));
+//! let mut sys = System::new(cfg, vec![asm.finish()]);
+//! let stats = sys.run(100_000).expect("terminates");
+//! assert_eq!(sys.core(0).thread().reg(Reg::R2), 99);
+//! assert!(stats.cycles > 0);
+//! ```
+
+pub mod config;
+pub mod stats;
+pub mod storage;
+pub mod system;
+
+pub use config::{Protocol, SystemConfig};
+pub use stats::RunStats;
+pub use system::{RunError, System};

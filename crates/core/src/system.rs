@@ -1,0 +1,318 @@
+//! The simulated machine and its run loop.
+
+use tsocc_coherence::{Agent, CacheController, L1Controller, L2Controller, MemCtrl, NetMsg};
+use tsocc_cpu::Core;
+use tsocc_isa::Program;
+use tsocc_mem::{Addr, MainMemory};
+use tsocc_noc::{Mesh, MeshTopology};
+use tsocc_mesi::{MesiL1, MesiL1Config, MesiL2, MesiL2Config};
+use tsocc_proto::{TsoCcL1, TsoCcL1Config, TsoCcL2, TsoCcL2Config};
+use tsocc_sim::{trace::TraceSink, Cycle};
+
+use crate::config::{Protocol, SystemConfig};
+use crate::stats::RunStats;
+
+/// Why a run did not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The run exceeded the cycle budget while still making progress.
+    Timeout {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+    /// No component made progress for a long time while cores were
+    /// still unfinished: a protocol deadlock (this is a simulator bug
+    /// if it ever fires).
+    Deadlock {
+        /// The cycle at which progress stopped.
+        stalled_at: u64,
+        /// How many cores were still running.
+        cores_unfinished: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Timeout { max_cycles } => {
+                write!(f, "run exceeded {max_cycles} cycles")
+            }
+            RunError::Deadlock { stalled_at, cores_unfinished } => write!(
+                f,
+                "deadlock at cycle {stalled_at} with {cores_unfinished} cores unfinished"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The full simulated machine: cores + L1s + L2 tiles + memory
+/// controllers on a 2D mesh.
+///
+/// See the [crate-level documentation](crate) for an example.
+pub struct System {
+    cfg: SystemConfig,
+    topo: MeshTopology,
+    cores: Vec<Core>,
+    l1s: Vec<Box<dyn L1Controller>>,
+    l2s: Vec<Box<dyn L2Controller>>,
+    mems: Vec<MemCtrl>,
+    mesh: Mesh<NetMsg>,
+    now: Cycle,
+    trace: TraceSink,
+}
+
+impl System {
+    /// Builds a machine running one program per core. Cores beyond
+    /// `programs.len()` idle (an empty program halts immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more programs than cores are supplied.
+    pub fn new(cfg: SystemConfig, programs: Vec<Program>) -> Self {
+        assert!(
+            programs.len() <= cfg.n_cores,
+            "{} programs for {} cores",
+            programs.len(),
+            cfg.n_cores
+        );
+        let topo = MeshTopology::for_tiles(cfg.n_tiles());
+        let mut programs = programs;
+        while programs.len() < cfg.n_cores {
+            programs.push(Program::new(vec![tsocc_isa::Instr::Halt]));
+        }
+        let cores: Vec<Core> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Core::new(i, p, cfg.core, cfg.seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        let l1s: Vec<Box<dyn L1Controller>> = (0..cfg.n_cores)
+            .map(|i| match cfg.protocol {
+                Protocol::Mesi => Box::new(MesiL1::new(MesiL1Config {
+                    id: i,
+                    n_tiles: cfg.n_tiles(),
+                    params: cfg.l1_params,
+                    issue_latency: 1,
+                })) as Box<dyn L1Controller>,
+                Protocol::TsoCc(proto) => Box::new(TsoCcL1::new(TsoCcL1Config {
+                    id: i,
+                    n_cores: cfg.n_cores,
+                    n_tiles: cfg.n_tiles(),
+                    params: cfg.l1_params,
+                    issue_latency: 1,
+                    proto,
+                })) as Box<dyn L1Controller>,
+            })
+            .collect();
+        let l2s: Vec<Box<dyn L2Controller>> = (0..cfg.n_tiles())
+            .map(|t| match cfg.protocol {
+                Protocol::Mesi => Box::new(MesiL2::new(MesiL2Config {
+                    tile: t,
+                    n_cores: cfg.n_cores,
+                    n_mem: cfg.n_mem,
+                    params: cfg.l2_params,
+                    latency: cfg.l2_latency,
+                })) as Box<dyn L2Controller>,
+                Protocol::TsoCc(proto) => Box::new(TsoCcL2::new(TsoCcL2Config {
+                    tile: t,
+                    n_cores: cfg.n_cores,
+                    n_mem: cfg.n_mem,
+                    params: cfg.l2_params,
+                    latency: cfg.l2_latency,
+                    proto,
+                })) as Box<dyn L2Controller>,
+            })
+            .collect();
+        let mems: Vec<MemCtrl> = (0..cfg.n_mem)
+            .map(|j| MemCtrl::new(j, MainMemory::new(), cfg.mem_latency))
+            .collect();
+        System {
+            cfg,
+            topo,
+            cores,
+            l1s,
+            l2s,
+            mems,
+            mesh: Mesh::new(topo, cfg.noc),
+            now: Cycle::ZERO,
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Enables or disables per-message protocol tracing (off by
+    /// default; the disabled path costs one branch per message).
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
+    /// The recorded protocol trace (one line per delivered message).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Access to core `i` (final registers for litmus outcomes).
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// The memory controller owning `addr`'s line.
+    fn mem_ctrl_of(&self, addr: Addr) -> usize {
+        let tile = addr.line().home(self.cfg.n_tiles());
+        tile % self.cfg.n_mem
+    }
+
+    /// Initializes one memory word before the run.
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        let ctrl = self.mem_ctrl_of(addr);
+        self.mems[ctrl].memory_mut().write_word(addr, value);
+    }
+
+    /// Reads one memory word from DRAM. Note that after a run, the most
+    /// recent value of a line may still live dirty in a cache; programs
+    /// should read results through their own loads (or fence before
+    /// halting) when exact final values matter.
+    pub fn read_mem_word(&self, addr: Addr) -> u64 {
+        let ctrl = self.mem_ctrl_of(addr);
+        self.mems[ctrl].memory().read_word(addr)
+    }
+
+    fn router_of(&self, agent: Agent) -> usize {
+        match agent {
+            Agent::L1(i) | Agent::L2(i) => i,
+            Agent::Mem(j) => {
+                let corners = self.topo.corners();
+                corners[j % 4]
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle, nm: NetMsg) {
+        self.trace
+            .emit(now, || format!("{} -> {}: {:?}", nm.src, nm.dst, nm.msg));
+        match nm.dst {
+            Agent::L1(i) => self.l1s[i].handle_message(now, nm.src, nm.msg),
+            Agent::L2(i) => self.l2s[i].handle_message(now, nm.src, nm.msg),
+            Agent::Mem(j) => self.mems[j].handle_message(now, nm.src, nm.msg),
+        }
+    }
+
+    /// Advances the machine one cycle; returns whether any component
+    /// showed activity (message movement).
+    fn step(&mut self) -> bool {
+        let now = self.now;
+        let mut active = false;
+
+        // 1. Deliver arrived network messages.
+        let arrivals = self.mesh.deliver(now);
+        active |= !arrivals.is_empty();
+        for (_router, nm) in arrivals {
+            self.dispatch(now, nm);
+        }
+
+        // 2. Cores execute against their L1s.
+        for (core, l1) in self.cores.iter_mut().zip(self.l1s.iter_mut()) {
+            core.tick(now, l1.as_mut());
+        }
+
+        // 3. Controllers advance (queued-request replay).
+        for l2 in &mut self.l2s {
+            l2.tick(now);
+        }
+
+        // 4. Inject ready outgoing messages into the mesh.
+        let mut outgoing: Vec<NetMsg> = Vec::new();
+        for l1 in &mut self.l1s {
+            outgoing.extend(l1.drain_outbox(now));
+        }
+        for l2 in &mut self.l2s {
+            outgoing.extend(l2.drain_outbox(now));
+        }
+        for mem in &mut self.mems {
+            outgoing.extend(mem.drain_outbox(now));
+        }
+        active |= !outgoing.is_empty();
+        for nm in outgoing {
+            let src = self.router_of(nm.src);
+            let dst = self.router_of(nm.dst);
+            let vnet = nm.msg.vnet();
+            let flits = self.cfg.noc.flits_for_payload(nm.msg.payload_bytes());
+            self.mesh.send(now, src, dst, vnet, flits, nm);
+        }
+
+        self.now += 1;
+        active
+    }
+
+    /// Whether every core has finished and the machine is quiescent.
+    pub fn is_finished(&self) -> bool {
+        self.cores.iter().all(Core::is_done)
+            && self.l1s.iter().all(|c| c.is_quiescent())
+            && self.l2s.iter().all(|c| c.is_quiescent())
+            && self.mems.iter().all(|c| c.is_quiescent())
+            && self.mesh.is_idle()
+    }
+
+    /// Runs until every core halts and the machine drains, or until
+    /// `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Timeout`] if the budget is exceeded;
+    /// [`RunError::Deadlock`] if nothing moves for a long stretch while
+    /// cores are unfinished.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, RunError> {
+        // A generous quiet window: random backoffs and memory round
+        // trips are far shorter than this.
+        const DEADLOCK_WINDOW: u64 = 200_000;
+        let mut last_active = self.now;
+        while self.now.as_u64() < max_cycles {
+            let active = self.step();
+            if active {
+                last_active = self.now;
+            }
+            if self.is_finished() {
+                return Ok(self.collect_stats());
+            }
+            if self.now - last_active > DEADLOCK_WINDOW {
+                return Err(RunError::Deadlock {
+                    stalled_at: self.now.as_u64(),
+                    cores_unfinished: self.cores.iter().filter(|c| !c.is_done()).count(),
+                });
+            }
+        }
+        Err(RunError::Timeout { max_cycles })
+    }
+
+    /// Aggregates all statistics (valid at any point, typically after
+    /// [`System::run`]).
+    pub fn collect_stats(&self) -> RunStats {
+        let mut stats = RunStats {
+            cycles: self.now.as_u64(),
+            noc: self.mesh.stats().clone(),
+            ..RunStats::default()
+        };
+        for l1 in &self.l1s {
+            stats.l1.merge(L1Controller::stats(l1.as_ref()));
+        }
+        for l2 in &self.l2s {
+            stats.l2.merge(L2Controller::stats(l2.as_ref()));
+        }
+        for core in &self.cores {
+            let cs = core.stats();
+            stats.instructions += cs.instructions.get();
+            stats.rmw_latency.merge(&cs.rmw_latency);
+            stats.load_latency.merge(&cs.load_latency);
+            stats.wb_full_stalls += cs.wb_full_stalls.get();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests;

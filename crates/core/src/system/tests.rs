@@ -1,0 +1,339 @@
+use tsocc_isa::{Asm, Program, Reg};
+use tsocc_mem::Addr;
+use tsocc_proto::TsoCcConfig;
+
+use super::*;
+use crate::config::{Protocol, SystemConfig};
+
+fn all_protocols() -> Vec<Protocol> {
+    Protocol::paper_configs()
+}
+
+fn run_programs(protocol: Protocol, programs: Vec<Program>) -> (System, RunStats) {
+    let n = programs.len().max(2);
+    let cfg = SystemConfig::small_test(n, protocol);
+    let mut sys = System::new(cfg, programs);
+    let stats = sys
+        .run(2_000_000)
+        .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+    (sys, stats)
+}
+
+#[test]
+fn single_core_store_load_roundtrip_all_protocols() {
+    for protocol in all_protocols() {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 1234);
+        a.store_abs(Reg::R1, 0x4000);
+        a.load_abs(Reg::R2, 0x4000);
+        a.halt();
+        let (sys, _) = run_programs(protocol, vec![a.finish()]);
+        assert_eq!(
+            sys.core(0).thread().reg(Reg::R2),
+            1234,
+            "{}",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn producer_consumer_flag_handshake_all_protocols() {
+    // The paper's Figure 1: proc A writes data then flag; proc B spins
+    // on flag then must see data (write propagation + r→r order).
+    let data = 0x8000u64;
+    let flag = 0x8040u64; // different line
+    for protocol in all_protocols() {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 77);
+        a.store_abs(Reg::R1, data); // a1
+        a.movi(Reg::R2, 1);
+        a.store_abs(Reg::R2, flag); // a2
+        a.halt();
+
+        let mut b = Asm::new();
+        let spin = b.new_label();
+        b.bind(spin);
+        b.load_abs(Reg::R1, flag); // b1
+        b.beq(Reg::R1, Reg::R0, spin);
+        b.load_abs(Reg::R2, data); // b2
+        b.halt();
+
+        let (sys, _) = run_programs(protocol, vec![a.finish(), b.finish()]);
+        assert_eq!(
+            sys.core(1).thread().reg(Reg::R2),
+            77,
+            "{}: consumer must observe data once flag is visible",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn rmw_mutual_exclusion_counter_all_protocols() {
+    // Four cores each fetch-add the same counter 50 times; the final
+    // value must be exactly 200 (RMW atomicity at the L1).
+    let counter = 0x9000u64;
+    for protocol in all_protocols() {
+        let make = || {
+            let mut a = Asm::new();
+            a.movi(Reg::R1, 1);
+            a.movi(Reg::R2, 0);
+            let top = a.new_label();
+            a.bind(top);
+            a.fetch_add(Reg::R3, Reg::R0, counter, Reg::R1);
+            a.addi(Reg::R2, Reg::R2, 1);
+            a.blt_imm(Reg::R2, 50, top);
+            a.halt();
+            a.finish()
+        };
+        let programs = vec![make(), make(), make(), make()];
+        let (sys, _) = run_programs(protocol, programs);
+        // Read the final value coherently: one more program would be
+        // overkill; instead check the sum of returned old values.
+        // The largest old value any core saw must be 199 and the
+        // counter in memory/caches is 200. We verify via a 5th-core
+        // read in other tests; here check monotonic outcome per core.
+        let mut max_old = 0;
+        for i in 0..4 {
+            max_old = max_old.max(sys.core(i).thread().reg(Reg::R3));
+        }
+        assert_eq!(max_old, 199, "{}", protocol.name());
+    }
+}
+
+#[test]
+fn writes_migrate_between_cores_all_protocols() {
+    // Core 0 writes X, signals; core 1 then writes X (ownership
+    // transfer), signals; core 0 reads X back.
+    let x = 0xa000u64;
+    let f1 = 0xa040u64;
+    let f2 = 0xa080u64;
+    for protocol in all_protocols() {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 10);
+        a.store_abs(Reg::R1, x);
+        a.movi(Reg::R1, 1);
+        a.store_abs(Reg::R1, f1);
+        let spin = a.new_label();
+        a.bind(spin);
+        a.load_abs(Reg::R2, f2);
+        a.beq(Reg::R2, Reg::R0, spin);
+        a.load_abs(Reg::R3, x);
+        a.halt();
+
+        let mut b = Asm::new();
+        let spin = b.new_label();
+        b.bind(spin);
+        b.load_abs(Reg::R2, f1);
+        b.beq(Reg::R2, Reg::R0, spin);
+        b.load_abs(Reg::R4, x);
+        b.movi(Reg::R1, 20);
+        b.store_abs(Reg::R1, x);
+        b.movi(Reg::R1, 1);
+        b.store_abs(Reg::R1, f2);
+        b.halt();
+
+        let (sys, _) = run_programs(protocol, vec![a.finish(), b.finish()]);
+        assert_eq!(sys.core(1).thread().reg(Reg::R4), 10, "{}", protocol.name());
+        assert_eq!(
+            sys.core(0).thread().reg(Reg::R3),
+            20,
+            "{}: core 0 must see core 1's write",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn capacity_evictions_preserve_data_all_protocols() {
+    // Write more lines than the tiny L1 (16 lines) and L2 (64 lines)
+    // can hold, then read them all back.
+    for protocol in all_protocols() {
+        let n_lines = 200u64;
+        let base = 0x10000u64;
+        let mut a = Asm::new();
+        // for i in 0..n: mem[base + i*64] = i + 1
+        a.movi(Reg::R1, 0);
+        let wr = a.new_label();
+        a.bind(wr);
+        a.muli(Reg::R2, Reg::R1, 64);
+        a.addi(Reg::R2, Reg::R2, base);
+        a.addi(Reg::R3, Reg::R1, 1);
+        a.store(Reg::R3, Reg::R2, 0);
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.blt_imm(Reg::R1, n_lines, wr);
+        // Read back and accumulate into R5.
+        a.movi(Reg::R1, 0);
+        a.movi(Reg::R5, 0);
+        let rd = a.new_label();
+        a.bind(rd);
+        a.muli(Reg::R2, Reg::R1, 64);
+        a.addi(Reg::R2, Reg::R2, base);
+        a.load(Reg::R4, Reg::R2, 0);
+        a.add(Reg::R5, Reg::R5, Reg::R4);
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.blt_imm(Reg::R1, n_lines, rd);
+        a.halt();
+
+        let (sys, stats) = run_programs(protocol, vec![a.finish()]);
+        let expected: u64 = (1..=n_lines).sum();
+        assert_eq!(sys.core(0).thread().reg(Reg::R5), expected, "{}", protocol.name());
+        assert!(stats.l2.writebacks.get() > 0, "{}: evictions must occur", protocol.name());
+    }
+}
+
+#[test]
+fn fence_orders_and_self_invalidates() {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 5);
+    a.store_abs(Reg::R1, 0x4000);
+    a.fence();
+    a.load_abs(Reg::R2, 0x4000);
+    a.halt();
+    let (sys, stats) = run_programs(
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+        vec![a.finish()],
+    );
+    assert_eq!(sys.core(0).thread().reg(Reg::R2), 5);
+    assert_eq!(
+        stats.l1.selfinv_events[tsocc_coherence::SelfInvCause::Fence.index()].get(),
+        1
+    );
+}
+
+#[test]
+fn shared_reads_expire_after_max_acc() {
+    // Core 1 takes a Shared copy and reads it many times; the access
+    // counter must force re-requests (read_miss_shared > 0).
+    let x = 0xb000u64;
+    let stop = 0xb040u64;
+    let mut writer = Asm::new();
+    writer.movi(Reg::R1, 1);
+    writer.store_abs(Reg::R1, x);
+    // Wait for the reader to finish, then stop.
+    let spin = writer.new_label();
+    writer.bind(spin);
+    writer.load_abs(Reg::R2, stop);
+    writer.beq(Reg::R2, Reg::R0, spin);
+    writer.halt();
+
+    let mut reader = Asm::new();
+    // Force the line to Shared: read after the writer owned it.
+    reader.delay(400);
+    reader.movi(Reg::R3, 0);
+    let top = reader.new_label();
+    reader.bind(top);
+    reader.load_abs(Reg::R1, x);
+    reader.addi(Reg::R3, Reg::R3, 1);
+    reader.blt_imm(Reg::R3, 200, top);
+    reader.movi(Reg::R1, 1);
+    reader.store_abs(Reg::R1, stop);
+    reader.halt();
+
+    let (_, stats) = run_programs(
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+        vec![writer.finish(), reader.finish()],
+    );
+    assert!(
+        stats.l1.read_miss_shared.get() > 5,
+        "expired shared reads: {}",
+        stats.l1.read_miss_shared.get()
+    );
+    assert!(stats.l1.read_hit_shared.get() > 100);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::default())] {
+        let build = || {
+            let mut a = Asm::new();
+            a.rand_delay(50);
+            a.movi(Reg::R1, 3);
+            a.fetch_add(Reg::R2, Reg::R0, 0xc000, Reg::R1);
+            a.halt();
+            a.finish()
+        };
+        let (_, s1) = run_programs(protocol, vec![build(), build()]);
+        let (_, s2) = run_programs(protocol, vec![build(), build()]);
+        assert_eq!(s1.cycles, s2.cycles, "{}", protocol.name());
+        assert_eq!(s1.total_flits(), s2.total_flits(), "{}", protocol.name());
+    }
+}
+
+#[test]
+fn mesi_never_counts_shared_expiry_misses() {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 1);
+    a.store_abs(Reg::R1, 0x4000);
+    a.load_abs(Reg::R2, 0x4000);
+    a.halt();
+    let (_, stats) = run_programs(Protocol::Mesi, vec![a.finish()]);
+    assert_eq!(stats.l1.read_miss_shared.get(), 0);
+    assert_eq!(stats.l1.read_hit_sharedro.get(), 0);
+}
+
+#[test]
+fn timeout_reported_for_infinite_programs() {
+    let mut a = Asm::new();
+    let top = a.new_label();
+    a.bind(top);
+    a.load_abs(Reg::R1, 0x4000);
+    a.jump(top);
+    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let mut sys = System::new(cfg, vec![a.finish()]);
+    match sys.run(5_000) {
+        Err(RunError::Timeout { max_cycles }) => assert_eq!(max_cycles, 5_000),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+#[should_panic]
+fn too_many_programs_panics() {
+    let cfg = SystemConfig::small_test(1, Protocol::Mesi);
+    let p = || Program::new(vec![tsocc_isa::Instr::Halt]);
+    let _ = System::new(cfg, vec![p(), p(), p()]);
+}
+
+#[test]
+fn memory_word_init_visible_to_programs() {
+    let mut a = Asm::new();
+    a.load_abs(Reg::R1, 0x7000);
+    a.halt();
+    let cfg = SystemConfig::small_test(2, Protocol::TsoCc(TsoCcConfig::basic()));
+    let mut sys = System::new(cfg, vec![a.finish()]);
+    sys.write_word(Addr::new(0x7000), 4242);
+    sys.run(1_000_000).unwrap();
+    assert_eq!(sys.core(0).thread().reg(Reg::R1), 4242);
+}
+
+#[test]
+fn protocol_trace_records_message_flow() {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 5);
+    a.store_abs(Reg::R1, 0x4000);
+    a.load_abs(Reg::R2, 0x4040);
+    a.halt();
+    let cfg = SystemConfig::small_test(2, Protocol::TsoCc(TsoCcConfig::default()));
+    let mut sys = System::new(cfg, vec![a.finish()]);
+    sys.set_trace(true);
+    sys.run(1_000_000).unwrap();
+    let lines = sys.trace().lines();
+    assert!(!lines.is_empty());
+    assert!(lines.iter().any(|l| l.contains("GetX")), "trace: {}", sys.trace().tail(10));
+    assert!(lines.iter().any(|l| l.contains("GetS")));
+    assert!(lines.iter().any(|l| l.contains("MemRead")));
+    assert!(lines.iter().any(|l| l.contains("Unblock")));
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let mut a = Asm::new();
+    a.store_abs(Reg::R0, 0x4000);
+    a.halt();
+    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let mut sys = System::new(cfg, vec![a.finish()]);
+    sys.run(1_000_000).unwrap();
+    assert!(sys.trace().lines().is_empty());
+}

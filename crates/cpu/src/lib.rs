@@ -1,0 +1,336 @@
+#![warn(missing_docs)]
+
+//! Core timing model: the operational x86-TSO machine.
+//!
+//! Each simulated core executes one TVM program with the standard
+//! operational TSO semantics (Sewell et al., "x86-TSO"):
+//!
+//! - stores retire into a **FIFO write buffer** (32 entries, Table 2)
+//!   and drain to the L1 in program order, one outstanding store at a
+//!   time (the next store issues only after the previous one's state
+//!   change is acknowledged — this is what gives TSO-CC its `w → w`
+//!   ordering, paper §3.1),
+//! - loads **bypass the write buffer**: a load first forwards from the
+//!   youngest matching buffered store, otherwise accesses the L1 and
+//!   blocks the thread until the value returns (`r → r` and `r → w`
+//!   order),
+//! - **fences** and **RMWs** drain the write buffer before executing;
+//!   RMWs are atomic at the L1.
+//!
+//! Substitution note (DESIGN.md §2): the paper's cores are simple
+//! out-of-order with a 40-entry ROB. The consistency-relevant behaviour
+//! of such a core is exactly the in-order-issue + store-buffer model
+//! implemented here; store-side memory-level parallelism is retained
+//! (the buffer drains while the core keeps executing).
+
+use std::collections::VecDeque;
+
+use tsocc_coherence::{Completion, CoreOp, L1Controller, Submit};
+use tsocc_isa::{Effect, MemOp, Program, ThreadState};
+use tsocc_mem::Addr;
+use tsocc_sim::{Counter, Cycle, Histogram, Xoshiro256StarStar};
+
+/// Core timing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Write-buffer capacity in entries (32 in Table 2).
+    pub write_buffer_entries: usize,
+    /// L1 hit latency in cycles (3 in Table 2).
+    pub l1_hit_latency: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            write_buffer_entries: 32,
+            l1_hit_latency: 3,
+        }
+    }
+}
+
+/// Per-core execution statistics.
+#[derive(Clone, Debug, Default)]
+pub struct CoreStats {
+    /// Instructions executed (including memory ops).
+    pub instructions: Counter,
+    /// Loads executed (including write-buffer forwards).
+    pub loads: Counter,
+    /// Loads satisfied by write-buffer forwarding.
+    pub wb_forwards: Counter,
+    /// Stores executed.
+    pub stores: Counter,
+    /// RMWs executed.
+    pub rmws: Counter,
+    /// Fences executed.
+    pub fences: Counter,
+    /// Cycles stalled because the write buffer was full.
+    pub wb_full_stalls: Counter,
+    /// Load-to-use latency of L1-missing loads.
+    pub load_latency: Histogram,
+    /// RMW issue-to-complete latency (the paper's Figure 8 metric).
+    pub rmw_latency: Histogram,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Pending {
+    /// Ready to execute the next instruction.
+    None,
+    /// Last submit returned `Retry`; try the same op again.
+    Resubmit { op: CoreOp, first_issued: Cycle },
+    /// Blocked on an L1 load miss.
+    WaitLoad { issued: Cycle },
+    /// Blocked on an L1 RMW miss.
+    WaitRmw { issued: Cycle },
+    /// RMW waiting for the write buffer to drain.
+    DrainForRmw { addr: Addr, op: tsocc_isa::RmwOp },
+    /// Fence waiting for the write buffer to drain.
+    DrainForFence,
+    /// Store stalled on a full write buffer.
+    WbFull { addr: Addr, value: u64 },
+    /// Local compute until the given cycle.
+    DelayUntil(Cycle),
+}
+
+/// One simulated core: thread state, write buffer and pipeline control.
+///
+/// Drive it once per cycle with [`Core::tick`], passing the core's L1
+/// controller. The core is finished when [`Core::is_done`] — the thread
+/// has halted *and* the write buffer has fully drained.
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    program: Program,
+    thread: ThreadState,
+    cfg: CoreConfig,
+    rng: Xoshiro256StarStar,
+    pending: Pending,
+    /// FIFO write buffer; the head may be in flight at the L1.
+    write_buffer: VecDeque<(Addr, u64)>,
+    /// Whether the head of the write buffer has been accepted by the L1
+    /// and awaits completion.
+    store_inflight: bool,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates core `id` executing `program`.
+    pub fn new(id: usize, program: Program, cfg: CoreConfig, seed: u64) -> Self {
+        Core {
+            id,
+            program,
+            thread: ThreadState::new(),
+            cfg,
+            rng: Xoshiro256StarStar::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9)),
+            pending: Pending::None,
+            write_buffer: VecDeque::new(),
+            store_inflight: false,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Core id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The architectural thread state (final registers for litmus
+    /// outcome checking).
+    pub fn thread(&self) -> &ThreadState {
+        &self.thread
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Whether the thread has halted and all stores have drained.
+    pub fn is_done(&self) -> bool {
+        self.thread.is_halted()
+            && self.write_buffer.is_empty()
+            && !self.store_inflight
+            && matches!(self.pending, Pending::None)
+    }
+
+    /// Youngest buffered store to `addr`, if any (TSO load forwarding).
+    fn forward_from_wb(&self, addr: Addr) -> Option<u64> {
+        self.write_buffer
+            .iter()
+            .rev()
+            .find(|(a, _)| *a == addr)
+            .map(|&(_, v)| v)
+    }
+
+    /// Advances the core by one cycle against its L1.
+    pub fn tick(&mut self, now: Cycle, l1: &mut dyn L1Controller) {
+        // 1. Collect completions of outstanding L1 transactions.
+        for completion in l1.pop_completions() {
+            match completion {
+                Completion::Load(value) => match self.pending {
+                    Pending::WaitLoad { issued } => {
+                        self.thread.complete_load(value);
+                        self.stats.load_latency.record(now - issued);
+                        self.pending = Pending::None;
+                    }
+                    Pending::WaitRmw { issued } => {
+                        self.thread.complete_load(value);
+                        self.stats.rmw_latency.record(now - issued);
+                        self.pending = Pending::None;
+                    }
+                    ref other => panic!(
+                        "core {}: load completion while {:?}",
+                        self.id, other
+                    ),
+                },
+                Completion::Store => {
+                    assert!(self.store_inflight, "core {}: spurious store completion", self.id);
+                    self.store_inflight = false;
+                    self.write_buffer.pop_front();
+                }
+            }
+        }
+
+        // 2. Drain the write buffer: issue the head store if idle.
+        if !self.store_inflight {
+            if let Some(&(addr, value)) = self.write_buffer.front() {
+                match l1.submit(now, CoreOp::Store(addr, value)) {
+                    Submit::Hit(_) => {
+                        self.write_buffer.pop_front();
+                    }
+                    Submit::Miss => self.store_inflight = true,
+                    Submit::Retry => {}
+                }
+            }
+        }
+
+        // 3. Advance the pipeline.
+        match self.pending.clone() {
+            Pending::WaitLoad { .. } | Pending::WaitRmw { .. } => {}
+            Pending::DelayUntil(t) => {
+                if now >= t {
+                    self.pending = Pending::None;
+                }
+            }
+            Pending::WbFull { addr, value } => {
+                if self.write_buffer.len() < self.cfg.write_buffer_entries {
+                    self.write_buffer.push_back((addr, value));
+                    self.pending = Pending::None;
+                } else {
+                    self.stats.wb_full_stalls.inc();
+                }
+            }
+            Pending::DrainForRmw { addr, op } => {
+                if self.write_buffer.is_empty() && !self.store_inflight {
+                    self.issue_rmw(now, l1, addr, op);
+                }
+            }
+            Pending::DrainForFence => {
+                if self.write_buffer.is_empty() && !self.store_inflight {
+                    match l1.submit(now, CoreOp::Fence) {
+                        Submit::Hit(_) => self.pending = Pending::None,
+                        Submit::Miss => panic!("fences complete immediately at the L1"),
+                        Submit::Retry => {}
+                    }
+                }
+            }
+            Pending::Resubmit { op, first_issued } => match op {
+                CoreOp::Load(addr) => self.issue_load(now, l1, addr, first_issued),
+                CoreOp::Rmw(addr, rmw) => self.issue_rmw(first_issued.max(now), l1, addr, rmw),
+                other => panic!("core {}: unexpected resubmit of {other:?}", self.id),
+            },
+            Pending::None => {
+                if !self.thread.is_halted() {
+                    self.execute_one(now, l1);
+                }
+            }
+        }
+    }
+
+    fn execute_one(&mut self, now: Cycle, l1: &mut dyn L1Controller) {
+        self.stats.instructions.inc();
+        match self.thread.step(&self.program) {
+            Effect::Continue | Effect::Halted => {}
+            Effect::Delay(c) => {
+                self.pending = Pending::DelayUntil(now + c as u64);
+            }
+            Effect::RandDelay(max) => {
+                let d = if max == 0 { 0 } else { self.rng.range(0, max as u64 + 1) };
+                self.pending = Pending::DelayUntil(now + d);
+            }
+            Effect::Mem(MemOp::Load { addr }) => {
+                self.stats.loads.inc();
+                let addr = Addr::new(addr);
+                if let Some(value) = self.forward_from_wb(addr) {
+                    // TSO: reads must see the core's own buffered stores.
+                    self.stats.wb_forwards.inc();
+                    self.thread.complete_load(value);
+                } else {
+                    self.issue_load(now, l1, addr, now);
+                }
+            }
+            Effect::Mem(MemOp::Store { addr, value }) => {
+                self.stats.stores.inc();
+                let addr = Addr::new(addr);
+                if self.write_buffer.len() < self.cfg.write_buffer_entries {
+                    self.write_buffer.push_back((addr, value));
+                } else {
+                    self.stats.wb_full_stalls.inc();
+                    self.pending = Pending::WbFull { addr, value };
+                }
+            }
+            Effect::Mem(MemOp::Rmw { addr, op }) => {
+                self.stats.rmws.inc();
+                // RMWs drain the buffer first: x86 locked ops flush the
+                // store buffer before executing.
+                self.pending = Pending::DrainForRmw {
+                    addr: Addr::new(addr),
+                    op,
+                };
+            }
+            Effect::Mem(MemOp::Fence) => {
+                self.stats.fences.inc();
+                self.pending = Pending::DrainForFence;
+            }
+        }
+    }
+
+    fn issue_load(&mut self, now: Cycle, l1: &mut dyn L1Controller, addr: Addr, first_issued: Cycle) {
+        match l1.submit(now, CoreOp::Load(addr)) {
+            Submit::Hit(value) => {
+                self.thread.complete_load(value);
+                self.pending = Pending::DelayUntil(now + self.cfg.l1_hit_latency);
+            }
+            Submit::Miss => {
+                self.pending = Pending::WaitLoad { issued: first_issued };
+            }
+            Submit::Retry => {
+                self.pending = Pending::Resubmit {
+                    op: CoreOp::Load(addr),
+                    first_issued,
+                };
+            }
+        }
+    }
+
+    fn issue_rmw(&mut self, now: Cycle, l1: &mut dyn L1Controller, addr: Addr, op: tsocc_isa::RmwOp) {
+        match l1.submit(now, CoreOp::Rmw(addr, op)) {
+            Submit::Hit(old) => {
+                self.thread.complete_load(old);
+                self.stats.rmw_latency.record(self.cfg.l1_hit_latency);
+                self.pending = Pending::DelayUntil(now + self.cfg.l1_hit_latency);
+            }
+            Submit::Miss => {
+                self.pending = Pending::WaitRmw { issued: now };
+            }
+            Submit::Retry => {
+                self.pending = Pending::Resubmit {
+                    op: CoreOp::Rmw(addr, op),
+                    first_issued: now,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

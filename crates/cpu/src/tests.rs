@@ -1,0 +1,312 @@
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use tsocc_coherence::{
+    Agent, CacheController, Completion, CoreOp, L1Controller, L1Stats, Msg, NetMsg, Submit,
+};
+use tsocc_isa::{Asm, Reg};
+use tsocc_sim::Cycle;
+
+use super::*;
+
+/// A functional mock L1: word-addressed flat memory, configurable miss
+/// behaviour, records the order in which ops were performed.
+struct MockL1 {
+    mem: HashMap<u64, u64>,
+    /// Ops complete `miss_latency` cycles later when nonzero.
+    miss_latency: u64,
+    inflight: VecDeque<(Cycle, Completion)>,
+    log: Vec<CoreOp>,
+    stats: L1Stats,
+    now: Cycle,
+}
+
+impl MockL1 {
+    fn hit() -> Self {
+        MockL1 {
+            mem: HashMap::new(),
+            miss_latency: 0,
+            inflight: VecDeque::new(),
+            log: Vec::new(),
+            stats: L1Stats::default(),
+            now: Cycle::ZERO,
+        }
+    }
+
+    fn missy(latency: u64) -> Self {
+        let mut m = MockL1::hit();
+        m.miss_latency = latency;
+        m
+    }
+
+    fn perform(&mut self, op: CoreOp) -> u64 {
+        self.log.push(op);
+        match op {
+            CoreOp::Load(a) => self.mem.get(&a.as_u64()).copied().unwrap_or(0),
+            CoreOp::Store(a, v) => {
+                self.mem.insert(a.as_u64(), v);
+                0
+            }
+            CoreOp::Rmw(a, rmw) => {
+                let old = self.mem.get(&a.as_u64()).copied().unwrap_or(0);
+                self.mem.insert(a.as_u64(), rmw.apply(old));
+                old
+            }
+            CoreOp::Fence => 0,
+        }
+    }
+}
+
+impl CacheController for MockL1 {
+    fn handle_message(&mut self, _now: Cycle, _src: Agent, _msg: Msg) {}
+    fn tick(&mut self, now: Cycle) {
+        self.now = now;
+    }
+    fn drain_outbox(&mut self, _now: Cycle) -> Vec<NetMsg> {
+        Vec::new()
+    }
+    fn is_quiescent(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
+impl L1Controller for MockL1 {
+    fn submit(&mut self, now: Cycle, op: CoreOp) -> Submit {
+        if self.miss_latency == 0 || matches!(op, CoreOp::Fence) {
+            Submit::Hit(self.perform(op))
+        } else {
+            let value = self.perform(op);
+            let done = now + self.miss_latency;
+            let completion = match op {
+                CoreOp::Store(..) => Completion::Store,
+                _ => Completion::Load(value),
+            };
+            self.inflight.push_back((done, completion));
+            Submit::Miss
+        }
+    }
+
+    fn pop_completions(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(&(t, c)) = self.inflight.front() {
+            if t > self.now {
+                break;
+            }
+            self.inflight.pop_front();
+            out.push(c);
+        }
+        out
+    }
+
+    fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+}
+
+fn run(core: &mut Core, l1: &mut MockL1, max_cycles: u64) -> u64 {
+    for t in 0..max_cycles {
+        let now = Cycle::new(t);
+        l1.tick(now);
+        core.tick(now, l1);
+        if core.is_done() {
+            return t;
+        }
+    }
+    panic!("core did not finish in {max_cycles} cycles");
+}
+
+#[test]
+fn straight_line_program_completes() {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 42);
+    a.store_abs(Reg::R1, 0x100);
+    a.load_abs(Reg::R2, 0x100);
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::hit();
+    run(&mut core, &mut l1, 1000);
+    assert_eq!(core.thread().reg(Reg::R2), 42);
+    assert_eq!(core.stats().loads.get(), 1);
+    assert_eq!(core.stats().stores.get(), 1);
+}
+
+#[test]
+fn load_forwards_from_write_buffer() {
+    // With a huge miss latency, the store sits in the write buffer; the
+    // following load must still see it (TSO bypass) without touching L1.
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 7);
+    a.store_abs(Reg::R1, 0x200);
+    a.load_abs(Reg::R2, 0x200);
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::missy(500);
+    run(&mut core, &mut l1, 3000);
+    assert_eq!(core.thread().reg(Reg::R2), 7);
+    assert_eq!(core.stats().wb_forwards.get(), 1);
+}
+
+#[test]
+fn forwarding_picks_youngest_store() {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 1);
+    a.store_abs(Reg::R1, 0x200);
+    a.movi(Reg::R1, 2);
+    a.store_abs(Reg::R1, 0x200);
+    a.load_abs(Reg::R2, 0x200);
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::missy(200);
+    run(&mut core, &mut l1, 3000);
+    assert_eq!(core.thread().reg(Reg::R2), 2);
+}
+
+#[test]
+fn stores_drain_in_fifo_order() {
+    let mut a = Asm::new();
+    for i in 0..5u64 {
+        a.movi(Reg::R1, i + 10);
+        a.store_abs(Reg::R1, 0x100 + i * 8);
+    }
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::missy(17);
+    run(&mut core, &mut l1, 3000);
+    let stores: Vec<u64> = l1
+        .log
+        .iter()
+        .filter_map(|op| match op {
+            CoreOp::Store(a, _) => Some(a.as_u64()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(stores, vec![0x100, 0x108, 0x110, 0x118, 0x120]);
+    // One at a time: only one store may be in flight, so the program
+    // ends only after 5 * 17 cycles of store draining.
+    assert_eq!(l1.mem[&0x120], 14);
+}
+
+#[test]
+fn fence_waits_for_drain() {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 5);
+    a.store_abs(Reg::R1, 0x100);
+    a.fence();
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::missy(100);
+    run(&mut core, &mut l1, 2000);
+    // The fence must be performed after the store completed.
+    let fence_pos = l1.log.iter().position(|o| matches!(o, CoreOp::Fence)).unwrap();
+    let store_pos = l1
+        .log
+        .iter()
+        .position(|o| matches!(o, CoreOp::Store(..)))
+        .unwrap();
+    assert!(fence_pos > store_pos);
+    assert_eq!(core.stats().fences.get(), 1);
+}
+
+#[test]
+fn rmw_drains_then_executes_atomically() {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 3);
+    a.store_abs(Reg::R1, 0x300); // buffered store to another line
+    a.movi(Reg::R2, 1);
+    a.fetch_add(Reg::R3, Reg::R0, 0x400, Reg::R2);
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::missy(50);
+    run(&mut core, &mut l1, 3000);
+    assert_eq!(core.thread().reg(Reg::R3), 0, "old value");
+    assert_eq!(l1.mem[&0x400], 1);
+    // RMW must be ordered after the buffered store drained.
+    let rmw_pos = l1.log.iter().position(|o| matches!(o, CoreOp::Rmw(..))).unwrap();
+    let store_pos = l1
+        .log
+        .iter()
+        .position(|o| matches!(o, CoreOp::Store(..)))
+        .unwrap();
+    assert!(rmw_pos > store_pos);
+    assert!(core.stats().rmw_latency.count() == 1);
+}
+
+#[test]
+fn write_buffer_capacity_stalls() {
+    let cfg = CoreConfig {
+        write_buffer_entries: 2,
+        l1_hit_latency: 3,
+    };
+    let mut a = Asm::new();
+    for i in 0..6u64 {
+        a.movi(Reg::R1, i);
+        a.store_abs(Reg::R1, 0x100 + i * 8);
+    }
+    a.halt();
+    let mut core = Core::new(0, a.finish(), cfg, 1);
+    let mut l1 = MockL1::missy(40);
+    run(&mut core, &mut l1, 5000);
+    assert!(core.stats().wb_full_stalls.get() > 0);
+    assert_eq!(l1.mem[&0x128], 5, "all stores eventually landed");
+}
+
+#[test]
+fn done_requires_drained_write_buffer() {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 1);
+    a.store_abs(Reg::R1, 0x100);
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::missy(100);
+    // Run a few cycles: thread halts quickly but the store is in flight.
+    for t in 0..10 {
+        l1.tick(Cycle::new(t));
+        core.tick(Cycle::new(t), &mut l1);
+    }
+    assert!(core.thread().is_halted());
+    assert!(!core.is_done(), "store still draining");
+    run(&mut core, &mut l1, 1000);
+}
+
+#[test]
+fn load_latency_recorded_for_misses() {
+    let mut a = Asm::new();
+    a.load_abs(Reg::R1, 0x100);
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::missy(64);
+    run(&mut core, &mut l1, 1000);
+    assert_eq!(core.stats().load_latency.count(), 1);
+    assert!(core.stats().load_latency.mean() >= 64.0);
+}
+
+#[test]
+fn rand_delay_is_deterministic_per_seed() {
+    let build = || {
+        let mut a = Asm::new();
+        a.rand_delay(100);
+        a.rand_delay(100);
+        a.halt();
+        a.finish()
+    };
+    let mut c1 = Core::new(0, build(), CoreConfig::default(), 42);
+    let mut c2 = Core::new(0, build(), CoreConfig::default(), 42);
+    let mut l1a = MockL1::hit();
+    let mut l1b = MockL1::hit();
+    let t1 = run(&mut c1, &mut l1a, 10_000);
+    let t2 = run(&mut c2, &mut l1b, 10_000);
+    assert_eq!(t1, t2, "same seed, same timing");
+}
+
+#[test]
+fn halted_core_stays_done() {
+    let mut a = Asm::new();
+    a.halt();
+    let mut core = Core::new(3, a.finish(), CoreConfig::default(), 9);
+    let mut l1 = MockL1::hit();
+    run(&mut core, &mut l1, 100);
+    assert!(core.is_done());
+    assert_eq!(core.id(), 3);
+    core.tick(Cycle::new(999), &mut l1);
+    assert!(core.is_done());
+}

@@ -1,0 +1,354 @@
+//! A small assembler with forward-reference label resolution.
+
+use crate::instr::{AluOp, Cond, Instr, Reg};
+use crate::program::Program;
+
+/// A branch target; create with [`Asm::new_label`], place with
+/// [`Asm::bind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builder that assembles [`Program`]s, resolving labels in a final
+/// patching pass so loops and forward branches read naturally.
+///
+/// Scratch convention used throughout the workloads: `R30` and `R31`
+/// are reserved by the assembler's convenience macros (lock helpers,
+/// etc.), `R0` is hardwired zero.
+///
+/// # Examples
+///
+/// A bounded spin loop:
+///
+/// ```
+/// use tsocc_isa::{Asm, Reg};
+///
+/// let mut a = Asm::new();
+/// a.movi(Reg::R1, 3);
+/// let top = a.new_label();
+/// a.bind(top);
+/// a.subi(Reg::R1, Reg::R1, 1);
+/// a.bne_imm(Reg::R1, 0, top);
+/// a.halt();
+/// let p = a.finish();
+/// let regs = tsocc_isa::refvm::run_ref(&p, &mut Default::default(), 1_000).unwrap();
+/// assert_eq!(regs[Reg::R1.index()], 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<usize>>,
+    /// (instruction index, label) pairs to patch at finish.
+    patches: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current instruction index (where the next emitted instruction
+    /// will land).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice"
+        );
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    // ---- moves and ALU -------------------------------------------------
+
+    /// `rd = imm`
+    pub fn movi(&mut self, rd: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Movi { rd, imm })
+    }
+
+    /// `rd = rs` (encoded as `rd = rs + 0`).
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.push(Instr::Alui { op: AluOp::Add, rd, ra: rs, imm: 0 })
+    }
+
+    /// `rd = op(ra, rb)`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.push(Instr::Alu { op, rd, ra, rb })
+    }
+
+    /// `rd = ra + rb`
+    pub fn add(&mut self, rd: Reg, ra: Reg, rb: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, ra, rb)
+    }
+
+    /// `rd = ra + imm`
+    pub fn addi(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Alui { op: AluOp::Add, rd, ra, imm })
+    }
+
+    /// `rd = ra - imm`
+    pub fn subi(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Alui { op: AluOp::Sub, rd, ra, imm })
+    }
+
+    /// `rd = ra * imm`
+    pub fn muli(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Alui { op: AluOp::Mul, rd, ra, imm })
+    }
+
+    /// `rd = ra & imm`
+    pub fn andi(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Alui { op: AluOp::And, rd, ra, imm })
+    }
+
+    /// `rd = ra ^ imm`
+    pub fn xori(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Alui { op: AluOp::Xor, rd, ra, imm })
+    }
+
+    /// `rd = ra % imm` (imm 0 ⇒ identity).
+    pub fn remi(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Alui { op: AluOp::Rem, rd, ra, imm })
+    }
+
+    /// `rd = ra << imm`
+    pub fn shli(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Alui { op: AluOp::Shl, rd, ra, imm })
+    }
+
+    /// `rd = ra >> imm` (logical)
+    pub fn shri(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Alui { op: AluOp::Shr, rd, ra, imm })
+    }
+
+    // ---- memory --------------------------------------------------------
+
+    /// `rd = mem[base + offset]`
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: u64) -> &mut Self {
+        self.push(Instr::Load { rd, base, offset })
+    }
+
+    /// `rd = mem[addr]` for a constant address (uses R0 as base).
+    pub fn load_abs(&mut self, rd: Reg, addr: u64) -> &mut Self {
+        self.push(Instr::Load { rd, base: Reg::R0, offset: addr })
+    }
+
+    /// `mem[base + offset] = rs`
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: u64) -> &mut Self {
+        self.push(Instr::Store { rs, base, offset })
+    }
+
+    /// `mem[addr] = rs` for a constant address.
+    pub fn store_abs(&mut self, rs: Reg, addr: u64) -> &mut Self {
+        self.push(Instr::Store { rs, base: Reg::R0, offset: addr })
+    }
+
+    /// `rd = CAS(mem[base+offset], expected, new)`; rd gets the old value.
+    pub fn cas(&mut self, rd: Reg, base: Reg, offset: u64, expected: Reg, new: Reg) -> &mut Self {
+        self.push(Instr::Cas { rd, base, offset, expected, new })
+    }
+
+    /// `rd = fetch_add(mem[base+offset], rs)`
+    pub fn fetch_add(&mut self, rd: Reg, base: Reg, offset: u64, rs: Reg) -> &mut Self {
+        self.push(Instr::FetchAdd { rd, base, offset, rs })
+    }
+
+    /// `rd = swap(mem[base+offset], rs)`
+    pub fn swap(&mut self, rd: Reg, base: Reg, offset: u64, rs: Reg) -> &mut Self {
+        self.push(Instr::Swap { rd, base, offset, rs })
+    }
+
+    /// Full fence (`mfence`).
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Instr::Fence)
+    }
+
+    // ---- control flow --------------------------------------------------
+
+    /// Branch to `label` if `cond(ra, rb)`.
+    pub fn branch(&mut self, cond: Cond, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.patches.push((self.instrs.len(), label));
+        self.push(Instr::Branch { cond, ra, rb, target: usize::MAX })
+    }
+
+    /// Branch if `ra == rb`.
+    pub fn beq(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Eq, ra, rb, label)
+    }
+
+    /// Branch if `ra != rb`.
+    pub fn bne(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Ne, ra, rb, label)
+    }
+
+    /// Branch if `ra < rb` (unsigned).
+    pub fn blt(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Lt, ra, rb, label)
+    }
+
+    /// Branch if `ra >= rb` (unsigned).
+    pub fn bge(&mut self, ra: Reg, rb: Reg, label: Label) -> &mut Self {
+        self.branch(Cond::Ge, ra, rb, label)
+    }
+
+    /// Branch if `ra == imm` (materializes imm into R30).
+    pub fn beq_imm(&mut self, ra: Reg, imm: u64, label: Label) -> &mut Self {
+        if imm == 0 {
+            return self.beq(ra, Reg::R0, label);
+        }
+        self.movi(Reg::R30, imm);
+        self.beq(ra, Reg::R30, label)
+    }
+
+    /// Branch if `ra != imm` (materializes imm into R30).
+    pub fn bne_imm(&mut self, ra: Reg, imm: u64, label: Label) -> &mut Self {
+        if imm == 0 {
+            return self.bne(ra, Reg::R0, label);
+        }
+        self.movi(Reg::R30, imm);
+        self.bne(ra, Reg::R30, label)
+    }
+
+    /// Branch if `ra < imm` (materializes imm into R30).
+    pub fn blt_imm(&mut self, ra: Reg, imm: u64, label: Label) -> &mut Self {
+        self.movi(Reg::R30, imm);
+        self.blt(ra, Reg::R30, label)
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.patches.push((self.instrs.len(), label));
+        self.push(Instr::Jump { target: usize::MAX })
+    }
+
+    /// Local compute for `cycles` cycles.
+    pub fn delay(&mut self, cycles: u32) -> &mut Self {
+        self.push(Instr::Delay { cycles })
+    }
+
+    /// Random delay in `[0, max]` cycles (litmus perturbation).
+    pub fn rand_delay(&mut self, max: u32) -> &mut Self {
+        self.push(Instr::RandDelay { max })
+    }
+
+    /// Stop the thread.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(mut self) -> Program {
+        for (at, label) in &self.patches {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {label:?} used but never bound"));
+            match &mut self.instrs[*at] {
+                Instr::Branch { target: t, .. } | Instr::Jump { target: t } => *t = target,
+                other => unreachable!("patch site holds {other:?}"),
+            }
+        }
+        Program::new(self.instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refvm::run_ref;
+    use std::collections::HashMap;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let skip = a.new_label();
+        a.movi(Reg::R1, 1);
+        a.jump(skip);
+        a.movi(Reg::R1, 99); // skipped
+        a.bind(skip);
+        a.halt();
+        let p = a.finish();
+        let regs = run_ref(&p, &mut HashMap::new(), 100).unwrap();
+        assert_eq!(regs[Reg::R1.index()], 1);
+    }
+
+    #[test]
+    fn counted_loop_executes_n_times() {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 0);
+        a.movi(Reg::R2, 10);
+        let top = a.new_label();
+        a.bind(top);
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.blt(Reg::R1, Reg::R2, top);
+        a.halt();
+        let regs = run_ref(&a.finish(), &mut HashMap::new(), 1000).unwrap();
+        assert_eq!(regs[Reg::R1.index()], 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.jump(l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut a = Asm::new();
+        a.movi(Reg::R0, 42); // ignored
+        a.mov(Reg::R1, Reg::R0);
+        a.halt();
+        let regs = run_ref(&a.finish(), &mut HashMap::new(), 100).unwrap();
+        assert_eq!(regs[Reg::R1.index()], 0);
+    }
+
+    #[test]
+    fn memory_ops_through_reference_vm() {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 7);
+        a.store_abs(Reg::R1, 0x100);
+        a.load_abs(Reg::R2, 0x100);
+        a.movi(Reg::R3, 7);
+        a.movi(Reg::R4, 9);
+        a.cas(Reg::R5, Reg::R0, 0x100, Reg::R3, Reg::R4); // succeeds
+        a.load_abs(Reg::R6, 0x100);
+        a.halt();
+        let mut mem = HashMap::new();
+        let regs = run_ref(&a.finish(), &mut mem, 100).unwrap();
+        assert_eq!(regs[Reg::R2.index()], 7);
+        assert_eq!(regs[Reg::R5.index()], 7, "CAS returns old value");
+        assert_eq!(regs[Reg::R6.index()], 9);
+    }
+}

@@ -1,0 +1,264 @@
+//! Instruction set definition.
+
+use std::fmt;
+
+/// A general-purpose 64-bit register.
+///
+/// `R0` is hardwired to zero, RISC style: reads return 0, writes are
+/// ignored. `R1..=R31` are ordinary registers.
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_isa::Reg;
+/// assert_eq!(Reg::R3.index(), 3);
+/// assert_eq!(Reg::from_index(3), Reg::R3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the 32 registers are self-describing
+pub enum Reg {
+    R0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    R16, R17, R18, R19, R20, R21, R22, R23,
+    R24, R25, R26, R27, R28, R29, R30, R31,
+}
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Dense index of the register (0..32).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn from_index(i: usize) -> Reg {
+        const ALL: [Reg; 32] = [
+            Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7,
+            Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15,
+            Reg::R16, Reg::R17, Reg::R18, Reg::R19, Reg::R20, Reg::R21, Reg::R22, Reg::R23,
+            Reg::R24, Reg::R25, Reg::R26, Reg::R27, Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+        ];
+        ALL[i]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Arithmetic / logic operations (all 64-bit, wrapping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left (by low 6 bits of rhs).
+    Shl,
+    /// Logical shift right (by low 6 bits of rhs).
+    Shr,
+    /// Unsigned remainder; x % 0 = x (total function, keeps the VM
+    /// panic-free on arbitrary programs).
+    Rem,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+/// Branch conditions (unsigned comparisons).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// a == b
+    Eq,
+    /// a != b
+    Ne,
+    /// a < b (unsigned)
+    Lt,
+    /// a >= b (unsigned)
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    pub fn holds(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+/// Atomic read-modify-write operations, with operands already resolved
+/// to values at issue time.
+///
+/// These correspond to x86 `lock cmpxchg`, `lock xadd` and `xchg` — the
+/// primitives the paper's §3.6 covers ("atomic accesses and fences").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// Compare-and-swap: if mem == expected, mem = new. Old value is
+    /// always returned.
+    Cas {
+        /// Value the memory word must hold for the swap to happen.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// mem += operand; returns the old value.
+    FetchAdd {
+        /// Addend.
+        operand: u64,
+    },
+    /// mem = operand; returns the old value.
+    Swap {
+        /// Replacement value.
+        operand: u64,
+    },
+}
+
+impl RmwOp {
+    /// Applies the RMW to `old`, returning the new memory value.
+    pub fn apply(self, old: u64) -> u64 {
+        match self {
+            RmwOp::Cas { expected, new } => {
+                if old == expected {
+                    new
+                } else {
+                    old
+                }
+            }
+            RmwOp::FetchAdd { operand } => old.wrapping_add(operand),
+            RmwOp::Swap { operand } => operand,
+        }
+    }
+}
+
+/// One TVM instruction.
+///
+/// Memory operands are formed as `regs[base] + offset` and must be
+/// 8-byte aligned when executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // operand fields follow the standard rd/ra/rs naming
+pub enum Instr {
+    /// `rd = imm`
+    Movi { rd: Reg, imm: u64 },
+    /// `rd = op(ra, rb)`
+    Alu { op: AluOp, rd: Reg, ra: Reg, rb: Reg },
+    /// `rd = op(ra, imm)`
+    Alui { op: AluOp, rd: Reg, ra: Reg, imm: u64 },
+    /// `rd = mem[ra + offset]`
+    Load { rd: Reg, base: Reg, offset: u64 },
+    /// `mem[ra + offset] = rs`
+    Store { rs: Reg, base: Reg, offset: u64 },
+    /// Atomic RMW on `mem[base + offset]`; `rd` receives the old value.
+    /// `expected`/`operand` come from registers at issue time.
+    Cas { rd: Reg, base: Reg, offset: u64, expected: Reg, new: Reg },
+    /// `rd = fetch_add(mem[base+offset], rs)`
+    FetchAdd { rd: Reg, base: Reg, offset: u64, rs: Reg },
+    /// `rd = swap(mem[base+offset], rs)`
+    Swap { rd: Reg, base: Reg, offset: u64, rs: Reg },
+    /// Full memory fence (x86 `mfence`).
+    Fence,
+    /// Conditional branch to absolute instruction index.
+    Branch { cond: Cond, ra: Reg, rb: Reg, target: usize },
+    /// Unconditional jump to absolute instruction index.
+    Jump { target: usize },
+    /// Stall the thread for `cycles` cycles (models local compute).
+    Delay { cycles: u32 },
+    /// Stall for a uniformly random number of cycles in `[0, max]`;
+    /// used to perturb litmus-test timing.
+    RandDelay { max: u32 },
+    /// Stop the thread.
+    Halt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..Reg::COUNT {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(3, 4), 12);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(16, 4), 1);
+        assert_eq!(AluOp::Rem.apply(17, 5), 2);
+        assert_eq!(AluOp::Rem.apply(17, 0), 17, "total function");
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(AluOp::Shl.apply(1, 64), 1);
+        assert_eq!(AluOp::Shr.apply(2, 65), 1);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.holds(3, 3));
+        assert!(Cond::Ne.holds(3, 4));
+        assert!(Cond::Lt.holds(3, 4));
+        assert!(Cond::Ge.holds(4, 4));
+        assert!(!Cond::Lt.holds(4, 3));
+    }
+
+    #[test]
+    fn rmw_semantics() {
+        assert_eq!(RmwOp::Cas { expected: 0, new: 1 }.apply(0), 1);
+        assert_eq!(RmwOp::Cas { expected: 0, new: 1 }.apply(7), 7);
+        assert_eq!(RmwOp::FetchAdd { operand: 5 }.apply(10), 15);
+        assert_eq!(RmwOp::Swap { operand: 9 }.apply(1), 9);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+    }
+}

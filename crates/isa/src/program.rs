@@ -1,0 +1,106 @@
+//! Assembled programs.
+
+use std::fmt;
+
+use crate::instr::Instr;
+
+/// An immutable, fully label-resolved instruction sequence.
+///
+/// Produced by [`crate::Asm::finish`]; executed by
+/// [`crate::ThreadState`] (timing-accurate, via the CPU model) or
+/// [`crate::refvm::run_ref`] (functional reference).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Wraps a raw instruction vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch or jump targets an out-of-range instruction
+    /// index — such a program could never have been produced by the
+    /// assembler.
+    pub fn new(instrs: Vec<Instr>) -> Self {
+        for (pc, i) in instrs.iter().enumerate() {
+            let target = match i {
+                Instr::Branch { target, .. } | Instr::Jump { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(
+                    t <= instrs.len(),
+                    "instruction {pc} targets {t}, past end {}",
+                    instrs.len()
+                );
+            }
+        }
+        Program { instrs }
+    }
+
+    /// The instruction at `pc`, or `None` past the end (treated as an
+    /// implicit halt by executors).
+    #[inline]
+    pub fn fetch(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// All instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, i) in self.instrs.iter().enumerate() {
+            writeln!(f, "{pc:>4}: {i:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Cond, Reg};
+
+    #[test]
+    fn fetch_past_end_is_none() {
+        let p = Program::new(vec![Instr::Halt]);
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(1).is_none());
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wild_branch_target_panics() {
+        let _ = Program::new(vec![Instr::Branch {
+            cond: Cond::Eq,
+            ra: Reg::R0,
+            rb: Reg::R0,
+            target: 99,
+        }]);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let p = Program::new(vec![Instr::Fence, Instr::Halt]);
+        let s = p.to_string();
+        assert!(s.contains("Fence"));
+        assert!(s.contains("Halt"));
+    }
+}

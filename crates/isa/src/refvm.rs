@@ -1,0 +1,153 @@
+//! Sequential reference interpreter.
+//!
+//! Executes a single program against a flat word-addressed memory with
+//! sequentially consistent semantics. Used as the oracle in differential
+//! tests: a single-threaded program (or a properly synchronized one) must
+//! produce the same final registers and memory on the full timing
+//! simulator as it does here.
+
+use std::collections::HashMap;
+
+use crate::instr::Reg;
+use crate::program::Program;
+use crate::thread::{Effect, MemOp, ThreadState};
+
+/// Why the reference interpreter stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefVmError {
+    /// The program executed `fuel` instructions without halting.
+    OutOfFuel,
+}
+
+impl std::fmt::Display for RefVmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefVmError::OutOfFuel => write!(f, "program did not halt within fuel"),
+        }
+    }
+}
+
+impl std::error::Error for RefVmError {}
+
+/// Runs `program` to completion against `mem`, returning the final
+/// register file.
+///
+/// `mem` maps 8-byte-aligned byte addresses to word values; absent
+/// addresses read as zero. Random delays are ignored (they only matter
+/// for timing).
+///
+/// # Errors
+///
+/// Returns [`RefVmError::OutOfFuel`] if the program does not halt within
+/// `fuel` instruction steps.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use tsocc_isa::{Asm, Reg, refvm::run_ref};
+///
+/// let mut a = Asm::new();
+/// a.movi(Reg::R1, 5);
+/// a.store_abs(Reg::R1, 0x40);
+/// a.load_abs(Reg::R2, 0x40);
+/// a.halt();
+/// let mut mem = HashMap::new();
+/// let regs = run_ref(&a.finish(), &mut mem, 100).unwrap();
+/// assert_eq!(regs[Reg::R2.index()], 5);
+/// assert_eq!(mem[&0x40], 5);
+/// ```
+pub fn run_ref(
+    program: &Program,
+    mem: &mut HashMap<u64, u64>,
+    fuel: u64,
+) -> Result<[u64; Reg::COUNT], RefVmError> {
+    let mut t = ThreadState::new();
+    for _ in 0..fuel {
+        match t.step(program) {
+            Effect::Continue | Effect::Delay(_) | Effect::RandDelay(_) => {}
+            Effect::Halted => {
+                let mut regs = [0u64; Reg::COUNT];
+                for i in 0..Reg::COUNT {
+                    regs[i] = t.reg(Reg::from_index(i));
+                }
+                return Ok(regs);
+            }
+            Effect::Mem(op) => match op {
+                MemOp::Load { addr } => {
+                    let v = mem.get(&addr).copied().unwrap_or(0);
+                    t.complete_load(v);
+                }
+                MemOp::Store { addr, value } => {
+                    mem.insert(addr, value);
+                }
+                MemOp::Rmw { addr, op } => {
+                    let old = mem.get(&addr).copied().unwrap_or(0);
+                    mem.insert(addr, op.apply(old));
+                    t.complete_load(old);
+                }
+                MemOp::Fence => {}
+            },
+        }
+    }
+    Err(RefVmError::OutOfFuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    #[test]
+    fn out_of_fuel_on_infinite_loop() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.jump(top);
+        let err = run_ref(&a.finish(), &mut HashMap::new(), 100).unwrap_err();
+        assert_eq!(err, RefVmError::OutOfFuel);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn rmw_sequence() {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 2);
+        a.fetch_add(Reg::R2, Reg::R0, 0x40, Reg::R1); // mem=2, r2=0
+        a.fetch_add(Reg::R3, Reg::R0, 0x40, Reg::R1); // mem=4, r3=2
+        a.movi(Reg::R4, 77);
+        a.swap(Reg::R5, Reg::R0, 0x40, Reg::R4); // mem=77, r5=4
+        a.halt();
+        let mut mem = HashMap::new();
+        let regs = run_ref(&a.finish(), &mut mem, 100).unwrap();
+        assert_eq!(regs[Reg::R2.index()], 0);
+        assert_eq!(regs[Reg::R3.index()], 2);
+        assert_eq!(regs[Reg::R5.index()], 4);
+        assert_eq!(mem[&0x40], 77);
+    }
+
+    #[test]
+    fn failed_cas_leaves_memory() {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 1); // expected (wrong)
+        a.movi(Reg::R2, 9); // new
+        a.cas(Reg::R3, Reg::R0, 0x80, Reg::R1, Reg::R2);
+        a.halt();
+        let mut mem = HashMap::new();
+        mem.insert(0x80, 5);
+        let regs = run_ref(&a.finish(), &mut mem, 100).unwrap();
+        assert_eq!(regs[Reg::R3.index()], 5, "old value returned");
+        assert_eq!(mem[&0x80], 5, "memory unchanged");
+    }
+
+    #[test]
+    fn delays_are_functional_noops() {
+        let mut a = Asm::new();
+        a.delay(1000);
+        a.rand_delay(1000);
+        a.movi(Reg::R1, 3);
+        a.halt();
+        let regs = run_ref(&a.finish(), &mut HashMap::new(), 100).unwrap();
+        assert_eq!(regs[Reg::R1.index()], 3);
+    }
+}

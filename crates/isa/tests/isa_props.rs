@@ -1,0 +1,101 @@
+//! Property tests for the TVM: assembler/label correctness and
+//! reference-interpreter arithmetic identities.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tsocc_isa::{refvm::run_ref, AluOp, Asm, Instr, Program, Reg};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A program that jumps over `skipped` poison instructions must
+    /// never execute them, regardless of how many there are.
+    #[test]
+    fn jumps_skip_exactly_the_poisoned_region(skipped in 0usize..40) {
+        let mut a = Asm::new();
+        let out = a.new_label();
+        a.jump(out);
+        for _ in 0..skipped {
+            a.movi(Reg::R1, 666);
+        }
+        a.bind(out);
+        a.movi(Reg::R2, 1);
+        a.halt();
+        let regs = run_ref(&a.finish(), &mut HashMap::new(), 10_000).unwrap();
+        prop_assert_eq!(regs[Reg::R1.index()], 0, "poison executed");
+        prop_assert_eq!(regs[Reg::R2.index()], 1);
+    }
+
+    /// Counted loops execute exactly n iterations for arbitrary n.
+    #[test]
+    fn counted_loops_are_exact(n in 1u64..500) {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 0);
+        let top = a.new_label();
+        a.bind(top);
+        a.addi(Reg::R1, Reg::R1, 1);
+        a.blt_imm(Reg::R1, n, top);
+        a.halt();
+        let regs = run_ref(&a.finish(), &mut HashMap::new(), 10 * n + 100).unwrap();
+        prop_assert_eq!(regs[Reg::R1.index()], n);
+    }
+
+    /// ALU ops computed by the VM equal direct evaluation.
+    #[test]
+    fn alu_matches_direct_evaluation(x in any::<u64>(), y in any::<u64>()) {
+        for op in [
+            AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::And,
+            AluOp::Or, AluOp::Xor, AluOp::Shl, AluOp::Shr, AluOp::Rem,
+        ] {
+            let mut a = Asm::new();
+            a.movi(Reg::R1, x);
+            a.movi(Reg::R2, y);
+            a.alu(op, Reg::R3, Reg::R1, Reg::R2);
+            a.halt();
+            let regs = run_ref(&a.finish(), &mut HashMap::new(), 100).unwrap();
+            prop_assert_eq!(regs[Reg::R3.index()], op.apply(x, y), "{:?}", op);
+        }
+    }
+
+    /// Store-then-load round-trips through memory for any address slot
+    /// and value.
+    #[test]
+    fn memory_roundtrip(slot in 0u64..1000, value in any::<u64>()) {
+        let addr = 0x1_0000 + slot * 8;
+        let mut a = Asm::new();
+        a.movi(Reg::R1, value);
+        a.store_abs(Reg::R1, addr);
+        a.load_abs(Reg::R2, addr);
+        a.halt();
+        let mut mem = HashMap::new();
+        let regs = run_ref(&a.finish(), &mut mem, 100).unwrap();
+        prop_assert_eq!(regs[Reg::R2.index()], value);
+        prop_assert_eq!(mem[&addr], value);
+    }
+
+    /// fetch_add chains sum correctly for arbitrary operand sequences.
+    #[test]
+    fn fetch_add_chain_sums(addends in proptest::collection::vec(0u64..1_000_000, 1..30)) {
+        let mut a = Asm::new();
+        for &v in &addends {
+            a.movi(Reg::R1, v);
+            a.fetch_add(Reg::R2, Reg::R0, 0x40, Reg::R1);
+        }
+        a.load_abs(Reg::R3, 0x40);
+        a.halt();
+        let regs = run_ref(&a.finish(), &mut HashMap::new(), 10_000).unwrap();
+        let total: u64 = addends.iter().sum();
+        prop_assert_eq!(regs[Reg::R3.index()], total);
+        // The last fetch_add returned the sum minus the last addend.
+        prop_assert_eq!(regs[Reg::R2.index()], total - addends.last().unwrap());
+    }
+}
+
+#[test]
+fn program_rejects_dangling_branch_targets() {
+    let result = std::panic::catch_unwind(|| {
+        Program::new(vec![Instr::Jump { target: 5 }, Instr::Halt])
+    });
+    assert!(result.is_err(), "target past end+1 must be rejected");
+}

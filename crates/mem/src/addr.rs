@@ -1,0 +1,173 @@
+//! Byte and cache-line addresses.
+
+use std::fmt;
+
+/// Bytes per cache line (64B, matching the paper's Table 2).
+pub const LINE_BYTES: u64 = 64;
+
+/// 64-bit words per cache line.
+pub const WORDS_PER_LINE: usize = (LINE_BYTES / 8) as usize;
+
+/// A byte address in the simulated physical address space.
+///
+/// The simulated machines operate on naturally-aligned 64-bit words, so
+/// the low three bits of an `Addr` used for a memory operation must be
+/// zero; this is validated at the point of use.
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_mem::Addr;
+///
+/// let a = Addr::new(0x1048);
+/// assert_eq!(a.line().base().as_u64(), 0x1040);
+/// assert_eq!(a.word_index(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Raw byte address.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Index of the 64-bit word within its line.
+    #[inline]
+    pub const fn word_index(self) -> usize {
+        ((self.0 % LINE_BYTES) / 8) as usize
+    }
+
+    /// Whether this address is 8-byte aligned (required for word ops).
+    #[inline]
+    pub const fn is_word_aligned(self) -> bool {
+        self.0 % 8 == 0
+    }
+
+    /// Byte offset from this address.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line-granularity address (byte address divided by 64).
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_mem::{Addr, LineAddr};
+///
+/// let l = Addr::new(0x80).line();
+/// assert_eq!(l, LineAddr::new(2));
+/// assert_eq!(l.base(), Addr::new(0x80));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Raw line number.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the first byte of the line.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// Home slice for `n` interleaved banks/tiles (line-interleaved NUCA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn home(self, n: usize) -> usize {
+        assert!(n > 0, "no tiles to map to");
+        (self.0 % n as u64) as usize
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_mapping() {
+        assert_eq!(Addr::new(0).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(63).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(64).line(), LineAddr::new(1));
+        assert_eq!(Addr::new(0x1040).line().base(), Addr::new(0x1040));
+    }
+
+    #[test]
+    fn word_index_within_line() {
+        assert_eq!(Addr::new(0x40).word_index(), 0);
+        assert_eq!(Addr::new(0x48).word_index(), 1);
+        assert_eq!(Addr::new(0x78).word_index(), 7);
+    }
+
+    #[test]
+    fn alignment_check() {
+        assert!(Addr::new(0x10).is_word_aligned());
+        assert!(!Addr::new(0x11).is_word_aligned());
+    }
+
+    #[test]
+    fn home_interleaves() {
+        assert_eq!(LineAddr::new(0).home(4), 0);
+        assert_eq!(LineAddr::new(5).home(4), 1);
+        assert_eq!(LineAddr::new(7).home(4), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn home_zero_tiles_panics() {
+        let _ = LineAddr::new(1).home(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(LineAddr::new(0x2).to_string(), "L0x2");
+    }
+}

@@ -1,0 +1,123 @@
+//! Flat main-memory backing store.
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, LineAddr};
+use crate::line::LineData;
+
+/// The simulated DRAM: a sparse map from line address to line data.
+///
+/// Lines never written read as zero, matching the initial state assumed
+/// by litmus tests (`init: data = flag = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_mem::{Addr, LineData, MainMemory};
+///
+/// let mut mem = MainMemory::new();
+/// let line = Addr::new(0x400).line();
+/// assert_eq!(mem.read_line(line), LineData::zeroed());
+///
+/// let mut data = LineData::zeroed();
+/// data.write_word(0, 99);
+/// mem.write_line(line, data);
+/// assert_eq!(mem.read_line(line).read_word(0), 99);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MainMemory {
+    lines: HashMap<LineAddr, LineData>,
+}
+
+impl MainMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        MainMemory {
+            lines: HashMap::new(),
+        }
+    }
+
+    /// Reads a full line; unwritten lines are zero.
+    pub fn read_line(&self, line: LineAddr) -> LineData {
+        self.lines.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Writes a full line back to memory.
+    pub fn write_line(&mut self, line: LineAddr, data: LineData) {
+        self.lines.insert(line, data);
+    }
+
+    /// Reads one aligned 64-bit word (test/diagnostic convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        assert!(addr.is_word_aligned(), "unaligned word read at {addr}");
+        self.read_line(addr.line()).read_word(addr.word_index())
+    }
+
+    /// Writes one aligned 64-bit word (used for program initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        assert!(addr.is_word_aligned(), "unaligned word write at {addr}");
+        let line = addr.line();
+        let mut data = self.read_line(line);
+        data.write_word(addr.word_index(), value);
+        self.write_line(line, data);
+    }
+
+    /// Number of distinct lines ever written.
+    pub fn touched_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = MainMemory::new();
+        assert_eq!(mem.read_word(Addr::new(0x12340)), 0);
+        assert_eq!(mem.read_line(LineAddr::new(77)), LineData::zeroed());
+    }
+
+    #[test]
+    fn word_write_preserves_neighbours() {
+        let mut mem = MainMemory::new();
+        mem.write_word(Addr::new(0x100), 1);
+        mem.write_word(Addr::new(0x108), 2);
+        assert_eq!(mem.read_word(Addr::new(0x100)), 1);
+        assert_eq!(mem.read_word(Addr::new(0x108)), 2);
+        assert_eq!(mem.read_word(Addr::new(0x110)), 0);
+    }
+
+    #[test]
+    fn line_write_replaces_whole_line() {
+        let mut mem = MainMemory::new();
+        mem.write_word(Addr::new(0x40), 5);
+        mem.write_line(Addr::new(0x40).line(), LineData::zeroed());
+        assert_eq!(mem.read_word(Addr::new(0x40)), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_read_panics() {
+        let mem = MainMemory::new();
+        let _ = mem.read_word(Addr::new(0x41));
+    }
+
+    #[test]
+    fn touched_lines_counts_unique() {
+        let mut mem = MainMemory::new();
+        mem.write_word(Addr::new(0x00), 1);
+        mem.write_word(Addr::new(0x08), 2); // same line
+        mem.write_word(Addr::new(0x40), 3); // new line
+        assert_eq!(mem.touched_lines(), 2);
+    }
+}

@@ -1,0 +1,565 @@
+//! MESI private L1 cache controller.
+
+use std::collections::HashMap;
+
+use tsocc_coherence::{
+    Agent, CacheController, Completion, CoreOp, Epoch, Grant, L1Controller, L1Stats, Msg, NetMsg,
+    Outbox, Submit, Ts, WritebackBuffer,
+};
+use tsocc_isa::RmwOp;
+use tsocc_mem::{Addr, CacheArray, CacheParams, InsertOutcome, LineAddr, LineData};
+use tsocc_sim::Cycle;
+
+/// L1 line states (Invalid is represented by absence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Shared,
+    Exclusive,
+    Modified,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    state: State,
+    data: LineData,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum MshrOp {
+    Load { word: usize },
+    Store { word: usize, value: u64 },
+    Rmw { word: usize, op: RmwOp },
+}
+
+#[derive(Debug)]
+struct Mshr {
+    op: MshrOp,
+    /// Grant + data, once the data response has arrived.
+    data: Option<(Grant, LineData, bool)>, // (grant, data, ack_required)
+    acks_expected: Option<u32>,
+    acks_received: u32,
+    /// An invalidation raced past the data response (it invalidated the
+    /// address while our GetS was in flight). The arriving Shared data
+    /// is stale-but-ordered: usable for the load, not cacheable.
+    poisoned: bool,
+}
+
+/// Configuration of a MESI L1.
+#[derive(Clone, Copy, Debug)]
+pub struct MesiL1Config {
+    /// This core's id.
+    pub id: usize,
+    /// Number of L2 tiles (for home-tile interleaving).
+    pub n_tiles: usize,
+    /// Cache geometry (32 KiB 4-way in Table 2).
+    pub params: CacheParams,
+    /// Tag-array latency charged before an outgoing request (cycles).
+    pub issue_latency: u64,
+}
+
+impl MesiL1Config {
+    /// The paper's Table 2 L1: 32 KiB, 4-way.
+    pub fn table2(id: usize, n_tiles: usize) -> Self {
+        MesiL1Config {
+            id,
+            n_tiles,
+            params: CacheParams::from_capacity(32 * 1024, 4),
+            issue_latency: 1,
+        }
+    }
+}
+
+/// The MESI L1 controller for one core.
+#[derive(Debug)]
+pub struct MesiL1 {
+    cfg: MesiL1Config,
+    cache: CacheArray<Line>,
+    mshrs: HashMap<LineAddr, Mshr>,
+    wb: WritebackBuffer,
+    outbox: Outbox,
+    completions: Vec<Completion>,
+    stats: L1Stats,
+}
+
+impl MesiL1 {
+    /// Creates the controller.
+    pub fn new(cfg: MesiL1Config) -> Self {
+        MesiL1 {
+            cfg,
+            cache: CacheArray::new(cfg.params),
+            mshrs: HashMap::new(),
+            wb: WritebackBuffer::new(),
+            outbox: Outbox::new(),
+            completions: Vec::new(),
+            stats: L1Stats::default(),
+        }
+    }
+
+    fn agent(&self) -> Agent {
+        Agent::L1(self.cfg.id)
+    }
+
+    fn home(&self, line: LineAddr) -> Agent {
+        Agent::L2(line.home(self.cfg.n_tiles))
+    }
+
+    fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
+        self.outbox.push(
+            now + self.cfg.issue_latency,
+            NetMsg {
+                src: self.agent(),
+                dst,
+                msg,
+            },
+        );
+    }
+
+    /// Whether a new transaction may start on `line`.
+    fn line_free(&self, line: LineAddr) -> bool {
+        !self.mshrs.contains_key(&line) && self.wb.get(line).is_none()
+    }
+
+    /// Evicts `victim` (already removed from the array), emitting the
+    /// PUT and parking the data in the writeback buffer.
+    fn evict(&mut self, now: Cycle, victim: LineAddr, line: Line) {
+        match line.state {
+            State::Shared => {
+                // Silent shared replacement; the directory's sharer bit
+                // goes stale and later invalidations are acked blindly.
+            }
+            State::Exclusive => {
+                self.wb
+                    .insert(victim, line.data, false, Ts::INVALID, Epoch::ZERO);
+                self.send(now, self.home(victim), Msg::PutE { line: victim });
+            }
+            State::Modified => {
+                self.wb
+                    .insert(victim, line.data, true, Ts::INVALID, Epoch::ZERO);
+                self.send(
+                    now,
+                    self.home(victim),
+                    Msg::PutM {
+                        line: victim,
+                        data: line.data,
+                        ts: Ts::INVALID,
+                        epoch: Epoch::ZERO,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Installs a line delivered by a data response, evicting if needed.
+    /// Returns false if the set had no evictable way (pathological); the
+    /// caller then completes the access without caching.
+    fn install(&mut self, now: Cycle, line: LineAddr, entry: Line) -> bool {
+        if let Some(resident) = self.cache.peek_mut(line) {
+            *resident = entry;
+            return true;
+        }
+        let mshrs = &self.mshrs;
+        let outcome = self
+            .cache
+            .insert(line, entry, now.as_u64(), |la, _| !mshrs.contains_key(&la));
+        match outcome {
+            InsertOutcome::Installed => true,
+            InsertOutcome::Evicted(victim, old) => {
+                self.evict(now, victim, old);
+                true
+            }
+            InsertOutcome::SetFull => false,
+        }
+    }
+
+    /// Completes an MSHR whose data and acks have all arrived.
+    fn try_complete(&mut self, now: Cycle, line: LineAddr) {
+        let Some(entry) = self.mshrs.get(&line) else {
+            return;
+        };
+        let Some((grant, _, _)) = entry.data else {
+            return;
+        };
+        let needed = entry.acks_expected.unwrap_or(0);
+        if entry.acks_received < needed {
+            return;
+        }
+        let entry = self.mshrs.remove(&line).expect("checked above");
+        // Payload-less (upgrade) grants were already substituted with the
+        // resident copy's data in `handle_message`.
+        let (_, mut data, ack_required) = entry.data.expect("checked above");
+        let (state, completion) = match entry.op {
+            MshrOp::Load { word } => {
+                let state = match grant {
+                    Grant::Exclusive => State::Exclusive,
+                    Grant::Shared | Grant::SharedRO => State::Shared,
+                };
+                if entry.poisoned && state == State::Shared {
+                    // A racing invalidation means this Shared copy must
+                    // not linger; the value itself is correctly ordered
+                    // (the directory serialized our read before the
+                    // write that invalidated).
+                    if ack_required {
+                        self.send(now, self.home(line), Msg::Unblock { line, from: self.cfg.id });
+                    }
+                    self.completions.push(Completion::Load(data.read_word(word)));
+                    return;
+                }
+                (state, Completion::Load(data.read_word(word)))
+            }
+            MshrOp::Store { word, value } => {
+                assert_eq!(grant, Grant::Exclusive, "stores need exclusive grants");
+                data.write_word(word, value);
+                (State::Modified, Completion::Store)
+            }
+            MshrOp::Rmw { word, op } => {
+                assert_eq!(grant, Grant::Exclusive, "RMWs need exclusive grants");
+                let old = data.read_word(word);
+                data.write_word(word, op.apply(old));
+                (State::Modified, Completion::Load(old))
+            }
+        };
+        let installed = self.install(now, line, Line { state, data });
+        if !installed {
+            // No evictable way: keep the directory consistent by
+            // immediately writing the line back.
+            match state {
+                State::Shared => {}
+                State::Exclusive => {
+                    self.wb.insert(line, data, false, Ts::INVALID, Epoch::ZERO);
+                    self.send(now, self.home(line), Msg::PutE { line });
+                }
+                State::Modified => {
+                    self.wb.insert(line, data, true, Ts::INVALID, Epoch::ZERO);
+                    self.send(
+                        now,
+                        self.home(line),
+                        Msg::PutM { line, data, ts: Ts::INVALID, epoch: Epoch::ZERO },
+                    );
+                }
+            }
+        }
+        if ack_required {
+            self.send(now, self.home(line), Msg::Unblock { line, from: self.cfg.id });
+        }
+        self.completions.push(completion);
+    }
+}
+
+impl CacheController for MesiL1 {
+    fn handle_message(&mut self, now: Cycle, _src: Agent, msg: Msg) {
+        match msg {
+            Msg::Data {
+                line,
+                data,
+                grant,
+                acks_expected,
+                with_payload,
+                ack_required,
+                ..
+            } => {
+                let entry = self
+                    .mshrs
+                    .get_mut(&line)
+                    .unwrap_or_else(|| panic!("L1[{}]: data for no MSHR {line}", self.cfg.id));
+                let data = if with_payload {
+                    data
+                } else {
+                    // Upgrade grant: our resident Shared copy is valid.
+                    self.cache
+                        .peek(line)
+                        .map(|l| l.data)
+                        .unwrap_or(data)
+                };
+                entry.data = Some((grant, data, ack_required));
+                entry.acks_expected = Some(acks_expected);
+                self.try_complete(now, line);
+            }
+            Msg::InvAck { line, .. } => {
+                if let Some(entry) = self.mshrs.get_mut(&line) {
+                    entry.acks_received += 1;
+                    self.try_complete(now, line);
+                } else {
+                    panic!("L1[{}]: stray InvAck for {line}", self.cfg.id);
+                }
+            }
+            Msg::FwdGetS { line, requester } => {
+                if let Some(l) = self.cache.peek_mut(line) {
+                    let dirty = l.state == State::Modified;
+                    l.state = State::Shared;
+                    let data = l.data;
+                    self.send(
+                        now,
+                        Agent::L1(requester),
+                        Msg::Data {
+                            line,
+                            data,
+                            grant: Grant::Shared,
+                            writer: self.cfg.id,
+                            ts: Ts::INVALID,
+                            epoch: Epoch::ZERO,
+                            ts_source: None,
+                            acks_expected: 0,
+                            with_payload: true,
+                            ack_required: true,
+                        },
+                    );
+                    self.send(
+                        now,
+                        self.home(line),
+                        Msg::DowngradeData {
+                            line,
+                            data,
+                            dirty,
+                            ts: Ts::INVALID,
+                            epoch: Epoch::ZERO,
+                            from: self.cfg.id,
+                        },
+                    );
+                } else if let Some(entry) = self.wb.get_mut(line) {
+                    entry.forwarded = true;
+                    let (data, dirty) = (entry.data, entry.dirty);
+                    self.send(
+                        now,
+                        Agent::L1(requester),
+                        Msg::Data {
+                            line,
+                            data,
+                            grant: Grant::Shared,
+                            writer: self.cfg.id,
+                            ts: Ts::INVALID,
+                            epoch: Epoch::ZERO,
+                            ts_source: None,
+                            acks_expected: 0,
+                            with_payload: true,
+                            ack_required: true,
+                        },
+                    );
+                    self.send(
+                        now,
+                        self.home(line),
+                        Msg::DowngradeData {
+                            line,
+                            data,
+                            dirty,
+                            ts: Ts::INVALID,
+                            epoch: Epoch::ZERO,
+                            from: self.cfg.id,
+                        },
+                    );
+                } else {
+                    panic!("L1[{}]: FwdGetS for absent line {line}", self.cfg.id);
+                }
+            }
+            Msg::FwdGetX { line, requester } => {
+                let data = if let Some(l) = self.cache.remove(line) {
+                    l.data
+                } else if let Some(entry) = self.wb.get_mut(line) {
+                    entry.forwarded = true;
+                    entry.data
+                } else {
+                    panic!("L1[{}]: FwdGetX for absent line {line}", self.cfg.id);
+                };
+                self.send(
+                    now,
+                    Agent::L1(requester),
+                    Msg::Data {
+                        line,
+                        data,
+                        grant: Grant::Exclusive,
+                        writer: self.cfg.id,
+                        ts: Ts::INVALID,
+                        epoch: Epoch::ZERO,
+                        ts_source: None,
+                        acks_expected: 0,
+                        with_payload: true,
+                        ack_required: true,
+                    },
+                );
+            }
+            Msg::Inv { line, ack_to_requester } => {
+                if let Some(l) = self.cache.peek(line) {
+                    debug_assert_eq!(l.state, State::Shared, "Inv must target shared copies");
+                    self.cache.remove(line);
+                }
+                if let Some(m) = self.mshrs.get_mut(&line) {
+                    if matches!(m.op, MshrOp::Load { .. }) {
+                        m.poisoned = true;
+                    }
+                }
+                match ack_to_requester {
+                    Some(r) => {
+                        debug_assert_ne!(r, self.cfg.id);
+                        self.send(now, Agent::L1(r), Msg::InvAck { line, from: self.cfg.id });
+                    }
+                    None => {
+                        self.send(
+                            now,
+                            self.home(line),
+                            Msg::InvAckToL2 { line, from: self.cfg.id },
+                        );
+                    }
+                }
+            }
+            Msg::Recall { line } => {
+                let (data, dirty) = if let Some(l) = self.cache.remove(line) {
+                    (l.data, l.state == State::Modified)
+                } else if let Some(entry) = self.wb.get_mut(line) {
+                    entry.forwarded = true;
+                    (entry.data, entry.dirty)
+                } else {
+                    panic!("L1[{}]: Recall for absent line {line}", self.cfg.id);
+                };
+                self.send(
+                    now,
+                    self.home(line),
+                    Msg::RecallData {
+                        line,
+                        data,
+                        dirty,
+                        ts: Ts::INVALID,
+                        epoch: Epoch::ZERO,
+                        from: self.cfg.id,
+                    },
+                );
+            }
+            Msg::PutAck { line } => {
+                self.wb.remove(line);
+            }
+            other => panic!("L1[{}]: unexpected {other:?}", self.cfg.id),
+        }
+    }
+
+    fn tick(&mut self, _now: Cycle) {}
+
+    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg> {
+        self.outbox.drain_ready(now)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.mshrs.is_empty() && self.wb.is_empty() && self.outbox.is_empty()
+    }
+}
+
+impl L1Controller for MesiL1 {
+    fn submit(&mut self, now: Cycle, op: CoreOp) -> Submit {
+        match op {
+            CoreOp::Fence => Submit::Hit(0), // MESI is eager; fences are core-local
+            CoreOp::Load(addr) => self.submit_load(now, addr),
+            CoreOp::Store(addr, value) => self.submit_store(now, addr, value),
+            CoreOp::Rmw(addr, rmw) => self.submit_rmw(now, addr, rmw),
+        }
+    }
+
+    fn pop_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+}
+
+impl MesiL1 {
+    fn submit_load(&mut self, now: Cycle, addr: Addr) -> Submit {
+        let line = addr.line();
+        let word = addr.word_index();
+        if let Some(l) = self.cache.lookup(line) {
+            match l.state {
+                State::Shared => self.stats.read_hit_shared.inc(),
+                State::Exclusive | State::Modified => self.stats.read_hit_private.inc(),
+            }
+            return Submit::Hit(l.data.read_word(word));
+        }
+        if !self.line_free(line) {
+            return Submit::Retry;
+        }
+        self.stats.read_miss_invalid.inc();
+        self.mshrs.insert(
+            line,
+            Mshr {
+                op: MshrOp::Load { word },
+                data: None,
+                acks_expected: None,
+                acks_received: 0,
+                poisoned: false,
+            },
+        );
+        self.send(now, self.home(line), Msg::GetS { line });
+        Submit::Miss
+    }
+
+    fn submit_store(&mut self, now: Cycle, addr: Addr, value: u64) -> Submit {
+        let line = addr.line();
+        let word = addr.word_index();
+        if let Some(l) = self.cache.lookup_mut(line) {
+            match l.state {
+                State::Exclusive | State::Modified => {
+                    l.state = State::Modified;
+                    l.data.write_word(word, value);
+                    self.stats.write_hit_private.inc();
+                    return Submit::Hit(0);
+                }
+                State::Shared => {
+                    // Upgrade: needs a GetX transaction.
+                    if !self.line_free(line) {
+                        return Submit::Retry;
+                    }
+                    self.stats.write_miss_shared.inc();
+                }
+            }
+        } else {
+            if !self.line_free(line) {
+                return Submit::Retry;
+            }
+            self.stats.write_miss_invalid.inc();
+        }
+        self.mshrs.insert(
+            line,
+            Mshr {
+                op: MshrOp::Store { word, value },
+                data: None,
+                acks_expected: None,
+                acks_received: 0,
+                poisoned: false,
+            },
+        );
+        self.send(now, self.home(line), Msg::GetX { line });
+        Submit::Miss
+    }
+
+    fn submit_rmw(&mut self, now: Cycle, addr: Addr, rmw: RmwOp) -> Submit {
+        let line = addr.line();
+        let word = addr.word_index();
+        if let Some(l) = self.cache.lookup_mut(line) {
+            if matches!(l.state, State::Exclusive | State::Modified) {
+                l.state = State::Modified;
+                let old = l.data.read_word(word);
+                l.data.write_word(word, rmw.apply(old));
+                self.stats.rmw_hit.inc();
+                self.stats.write_hit_private.inc();
+                return Submit::Hit(old);
+            }
+        }
+        if !self.line_free(line) {
+            return Submit::Retry;
+        }
+        self.stats.rmw_miss.inc();
+        if self.cache.peek(line).is_some() {
+            self.stats.write_miss_shared.inc();
+        } else {
+            self.stats.write_miss_invalid.inc();
+        }
+        self.mshrs.insert(
+            line,
+            Mshr {
+                op: MshrOp::Rmw { word, op: rmw },
+                data: None,
+                acks_expected: None,
+                acks_received: 0,
+                poisoned: false,
+            },
+        );
+        self.send(now, self.home(line), Msg::GetX { line });
+        Submit::Miss
+    }
+}

@@ -1,0 +1,551 @@
+//! MESI NUCA L2 tile with an embedded full-sharing-vector directory.
+
+use std::collections::{HashMap, VecDeque};
+
+use tsocc_coherence::{
+    Agent, CacheController, Epoch, Grant, L2Controller, L2Stats, Msg, NetMsg, Outbox, Ts,
+};
+use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData};
+use tsocc_sim::Cycle;
+
+/// Directory state of a resident line (absence = not present).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Valid in the L2, no L1 copies.
+    Idle,
+    /// One or more L1 sharers (read-only copies).
+    Shared,
+    /// Exactly one L1 owner with read/write permission.
+    Private,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    state: State,
+    /// Full sharing vector (bit per core) — the storage cost the paper
+    /// attacks. Only meaningful in `Shared`.
+    sharers: u128,
+    /// Owner core id; only meaningful in `Private`.
+    owner: usize,
+    data: LineData,
+    /// Whether the L2 copy differs from memory.
+    dirty: bool,
+}
+
+#[derive(Debug)]
+enum BusyKind {
+    /// Waiting for memory data, then granting Exclusive to `requester`.
+    Fetch { requester: usize },
+    /// Waiting for the requester's Unblock after an Exclusive/upgrade
+    /// grant.
+    Grant,
+    /// Waiting for the old owner's DowngradeData and the requester's
+    /// Unblock after forwarding a GetS.
+    FwdS { requester: usize },
+    /// Waiting for the requester's Unblock after forwarding a GetX.
+    FwdX,
+    /// L2 eviction in progress: collecting invalidation acks from
+    /// sharers, or the owner's RecallData.
+    Dying {
+        acks_left: u32,
+        data: LineData,
+        dirty: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Busy {
+    kind: BusyKind,
+    need_unblock: bool,
+    need_owner_data: bool,
+    waiting: VecDeque<(Agent, Msg)>,
+}
+
+/// Configuration of a MESI L2 tile.
+#[derive(Clone, Copy, Debug)]
+pub struct MesiL2Config {
+    /// This tile's index.
+    pub tile: usize,
+    /// Number of cores.
+    pub n_cores: usize,
+    /// Number of memory controllers.
+    pub n_mem: usize,
+    /// Tile geometry (1 MiB 16-way in Table 2).
+    pub params: CacheParams,
+    /// Array access latency charged before responses (cycles).
+    pub latency: u64,
+}
+
+impl MesiL2Config {
+    /// The paper's Table 2 tile: 1 MiB, 16-way, ~30-cycle access.
+    pub fn table2(tile: usize, n_cores: usize, n_mem: usize) -> Self {
+        MesiL2Config {
+            tile,
+            n_cores,
+            n_mem,
+            params: CacheParams::from_capacity(1024 * 1024, 16),
+            latency: 20,
+        }
+    }
+}
+
+/// One MESI L2 tile (directory + data).
+#[derive(Debug)]
+pub struct MesiL2 {
+    cfg: MesiL2Config,
+    cache: CacheArray<Line>,
+    busy: HashMap<LineAddr, Busy>,
+    replay: VecDeque<(Agent, Msg)>,
+    outbox: Outbox,
+    stats: L2Stats,
+}
+
+impl MesiL2 {
+    /// Creates the tile controller.
+    pub fn new(cfg: MesiL2Config) -> Self {
+        MesiL2 {
+            cfg,
+            cache: CacheArray::new(cfg.params),
+            busy: HashMap::new(),
+            replay: VecDeque::new(),
+            outbox: Outbox::new(),
+            stats: L2Stats::default(),
+        }
+    }
+
+    fn agent(&self) -> Agent {
+        Agent::L2(self.cfg.tile)
+    }
+
+    fn mem(&self) -> Agent {
+        Agent::Mem(self.cfg.tile % self.cfg.n_mem)
+    }
+
+    fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
+        self.outbox.push(
+            now + self.cfg.latency,
+            NetMsg {
+                src: self.agent(),
+                dst,
+                msg,
+            },
+        );
+    }
+
+    fn data_msg(
+        line: LineAddr,
+        data: LineData,
+        grant: Grant,
+        acks_expected: u32,
+        with_payload: bool,
+        ack_required: bool,
+    ) -> Msg {
+        Msg::Data {
+            line,
+            data,
+            grant,
+            writer: usize::MAX,
+            ts: Ts::INVALID,
+            epoch: Epoch::ZERO,
+            ts_source: None,
+            acks_expected,
+            with_payload,
+            ack_required,
+        }
+    }
+
+    /// Finishes a busy transaction if all terminal events arrived.
+    fn maybe_finish(&mut self, line: LineAddr) {
+        let done = self
+            .busy
+            .get(&line)
+            .is_some_and(|b| !b.need_unblock && !b.need_owner_data);
+        if done {
+            let busy = self.busy.remove(&line).expect("checked");
+            self.replay.extend(busy.waiting);
+        }
+    }
+
+    /// Starts eviction of `victim` (already removed from the array).
+    fn start_eviction(&mut self, now: Cycle, victim: LineAddr, old: Line) {
+        self.stats.writebacks.inc();
+        match old.state {
+            State::Idle => {
+                if old.dirty {
+                    self.send(now, self.mem(), Msg::MemWrite { line: victim, data: old.data });
+                }
+            }
+            State::Shared => {
+                let mut acks = 0u32;
+                for core in 0..self.cfg.n_cores {
+                    if old.sharers & (1u128 << core) != 0 {
+                        self.send(
+                            now,
+                            Agent::L1(core),
+                            Msg::Inv { line: victim, ack_to_requester: None },
+                        );
+                        acks += 1;
+                    }
+                }
+                if acks == 0 {
+                    if old.dirty {
+                        self.send(now, self.mem(), Msg::MemWrite { line: victim, data: old.data });
+                    }
+                    return;
+                }
+                self.busy.insert(
+                    victim,
+                    Busy {
+                        kind: BusyKind::Dying {
+                            acks_left: acks,
+                            data: old.data,
+                            dirty: old.dirty,
+                        },
+                        need_unblock: false,
+                        need_owner_data: true,
+                        waiting: VecDeque::new(),
+                    },
+                );
+            }
+            State::Private => {
+                self.send(now, Agent::L1(old.owner), Msg::Recall { line: victim });
+                self.busy.insert(
+                    victim,
+                    Busy {
+                        kind: BusyKind::Dying {
+                            acks_left: 0,
+                            data: old.data,
+                            dirty: old.dirty,
+                        },
+                        need_unblock: false,
+                        need_owner_data: true,
+                        waiting: VecDeque::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Installs a fetched line, possibly starting a victim eviction.
+    fn install(&mut self, now: Cycle, line: LineAddr, entry: Line) {
+        let busy = &self.busy;
+        let outcome = self
+            .cache
+            .insert(line, entry, now.as_u64(), |la, _| !busy.contains_key(&la));
+        match outcome {
+            InsertOutcome::Installed => {}
+            InsertOutcome::Evicted(victim, old) => self.start_eviction(now, victim, old),
+            InsertOutcome::SetFull => {
+                panic!("L2[{}]: no evictable way for {line}", self.cfg.tile)
+            }
+        }
+    }
+
+    fn process_request(&mut self, now: Cycle, src: Agent, msg: Msg) {
+        let line = match &msg {
+            Msg::GetS { line } | Msg::GetX { line } | Msg::PutE { line } => *line,
+            Msg::PutM { line, .. } => *line,
+            other => unreachable!("not a queueable request: {other:?}"),
+        };
+        if let Some(busy) = self.busy.get_mut(&line) {
+            busy.waiting.push_back((src, msg));
+            return;
+        }
+        let requester = match src {
+            Agent::L1(i) => i,
+            other => panic!("request from non-L1 {other}"),
+        };
+        match msg {
+            Msg::GetS { .. } => self.process_gets(now, line, requester),
+            Msg::GetX { .. } => self.process_getx(now, line, requester),
+            Msg::PutE { .. } => self.process_put(now, line, requester, None),
+            Msg::PutM { data, .. } => self.process_put(now, line, requester, Some(data)),
+            _ => unreachable!(),
+        }
+    }
+
+    fn process_gets(&mut self, now: Cycle, line: LineAddr, requester: usize) {
+        let Some(l) = self.cache.lookup_mut(line) else {
+            self.stats.misses.inc();
+            self.busy.insert(
+                line,
+                Busy {
+                    kind: BusyKind::Fetch { requester },
+                    need_unblock: true,
+                    need_owner_data: false,
+                    waiting: VecDeque::new(),
+                },
+            );
+            self.send(now, self.mem(), Msg::MemRead { line });
+            return;
+        };
+        self.stats.hits.inc();
+        match l.state {
+            State::Idle => {
+                // Reads to uncached lines get Exclusive grants (E).
+                l.state = State::Private;
+                l.owner = requester;
+                let data = l.data;
+                self.busy.insert(
+                    line,
+                    Busy {
+                        kind: BusyKind::Grant,
+                        need_unblock: true,
+                        need_owner_data: false,
+                        waiting: VecDeque::new(),
+                    },
+                );
+                self.send(
+                    now,
+                    Agent::L1(requester),
+                    Self::data_msg(line, data, Grant::Exclusive, 0, true, true),
+                );
+            }
+            State::Shared => {
+                l.sharers |= 1u128 << requester;
+                let data = l.data;
+                self.send(
+                    now,
+                    Agent::L1(requester),
+                    Self::data_msg(line, data, Grant::Shared, 0, true, false),
+                );
+            }
+            State::Private => {
+                let owner = l.owner;
+                debug_assert_ne!(owner, requester, "owner re-requesting GetS");
+                self.busy.insert(
+                    line,
+                    Busy {
+                        kind: BusyKind::FwdS { requester },
+                        need_unblock: true,
+                        need_owner_data: true,
+                        waiting: VecDeque::new(),
+                    },
+                );
+                self.send(now, Agent::L1(owner), Msg::FwdGetS { line, requester });
+            }
+        }
+    }
+
+    fn process_getx(&mut self, now: Cycle, line: LineAddr, requester: usize) {
+        let Some(l) = self.cache.lookup_mut(line) else {
+            self.stats.misses.inc();
+            self.busy.insert(
+                line,
+                Busy {
+                    kind: BusyKind::Fetch { requester },
+                    need_unblock: true,
+                    need_owner_data: false,
+                    waiting: VecDeque::new(),
+                },
+            );
+            self.send(now, self.mem(), Msg::MemRead { line });
+            return;
+        };
+        self.stats.hits.inc();
+        match l.state {
+            State::Idle => {
+                l.state = State::Private;
+                l.owner = requester;
+                let data = l.data;
+                self.busy.insert(
+                    line,
+                    Busy {
+                        kind: BusyKind::Grant,
+                        need_unblock: true,
+                        need_owner_data: false,
+                        waiting: VecDeque::new(),
+                    },
+                );
+                self.send(
+                    now,
+                    Agent::L1(requester),
+                    Self::data_msg(line, data, Grant::Exclusive, 0, true, true),
+                );
+            }
+            State::Shared => {
+                let sharers = l.sharers;
+                let requester_holds = sharers & (1u128 << requester) != 0;
+                l.state = State::Private;
+                l.owner = requester;
+                l.sharers = 0;
+                let data = l.data;
+                let mut acks = 0u32;
+                for core in 0..self.cfg.n_cores {
+                    if core != requester && sharers & (1u128 << core) != 0 {
+                        self.send(
+                            now,
+                            Agent::L1(core),
+                            Msg::Inv { line, ack_to_requester: Some(requester) },
+                        );
+                        acks += 1;
+                    }
+                }
+                self.busy.insert(
+                    line,
+                    Busy {
+                        kind: BusyKind::Grant,
+                        need_unblock: true,
+                        need_owner_data: false,
+                        waiting: VecDeque::new(),
+                    },
+                );
+                // Upgrades reuse the requester's valid Shared copy.
+                self.send(
+                    now,
+                    Agent::L1(requester),
+                    Self::data_msg(line, data, Grant::Exclusive, acks, !requester_holds, true),
+                );
+            }
+            State::Private => {
+                let owner = l.owner;
+                debug_assert_ne!(owner, requester, "owner re-requesting GetX");
+                l.owner = requester;
+                self.busy.insert(
+                    line,
+                    Busy {
+                        kind: BusyKind::FwdX,
+                        need_unblock: true,
+                        need_owner_data: false,
+                        waiting: VecDeque::new(),
+                    },
+                );
+                self.send(now, Agent::L1(owner), Msg::FwdGetX { line, requester });
+            }
+        }
+    }
+
+    fn process_put(&mut self, now: Cycle, line: LineAddr, from: usize, data: Option<LineData>) {
+        if let Some(l) = self.cache.peek_mut(line) {
+            if l.state == State::Private && l.owner == from {
+                l.state = State::Idle;
+                if let Some(d) = data {
+                    l.data = d;
+                    l.dirty = true;
+                }
+            }
+            // Otherwise the PUT is stale (a racing forward already moved
+            // ownership); just acknowledge.
+        }
+        self.send(now, Agent::L1(from), Msg::PutAck { line });
+    }
+}
+
+impl CacheController for MesiL2 {
+    fn handle_message(&mut self, now: Cycle, src: Agent, msg: Msg) {
+        match msg {
+            Msg::GetS { .. } | Msg::GetX { .. } | Msg::PutE { .. } | Msg::PutM { .. } => {
+                self.process_request(now, src, msg);
+            }
+            Msg::Unblock { line, .. } => {
+                let busy = self
+                    .busy
+                    .get_mut(&line)
+                    .unwrap_or_else(|| panic!("L2[{}]: Unblock for idle {line}", self.cfg.tile));
+                busy.need_unblock = false;
+                self.maybe_finish(line);
+            }
+            Msg::DowngradeData { line, data, dirty, .. } => {
+                let busy = self
+                    .busy
+                    .get_mut(&line)
+                    .unwrap_or_else(|| panic!("L2[{}]: stray DowngradeData {line}", self.cfg.tile));
+                let BusyKind::FwdS { requester } = busy.kind else {
+                    panic!("L2[{}]: DowngradeData outside FwdS", self.cfg.tile);
+                };
+                busy.need_owner_data = false;
+                let l = self
+                    .cache
+                    .peek_mut(line)
+                    .expect("forwarded line must be resident");
+                let old_owner = l.owner;
+                l.state = State::Shared;
+                l.sharers = (1u128 << old_owner) | (1u128 << requester);
+                if dirty {
+                    l.data = data;
+                    l.dirty = true;
+                }
+                self.maybe_finish(line);
+            }
+            Msg::RecallData { line, data, dirty, .. } => {
+                let busy = self
+                    .busy
+                    .remove(&line)
+                    .unwrap_or_else(|| panic!("L2[{}]: stray RecallData {line}", self.cfg.tile));
+                let BusyKind::Dying { data: old_data, dirty: old_dirty, .. } = busy.kind else {
+                    panic!("L2[{}]: RecallData outside Dying", self.cfg.tile);
+                };
+                let (wb_data, wb_dirty) = if dirty { (data, true) } else { (old_data, old_dirty) };
+                if wb_dirty {
+                    self.send(now, self.mem(), Msg::MemWrite { line, data: wb_data });
+                }
+                self.replay.extend(busy.waiting);
+            }
+            Msg::InvAckToL2 { line, .. } => {
+                let busy = self
+                    .busy
+                    .get_mut(&line)
+                    .unwrap_or_else(|| panic!("L2[{}]: stray InvAckToL2 {line}", self.cfg.tile));
+                let BusyKind::Dying { ref mut acks_left, data, dirty, .. } = busy.kind else {
+                    panic!("L2[{}]: InvAckToL2 outside Dying", self.cfg.tile);
+                };
+                *acks_left -= 1;
+                if *acks_left == 0 {
+                    let busy = self.busy.remove(&line).expect("present");
+                    if dirty {
+                        self.send(now, self.mem(), Msg::MemWrite { line, data });
+                    }
+                    self.replay.extend(busy.waiting);
+                }
+            }
+            Msg::MemData { line, data } => {
+                let busy = self
+                    .busy
+                    .get_mut(&line)
+                    .unwrap_or_else(|| panic!("L2[{}]: stray MemData {line}", self.cfg.tile));
+                let BusyKind::Fetch { requester } = busy.kind else {
+                    panic!("L2[{}]: MemData outside Fetch", self.cfg.tile);
+                };
+                busy.kind = BusyKind::Grant;
+                self.install(
+                    now,
+                    line,
+                    Line {
+                        state: State::Private,
+                        sharers: 0,
+                        owner: requester,
+                        data,
+                        dirty: false,
+                    },
+                );
+                self.send(
+                    now,
+                    Agent::L1(requester),
+                    Self::data_msg(line, data, Grant::Exclusive, 0, true, true),
+                );
+            }
+            other => panic!("L2[{}]: unexpected {other:?}", self.cfg.tile),
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        let pending: Vec<_> = self.replay.drain(..).collect();
+        for (src, msg) in pending {
+            self.process_request(now, src, msg);
+        }
+    }
+
+    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg> {
+        self.outbox.drain_ready(now)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.busy.is_empty() && self.replay.is_empty() && self.outbox.is_empty()
+    }
+}
+
+impl L2Controller for MesiL2 {
+    fn stats(&self) -> &L2Stats {
+        &self.stats
+    }
+}

@@ -1,0 +1,322 @@
+//! Message timing, link contention and flit accounting.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use tsocc_sim::{Counter, Cycle};
+
+use crate::topology::MeshTopology;
+use crate::VNet;
+
+/// Latency and sizing parameters of the mesh.
+///
+/// Defaults correspond to the paper's Table 2: 16-byte flits, one-cycle
+/// links, one-cycle routers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Cycles spent in each router along the path.
+    pub router_latency: u64,
+    /// Cycles on each physical link, excluding serialization.
+    pub link_latency: u64,
+    /// Flit payload size in bytes (16 in the paper).
+    pub flit_bytes: u32,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            router_latency: 1,
+            link_latency: 1,
+            flit_bytes: 16,
+        }
+    }
+}
+
+impl NocConfig {
+    /// Number of flits for a message with `payload_bytes` of payload plus
+    /// an 8-byte header, at least one flit.
+    ///
+    /// A control message (no payload) is 1 flit; a 64-byte data message is
+    /// 5 flits at the default 16-byte flit size, exactly as in GARNET.
+    pub fn flits_for_payload(&self, payload_bytes: u32) -> u32 {
+        let total = payload_bytes + 8;
+        total.div_ceil(self.flit_bytes).max(1)
+    }
+}
+
+/// Traffic statistics, the basis of the paper's Figure 4.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Messages injected, per virtual network.
+    pub messages: [Counter; 3],
+    /// Flits injected (message count × message flits).
+    pub flits_injected: Counter,
+    /// Flit-hops: flits × links traversed (the traffic/energy metric).
+    pub flit_hops: Counter,
+    /// Total queueing delay suffered behind busy links, in cycles.
+    pub contention_cycles: Counter,
+}
+
+impl NocStats {
+    /// Total messages over all vnets.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().map(|c| c.get()).sum()
+    }
+}
+
+#[derive(Debug)]
+struct Arrival<M> {
+    at: Cycle,
+    seq: u64,
+    dst: usize,
+    payload: M,
+}
+
+impl<M> PartialEq for Arrival<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Arrival<M> {}
+impl<M> PartialOrd for Arrival<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Arrival<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The mesh network: injects messages, models per-link serialization and
+/// delivers payloads to destination routers in deterministic order.
+///
+/// Generic over the payload type `M` so the coherence crates can ship
+/// their own message enums without this crate knowing about them.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[derive(Debug)]
+pub struct Mesh<M> {
+    topo: MeshTopology,
+    cfg: NocConfig,
+    /// busy-until time per (from-router, to-router, vnet) directed link.
+    link_busy: HashMap<(usize, usize, usize), Cycle>,
+    in_flight: BinaryHeap<Reverse<Arrival<M>>>,
+    seq: u64,
+    stats: NocStats,
+}
+
+impl<M> Mesh<M> {
+    /// Creates an idle mesh.
+    pub fn new(topo: MeshTopology, cfg: NocConfig) -> Self {
+        Mesh {
+            topo,
+            cfg,
+            link_busy: HashMap::new(),
+            in_flight: BinaryHeap::new(),
+            seq: 0,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The mesh geometry.
+    pub fn topology(&self) -> MeshTopology {
+        self.topo
+    }
+
+    /// The latency configuration.
+    pub fn config(&self) -> NocConfig {
+        self.cfg
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Injects a message of `flits` flits at router `src` destined for
+    /// router `dst` at time `now`. The message becomes visible to
+    /// [`Mesh::deliver`] once its modelled latency has elapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are out of range or `flits == 0`.
+    pub fn send(&mut self, now: Cycle, src: usize, dst: usize, vnet: VNet, flits: u32, payload: M) {
+        assert!(src < self.topo.nodes() && dst < self.topo.nodes(), "router out of range");
+        assert!(flits > 0, "messages carry at least one flit");
+        self.stats.messages[vnet.index()].inc();
+        self.stats.flits_injected.add(flits as u64);
+
+        let mut t = now;
+        if src == dst {
+            // Local delivery through the router's crossbar only.
+            t += self.cfg.router_latency.max(1);
+        } else {
+            let path = self.topo.route(src, dst);
+            self.stats
+                .flit_hops
+                .add(flits as u64 * (path.len() as u64 - 1));
+            for w in path.windows(2) {
+                let key = (w[0], w[1], vnet.index());
+                let free = self.link_busy.get(&key).copied().unwrap_or(Cycle::ZERO);
+                let start = t.max(free);
+                self.stats.contention_cycles.add(start - t);
+                // The link is serialized: it cannot accept the next
+                // message until all flits of this one have left.
+                let done = start + flits as u64 * 1;
+                self.link_busy.insert(key, done);
+                t = done + self.cfg.link_latency + self.cfg.router_latency;
+            }
+        }
+        self.seq += 1;
+        self.in_flight.push(Reverse(Arrival {
+            at: t,
+            seq: self.seq,
+            dst,
+            payload,
+        }));
+    }
+
+    /// Drains every message whose arrival time is `<= now`, in arrival
+    /// order (ties broken by injection order, so delivery is
+    /// deterministic).
+    pub fn deliver(&mut self, now: Cycle) -> Vec<(usize, M)> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.in_flight.peek() {
+            if head.at > now {
+                break;
+            }
+            let Reverse(arr) = self.in_flight.pop().expect("peeked");
+            out.push((arr.dst, arr.payload));
+        }
+        out
+    }
+
+    /// Whether any message is still in flight.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Earliest pending arrival time, if any (lets the driver fast-forward
+    /// through quiescent periods).
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.in_flight.peek().map(|Reverse(a)| a.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh<u32> {
+        Mesh::new(MeshTopology::new(2, 4), NocConfig::default())
+    }
+
+    fn drain_all(m: &mut Mesh<u32>, horizon: u64) -> Vec<(u64, usize, u32)> {
+        let mut got = Vec::new();
+        for t in 0..horizon {
+            for (dst, p) in m.deliver(Cycle::new(t)) {
+                got.push((t, dst, p));
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn flit_sizing_matches_paper() {
+        let cfg = NocConfig::default();
+        assert_eq!(cfg.flits_for_payload(0), 1, "control message");
+        assert_eq!(cfg.flits_for_payload(64), 5, "64B data message");
+        assert_eq!(cfg.flits_for_payload(8), 1);
+    }
+
+    #[test]
+    fn delivery_latency_scales_with_distance() {
+        let mut m = mesh();
+        m.send(Cycle::ZERO, 0, 1, VNet::Request, 1, 1); // 1 hop
+        m.send(Cycle::ZERO, 0, 7, VNet::Response, 1, 2); // 4 hops
+        let got = drain_all(&mut m, 100);
+        let t1 = got.iter().find(|g| g.2 == 1).unwrap().0;
+        let t2 = got.iter().find(|g| g.2 == 2).unwrap().0;
+        assert!(t2 > t1, "longer route must take longer ({t1} vs {t2})");
+    }
+
+    #[test]
+    fn local_delivery_is_fast_but_not_instant() {
+        let mut m = mesh();
+        m.send(Cycle::ZERO, 3, 3, VNet::Request, 1, 9);
+        assert!(m.deliver(Cycle::ZERO).is_empty());
+        let got = drain_all(&mut m, 10);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, 3);
+    }
+
+    #[test]
+    fn serialization_delays_second_message() {
+        let mut m = mesh();
+        // Two 5-flit data messages over the same link, injected together.
+        m.send(Cycle::ZERO, 0, 1, VNet::Response, 5, 1);
+        m.send(Cycle::ZERO, 0, 1, VNet::Response, 5, 2);
+        let got = drain_all(&mut m, 100);
+        let t1 = got.iter().find(|g| g.2 == 1).unwrap().0;
+        let t2 = got.iter().find(|g| g.2 == 2).unwrap().0;
+        assert_eq!(t2 - t1, 5, "second message waits out 5 flits of serialization");
+        assert!(m.stats().contention_cycles.get() >= 5);
+    }
+
+    #[test]
+    fn vnets_do_not_contend_with_each_other() {
+        let mut m = mesh();
+        m.send(Cycle::ZERO, 0, 1, VNet::Request, 5, 1);
+        m.send(Cycle::ZERO, 0, 1, VNet::Response, 5, 2);
+        let got = drain_all(&mut m, 100);
+        let t1 = got.iter().find(|g| g.2 == 1).unwrap().0;
+        let t2 = got.iter().find(|g| g.2 == 2).unwrap().0;
+        assert_eq!(t1, t2, "separate vnets have separate channel bandwidth");
+    }
+
+    #[test]
+    fn flit_accounting() {
+        let mut m = mesh();
+        m.send(Cycle::ZERO, 0, 3, VNet::Request, 1, 1); // 3 hops, 1 flit
+        m.send(Cycle::ZERO, 0, 1, VNet::Response, 5, 2); // 1 hop, 5 flits
+        assert_eq!(m.stats().flits_injected.get(), 6);
+        assert_eq!(m.stats().flit_hops.get(), 3 + 5);
+        assert_eq!(m.stats().messages[VNet::Request.index()].get(), 1);
+        assert_eq!(m.stats().messages[VNet::Response.index()].get(), 1);
+        assert_eq!(m.stats().total_messages(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_injection_order() {
+        let mut m = mesh();
+        m.send(Cycle::ZERO, 0, 1, VNet::Request, 1, 10);
+        m.send(Cycle::ZERO, 2, 1, VNet::Request, 1, 20);
+        let got = drain_all(&mut m, 100);
+        assert_eq!(got.len(), 2);
+        // Same latency model for both (1 hop); injection order breaks tie.
+        assert_eq!(got[0].2, 10);
+        assert_eq!(got[1].2, 20);
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut m = mesh();
+        assert!(m.is_idle());
+        m.send(Cycle::ZERO, 0, 1, VNet::Request, 1, 1);
+        assert!(!m.is_idle());
+        let next = m.next_arrival().unwrap();
+        m.deliver(next);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_flit_message_panics() {
+        let mut m = mesh();
+        m.send(Cycle::ZERO, 0, 1, VNet::Request, 0, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Mesh geometry and XY routing.
+
+use std::fmt;
+
+/// A rows×cols 2D mesh; routers are numbered row-major.
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_noc::MeshTopology;
+///
+/// let topo = MeshTopology::for_tiles(32); // the paper's 4x8 mesh
+/// assert_eq!(topo.rows(), 4);
+/// assert_eq!(topo.cols(), 8);
+/// assert_eq!(topo.hops(0, 31), 10);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeshTopology {
+    rows: usize,
+    cols: usize,
+}
+
+impl MeshTopology {
+    /// Creates an explicit rows×cols mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        MeshTopology { rows, cols }
+    }
+
+    /// Chooses a near-square mesh for `n` tiles, preferring the paper's
+    /// shapes: 16→4×4, 32→4×8, 64→8×8, 128→8×16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn for_tiles(n: usize) -> Self {
+        assert!(n > 0, "need at least one tile");
+        // Largest power-of-two number of rows with rows <= sqrt(n) that
+        // divides n; falls back to a single row for odd sizes.
+        let mut rows = 1usize;
+        let mut r = 1usize;
+        while r * r <= n {
+            if n % r == 0 {
+                rows = r;
+            }
+            r *= 2;
+        }
+        MeshTopology::new(rows, n / rows)
+    }
+
+    /// Number of rows.
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total routers.
+    pub const fn nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// (row, col) of a router id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.nodes(), "router {node} out of range");
+        (node / self.cols, node % self.cols)
+    }
+
+    /// Router id at (row, col).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn node_at(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        row * self.cols + col
+    }
+
+    /// Manhattan hop count between two routers (0 when co-located).
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+
+    /// XY dimension-ordered route from `src` to `dst`, inclusive of both
+    /// endpoints. Deterministic and deadlock-free.
+    pub fn route(&self, src: usize, dst: usize) -> Vec<usize> {
+        let (sr, sc) = self.coords(src);
+        let (dr, dc) = self.coords(dst);
+        let mut path = Vec::with_capacity(self.hops(src, dst) + 1);
+        let (mut r, mut c) = (sr, sc);
+        path.push(self.node_at(r, c));
+        // X first.
+        while c != dc {
+            c = if c < dc { c + 1 } else { c - 1 };
+            path.push(self.node_at(r, c));
+        }
+        // Then Y.
+        while r != dr {
+            r = if r < dr { r + 1 } else { r - 1 };
+            path.push(self.node_at(r, c));
+        }
+        path
+    }
+
+    /// The four corner routers (used to place memory controllers).
+    pub fn corners(&self) -> [usize; 4] {
+        [
+            self.node_at(0, 0),
+            self.node_at(0, self.cols - 1),
+            self.node_at(self.rows - 1, 0),
+            self.node_at(self.rows - 1, self.cols - 1),
+        ]
+    }
+}
+
+impl fmt::Display for MeshTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} mesh", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shapes() {
+        assert_eq!(MeshTopology::for_tiles(16), MeshTopology::new(4, 4));
+        assert_eq!(MeshTopology::for_tiles(32), MeshTopology::new(4, 8));
+        assert_eq!(MeshTopology::for_tiles(64), MeshTopology::new(8, 8));
+        assert_eq!(MeshTopology::for_tiles(128), MeshTopology::new(8, 16));
+        assert_eq!(MeshTopology::for_tiles(1), MeshTopology::new(1, 1));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = MeshTopology::new(4, 8);
+        for n in 0..t.nodes() {
+            let (r, c) = t.coords(n);
+            assert_eq!(t.node_at(r, c), n);
+        }
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let t = MeshTopology::new(4, 8);
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 7), 7);
+        assert_eq!(t.hops(0, 31), 10); // (0,0) -> (3,7)
+        assert_eq!(t.hops(31, 0), 10);
+    }
+
+    #[test]
+    fn route_is_xy_and_contiguous() {
+        let t = MeshTopology::new(4, 8);
+        let path = t.route(0, 31);
+        assert_eq!(path.len(), t.hops(0, 31) + 1);
+        assert_eq!(*path.first().unwrap(), 0);
+        assert_eq!(*path.last().unwrap(), 31);
+        // Every step moves exactly one hop.
+        for w in path.windows(2) {
+            assert_eq!(t.hops(w[0], w[1]), 1);
+        }
+        // X-first: column changes complete before row changes start.
+        let cols: Vec<usize> = path.iter().map(|&n| t.coords(n).1).collect();
+        let first_row_change = path
+            .windows(2)
+            .position(|w| t.coords(w[0]).0 != t.coords(w[1]).0);
+        if let Some(i) = first_row_change {
+            assert!(cols[i..].windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn route_to_self_is_trivial() {
+        let t = MeshTopology::new(2, 2);
+        assert_eq!(t.route(3, 3), vec![3]);
+    }
+
+    #[test]
+    fn corners_are_distinct_for_nontrivial_mesh() {
+        let t = MeshTopology::new(4, 8);
+        let c = t.corners();
+        assert_eq!(c, [0, 7, 24, 31]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_coords_panic() {
+        let t = MeshTopology::new(2, 2);
+        let _ = t.coords(4);
+    }
+}

@@ -1,0 +1,153 @@
+//! Strongly-typed simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in clock cycles.
+///
+/// `Cycle` is a newtype over `u64` so that cycle arithmetic cannot be
+/// accidentally mixed with other integer quantities (addresses, counts).
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_sim::Cycle;
+///
+/// let start = Cycle::new(10);
+/// let end = start + 5;
+/// assert_eq!(end.as_u64(), 15);
+/// assert_eq!(end - start, 5);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The first cycle of a simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// A cycle value that compares larger than any reachable simulation
+    /// time; useful as an "infinite deadline" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration in cycles.
+    #[inline]
+    pub const fn saturating_add(self, rhs: u64) -> Self {
+        Cycle(self.0.saturating_add(rhs))
+    }
+
+    /// Returns the later of two cycle values.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Number of cycles from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: Self) -> u64 {
+        debug_assert!(earlier.0 <= self.0, "negative cycle delta");
+        self.0 - earlier.0
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let c = Cycle::new(100);
+        assert_eq!((c + 23) - c, 23);
+        let mut m = c;
+        m += 7;
+        assert_eq!(m.as_u64(), 107);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Cycle::ZERO < Cycle::new(1));
+        assert_eq!(Cycle::new(5).max(Cycle::new(9)), Cycle::new(9));
+        assert_eq!(Cycle::new(9).max(Cycle::new(5)), Cycle::new(9));
+        assert!(Cycle::MAX > Cycle::new(u64::MAX - 1));
+    }
+
+    #[test]
+    fn since_counts_elapsed_cycles() {
+        assert_eq!(Cycle::new(42).since(Cycle::new(40)), 2);
+        assert_eq!(Cycle::ZERO.since(Cycle::ZERO), 0);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(Cycle::MAX.saturating_add(1), Cycle::MAX);
+        assert_eq!(Cycle::new(1).saturating_add(2), Cycle::new(3));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(3).to_string(), "cycle 3");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn since_panics_on_negative_delta() {
+        let _ = Cycle::new(1).since(Cycle::new(2));
+    }
+}

@@ -1,0 +1,275 @@
+//! Simulation statistics primitives.
+//!
+//! Counters and histograms are intentionally plain data: the per-figure
+//! aggregation logic lives with the harness, which only needs raw event
+//! counts out of the simulator.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_sim::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::ops::AddAssign<u64> for Counter {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+/// An accumulating sample statistic: count, sum, min, max and mean.
+///
+/// Used for latencies (e.g. the RMW latency of the paper's Figure 8).
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_sim::Histogram;
+///
+/// let mut h = Histogram::default();
+/// h.record(10);
+/// h.record(20);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.mean(), 15.0);
+/// assert_eq!(h.min(), Some(10));
+/// assert_eq!(h.max(), Some(20));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of samples recorded.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub const fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub const fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={:?} max={:?}",
+            self.count, self.mean(), self.min, self.max
+        )
+    }
+}
+
+/// Computes the geometric mean of a slice of positive ratios.
+///
+/// The paper reports `gmean` rows in Figures 3 and 4; this helper is used
+/// by the harness to produce the same aggregate. Entries that are zero or
+/// negative are ignored (they would otherwise poison the logarithm).
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_sim::stats::geometric_mean;
+///
+/// let g = geometric_mean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert_eq!(geometric_mean(&[]), 0.0);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let mut n = 0usize;
+    let mut log_sum = 0.0f64;
+    for &v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Computes the arithmetic mean of a slice, `0.0` when empty.
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_sim::stats::arithmetic_mean;
+/// assert_eq!(arithmetic_mean(&[1.0, 3.0]), 2.0);
+/// ```
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        c += 10;
+        assert_eq!(c.get(), 20);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes() {
+        let mut h = Histogram::new();
+        for v in [5, 1, 9, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.sum(), 18);
+        assert_eq!(h.mean(), 4.5);
+    }
+
+    #[test]
+    fn histogram_empty_mean_is_zero() {
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(2);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(30));
+        assert_eq!(a.sum(), 42);
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_extremes() {
+        let mut a = Histogram::new();
+        a.record(7);
+        a.merge(&Histogram::new());
+        assert_eq!(a.min(), Some(7));
+        assert_eq!(a.max(), Some(7));
+    }
+
+    #[test]
+    fn gmean_matches_hand_computation() {
+        let g = geometric_mean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_skips_nonpositive() {
+        let g = geometric_mean(&[0.0, -1.0, 3.0]);
+        assert!((g - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amean_handles_empty() {
+        assert_eq!(arithmetic_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Protocol configuration: the paper's `TSO-CC-Bmaxacc-Bts-Bwritegroup`
+//! naming (§4.2).
+
+/// Timestamp parameters for the transitive-reduction optimization
+/// (§3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TsParams {
+    /// Timestamp width in bits (`Bts`); the counter resets after
+    /// `2^ts_bits - 1`.
+    pub ts_bits: u32,
+    /// Write-group size exponent (`Bwrite-group`): `2^wg_bits`
+    /// consecutive writes share one timestamp.
+    pub write_group_bits: u32,
+}
+
+impl TsParams {
+    /// Maximum raw timestamp value before a reset.
+    pub fn max_ts(&self) -> u64 {
+        if self.ts_bits >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << self.ts_bits) - 1
+        }
+    }
+
+    /// Writes per timestamp group.
+    pub fn group_size(&self) -> u64 {
+        1u64 << self.write_group_bits
+    }
+}
+
+/// Full TSO-CC protocol configuration.
+///
+/// # Examples
+///
+/// ```
+/// use tsocc_proto::TsoCcConfig;
+///
+/// let best = TsoCcConfig::realistic(12, 3); // TSO-CC-4-12-3
+/// assert_eq!(best.name(), "TSO-CC-4-12-3");
+/// assert_eq!(best.max_acc, 16);
+///
+/// let ablation = TsoCcConfig::cc_shared_to_l2();
+/// assert_eq!(ablation.max_acc, 0, "Shared lines never hit in L1");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TsoCcConfig {
+    /// Maximum consecutive L1 hits to a Shared line before a forced
+    /// re-request (`2^Bmaxacc`; 16 in all evaluated configs). Zero
+    /// disables Shared caching entirely (CC-shared-to-L2).
+    pub max_acc: u64,
+    /// Per-core write timestamps (§3.3); `None` = TSO-CC-basic.
+    pub write_ts: Option<TsParams>,
+    /// L2-sourced SharedRO timestamps (§3.4). Enabled for every TSO-CC
+    /// variant; disabled for CC-shared-to-L2 (which has no timestamps).
+    pub sro_ts: bool,
+    /// Shared→SharedRO decay threshold in writes (256 in §4.2);
+    /// requires `write_ts`.
+    pub decay_writes: Option<u64>,
+    /// Epoch-id width (`Bepoch-id`, 3 bits in Figure 2).
+    pub epoch_bits: u32,
+}
+
+impl Default for TsoCcConfig {
+    /// The paper's best realistic configuration, TSO-CC-4-12-3.
+    fn default() -> Self {
+        TsoCcConfig::realistic(12, 3)
+    }
+}
+
+impl TsoCcConfig {
+    /// `CC-shared-to-L2`: no sharing list and no Shared caching — reads
+    /// to Shared lines always go to the L2.
+    pub fn cc_shared_to_l2() -> Self {
+        TsoCcConfig {
+            max_acc: 0,
+            write_ts: None,
+            sro_ts: false,
+            decay_writes: None,
+            epoch_bits: 3,
+        }
+    }
+
+    /// `TSO-CC-4-basic`: the §3.2 protocol plus the SharedRO
+    /// optimization, without transitive-reduction timestamps.
+    pub fn basic() -> Self {
+        TsoCcConfig {
+            max_acc: 16,
+            write_ts: None,
+            sro_ts: true,
+            decay_writes: None,
+            epoch_bits: 3,
+        }
+    }
+
+    /// `TSO-CC-4-noreset`: effectively infinite timestamps (the paper
+    /// uses 31 bits in simulation; we use 62), write-group size 1.
+    pub fn noreset() -> Self {
+        TsoCcConfig {
+            max_acc: 16,
+            write_ts: Some(TsParams {
+                ts_bits: 62,
+                write_group_bits: 0,
+            }),
+            sro_ts: true,
+            decay_writes: Some(256),
+            epoch_bits: 3,
+        }
+    }
+
+    /// `TSO-CC-4-<ts_bits>-<wg_bits>`: a realistic configuration, e.g.
+    /// `realistic(12, 3)` is the paper's best configuration
+    /// TSO-CC-4-12-3.
+    pub fn realistic(ts_bits: u32, write_group_bits: u32) -> Self {
+        TsoCcConfig {
+            max_acc: 16,
+            write_ts: Some(TsParams {
+                ts_bits,
+                write_group_bits,
+            }),
+            sro_ts: true,
+            decay_writes: Some(256),
+            epoch_bits: 3,
+        }
+    }
+
+    /// The paper's name for this configuration.
+    pub fn name(&self) -> String {
+        match self.write_ts {
+            None if self.max_acc == 0 => "CC-shared-to-L2".to_string(),
+            None => "TSO-CC-4-basic".to_string(),
+            Some(ts) if ts.ts_bits >= 62 => "TSO-CC-4-noreset".to_string(),
+            Some(ts) => format!("TSO-CC-4-{}-{}", ts.ts_bits, ts.write_group_bits),
+        }
+    }
+
+    /// Decay threshold converted to timestamp units (write-groups).
+    pub fn decay_ts_units(&self) -> Option<u64> {
+        let ts = self.write_ts?;
+        let writes = self.decay_writes?;
+        Some((writes >> ts.write_group_bits).max(1))
+    }
+
+    /// Timestamp width used by L2 SharedRO timestamp sources: `Bts` when
+    /// write timestamps are configured, 31 bits otherwise (TSO-CC-basic
+    /// has no `Bts`; the paper's simulator uses 31-bit timestamps where
+    /// resets should not occur).
+    pub fn sro_ts_bits(&self) -> u32 {
+        self.write_ts.map_or(31, |t| t.ts_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_names() {
+        assert_eq!(TsoCcConfig::cc_shared_to_l2().name(), "CC-shared-to-L2");
+        assert_eq!(TsoCcConfig::basic().name(), "TSO-CC-4-basic");
+        assert_eq!(TsoCcConfig::noreset().name(), "TSO-CC-4-noreset");
+        assert_eq!(TsoCcConfig::realistic(12, 3).name(), "TSO-CC-4-12-3");
+        assert_eq!(TsoCcConfig::realistic(12, 0).name(), "TSO-CC-4-12-0");
+        assert_eq!(TsoCcConfig::realistic(9, 3).name(), "TSO-CC-4-9-3");
+    }
+
+    #[test]
+    fn ts_params_arithmetic() {
+        let p = TsParams { ts_bits: 12, write_group_bits: 3 };
+        assert_eq!(p.max_ts(), 4095);
+        assert_eq!(p.group_size(), 8);
+        let huge = TsParams { ts_bits: 62, write_group_bits: 0 };
+        assert!(huge.max_ts() > 1u64 << 61);
+        assert_eq!(huge.group_size(), 1);
+    }
+
+    #[test]
+    fn decay_units_scale_with_group_size() {
+        assert_eq!(TsoCcConfig::realistic(12, 3).decay_ts_units(), Some(32));
+        assert_eq!(TsoCcConfig::realistic(12, 0).decay_ts_units(), Some(256));
+        assert_eq!(TsoCcConfig::basic().decay_ts_units(), None);
+    }
+
+    #[test]
+    fn reset_frequency_relationships() {
+        // TSO-CC-4-9-3 resets after the same number of *writes* as
+        // TSO-CC-4-12-0 (2^9 groups * 2^3 writes = 2^12 writes), but 8x
+        // more often than TSO-CC-4-12-3.
+        let c930 = TsoCcConfig::realistic(9, 3);
+        let c120 = TsoCcConfig::realistic(12, 0);
+        let writes_930 = c930.write_ts.unwrap().max_ts() * c930.write_ts.unwrap().group_size();
+        let writes_120 = c120.write_ts.unwrap().max_ts() * c120.write_ts.unwrap().group_size();
+        assert_eq!(writes_930 + 7, writes_120); // off-by-group rounding
+    }
+}

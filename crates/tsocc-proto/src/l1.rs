@@ -1,0 +1,747 @@
+//! TSO-CC private L1 cache controller.
+
+use std::collections::HashMap;
+
+use tsocc_coherence::{
+    Agent, CacheController, Completion, CoreOp, Epoch, Grant, L1Stats, L1Controller, Msg, NetMsg,
+    Outbox, SelfInvCause, Submit, Ts, TsSource, WritebackBuffer,
+};
+use tsocc_isa::RmwOp;
+use tsocc_mem::{Addr, CacheArray, CacheParams, InsertOutcome, LineAddr, LineData};
+use tsocc_sim::Cycle;
+
+use crate::config::TsoCcConfig;
+
+/// L1 line states (Invalid is represented by absence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Untracked shared copy; may hit `max_acc` times before a forced
+    /// re-request; removed by self-invalidation sweeps.
+    Shared,
+    /// Shared read-only copy; hits without limit; invalidated by
+    /// broadcast on remote writes; survives sweeps.
+    SharedRO,
+    Exclusive,
+    Modified,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    state: State,
+    data: LineData,
+    /// Hits consumed since the line was (re-)obtained (`b.acnt`).
+    acnt: u64,
+    /// Last-written timestamp (`b.ts`), valid only once written by this
+    /// core.
+    ts: Ts,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum MshrOp {
+    Load { word: usize },
+    Store { word: usize, value: u64 },
+    Rmw { word: usize, op: RmwOp },
+}
+
+#[derive(Debug)]
+struct Mshr {
+    op: MshrOp,
+    /// An invalidation raced past the data response (SharedRO broadcast
+    /// invalidation or inclusive L2 eviction). The arriving shared data
+    /// is usable for the access but must not be cached (§3.4 races).
+    poisoned: bool,
+}
+
+/// Structural configuration of a TSO-CC L1 (the protocol parameters
+/// live in [`TsoCcConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TsoCcL1Config {
+    /// This core's id.
+    pub id: usize,
+    /// Total number of cores (for reset broadcasts).
+    pub n_cores: usize,
+    /// Number of L2 tiles.
+    pub n_tiles: usize,
+    /// Cache geometry (32 KiB 4-way in Table 2).
+    pub params: CacheParams,
+    /// Tag-array latency charged before an outgoing request (cycles).
+    pub issue_latency: u64,
+    /// Protocol parameters.
+    pub proto: TsoCcConfig,
+}
+
+impl TsoCcL1Config {
+    /// The paper's Table 2 L1 with the given protocol parameters.
+    pub fn table2(id: usize, n_cores: usize, n_tiles: usize, proto: TsoCcConfig) -> Self {
+        TsoCcL1Config {
+            id,
+            n_cores,
+            n_tiles,
+            params: CacheParams::from_capacity(32 * 1024, 4),
+            issue_latency: 1,
+            proto,
+        }
+    }
+}
+
+/// The TSO-CC L1 controller for one core.
+///
+/// Owns the core-local timestamp source, the write-group counter, the
+/// last-seen timestamp tables (`ts_L1`, `ts_L2`) and the epoch-id tables
+/// of Table 1.
+#[derive(Debug)]
+pub struct TsoCcL1 {
+    cfg: TsoCcL1Config,
+    cache: CacheArray<Line>,
+    mshrs: HashMap<LineAddr, Mshr>,
+    wb: WritebackBuffer,
+    outbox: Outbox,
+    completions: Vec<Completion>,
+    stats: L1Stats,
+    /// Current write timestamp source.
+    ts_src: Ts,
+    /// Writes consumed in the current timestamp group.
+    wg_count: u64,
+    /// Current epoch of this core's timestamp source.
+    epoch: Epoch,
+    /// Last-seen write timestamp per remote core (`ts_L1`).
+    ts_l1: HashMap<usize, Ts>,
+    /// Expected epoch per remote core's timestamp source.
+    epochs_l1: HashMap<usize, Epoch>,
+    /// Last-seen SharedRO timestamp per L2 tile (`ts_L2`).
+    ts_l2: HashMap<usize, Ts>,
+    /// Expected epoch per L2 tile's timestamp source.
+    epochs_l2: HashMap<usize, Epoch>,
+}
+
+impl TsoCcL1 {
+    /// Creates the controller.
+    pub fn new(cfg: TsoCcL1Config) -> Self {
+        TsoCcL1 {
+            cfg,
+            cache: CacheArray::new(cfg.params),
+            mshrs: HashMap::new(),
+            wb: WritebackBuffer::new(),
+            outbox: Outbox::new(),
+            completions: Vec::new(),
+            stats: L1Stats::default(),
+            ts_src: Ts::SMALLEST_VALID,
+            wg_count: 0,
+            epoch: Epoch::ZERO,
+            ts_l1: HashMap::new(),
+            epochs_l1: HashMap::new(),
+            ts_l2: HashMap::new(),
+            epochs_l2: HashMap::new(),
+        }
+    }
+
+    fn agent(&self) -> Agent {
+        Agent::L1(self.cfg.id)
+    }
+
+    fn home(&self, line: LineAddr) -> Agent {
+        Agent::L2(line.home(self.cfg.n_tiles))
+    }
+
+    fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
+        self.outbox.push(
+            now + self.cfg.issue_latency,
+            NetMsg { src: self.agent(), dst, msg },
+        );
+    }
+
+    fn line_free(&self, line: LineAddr) -> bool {
+        !self.mshrs.contains_key(&line) && self.wb.get(line).is_none()
+    }
+
+    // ---- timestamp management (§3.3 / §3.5) -----------------------------
+
+    /// Consumes one write: returns the timestamp to stamp the line with
+    /// and advances the group/source counters, broadcasting a reset on
+    /// wrap-around.
+    fn on_write(&mut self, now: Cycle) -> Ts {
+        let Some(params) = self.cfg.proto.write_ts else {
+            return Ts::INVALID;
+        };
+        let stamp = self.ts_src;
+        self.wg_count += 1;
+        if self.wg_count >= params.group_size() {
+            self.wg_count = 0;
+            if self.ts_src.as_u64() >= params.max_ts() {
+                self.reset_ts(now);
+            } else {
+                self.ts_src = self.ts_src.next();
+            }
+        }
+        stamp
+    }
+
+    /// Wraps the timestamp source: new epoch, broadcast, restart just
+    /// above the smallest valid timestamp (§3.5).
+    fn reset_ts(&mut self, now: Cycle) {
+        self.epoch = self.epoch.next(self.cfg.proto.epoch_bits);
+        self.ts_src = Ts::SMALLEST_VALID.next();
+        self.stats.ts_resets.inc();
+        let msg = Msg::TsReset {
+            source: TsSource::L1(self.cfg.id),
+            epoch: self.epoch,
+        };
+        for core in 0..self.cfg.n_cores {
+            if core != self.cfg.id {
+                self.send(now, Agent::L1(core), msg.clone());
+            }
+        }
+        for tile in 0..self.cfg.n_tiles {
+            self.send(now, Agent::L2(tile), msg.clone());
+        }
+    }
+
+    /// Clamps a line timestamp against the current source ("compare
+    /// against the current timestamp-source", §3.5): a timestamp from a
+    /// previous epoch must not be sent out larger than the source.
+    fn clamp_own_ts(&self, ts: Ts) -> Ts {
+        if !ts.is_valid() {
+            Ts::INVALID
+        } else if ts <= self.ts_src {
+            ts
+        } else {
+            Ts::SMALLEST_VALID
+        }
+    }
+
+    // ---- self-invalidation (§3.2 / §3.3 / §3.4) --------------------------
+
+    /// Invalidates all Shared lines (SharedRO, Exclusive and Modified
+    /// lines survive).
+    fn self_invalidate(&mut self, cause: SelfInvCause) {
+        let removed = self.cache.retain(|_, l| l.state != State::Shared);
+        self.stats.record_selfinv(cause, removed as u64);
+    }
+
+    /// Applies the potential-acquire detection rules to a data
+    /// response; called for every L1 miss response before installing.
+    fn acquire_check(
+        &mut self,
+        grant: Grant,
+        writer: usize,
+        ts: Ts,
+        epoch: Epoch,
+        ts_source: Option<TsSource>,
+    ) {
+        match grant {
+            Grant::SharedRO => {
+                let Some(TsSource::L2(tile)) = ts_source else {
+                    // No SharedRO timestamps (CC-shared-to-L2): always a
+                    // mandatory self-invalidation.
+                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    return;
+                };
+                // Epoch mismatch: handle as if the reset message arrived
+                // (the response raced past a TsReset broadcast).
+                let expected = self.epochs_l2.get(&tile).copied().unwrap_or(Epoch::ZERO);
+                if epoch != expected {
+                    self.epochs_l2.insert(tile, epoch);
+                    self.ts_l2.remove(&tile);
+                }
+                if !ts.is_valid() {
+                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    return;
+                }
+                match self.ts_l2.get(&tile).copied() {
+                    None => {
+                        // Never read from this tile (or reset dropped the
+                        // entry): mandatory self-invalidation.
+                        self.self_invalidate(SelfInvCause::InvalidTs);
+                        self.ts_l2.insert(tile, ts);
+                    }
+                    Some(seen) => {
+                        // SharedRO timestamps are grouped (§3.4), so the
+                        // potential-acquire rule is "larger than".
+                        if ts > seen {
+                            self.self_invalidate(SelfInvCause::AcquireSro);
+                            self.ts_l2.insert(tile, ts);
+                        }
+                    }
+                }
+            }
+            Grant::Exclusive | Grant::Shared => {
+                if writer == self.cfg.id {
+                    // Reading our own last write implies no new
+                    // happened-before edge: no self-invalidation (§3.2).
+                    return;
+                }
+                let Some(params) = self.cfg.proto.write_ts else {
+                    // Basic protocol: every remote data response
+                    // self-invalidates; the timestamp is (vacuously)
+                    // invalid.
+                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    return;
+                };
+                if writer == usize::MAX || !ts.is_valid() {
+                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    return;
+                }
+                if let Some(TsSource::L1(w)) = ts_source {
+                    debug_assert_eq!(w, writer);
+                    let expected = self.epochs_l1.get(&w).copied().unwrap_or(Epoch::ZERO);
+                    if epoch != expected {
+                        self.epochs_l1.insert(w, epoch);
+                        self.ts_l1.remove(&w);
+                    }
+                }
+                match self.ts_l1.get(&writer).copied() {
+                    None => {
+                        // Never read from this writer before (§3.3).
+                        self.self_invalidate(SelfInvCause::InvalidTs);
+                        self.ts_l1.insert(writer, ts);
+                    }
+                    Some(seen) => {
+                        // Write groups share timestamps, so with groups
+                        // the rule is >=; with group size 1 it is > (§3.3).
+                        let acquire = if params.group_size() > 1 {
+                            ts >= seen
+                        } else {
+                            ts > seen
+                        };
+                        if acquire {
+                            self.self_invalidate(SelfInvCause::AcquireNonSro);
+                        }
+                        if ts > seen {
+                            self.ts_l1.insert(writer, ts);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- eviction / install ----------------------------------------------
+
+    fn evict(&mut self, now: Cycle, victim: LineAddr, line: Line) {
+        match line.state {
+            // Shared and SharedRO lines are untracked: silent (§3.2,
+            // §3.4 — the coarse group vector stays conservatively set).
+            State::Shared | State::SharedRO => {}
+            State::Exclusive => {
+                self.wb.insert(victim, line.data, false, Ts::INVALID, Epoch::ZERO);
+                self.send(now, self.home(victim), Msg::PutE { line: victim });
+            }
+            State::Modified => {
+                let ts = self.clamp_own_ts(line.ts);
+                self.wb.insert(victim, line.data, true, ts, self.epoch);
+                self.send(
+                    now,
+                    self.home(victim),
+                    Msg::PutM { line: victim, data: line.data, ts, epoch: self.epoch },
+                );
+            }
+        }
+    }
+
+    fn install(&mut self, now: Cycle, line: LineAddr, entry: Line) -> bool {
+        if let Some(resident) = self.cache.peek_mut(line) {
+            *resident = entry;
+            return true;
+        }
+        let mshrs = &self.mshrs;
+        let outcome = self
+            .cache
+            .insert(line, entry, now.as_u64(), |la, _| !mshrs.contains_key(&la));
+        match outcome {
+            InsertOutcome::Installed => true,
+            InsertOutcome::Evicted(victim, old) => {
+                self.evict(now, victim, old);
+                true
+            }
+            InsertOutcome::SetFull => false,
+        }
+    }
+
+    /// Handles an arriving data response for an outstanding miss.
+    fn complete_miss(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        data: LineData,
+        grant: Grant,
+        ack_required: bool,
+    ) {
+        let mshr = self
+            .mshrs
+            .remove(&line)
+            .unwrap_or_else(|| panic!("L1[{}]: data for no MSHR {line}", self.cfg.id));
+        let poisoned = mshr.poisoned;
+        let mut data = data;
+        let (entry, completion) = match mshr.op {
+            MshrOp::Load { word } => {
+                let value = data.read_word(word);
+                let state = match grant {
+                    Grant::Exclusive => State::Exclusive,
+                    Grant::Shared => State::Shared,
+                    Grant::SharedRO => State::SharedRO,
+                };
+                let entry = Line { state, data, acnt: 0, ts: Ts::INVALID };
+                (Some(entry), Completion::Load(value))
+            }
+            MshrOp::Store { word, value } => {
+                assert_eq!(grant, Grant::Exclusive, "stores need exclusive grants");
+                data.write_word(word, value);
+                let ts = self.on_write(now);
+                let entry = Line { state: State::Modified, data, acnt: 0, ts };
+                (Some(entry), Completion::Store)
+            }
+            MshrOp::Rmw { word, op } => {
+                assert_eq!(grant, Grant::Exclusive, "RMWs need exclusive grants");
+                let old = data.read_word(word);
+                data.write_word(word, op.apply(old));
+                let ts = self.on_write(now);
+                let entry = Line { state: State::Modified, data, acnt: 0, ts };
+                (Some(entry), Completion::Load(old))
+            }
+        };
+        if let Some(entry) = entry {
+            // CC-shared-to-L2 never caches Shared data; poisoned shared
+            // grants (a racing invalidation) must not be cached either.
+            let cacheable = !(entry.state == State::Shared && self.cfg.proto.max_acc == 0)
+                && !(poisoned && matches!(entry.state, State::Shared | State::SharedRO));
+            if cacheable {
+                let installed = self.install(now, line, entry);
+                if !installed {
+                    // No evictable way: hand the line straight back.
+                    match entry.state {
+                        State::Shared | State::SharedRO => {}
+                        State::Exclusive => {
+                            self.wb.insert(line, entry.data, false, Ts::INVALID, Epoch::ZERO);
+                            self.send(now, self.home(line), Msg::PutE { line });
+                        }
+                        State::Modified => {
+                            let ts = self.clamp_own_ts(entry.ts);
+                            self.wb.insert(line, entry.data, true, ts, self.epoch);
+                            self.send(
+                                now,
+                                self.home(line),
+                                Msg::PutM { line, data: entry.data, ts, epoch: self.epoch },
+                            );
+                        }
+                    }
+                }
+            } else if self.cache.peek(line).is_some() {
+                // An expired or invalidation-raced resident copy must
+                // not linger with stale data.
+                self.cache.remove(line);
+            }
+        }
+        if ack_required {
+            self.send(now, self.home(line), Msg::Unblock { line, from: self.cfg.id });
+        }
+        self.completions.push(completion);
+    }
+}
+
+impl CacheController for TsoCcL1 {
+    fn handle_message(&mut self, now: Cycle, _src: Agent, msg: Msg) {
+        match msg {
+            Msg::Data {
+                line,
+                data,
+                grant,
+                writer,
+                ts,
+                epoch,
+                ts_source,
+                ack_required,
+                ..
+            } => {
+                // Potential-acquire detection happens on every L1 miss
+                // data response, before the new line is installed so the
+                // sweep cannot remove it (§3.2).
+                self.acquire_check(grant, writer, ts, epoch, ts_source);
+                self.complete_miss(now, line, data, grant, ack_required);
+            }
+            Msg::FwdGetS { line, requester } => {
+                // The owner downgrades to Shared, supplies the requester
+                // and refreshes the L2 copy (§3.2).
+                let (data, dirty, ts) = if let Some(l) = self.cache.peek_mut(line) {
+                    let dirty = l.state == State::Modified;
+                    let ts = l.ts;
+                    l.state = State::Shared;
+                    l.acnt = 0;
+                    (l.data, dirty, ts)
+                } else if let Some(entry) = self.wb.get_mut(line) {
+                    entry.forwarded = true;
+                    (entry.data, entry.dirty, entry.ts)
+                } else {
+                    panic!("L1[{}]: FwdGetS for absent line {line}", self.cfg.id);
+                };
+                let (resp_ts, writer) = if dirty {
+                    (self.clamp_own_ts(ts), self.cfg.id)
+                } else {
+                    // A clean Exclusive copy was never written by us; we
+                    // cannot vouch for a timestamp (the L2 will move the
+                    // line to SharedRO).
+                    (Ts::INVALID, usize::MAX)
+                };
+                self.send(
+                    now,
+                    Agent::L1(requester),
+                    Msg::Data {
+                        line,
+                        data,
+                        grant: Grant::Shared,
+                        writer,
+                        ts: resp_ts,
+                        epoch: self.epoch,
+                        ts_source: Some(TsSource::L1(self.cfg.id)),
+                        acks_expected: 0,
+                        with_payload: true,
+                        ack_required: false,
+                    },
+                );
+                self.send(
+                    now,
+                    self.home(line),
+                    Msg::DowngradeData {
+                        line,
+                        data,
+                        dirty,
+                        ts: resp_ts,
+                        epoch: self.epoch,
+                        from: self.cfg.id,
+                    },
+                );
+            }
+            Msg::FwdGetX { line, requester } => {
+                let (data, ts, writer) = if let Some(l) = self.cache.remove(line) {
+                    if l.state == State::Modified {
+                        (l.data, self.clamp_own_ts(l.ts), self.cfg.id)
+                    } else {
+                        (l.data, Ts::INVALID, usize::MAX)
+                    }
+                } else if let Some(entry) = self.wb.get_mut(line) {
+                    entry.forwarded = true;
+                    if entry.dirty {
+                        (entry.data, entry.ts, self.cfg.id)
+                    } else {
+                        (entry.data, Ts::INVALID, usize::MAX)
+                    }
+                } else {
+                    panic!("L1[{}]: FwdGetX for absent line {line}", self.cfg.id);
+                };
+                self.send(
+                    now,
+                    Agent::L1(requester),
+                    Msg::Data {
+                        line,
+                        data,
+                        grant: Grant::Exclusive,
+                        writer,
+                        ts,
+                        epoch: self.epoch,
+                        ts_source: Some(TsSource::L1(self.cfg.id)),
+                        acks_expected: 0,
+                        with_payload: true,
+                        ack_required: true,
+                    },
+                );
+            }
+            Msg::Inv { line, ack_to_requester } => {
+                // SharedRO broadcast invalidation or inclusive L2
+                // eviction; shared copies are removed blindly.
+                if let Some(l) = self.cache.peek(line) {
+                    debug_assert!(
+                        matches!(l.state, State::Shared | State::SharedRO),
+                        "Inv must not target private lines"
+                    );
+                    self.cache.remove(line);
+                }
+                if let Some(m) = self.mshrs.get_mut(&line) {
+                    if matches!(m.op, MshrOp::Load { .. }) {
+                        m.poisoned = true;
+                    }
+                }
+                debug_assert!(ack_to_requester.is_none(), "TSO-CC collects acks at the L2");
+                self.send(
+                    now,
+                    self.home(line),
+                    Msg::InvAckToL2 { line, from: self.cfg.id },
+                );
+            }
+            Msg::Recall { line } => {
+                let (data, dirty, ts) = if let Some(l) = self.cache.remove(line) {
+                    (l.data, l.state == State::Modified, self.clamp_own_ts(l.ts))
+                } else if let Some(entry) = self.wb.get_mut(line) {
+                    entry.forwarded = true;
+                    (entry.data, entry.dirty, entry.ts)
+                } else {
+                    panic!("L1[{}]: Recall for absent line {line}", self.cfg.id);
+                };
+                self.send(
+                    now,
+                    self.home(line),
+                    Msg::RecallData {
+                        line,
+                        data,
+                        dirty,
+                        ts,
+                        epoch: self.epoch,
+                        from: self.cfg.id,
+                    },
+                );
+            }
+            Msg::PutAck { line } => {
+                self.wb.remove(line);
+            }
+            Msg::TsReset { source, epoch } => match source {
+                TsSource::L1(core) => {
+                    self.ts_l1.remove(&core);
+                    self.epochs_l1.insert(core, epoch);
+                }
+                TsSource::L2(tile) => {
+                    self.ts_l2.remove(&tile);
+                    self.epochs_l2.insert(tile, epoch);
+                }
+            },
+            other => panic!("L1[{}]: unexpected {other:?}", self.cfg.id),
+        }
+    }
+
+    fn tick(&mut self, _now: Cycle) {}
+
+    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg> {
+        self.outbox.drain_ready(now)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.mshrs.is_empty() && self.wb.is_empty() && self.outbox.is_empty()
+    }
+}
+
+impl L1Controller for TsoCcL1 {
+    fn submit(&mut self, now: Cycle, op: CoreOp) -> Submit {
+        match op {
+            CoreOp::Fence => {
+                // Fences self-invalidate all Shared lines (§3.6).
+                self.self_invalidate(SelfInvCause::Fence);
+                Submit::Hit(0)
+            }
+            CoreOp::Load(addr) => self.submit_load(now, addr),
+            CoreOp::Store(addr, value) => self.submit_store(now, addr, value),
+            CoreOp::Rmw(addr, rmw) => self.submit_rmw(now, addr, rmw),
+        }
+    }
+
+    fn pop_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+}
+
+impl TsoCcL1 {
+    fn submit_load(&mut self, now: Cycle, addr: Addr) -> Submit {
+        let line = addr.line();
+        let word = addr.word_index();
+        let max_acc = self.cfg.proto.max_acc;
+        let mut expired_shared = false;
+        if let Some(l) = self.cache.lookup_mut(line) {
+            match l.state {
+                State::Exclusive | State::Modified => {
+                    self.stats.read_hit_private.inc();
+                    return Submit::Hit(l.data.read_word(word));
+                }
+                State::SharedRO => {
+                    self.stats.read_hit_sharedro.inc();
+                    return Submit::Hit(l.data.read_word(word));
+                }
+                State::Shared => {
+                    if l.acnt < max_acc {
+                        // Bounded staleness: a Shared line may serve up
+                        // to 2^Bmaxacc hits before a forced re-request
+                        // guarantees write propagation (§3.1).
+                        l.acnt += 1;
+                        self.stats.read_hit_shared.inc();
+                        return Submit::Hit(l.data.read_word(word));
+                    }
+                    expired_shared = true;
+                }
+            }
+        }
+        if !self.line_free(line) {
+            return Submit::Retry;
+        }
+        if expired_shared {
+            self.stats.read_miss_shared.inc();
+        } else {
+            self.stats.read_miss_invalid.inc();
+        }
+        self.mshrs.insert(line, Mshr { op: MshrOp::Load { word }, poisoned: false });
+        self.send(now, self.home(line), Msg::GetS { line });
+        Submit::Miss
+    }
+
+    fn submit_store(&mut self, now: Cycle, addr: Addr, value: u64) -> Submit {
+        let line = addr.line();
+        let word = addr.word_index();
+        let private = matches!(
+            self.cache.peek(line).map(|l| l.state),
+            Some(State::Exclusive | State::Modified)
+        );
+        if private {
+            // Exclusive→Modified transitions are silent (§3.2).
+            let ts = self.on_write(now);
+            let l = self.cache.lookup_mut(line).expect("checked resident");
+            l.state = State::Modified;
+            l.data.write_word(word, value);
+            l.ts = ts;
+            self.stats.write_hit_private.inc();
+            return Submit::Hit(0);
+        }
+        if !self.line_free(line) {
+            return Submit::Retry;
+        }
+        match self.cache.peek(line).map(|l| l.state) {
+            Some(State::Shared) => self.stats.write_miss_shared.inc(),
+            Some(State::SharedRO) => self.stats.write_miss_sharedro.inc(),
+            _ => self.stats.write_miss_invalid.inc(),
+        }
+        self.mshrs
+            .insert(line, Mshr { op: MshrOp::Store { word, value }, poisoned: false });
+        self.send(now, self.home(line), Msg::GetX { line });
+        Submit::Miss
+    }
+
+    fn submit_rmw(&mut self, now: Cycle, addr: Addr, rmw: RmwOp) -> Submit {
+        let line = addr.line();
+        let word = addr.word_index();
+        let private = matches!(
+            self.cache.peek(line).map(|l| l.state),
+            Some(State::Exclusive | State::Modified)
+        );
+        if private {
+            let ts = self.on_write(now);
+            let l = self.cache.lookup_mut(line).expect("checked resident");
+            l.state = State::Modified;
+            let old = l.data.read_word(word);
+            l.data.write_word(word, rmw.apply(old));
+            l.ts = ts;
+            self.stats.rmw_hit.inc();
+            self.stats.write_hit_private.inc();
+            return Submit::Hit(old);
+        }
+        if !self.line_free(line) {
+            return Submit::Retry;
+        }
+        self.stats.rmw_miss.inc();
+        match self.cache.peek(line).map(|l| l.state) {
+            Some(State::Shared) => self.stats.write_miss_shared.inc(),
+            Some(State::SharedRO) => self.stats.write_miss_sharedro.inc(),
+            _ => self.stats.write_miss_invalid.inc(),
+        }
+        self.mshrs
+            .insert(line, Mshr { op: MshrOp::Rmw { word, op: rmw }, poisoned: false });
+        self.send(now, self.home(line), Msg::GetX { line });
+        Submit::Miss
+    }
+}

@@ -1,0 +1,798 @@
+//! TSO-CC NUCA L2 tile: the sharing-vector-free directory.
+
+use std::collections::{HashMap, VecDeque};
+
+use tsocc_coherence::{
+    Agent, CacheController, Epoch, Grant, L2Controller, L2Stats, Msg, NetMsg, Outbox, Ts,
+    TsSource,
+};
+use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData};
+use tsocc_sim::Cycle;
+
+use crate::config::TsoCcConfig;
+
+/// Directory state of a resident line (absence = not present; §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Valid in the L2, no L1 copies.
+    Uncached,
+    /// Private: `owner` holds the line Exclusive/Modified.
+    Exclusive,
+    /// Shared, untracked; `owner` records the *last writer*.
+    Shared,
+    /// Shared read-only; `groups` is the coarse sharer group vector.
+    SharedRO,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    state: State,
+    data: LineData,
+    /// Whether the L2 copy differs from memory.
+    dirty: bool,
+    /// `b.owner`: owner (Exclusive), last writer (Shared/Uncached);
+    /// `usize::MAX` when unknown (fresh from memory).
+    owner: usize,
+    /// Coarse sharer group vector (SharedRO only) — the `b.owner` bits
+    /// reused, one bit per group of cores (§3.4).
+    groups: u32,
+    /// `b.ts`: last-written timestamp (Shared/Uncached/Exclusive) or the
+    /// tile's SharedRO timestamp (SharedRO).
+    ts: Ts,
+    /// Epoch of the source `ts` was drawn from.
+    ts_epoch: Epoch,
+}
+
+#[derive(Debug)]
+enum BusyKind {
+    /// Waiting for memory data, then granting Exclusive to `requester`.
+    Fetch { requester: usize },
+    /// Waiting for the requester's Unblock after an Exclusive grant.
+    Grant,
+    /// Waiting for the old owner's DowngradeData after forwarding GetS.
+    FwdS { requester: usize },
+    /// Waiting for the requester's Unblock after forwarding GetX.
+    FwdX,
+    /// SharedRO write: collecting invalidation acks before granting
+    /// Exclusive to `requester` (§3.4).
+    SroInv { requester: usize, acks_left: u32 },
+    /// L2 eviction of a SharedRO (acks) or Exclusive (recall) line.
+    Dying { acks_left: u32, data: LineData, dirty: bool },
+}
+
+#[derive(Debug)]
+struct Busy {
+    kind: BusyKind,
+    need_unblock: bool,
+    need_owner_data: bool,
+    waiting: VecDeque<(Agent, Msg)>,
+}
+
+/// Structural configuration of a TSO-CC L2 tile.
+#[derive(Clone, Copy, Debug)]
+pub struct TsoCcL2Config {
+    /// This tile's index.
+    pub tile: usize,
+    /// Number of cores.
+    pub n_cores: usize,
+    /// Number of memory controllers.
+    pub n_mem: usize,
+    /// Tile geometry (1 MiB 16-way in Table 2).
+    pub params: CacheParams,
+    /// Array access latency charged before responses (cycles).
+    pub latency: u64,
+    /// Protocol parameters.
+    pub proto: TsoCcConfig,
+}
+
+impl TsoCcL2Config {
+    /// The paper's Table 2 tile with the given protocol parameters.
+    pub fn table2(tile: usize, n_cores: usize, n_mem: usize, proto: TsoCcConfig) -> Self {
+        TsoCcL2Config {
+            tile,
+            n_cores,
+            n_mem,
+            params: CacheParams::from_capacity(1024 * 1024, 16),
+            latency: 20,
+            proto,
+        }
+    }
+
+    /// Number of coarse sharer groups: `b.owner` has `log2(n)` bits to
+    /// reuse (§3.4), so there are `log2(n_cores)` groups.
+    pub fn n_groups(&self) -> usize {
+        usize::BITS as usize - (self.n_cores.max(2) - 1).leading_zeros() as usize
+    }
+
+    /// The coarse group a core belongs to.
+    pub fn group_of(&self, core: usize) -> usize {
+        core % self.n_groups()
+    }
+}
+
+/// One TSO-CC L2 tile.
+///
+/// Owns the tile's SharedRO timestamp source, the increment flags of
+/// §3.4, and the per-core last-seen timestamp table of §3.5.
+#[derive(Debug)]
+pub struct TsoCcL2 {
+    cfg: TsoCcL2Config,
+    cache: CacheArray<Line>,
+    busy: HashMap<LineAddr, Busy>,
+    replay: VecDeque<(Agent, Msg)>,
+    outbox: Outbox,
+    stats: L2Stats,
+    /// SharedRO timestamp source for this tile (§3.4).
+    tile_ts: Ts,
+    /// Epoch of the tile's timestamp source.
+    tile_epoch: Epoch,
+    /// Increment flag 1: a dirty line was evicted from the L2, or a
+    /// GetS hit a modified Uncached line (§3.4, condition 1).
+    flag_dirty_path: bool,
+    /// Increment flag 2: a line entered the Shared state (§3.4,
+    /// condition 2).
+    flag_entered_shared: bool,
+    /// Last-seen write timestamp per core (`ts_L1` at the L2, §3.5).
+    ts_l1: HashMap<usize, Ts>,
+    /// Expected epoch per core's timestamp source.
+    epochs_l1: HashMap<usize, Epoch>,
+}
+
+impl TsoCcL2 {
+    /// Creates the tile controller.
+    pub fn new(cfg: TsoCcL2Config) -> Self {
+        TsoCcL2 {
+            cfg,
+            cache: CacheArray::new(cfg.params),
+            busy: HashMap::new(),
+            replay: VecDeque::new(),
+            outbox: Outbox::new(),
+            stats: L2Stats::default(),
+            tile_ts: Ts::SMALLEST_VALID,
+            tile_epoch: Epoch::ZERO,
+            flag_dirty_path: false,
+            flag_entered_shared: false,
+            ts_l1: HashMap::new(),
+            epochs_l1: HashMap::new(),
+        }
+    }
+
+    fn agent(&self) -> Agent {
+        Agent::L2(self.cfg.tile)
+    }
+
+    fn mem(&self) -> Agent {
+        Agent::Mem(self.cfg.tile % self.cfg.n_mem)
+    }
+
+    fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
+        self.outbox.push(
+            now + self.cfg.latency,
+            NetMsg { src: self.agent(), dst, msg },
+        );
+    }
+
+    // ---- timestamp helpers (§3.4 / §3.5) ---------------------------------
+
+    /// Records a writer-supplied timestamp into the tile's last-seen
+    /// table, handling epoch changes.
+    fn note_writer_ts(&mut self, writer: usize, ts: Ts, epoch: Epoch) {
+        if !ts.is_valid() {
+            return;
+        }
+        let expected = self.epochs_l1.get(&writer).copied().unwrap_or(Epoch::ZERO);
+        if epoch != expected {
+            self.epochs_l1.insert(writer, epoch);
+            self.ts_l1.insert(writer, ts);
+            return;
+        }
+        let seen = self.ts_l1.entry(writer).or_insert(ts);
+        if ts > *seen {
+            *seen = ts;
+        }
+    }
+
+    /// The timestamp/epoch to attach to a response for a non-SharedRO
+    /// line: the line's own timestamp if the last-seen table proves it
+    /// is from the writer's current epoch, the smallest valid timestamp
+    /// otherwise (§3.5).
+    fn writer_response_ts(&self, line: &Line) -> (usize, Ts, Epoch, Option<TsSource>) {
+        let w = line.owner;
+        if w == usize::MAX || !line.ts.is_valid() {
+            return (w, Ts::INVALID, Epoch::ZERO, None);
+        }
+        let cur_epoch = self.epochs_l1.get(&w).copied().unwrap_or(Epoch::ZERO);
+        let ts = if line.ts_epoch == cur_epoch
+            && self.ts_l1.get(&w).copied().unwrap_or(Ts::INVALID) >= line.ts
+        {
+            line.ts
+        } else {
+            Ts::SMALLEST_VALID
+        };
+        (w, ts, cur_epoch, Some(TsSource::L1(w)))
+    }
+
+    /// Advances the tile's SharedRO timestamp source if an increment
+    /// flag is set; returns the timestamp to assign (§3.4).
+    fn next_sro_ts(&mut self, now: Cycle) -> (Ts, Epoch) {
+        if !self.cfg.proto.sro_ts {
+            return (Ts::INVALID, Epoch::ZERO);
+        }
+        if self.flag_dirty_path || self.flag_entered_shared {
+            self.flag_dirty_path = false;
+            self.flag_entered_shared = false;
+            let max = if self.cfg.proto.sro_ts_bits() >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << self.cfg.proto.sro_ts_bits()) - 1
+            };
+            if self.tile_ts.as_u64() >= max {
+                // Reset the tile source and notify every L1 (§3.5).
+                self.tile_epoch = self.tile_epoch.next(self.cfg.proto.epoch_bits);
+                self.tile_ts = Ts::SMALLEST_VALID.next();
+                self.stats.ts_resets.inc();
+                let msg = Msg::TsReset {
+                    source: TsSource::L2(self.cfg.tile),
+                    epoch: self.tile_epoch,
+                };
+                for core in 0..self.cfg.n_cores {
+                    self.send(now, Agent::L1(core), msg.clone());
+                }
+            } else {
+                self.tile_ts = self.tile_ts.next();
+            }
+        }
+        (self.tile_ts, self.tile_epoch)
+    }
+
+    /// Transitions a resident line to SharedRO, assigning a tile
+    /// timestamp, and returns (groups already set ∪ extra cores).
+    fn to_sharedro(&mut self, now: Cycle, line_addr: LineAddr, cores: &[usize]) {
+        let (ts, epoch) = self.next_sro_ts(now);
+        let mut groups = 0u32;
+        for &c in cores {
+            if c != usize::MAX {
+                groups |= 1 << self.cfg.group_of(c);
+            }
+        }
+        let l = self.cache.peek_mut(line_addr).expect("resident");
+        l.state = State::SharedRO;
+        l.groups = groups;
+        l.ts = ts;
+        l.ts_epoch = epoch;
+    }
+
+    // ---- transaction plumbing --------------------------------------------
+
+    fn maybe_finish(&mut self, line: LineAddr) {
+        let done = self
+            .busy
+            .get(&line)
+            .is_some_and(|b| !b.need_unblock && !b.need_owner_data);
+        if done {
+            let busy = self.busy.remove(&line).expect("checked");
+            self.replay.extend(busy.waiting);
+        }
+    }
+
+    fn start_eviction(&mut self, now: Cycle, victim: LineAddr, old: Line) {
+        if old.dirty {
+            // Condition 1 for SharedRO timestamp increments: a dirty
+            // line leaves the L2 (§3.4).
+            self.flag_dirty_path = true;
+        }
+        match old.state {
+            State::Uncached | State::Shared => {
+                // Shared lines are untracked and evict silently (§3.2);
+                // stale L1 copies age out via their access counters.
+                self.stats.writebacks.inc();
+                if old.dirty {
+                    self.send(now, self.mem(), Msg::MemWrite { line: victim, data: old.data });
+                }
+            }
+            State::SharedRO => {
+                // SharedRO copies hit forever in L1s, so an L2 eviction
+                // must invalidate the sharer groups to preserve write
+                // propagation.
+                self.stats.writebacks.inc();
+                let mut acks = 0u32;
+                for core in 0..self.cfg.n_cores {
+                    if old.groups & (1 << self.cfg.group_of(core)) != 0 {
+                        self.send(
+                            now,
+                            Agent::L1(core),
+                            Msg::Inv { line: victim, ack_to_requester: None },
+                        );
+                        acks += 1;
+                    }
+                }
+                if acks == 0 {
+                    if old.dirty {
+                        self.send(now, self.mem(), Msg::MemWrite { line: victim, data: old.data });
+                    }
+                    return;
+                }
+                self.busy.insert(
+                    victim,
+                    Busy {
+                        kind: BusyKind::Dying { acks_left: acks, data: old.data, dirty: old.dirty },
+                        need_unblock: false,
+                        need_owner_data: true,
+                        waiting: VecDeque::new(),
+                    },
+                );
+            }
+            State::Exclusive => {
+                self.stats.writebacks.inc();
+                self.send(now, Agent::L1(old.owner), Msg::Recall { line: victim });
+                self.busy.insert(
+                    victim,
+                    Busy {
+                        kind: BusyKind::Dying { acks_left: 0, data: old.data, dirty: old.dirty },
+                        need_unblock: false,
+                        need_owner_data: true,
+                        waiting: VecDeque::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn install(&mut self, now: Cycle, line: LineAddr, entry: Line) {
+        let busy = &self.busy;
+        let outcome = self
+            .cache
+            .insert(line, entry, now.as_u64(), |la, _| !busy.contains_key(&la));
+        match outcome {
+            InsertOutcome::Installed => {}
+            InsertOutcome::Evicted(victim, old) => self.start_eviction(now, victim, old),
+            InsertOutcome::SetFull => {
+                panic!("L2[{}]: no evictable way for {line}", self.cfg.tile)
+            }
+        }
+    }
+
+    fn grant_exclusive(&mut self, now: Cycle, line: LineAddr, requester: usize) {
+        let l = *self.cache.peek(line).expect("resident");
+        let (writer, ts, epoch, ts_source) = if l.state == State::SharedRO {
+            // SharedRO lines carry the tile's timestamp (§3.4).
+            (
+                usize::MAX,
+                l.ts,
+                l.ts_epoch,
+                Some(TsSource::L2(self.cfg.tile)),
+            )
+        } else {
+            self.writer_response_ts(&l)
+        };
+        {
+            let lm = self.cache.peek_mut(line).expect("resident");
+            lm.state = State::Exclusive;
+            lm.owner = requester;
+            lm.groups = 0;
+        }
+        self.busy.insert(
+            line,
+            Busy {
+                kind: BusyKind::Grant,
+                need_unblock: true,
+                need_owner_data: false,
+                waiting: VecDeque::new(),
+            },
+        );
+        self.send(
+            now,
+            Agent::L1(requester),
+            Msg::Data {
+                line,
+                data: l.data,
+                grant: Grant::Exclusive,
+                writer,
+                ts,
+                epoch,
+                ts_source,
+                acks_expected: 0,
+                with_payload: true,
+                ack_required: true,
+            },
+        );
+    }
+
+    fn process_request(&mut self, now: Cycle, src: Agent, msg: Msg) {
+        let line = match &msg {
+            Msg::GetS { line } | Msg::GetX { line } | Msg::PutE { line } => *line,
+            Msg::PutM { line, .. } => *line,
+            other => unreachable!("not a queueable request: {other:?}"),
+        };
+        if let Some(busy) = self.busy.get_mut(&line) {
+            busy.waiting.push_back((src, msg));
+            return;
+        }
+        let requester = match src {
+            Agent::L1(i) => i,
+            other => panic!("request from non-L1 {other}"),
+        };
+        match msg {
+            Msg::GetS { .. } => self.process_gets(now, line, requester),
+            Msg::GetX { .. } => self.process_getx(now, line, requester),
+            Msg::PutE { .. } => self.process_put(now, line, requester, None, Ts::INVALID, Epoch::ZERO),
+            Msg::PutM { data, ts, epoch, .. } => {
+                self.process_put(now, line, requester, Some(data), ts, epoch)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn process_gets(&mut self, now: Cycle, line: LineAddr, requester: usize) {
+        let Some(l) = self.cache.lookup(line).copied() else {
+            self.stats.misses.inc();
+            self.busy.insert(
+                line,
+                Busy {
+                    kind: BusyKind::Fetch { requester },
+                    need_unblock: true,
+                    need_owner_data: false,
+                    waiting: VecDeque::new(),
+                },
+            );
+            self.send(now, self.mem(), Msg::MemRead { line });
+            return;
+        };
+        self.stats.hits.inc();
+        match l.state {
+            State::Uncached => {
+                // Reads to lines with no L1 copies get Exclusive grants
+                // (§3.2). A modified data path sets increment flag 1.
+                if l.dirty {
+                    self.flag_dirty_path = true;
+                }
+                self.grant_exclusive(now, line, requester);
+            }
+            State::Exclusive => {
+                debug_assert_ne!(l.owner, requester, "owner re-requesting GetS");
+                self.busy.insert(
+                    line,
+                    Busy {
+                        kind: BusyKind::FwdS { requester },
+                        need_unblock: false,
+                        need_owner_data: true,
+                        waiting: VecDeque::new(),
+                    },
+                );
+                self.send(now, Agent::L1(l.owner), Msg::FwdGetS { line, requester });
+            }
+            State::Shared => {
+                // Decay check: untouched-for-long Shared lines become
+                // SharedRO (§3.4).
+                let decayed = self.cfg.proto.decay_ts_units().is_some_and(|units| {
+                    l.ts.is_valid()
+                        && l.owner != usize::MAX
+                        && self
+                            .ts_l1
+                            .get(&l.owner)
+                            .copied()
+                            .unwrap_or(Ts::INVALID)
+                            .distance_from(l.ts)
+                            > units
+                });
+                if decayed {
+                    self.stats.decays.inc();
+                    self.to_sharedro(now, line, &[l.owner, requester]);
+                    self.respond_sharedro(now, line, requester);
+                } else {
+                    // Shared responses are immediate and unacknowledged
+                    // (§3.2).
+                    let (writer, ts, epoch, ts_source) = self.writer_response_ts(&l);
+                    self.send(
+                        now,
+                        Agent::L1(requester),
+                        Msg::Data {
+                            line,
+                            data: l.data,
+                            grant: Grant::Shared,
+                            writer,
+                            ts,
+                            epoch,
+                            ts_source,
+                            acks_expected: 0,
+                            with_payload: true,
+                            ack_required: false,
+                        },
+                    );
+                }
+            }
+            State::SharedRO => {
+                let lm = self.cache.peek_mut(line).expect("resident");
+                lm.groups |= 1 << self.cfg.group_of(requester);
+                self.respond_sharedro(now, line, requester);
+            }
+        }
+    }
+
+    fn respond_sharedro(&mut self, now: Cycle, line: LineAddr, requester: usize) {
+        let l = *self.cache.peek(line).expect("resident");
+        debug_assert_eq!(l.state, State::SharedRO);
+        let ts_source = if self.cfg.proto.sro_ts {
+            Some(TsSource::L2(self.cfg.tile))
+        } else {
+            None
+        };
+        self.send(
+            now,
+            Agent::L1(requester),
+            Msg::Data {
+                line,
+                data: l.data,
+                grant: Grant::SharedRO,
+                writer: usize::MAX,
+                ts: l.ts,
+                epoch: l.ts_epoch,
+                ts_source,
+                acks_expected: 0,
+                with_payload: true,
+                ack_required: false,
+            },
+        );
+    }
+
+    fn process_getx(&mut self, now: Cycle, line: LineAddr, requester: usize) {
+        let Some(l) = self.cache.lookup(line).copied() else {
+            self.stats.misses.inc();
+            self.busy.insert(
+                line,
+                Busy {
+                    kind: BusyKind::Fetch { requester },
+                    need_unblock: true,
+                    need_owner_data: false,
+                    waiting: VecDeque::new(),
+                },
+            );
+            self.send(now, self.mem(), Msg::MemRead { line });
+            return;
+        };
+        self.stats.hits.inc();
+        match l.state {
+            State::Uncached | State::Shared => {
+                // Writes to Shared lines respond immediately with the
+                // full line; stale L1 copies expire via their access
+                // counters and self-invalidation (§3.2).
+                self.grant_exclusive(now, line, requester);
+            }
+            State::Exclusive => {
+                debug_assert_ne!(l.owner, requester, "owner re-requesting GetX");
+                {
+                    let lm = self.cache.peek_mut(line).expect("resident");
+                    lm.owner = requester;
+                }
+                self.busy.insert(
+                    line,
+                    Busy {
+                        kind: BusyKind::FwdX,
+                        need_unblock: true,
+                        need_owner_data: false,
+                        waiting: VecDeque::new(),
+                    },
+                );
+                self.send(now, Agent::L1(l.owner), Msg::FwdGetX { line, requester });
+            }
+            State::SharedRO => {
+                // Broadcast invalidation to the coarse sharer groups,
+                // collect acks at the L2, then grant (§3.4).
+                self.stats.sro_invalidations.inc();
+                let mut acks = 0u32;
+                for core in 0..self.cfg.n_cores {
+                    if core != requester && l.groups & (1 << self.cfg.group_of(core)) != 0 {
+                        self.send(now, Agent::L1(core), Msg::Inv { line, ack_to_requester: None });
+                        acks += 1;
+                    }
+                }
+                if acks == 0 {
+                    self.grant_exclusive(now, line, requester);
+                } else {
+                    self.busy.insert(
+                        line,
+                        Busy {
+                            kind: BusyKind::SroInv { requester, acks_left: acks },
+                            need_unblock: true,
+                            need_owner_data: true,
+                            waiting: VecDeque::new(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn process_put(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        from: usize,
+        data: Option<LineData>,
+        ts: Ts,
+        epoch: Epoch,
+    ) {
+        if let Some(l) = self.cache.peek_mut(line) {
+            if l.state == State::Exclusive && l.owner == from {
+                l.state = State::Uncached;
+                if let Some(d) = data {
+                    l.data = d;
+                    l.dirty = true;
+                    l.ts = ts;
+                    l.ts_epoch = epoch;
+                }
+                // Owner stays recorded as the last writer.
+                if data.is_some() {
+                    self.note_writer_ts(from, ts, epoch);
+                }
+            }
+            // Otherwise the PUT is stale; just acknowledge.
+        }
+        self.send(now, Agent::L1(from), Msg::PutAck { line });
+    }
+}
+
+impl CacheController for TsoCcL2 {
+    fn handle_message(&mut self, now: Cycle, src: Agent, msg: Msg) {
+        match msg {
+            Msg::GetS { .. } | Msg::GetX { .. } | Msg::PutE { .. } | Msg::PutM { .. } => {
+                self.process_request(now, src, msg);
+            }
+            Msg::Unblock { line, .. } => {
+                let busy = self
+                    .busy
+                    .get_mut(&line)
+                    .unwrap_or_else(|| panic!("L2[{}]: Unblock for idle {line}", self.cfg.tile));
+                busy.need_unblock = false;
+                self.maybe_finish(line);
+            }
+            Msg::DowngradeData { line, data, dirty, ts, epoch, from } => {
+                let requester = {
+                    let busy = self.busy.get_mut(&line).unwrap_or_else(|| {
+                        panic!("L2[{}]: stray DowngradeData {line}", self.cfg.tile)
+                    });
+                    let BusyKind::FwdS { requester } = busy.kind else {
+                        panic!("L2[{}]: DowngradeData outside FwdS", self.cfg.tile);
+                    };
+                    busy.need_owner_data = false;
+                    requester
+                };
+                self.note_writer_ts(from, ts, epoch);
+                if dirty {
+                    // The owner modified the line: it becomes Shared with
+                    // the owner recorded as last writer (§3.2), setting
+                    // increment flag 2 (§3.4).
+                    let l = self.cache.peek_mut(line).expect("forwarded line resident");
+                    l.state = State::Shared;
+                    l.owner = from;
+                    l.data = data;
+                    l.dirty = true;
+                    l.ts = ts;
+                    l.ts_epoch = epoch;
+                    self.flag_entered_shared = true;
+                } else {
+                    // Clean downgrade: the line was not modified by the
+                    // previous owner and becomes SharedRO (§3.4).
+                    self.to_sharedro(now, line, &[from, requester]);
+                }
+                self.maybe_finish(line);
+            }
+            Msg::RecallData { line, data, dirty, ts, epoch, from } => {
+                let busy = self
+                    .busy
+                    .remove(&line)
+                    .unwrap_or_else(|| panic!("L2[{}]: stray RecallData {line}", self.cfg.tile));
+                let BusyKind::Dying { data: old_data, dirty: old_dirty, .. } = busy.kind else {
+                    panic!("L2[{}]: RecallData outside Dying", self.cfg.tile);
+                };
+                self.note_writer_ts(from, ts, epoch);
+                let (wb_data, wb_dirty) = if dirty { (data, true) } else { (old_data, old_dirty) };
+                if wb_dirty {
+                    self.flag_dirty_path = true;
+                    self.send(now, self.mem(), Msg::MemWrite { line, data: wb_data });
+                }
+                self.replay.extend(busy.waiting);
+            }
+            Msg::InvAckToL2 { line, .. } => {
+                let busy = self
+                    .busy
+                    .get_mut(&line)
+                    .unwrap_or_else(|| panic!("L2[{}]: stray InvAckToL2 {line}", self.cfg.tile));
+                match &mut busy.kind {
+                    BusyKind::SroInv { requester, acks_left } => {
+                        *acks_left -= 1;
+                        if *acks_left == 0 {
+                            let requester = *requester;
+                            busy.need_owner_data = false;
+                            // The grant below replaces this busy entry.
+                            let waiting = std::mem::take(&mut busy.waiting);
+                            self.busy.remove(&line);
+                            self.grant_exclusive(now, line, requester);
+                            self.busy
+                                .get_mut(&line)
+                                .expect("grant_exclusive sets busy")
+                                .waiting = waiting;
+                        }
+                    }
+                    BusyKind::Dying { acks_left, data, dirty } => {
+                        *acks_left -= 1;
+                        if *acks_left == 0 {
+                            let (data, dirty) = (*data, *dirty);
+                            let busy = self.busy.remove(&line).expect("present");
+                            if dirty {
+                                self.send(now, self.mem(), Msg::MemWrite { line, data });
+                            }
+                            self.replay.extend(busy.waiting);
+                        }
+                    }
+                    other => panic!("L2[{}]: InvAckToL2 during {other:?}", self.cfg.tile),
+                }
+            }
+            Msg::MemData { line, data } => {
+                let requester = {
+                    let busy = self
+                        .busy
+                        .get_mut(&line)
+                        .unwrap_or_else(|| panic!("L2[{}]: stray MemData {line}", self.cfg.tile));
+                    let BusyKind::Fetch { requester } = busy.kind else {
+                        panic!("L2[{}]: MemData outside Fetch", self.cfg.tile);
+                    };
+                    busy.kind = BusyKind::Grant;
+                    requester
+                };
+                // Timestamps are not propagated to main memory (§3.3):
+                // the refetched line has an invalid timestamp.
+                self.install(
+                    now,
+                    line,
+                    Line {
+                        state: State::Uncached,
+                        data,
+                        dirty: false,
+                        owner: usize::MAX,
+                        groups: 0,
+                        ts: Ts::INVALID,
+                        ts_epoch: Epoch::ZERO,
+                    },
+                );
+                // Temporarily drop the busy entry so grant_exclusive can
+                // install its own (preserving queued waiters).
+                let busy = self.busy.remove(&line).expect("present");
+                self.grant_exclusive(now, line, requester);
+                self.busy
+                    .get_mut(&line)
+                    .expect("grant_exclusive sets busy")
+                    .waiting = busy.waiting;
+            }
+            Msg::TsReset { source, epoch } => {
+                let TsSource::L1(core) = source else {
+                    panic!("L2[{}]: TsReset from an L2 tile", self.cfg.tile);
+                };
+                self.ts_l1.remove(&core);
+                self.epochs_l1.insert(core, epoch);
+            }
+            other => panic!("L2[{}]: unexpected {other:?}", self.cfg.tile),
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        let pending: Vec<_> = self.replay.drain(..).collect();
+        for (src, msg) in pending {
+            self.process_request(now, src, msg);
+        }
+    }
+
+    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg> {
+        self.outbox.drain_ready(now)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.busy.is_empty() && self.replay.is_empty() && self.outbox.is_empty()
+    }
+}
+
+impl L2Controller for TsoCcL2 {
+    fn stats(&self) -> &L2Stats {
+        &self.stats
+    }
+}

@@ -1,0 +1,63 @@
+//! Running workloads on the simulated machine.
+
+use tsocc::{RunError, RunStats, System, SystemConfig};
+use tsocc_mem::Addr;
+
+use crate::kernels::Workload;
+
+/// Builds a [`System`] for `workload` (memory pre-initialized) and runs
+/// it to completion.
+///
+/// The cycle budget scales with the configured core count; workloads at
+/// the scales shipped in this crate finish far below it.
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from [`System::run`].
+///
+/// # Panics
+///
+/// Panics if the workload has more threads than the system has cores.
+pub fn run_workload(workload: &Workload, cfg: SystemConfig) -> Result<RunStats, RunError> {
+    let mut sys = System::new(cfg, workload.programs.clone());
+    for &(addr, value) in &workload.init {
+        sys.write_word(Addr::new(addr), value);
+    }
+    sys.run(200_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{Benchmark, Scale};
+    use tsocc::{Protocol, SystemConfig};
+    use tsocc_proto::TsoCcConfig;
+
+    #[test]
+    fn every_benchmark_completes_on_mesi_and_tsocc() {
+        for b in Benchmark::ALL {
+            let w = b.build(4, Scale::Tiny, 11);
+            for protocol in [
+                Protocol::Mesi,
+                Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+            ] {
+                let cfg = SystemConfig::small_test(4, protocol);
+                let stats = run_workload(&w, cfg).unwrap_or_else(|e| {
+                    panic!("{} on {}: {e}", b.name(), protocol.name())
+                });
+                assert!(stats.instructions > 0, "{}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_kernels_complete_on_all_tsocc_variants() {
+        let w = Benchmark::Intruder.build(4, Scale::Tiny, 5);
+        for protocol in Protocol::paper_configs() {
+            let cfg = SystemConfig::small_test(4, protocol);
+            let stats = run_workload(&w, cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+            assert!(stats.rmw_latency.count() > 0, "STM commits use CAS");
+        }
+    }
+}

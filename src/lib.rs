@@ -1,0 +1,20 @@
+//! Umbrella crate for the TSO-CC reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and
+//! `tests/` directories; it re-exports the public API of every workspace
+//! crate so examples and integration tests can reach the whole system
+//! through one dependency.
+//!
+//! Start with [`tsocc`] (system assembly and configuration) and
+//! [`tsocc_workloads`] (benchmarks and litmus tests).
+
+pub use tsocc;
+pub use tsocc_coherence;
+pub use tsocc_cpu;
+pub use tsocc_isa;
+pub use tsocc_mem;
+pub use tsocc_mesi;
+pub use tsocc_noc;
+pub use tsocc_proto;
+pub use tsocc_sim;
+pub use tsocc_workloads;

@@ -1,0 +1,123 @@
+//! Cross-crate integration: the Table 3 benchmark suite on the full
+//! Table 2 machine shape, determinism, and protocol-differentiating
+//! sanity properties.
+
+use tsocc::{Protocol, SystemConfig};
+use tsocc_proto::TsoCcConfig;
+use tsocc_workloads::{run_workload, Benchmark, Scale};
+
+#[test]
+fn suite_completes_on_eight_core_table2_machine() {
+    for bench in Benchmark::ALL {
+        let w = bench.build(8, Scale::Tiny, 13);
+        for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::default())] {
+            let cfg = SystemConfig::table2_with_cores(protocol, 8);
+            let stats = run_workload(&w, cfg)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), protocol.name()));
+            assert!(stats.cycles > 0);
+            assert!(stats.instructions > 0);
+        }
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let w = Benchmark::Intruder.build(4, Scale::Tiny, 17);
+    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(9, 3))] {
+        let cfg = SystemConfig::small_test(4, protocol);
+        let a = run_workload(&w, cfg).unwrap();
+        let b = run_workload(&w, cfg).unwrap();
+        assert_eq!(a.cycles, b.cycles, "{}", protocol.name());
+        assert_eq!(a.total_flits(), b.total_flits());
+        assert_eq!(a.l1.selfinv_total(), b.l1.selfinv_total());
+        assert_eq!(a.instructions, b.instructions);
+    }
+}
+
+#[test]
+fn tsocc_sharedro_serves_read_only_data() {
+    // raytrace's scene is read-only: under TSO-CC most scene reads must
+    // end up as SharedRO hits (the Figure 6 pattern).
+    let w = Benchmark::Raytrace.build(4, Scale::Small, 3);
+    let cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::realistic(12, 3)));
+    let stats = run_workload(&w, cfg).unwrap();
+    assert!(
+        stats.l1.read_hit_sharedro.get() > stats.l1.read_miss_shared.get(),
+        "SharedRO hits {} should dominate shared expiry misses {}",
+        stats.l1.read_hit_sharedro.get(),
+        stats.l1.read_miss_shared.get()
+    );
+    assert!(stats.l1.read_hit_sharedro.get() > 0);
+}
+
+#[test]
+fn mesi_reports_no_tsocc_specific_events() {
+    let w = Benchmark::Fft.build(4, Scale::Tiny, 5);
+    let cfg = SystemConfig::small_test(4, Protocol::Mesi);
+    let stats = run_workload(&w, cfg).unwrap();
+    assert_eq!(stats.l1.selfinv_total(), 0);
+    assert_eq!(stats.l1.read_hit_sharedro.get(), 0);
+    assert_eq!(stats.l2.decays.get(), 0);
+    assert_eq!(stats.l1.ts_resets.get(), 0);
+}
+
+#[test]
+fn cc_shared_to_l2_never_hits_shared_lines() {
+    let w = Benchmark::LuCont.build(4, Scale::Tiny, 5);
+    let cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::cc_shared_to_l2()));
+    let stats = run_workload(&w, cfg).unwrap();
+    assert_eq!(
+        stats.l1.read_hit_shared.get(),
+        0,
+        "CC-shared-to-L2 must never hit Shared lines in the L1"
+    );
+}
+
+#[test]
+fn shared_hits_are_bounded_by_access_counter() {
+    // Total Shared hits can be at most max_acc times the number of
+    // Shared-line acquisitions (misses that installed Shared lines).
+    let w = Benchmark::X264.build(4, Scale::Small, 5);
+    let cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::realistic(12, 3)));
+    let stats = run_workload(&w, cfg).unwrap();
+    let installs = stats.l1.read_misses() + stats.l1.write_misses();
+    assert!(
+        stats.l1.read_hit_shared.get() <= 16 * installs.max(1),
+        "shared hits {} exceed the 16-per-install budget ({} installs)",
+        stats.l1.read_hit_shared.get(),
+        installs
+    );
+}
+
+#[test]
+fn false_sharing_hurts_tsocc_less_than_mesi() {
+    // The paper's lu comparison (§5): the non-contiguous layout's
+    // penalty relative to the contiguous one must be no worse under
+    // TSO-CC than under MESI.
+    let n = 8;
+    let mut penalty = Vec::new();
+    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
+        let cfg = SystemConfig::table2_with_cores(protocol, n);
+        let cont = run_workload(&Benchmark::LuCont.build(n, Scale::Small, 7), cfg).unwrap();
+        let non = run_workload(&Benchmark::LuNonCont.build(n, Scale::Small, 7), cfg).unwrap();
+        penalty.push(non.cycles as f64 / cont.cycles as f64);
+    }
+    assert!(
+        penalty[1] <= penalty[0] * 1.05,
+        "TSO-CC false-sharing penalty {:.3} should not exceed MESI's {:.3}",
+        penalty[1],
+        penalty[0]
+    );
+}
+
+#[test]
+fn decay_transitions_occur_on_read_mostly_data() {
+    let w = Benchmark::WaterNsq.build(4, Scale::Small, 9);
+    let cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::realistic(12, 0)));
+    let stats = run_workload(&w, cfg).unwrap();
+    // decay needs enough writes; water's force phase supplies them.
+    assert!(
+        stats.l2.decays.get() > 0 || stats.l1.read_hit_sharedro.get() > 0,
+        "expected Shared->SharedRO decay activity"
+    );
+}

@@ -1,0 +1,127 @@
+//! Coherence-axiom checking beyond fixed litmus shapes: writers stamp
+//! every store with a unique, strictly increasing version, and readers
+//! record a *sequence* of loads in registers. TSO's per-location
+//! coherence requires each reader's observed versions per address to be
+//! non-decreasing (no CoRR violation), under every protocol
+//! configuration and randomized timing.
+
+use proptest::prelude::*;
+use tsocc::{Protocol, System, SystemConfig};
+use tsocc_isa::{Asm, Reg};
+use tsocc_proto::{TsParams, TsoCcConfig};
+
+const A0: u64 = 0x2000;
+const A1: u64 = 0x2040;
+
+fn configs() -> Vec<Protocol> {
+    vec![
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::cc_shared_to_l2()),
+        Protocol::TsoCc(TsoCcConfig::basic()),
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+        Protocol::TsoCc(TsoCcConfig {
+            write_ts: Some(TsParams { ts_bits: 4, write_group_bits: 0 }),
+            ..TsoCcConfig::realistic(12, 3)
+        }),
+    ]
+}
+
+/// Writer: stores versions 1..=n to one address with jittered pacing.
+fn writer(addr: u64, n: u64, pace: u32) -> tsocc_isa::Program {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 0);
+    let top = a.new_label();
+    a.bind(top);
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.store_abs(Reg::R1, addr);
+    a.rand_delay(pace);
+    a.blt_imm(Reg::R1, n, top);
+    a.halt();
+    a.finish()
+}
+
+/// Reader: alternately loads both addresses `k` times each, recording
+/// results in R1..R(2k).
+fn reader(k: usize, pace: u32) -> tsocc_isa::Program {
+    assert!(2 * k <= 20, "register budget");
+    let mut a = Asm::new();
+    for i in 0..k {
+        a.load_abs(Reg::from_index(1 + 2 * i), A0);
+        a.load_abs(Reg::from_index(2 + 2 * i), A1);
+        a.rand_delay(pace);
+    }
+    a.halt();
+    a.finish()
+}
+
+/// Asserts that the version sequence a reader observed per address is
+/// non-decreasing.
+fn assert_monotonic(sys: &System, core: usize, k: usize, label: &str) {
+    for (offset, addr) in [(1usize, "A0"), (2usize, "A1")] {
+        let mut last = 0u64;
+        for i in 0..k {
+            let v = sys.core(core).thread().reg(Reg::from_index(offset + 2 * i));
+            assert!(
+                v >= last,
+                "{label}: core {core} read version {v} after {last} at {addr} (CoRR violation)"
+            );
+            last = v;
+        }
+    }
+}
+
+fn run_axiom_check(protocol: Protocol, seed: u64, writes: u64, pace: u32) {
+    let k = 8;
+    let programs = vec![
+        writer(A0, writes, pace),
+        writer(A1, writes, pace),
+        reader(k, pace),
+        reader(k, pace / 2 + 1),
+    ];
+    let mut cfg = SystemConfig::small_test(4, protocol);
+    cfg.seed = seed;
+    let mut sys = System::new(cfg, programs);
+    sys.run(50_000_000)
+        .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+    assert_monotonic(&sys, 2, k, &protocol.name());
+    assert_monotonic(&sys, 3, k, &protocol.name());
+}
+
+#[test]
+fn per_location_reads_are_monotonic_across_configs() {
+    for protocol in configs() {
+        for seed in [1u64, 2, 3] {
+            run_axiom_check(protocol, seed, 30, 40);
+        }
+    }
+}
+
+#[test]
+fn monotonicity_holds_under_slow_writers() {
+    // Slow writers maximize the window in which stale Shared copies can
+    // serve hits between versions.
+    for protocol in configs() {
+        run_axiom_check(protocol, 9, 10, 300);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized seeds and pacing never produce a CoRR violation on
+    /// the best TSO-CC configuration or under constant timestamp
+    /// resets.
+    #[test]
+    fn prop_no_corr_violation(seed in 1u64..10_000, pace in 1u32..150) {
+        run_axiom_check(Protocol::TsoCc(TsoCcConfig::realistic(12, 3)), seed, 20, pace);
+        run_axiom_check(
+            Protocol::TsoCc(TsoCcConfig {
+                write_ts: Some(TsParams { ts_bits: 4, write_group_bits: 1 }),
+                ..TsoCcConfig::realistic(12, 3)
+            }),
+            seed,
+            20,
+            pace,
+        );
+    }
+}

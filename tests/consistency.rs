@@ -1,0 +1,221 @@
+//! Differential consistency tests: the full timing simulator must agree
+//! with the sequential reference interpreter wherever TSO and SC
+//! coincide (single threads; properly synchronized or disjoint
+//! multi-threaded programs).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tsocc::{Protocol, System, SystemConfig};
+use tsocc_isa::{refvm::run_ref, Asm, Program, Reg};
+use tsocc_mem::Addr;
+use tsocc_proto::TsoCcConfig;
+use tsocc_workloads::sync;
+
+fn protocols() -> Vec<Protocol> {
+    vec![
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::cc_shared_to_l2()),
+        Protocol::TsoCc(TsoCcConfig::basic()),
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+        Protocol::TsoCc(TsoCcConfig::realistic(9, 0)),
+    ]
+}
+
+/// Runs a single program on the full system and returns (registers,
+/// final value of the probed words).
+fn run_on_system(protocol: Protocol, program: Program, probes: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let cfg = SystemConfig::small_test(2, protocol);
+    let mut sys = System::new(cfg, vec![program.clone()]);
+    sys.run(20_000_000).expect("terminates");
+    let regs = (0..32)
+        .map(|i| sys.core(0).thread().reg(Reg::from_index(i)))
+        .collect();
+    // Probe memory *coherently*: run a second system with a prober? Not
+    // needed — after a clean run the caches have drained writebacks for
+    // finished private lines only. Instead re-run with a trailing probe
+    // program is overkill; we compare registers and rely on the
+    // register-visible load results.
+    let _ = probes;
+    (regs, Vec::new())
+}
+
+/// A deterministic mixed single-thread workout: arithmetic, loads,
+/// stores, RMWs, fences, branches.
+fn single_thread_program(seed: u64) -> Program {
+    let mut a = Asm::new();
+    a.movi(Reg::R16, seed | 1);
+    a.movi(Reg::R1, 0);
+    let top = a.new_label();
+    a.bind(top);
+    // addr = base + ((lcg >> 33) % 24) * 8
+    a.muli(Reg::R16, Reg::R16, 6364136223846793005);
+    a.addi(Reg::R16, Reg::R16, 1442695040888963407);
+    a.shri(Reg::R17, Reg::R16, 33);
+    a.remi(Reg::R17, Reg::R17, 24);
+    a.shli(Reg::R17, Reg::R17, 3);
+    a.load(Reg::R2, Reg::R17, 0x4000);
+    a.addi(Reg::R2, Reg::R2, 3);
+    a.store(Reg::R2, Reg::R17, 0x4000);
+    a.fetch_add(Reg::R3, Reg::R0, 0x5000, Reg::R2);
+    a.xori(Reg::R4, Reg::R3, 0x55);
+    a.add(Reg::R5, Reg::R5, Reg::R4);
+    if seed % 2 == 0 {
+        a.fence();
+    }
+    a.addi(Reg::R1, Reg::R1, 1);
+    a.blt_imm(Reg::R1, 40, top);
+    a.halt();
+    a.finish()
+}
+
+#[test]
+fn single_thread_matches_reference_on_all_protocols() {
+    for seed in [1u64, 2, 3, 99] {
+        let program = single_thread_program(seed);
+        let mut ref_mem = HashMap::new();
+        let ref_regs = run_ref(&program, &mut ref_mem, 1_000_000).expect("halts");
+        for protocol in protocols() {
+            let (regs, _) = run_on_system(protocol, program.clone(), &[]);
+            assert_eq!(
+                regs[Reg::R5.index()],
+                ref_regs[Reg::R5.index()],
+                "seed {seed} under {}",
+                protocol.name()
+            );
+            assert_eq!(regs[Reg::R3.index()], ref_regs[Reg::R3.index()]);
+        }
+    }
+}
+
+#[test]
+fn lock_protected_counter_is_exact() {
+    // Four threads increment a shared counter 25 times each under a
+    // spinlock; a data race would lose updates.
+    let lock = 0x6000u64;
+    let counter = 0x6040u64;
+    for protocol in protocols() {
+        let make = || {
+            let mut a = Asm::new();
+            a.movi(Reg::R1, 0);
+            let top = a.new_label();
+            a.bind(top);
+            sync::lock_acquire(&mut a, lock);
+            a.load_abs(Reg::R2, counter);
+            a.addi(Reg::R2, Reg::R2, 1);
+            a.store_abs(Reg::R2, counter);
+            sync::lock_release(&mut a, lock);
+            a.addi(Reg::R1, Reg::R1, 1);
+            a.blt_imm(Reg::R1, 25, top);
+            a.halt();
+            a.finish()
+        };
+        let cfg = SystemConfig::small_test(4, protocol);
+        let mut sys = System::new(cfg, vec![make(), make(), make(), make()]);
+        sys.run(50_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+        // Read the final counter through a verification load by core 0:
+        // every core halted, so check via one more system run would be
+        // clumsy; instead each thread's last read (R2) is <= 100, and
+        // the max across cores with its own final increment must be 100.
+        let max_final = (0..4)
+            .map(|i| sys.core(i).thread().reg(Reg::R2))
+            .max()
+            .unwrap();
+        assert_eq!(max_final, 100, "{}: lost updates", protocol.name());
+    }
+}
+
+#[test]
+fn disjoint_threads_match_reference() {
+    // Threads operating on disjoint address ranges must each match the
+    // sequential reference exactly — any cross-talk is a protocol bug.
+    for protocol in protocols() {
+        let programs: Vec<Program> = (0..4u64)
+            .map(|t| {
+                let mut a = Asm::new();
+                let base = 0x10000 + t * 0x1000;
+                a.movi(Reg::R1, 0);
+                let top = a.new_label();
+                a.bind(top);
+                a.remi(Reg::R17, Reg::R1, 16);
+                a.shli(Reg::R17, Reg::R17, 3);
+                a.load(Reg::R2, Reg::R17, base);
+                a.addi(Reg::R2, Reg::R2, t + 1);
+                a.store(Reg::R2, Reg::R17, base);
+                a.add(Reg::R6, Reg::R6, Reg::R2);
+                a.addi(Reg::R1, Reg::R1, 1);
+                a.blt_imm(Reg::R1, 48, top);
+                a.halt();
+                a.finish()
+            })
+            .collect();
+        let cfg = SystemConfig::small_test(4, protocol);
+        let mut sys = System::new(cfg, programs.clone());
+        sys.run(50_000_000).expect("terminates");
+        for (t, program) in programs.iter().enumerate() {
+            let mut ref_mem = HashMap::new();
+            let ref_regs = run_ref(program, &mut ref_mem, 1_000_000).expect("halts");
+            assert_eq!(
+                sys.core(t).thread().reg(Reg::R6),
+                ref_regs[Reg::R6.index()],
+                "thread {t} under {}",
+                protocol.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_init_then_readback_via_mem_word() {
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 7);
+    a.store_abs(Reg::R1, 0x9000);
+    a.fence();
+    a.halt();
+    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let mut sys = System::new(cfg, vec![a.finish()]);
+    sys.write_word(Addr::new(0x9040), 55);
+    sys.run(1_000_000).unwrap();
+    assert_eq!(sys.read_mem_word(Addr::new(0x9040)), 55);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random straight-line programs over a small address pool produce
+    /// identical register files on the timing simulator and the
+    /// reference interpreter.
+    #[test]
+    fn prop_random_single_thread_matches_reference(
+        ops in proptest::collection::vec((0u8..5, 0u64..12, 1u64..100), 5..60),
+    ) {
+        let mut a = Asm::new();
+        for (kind, slot, val) in &ops {
+            let addr = 0x7000 + slot * 8;
+            match kind {
+                0 => { a.movi(Reg::R9, *val); a.store_abs(Reg::R9, addr); }
+                1 => { a.load_abs(Reg::R10, addr); a.add(Reg::R11, Reg::R11, Reg::R10); }
+                2 => { a.movi(Reg::R9, *val); a.fetch_add(Reg::R12, Reg::R0, addr, Reg::R9); a.add(Reg::R13, Reg::R13, Reg::R12); }
+                3 => { a.fence(); }
+                _ => { a.movi(Reg::R9, *val); a.swap(Reg::R14, Reg::R0, addr, Reg::R9); }
+            }
+        }
+        a.halt();
+        let program = a.finish();
+        let mut ref_mem = HashMap::new();
+        let ref_regs = run_ref(&program, &mut ref_mem, 1_000_000).unwrap();
+        for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
+            let cfg = SystemConfig::small_test(2, protocol);
+            let mut sys = System::new(cfg, vec![program.clone()]);
+            sys.run(50_000_000).unwrap();
+            for r in [Reg::R11, Reg::R13, Reg::R14] {
+                prop_assert_eq!(
+                    sys.core(0).thread().reg(r),
+                    ref_regs[r.index()],
+                    "{} mismatch in {:?}", r, protocol.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Timestamp-reset and epoch-id machinery (§3.5) under stress: tiny
+//! timestamp widths make the counters wrap every few writes, so resets,
+//! epoch changes and clamping fire constantly while programs must still
+//! observe TSO.
+
+use tsocc::{Protocol, RunStats, System, SystemConfig};
+use tsocc_isa::{Asm, Program, Reg};
+use tsocc_proto::{TsParams, TsoCcConfig};
+
+fn tiny_ts(ts_bits: u32, wg_bits: u32) -> Protocol {
+    Protocol::TsoCc(TsoCcConfig {
+        write_ts: Some(TsParams {
+            ts_bits,
+            write_group_bits: wg_bits,
+        }),
+        ..TsoCcConfig::realistic(12, 3)
+    })
+}
+
+fn writer_reader_pair(writes: u64) -> Vec<Program> {
+    let data = 0x3000u64;
+    let flag = 0x3040u64;
+    // Writer: many writes to data (wrapping the timestamp counter), then
+    // the flag release.
+    let mut w = Asm::new();
+    w.movi(Reg::R1, 0);
+    let top = w.new_label();
+    w.bind(top);
+    w.addi(Reg::R2, Reg::R1, 100);
+    w.store_abs(Reg::R2, data);
+    w.addi(Reg::R1, Reg::R1, 1);
+    w.blt_imm(Reg::R1, writes, top);
+    w.movi(Reg::R3, 1);
+    w.store_abs(Reg::R3, flag);
+    w.halt();
+    // Reader: spin on flag, then the data read must see the last write.
+    let mut r = Asm::new();
+    let spin = r.new_label();
+    r.bind(spin);
+    r.load_abs(Reg::R1, flag);
+    r.beq(Reg::R1, Reg::R0, spin);
+    r.load_abs(Reg::R2, data);
+    r.halt();
+    vec![w.finish(), r.finish()]
+}
+
+fn run(protocol: Protocol, programs: Vec<Program>) -> (System, RunStats) {
+    let cfg = SystemConfig::small_test(programs.len().max(2), protocol);
+    let mut sys = System::new(cfg, programs);
+    let stats = sys.run(50_000_000).expect("terminates under resets");
+    (sys, stats)
+}
+
+#[test]
+fn resets_fire_and_ordering_holds() {
+    // 4-bit timestamps, group size 1: a reset every 14 writes. 300
+    // writes force ~20 resets and several 3-bit epoch wraparounds.
+    let (sys, stats) = run(tiny_ts(4, 0), writer_reader_pair(300));
+    assert!(
+        stats.l1.ts_resets.get() >= 10,
+        "expected many timestamp resets, saw {}",
+        stats.l1.ts_resets.get()
+    );
+    assert_eq!(
+        sys.core(1).thread().reg(Reg::R2),
+        100 + 300 - 1,
+        "reader must observe the final data value after the release"
+    );
+}
+
+#[test]
+fn grouped_timestamps_reset_less_often() {
+    let (_, fine) = run(tiny_ts(4, 0), writer_reader_pair(240));
+    let (_, grouped) = run(tiny_ts(4, 3), writer_reader_pair(240));
+    assert!(
+        grouped.l1.ts_resets.get() * 4 <= fine.l1.ts_resets.get(),
+        "8-write groups must reset ~8x less: fine={} grouped={}",
+        fine.l1.ts_resets.get(),
+        grouped.l1.ts_resets.get()
+    );
+}
+
+#[test]
+fn epoch_wraparound_does_not_break_message_passing() {
+    // 3-bit epochs wrap every 8 resets; run enough writes to wrap the
+    // epoch id itself several times.
+    let (sys, stats) = run(tiny_ts(4, 0), writer_reader_pair(1200));
+    assert!(stats.l1.ts_resets.get() >= 60);
+    assert_eq!(sys.core(1).thread().reg(Reg::R2), 100 + 1200 - 1);
+}
+
+#[test]
+fn reset_broadcast_traffic_is_accounted() {
+    let (_, stats) = run(tiny_ts(4, 0), writer_reader_pair(200));
+    // Each reset broadcasts to every other L1 and all L2 tiles; the
+    // messages must appear in the network statistics (they ride the
+    // forward vnet).
+    assert!(stats.noc.messages[tsocc_noc::VNet::Forward.index()].get() > 0);
+}
+
+#[test]
+fn producer_consumer_stream_under_constant_resets() {
+    // A flag-handshake stream where every item write can hit a reset
+    // boundary; values must arrive intact and in order.
+    let items = 40u64;
+    let slots = 0x4000u64; // line per item: [data, flag]
+    let mut producer = Asm::new();
+    producer.movi(Reg::R1, 0);
+    let top = producer.new_label();
+    producer.bind(top);
+    producer.muli(Reg::R17, Reg::R1, 64);
+    producer.addi(Reg::R2, Reg::R1, 1000);
+    producer.store(Reg::R2, Reg::R17, slots);
+    producer.movi(Reg::R3, 1);
+    producer.store(Reg::R3, Reg::R17, slots + 8);
+    producer.addi(Reg::R1, Reg::R1, 1);
+    producer.blt_imm(Reg::R1, items, top);
+    producer.halt();
+
+    let mut consumer = Asm::new();
+    consumer.movi(Reg::R1, 0);
+    consumer.movi(Reg::R5, 0);
+    let top = consumer.new_label();
+    consumer.bind(top);
+    consumer.muli(Reg::R17, Reg::R1, 64);
+    let spin = consumer.new_label();
+    consumer.bind(spin);
+    consumer.load(Reg::R3, Reg::R17, slots + 8);
+    consumer.beq(Reg::R3, Reg::R0, spin);
+    consumer.load(Reg::R2, Reg::R17, slots);
+    consumer.add(Reg::R5, Reg::R5, Reg::R2);
+    consumer.addi(Reg::R1, Reg::R1, 1);
+    consumer.blt_imm(Reg::R1, items, top);
+    consumer.halt();
+
+    let (sys, _) = run(tiny_ts(4, 2), vec![producer.finish(), consumer.finish()]);
+    let expected: u64 = (0..items).map(|i| i + 1000).sum();
+    assert_eq!(sys.core(1).thread().reg(Reg::R5), expected);
+}
