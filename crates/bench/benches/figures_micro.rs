@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tsocc::{Protocol, SystemConfig};
+use tsocc::SystemConfig;
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{run_workload, Benchmark, Scale};
 
 const CORES: usize = 4;
@@ -20,7 +21,10 @@ fn run(bench: Benchmark, protocol: Protocol) -> tsocc::RunStats {
 /// Figure 3 family: execution time, MESI vs best TSO-CC.
 fn bench_fig3_execution_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_execution_time");
-    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
+    for protocol in [
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+    ] {
         group.bench_function(format!("fft/{}", protocol.name()), |b| {
             b.iter(|| black_box(run(Benchmark::Fft, protocol).cycles))
         });
@@ -63,7 +67,10 @@ fn bench_fig7_selfinv(c: &mut Criterion) {
 /// Figure 8 family: RMW latency over the STM commit path.
 fn bench_fig8_rmw(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_rmw_latency");
-    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
+    for protocol in [
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+    ] {
         group.bench_function(format!("intruder/{}", protocol.name()), |b| {
             b.iter(|| black_box(run(Benchmark::Intruder, protocol).rmw_latency.mean()))
         });
@@ -73,7 +80,7 @@ fn bench_fig8_rmw(c: &mut Criterion) {
 
 /// Figure 2 / Table 1 family: the storage model (pure computation).
 fn bench_fig2_storage_model(c: &mut Criterion) {
-    use tsocc::storage::StorageModel;
+    use tsocc_proto::StorageModel;
     c.bench_function("fig2_storage_model_sweep", |b| {
         b.iter(|| {
             let mut acc = 0u64;

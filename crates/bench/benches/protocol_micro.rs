@@ -4,9 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tsocc::{Protocol, System, SystemConfig};
+use tsocc::{System, SystemConfig};
 use tsocc_isa::{Asm, Reg};
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 
 /// The Figure 1 producer-consumer pair.
 fn mp_programs() -> Vec<tsocc_isa::Program> {
@@ -60,7 +61,10 @@ fn bench_contended_rmw(c: &mut Criterion) {
         a.finish()
     };
     let mut group = c.benchmark_group("contended_rmw");
-    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
+    for protocol in [
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+    ] {
         group.bench_function(protocol.name(), |b| {
             b.iter(|| {
                 let cfg = SystemConfig::small_test(4, protocol);

@@ -10,8 +10,9 @@
 //!
 //! Env: TSOCC_CORES (default 16), TSOCC_SEED.
 
-use tsocc::{Protocol, SystemConfig};
+use tsocc::SystemConfig;
 use tsocc_proto::{TsParams, TsoCcConfig};
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{run_workload, Benchmark, Scale};
 
 fn run(protocol: Protocol, n_cores: usize, bench: Benchmark, seed: u64) -> tsocc::RunStats {
@@ -32,9 +33,15 @@ fn main() {
         .unwrap_or(7);
 
     println!("== Ablation 1: Shared-line access budget (max_acc), x264 wavefront ==");
-    println!("{:<12} {:>10} {:>12} {:>14}", "max_acc", "cycles", "flits", "rd-miss(S)");
+    println!(
+        "{:<12} {:>10} {:>12} {:>14}",
+        "max_acc", "cycles", "flits", "rd-miss(S)"
+    );
     for max_acc in [0u64, 1, 4, 16, 64, 256] {
-        let cfg = TsoCcConfig { max_acc, ..TsoCcConfig::realistic(12, 3) };
+        let cfg = TsoCcConfig {
+            max_acc,
+            ..TsoCcConfig::realistic(12, 3)
+        };
         let s = run(Protocol::TsoCc(cfg), n, Benchmark::X264, seed);
         println!(
             "{:<12} {:>10} {:>12} {:>14}",
@@ -52,7 +59,10 @@ fn main() {
     );
     for ts_bits in [4u32, 6, 9, 12, 31] {
         let cfg = TsoCcConfig {
-            write_ts: Some(TsParams { ts_bits, write_group_bits: 0 }),
+            write_ts: Some(TsParams {
+                ts_bits,
+                write_group_bits: 0,
+            }),
             ..TsoCcConfig::realistic(12, 3)
         };
         let s = run(Protocol::TsoCc(cfg), n, Benchmark::Canneal, seed);
@@ -73,7 +83,10 @@ fn main() {
     );
     for wg_bits in [0u32, 1, 3, 5] {
         let cfg = TsoCcConfig {
-            write_ts: Some(TsParams { ts_bits: 6, write_group_bits: wg_bits }),
+            write_ts: Some(TsParams {
+                ts_bits: 6,
+                write_group_bits: wg_bits,
+            }),
             ..TsoCcConfig::realistic(12, 3)
         };
         let s = run(Protocol::TsoCc(cfg), n, Benchmark::Fft, seed);
@@ -92,7 +105,10 @@ fn main() {
         "decay", "cycles", "decays", "SRO read hits"
     );
     for decay in [None, Some(16u64), Some(64), Some(256), Some(4096)] {
-        let cfg = TsoCcConfig { decay_writes: decay, ..TsoCcConfig::realistic(12, 0) };
+        let cfg = TsoCcConfig {
+            decay_writes: decay,
+            ..TsoCcConfig::realistic(12, 0)
+        };
         // Small caches force evictions, which is how the L2's last-seen
         // timestamp table learns that writers have moved on (decay is
         // driven by that table, §3.4).

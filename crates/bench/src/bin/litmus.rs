@@ -1,7 +1,7 @@
 //! §4.3 verification: runs the TSO litmus suite against every protocol
 //! configuration and reports forbidden-outcome counts.
 //! Env: TSOCC_LITMUS_ITERS (default 200).
-use tsocc::Protocol;
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{litmus_suite, run_litmus};
 
 fn main() {
@@ -10,7 +10,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let mut failures = 0u64;
-    println!("{:<16} {:<16} {:>6} {:>10} {:>8}  outcomes", "test", "config", "iters", "forbidden", "relaxed");
+    println!(
+        "{:<16} {:<16} {:>6} {:>10} {:>8}  outcomes",
+        "test", "config", "iters", "forbidden", "relaxed"
+    );
     for protocol in Protocol::paper_configs() {
         for test in litmus_suite() {
             let report = run_litmus(&test, protocol, iters, 0xBEEF);
@@ -22,7 +25,12 @@ fn main() {
                 report.iterations,
                 report.forbidden_count,
                 if report.relaxed_seen { "yes" } else { "-" },
-                report.outcomes.iter().map(|(k, v)| format!("{k:?}x{v}")).collect::<Vec<_>>().join(" "),
+                report
+                    .outcomes
+                    .iter()
+                    .map(|(k, v)| format!("{k:?}x{v}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
             );
         }
     }

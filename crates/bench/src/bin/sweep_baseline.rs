@@ -1,0 +1,92 @@
+//! Emits a machine-readable sweep baseline (`BENCH_sweep.json`): a
+//! cores × protocol matrix with cycles and message counts per point,
+//! plus serial-vs-parallel engine wall-clock so future PRs have a perf
+//! trajectory to compare against.
+//!
+//! The matrix runs twice — once forced single-threaded, once on the
+//! parallel engine — and the binary asserts the results are identical
+//! before writing the artifact.
+//!
+//! Env: `TSOCC_SCALE` (tiny/small/full, default small like every
+//! other sweep entry point), `TSOCC_SEED`, `TSOCC_THREADS`
+//! (parallel-leg workers; default one per CPU), `TSOCC_SWEEP_CORES`
+//! (comma-separated core counts, default `2,4,8`), `TSOCC_OUT`
+//! (output path, default `BENCH_sweep.json`).
+
+use std::time::Instant;
+
+use tsocc_bench::json;
+use tsocc_bench::sweep::{run_points, SweepOpts, SweepPoint};
+use tsocc_protocols::Protocol;
+use tsocc_workloads::Benchmark;
+
+fn main() {
+    let opts = SweepOpts::from_env();
+    let scale = opts.scale;
+    let core_counts: Vec<usize> = std::env::var("TSOCC_SWEEP_CORES")
+        .unwrap_or_else(|_| "2,4,8".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out_path = std::env::var("TSOCC_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+
+    let mut points = Vec::new();
+    for &n_cores in &core_counts {
+        for protocol in Protocol::paper_configs() {
+            points.push(SweepPoint {
+                bench: Benchmark::Fft,
+                protocol,
+                n_cores,
+                scale,
+            });
+        }
+    }
+    assert!(
+        points.len() >= 8,
+        "baseline needs a >=8-point matrix, got {}",
+        points.len()
+    );
+
+    eprintln!("== serial leg ({} points, 1 thread) ==", points.len());
+    let t = Instant::now();
+    let serial = run_points(&points, 1, opts.seed);
+    let serial_wall = t.elapsed();
+
+    eprintln!("== parallel leg ({} points) ==", points.len());
+    let t = Instant::now();
+    let parallel = run_points(&points, opts.threads, opts.seed);
+    let parallel_wall = t.elapsed();
+
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            (s.stats.cycles, s.stats.noc.total_messages()),
+            (p.stats.cycles, p.stats.noc.total_messages()),
+            "parallel sweep diverged from serial on {}/{}x{}",
+            s.bench,
+            s.config,
+            s.n_cores,
+        );
+    }
+
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+    let doc = json::Object::new()
+        .str("schema", "tsocc-sweep-baseline/v1")
+        .str("bench", Benchmark::Fft.name())
+        .str("scale", &format!("{scale:?}").to_lowercase())
+        .u64("base_seed", opts.seed)
+        .u64(
+            "host_cpus",
+            std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        )
+        .u64("points_total", points.len() as u64)
+        .f64("serial_wall_seconds", serial_wall.as_secs_f64())
+        .f64("parallel_wall_seconds", parallel_wall.as_secs_f64())
+        .f64("parallel_speedup", speedup)
+        .raw("points", json::array(parallel.iter().map(|p| p.to_json())))
+        .build();
+    std::fs::write(&out_path, doc + "\n").expect("write baseline artifact");
+    eprintln!(
+        "wrote {out_path}: {} points, serial {serial_wall:.2?} vs parallel {parallel_wall:.2?} ({speedup:.2}x)",
+        points.len()
+    );
+}

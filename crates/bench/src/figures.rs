@@ -4,10 +4,9 @@
 //! as aligned text tables (normalized against MESI where the paper
 //! normalizes). `EXPERIMENTS.md` is produced from this output.
 
-use tsocc::storage::StorageModel;
 use tsocc::RunStats;
 use tsocc_coherence::SelfInvCause;
-use tsocc_proto::TsoCcConfig;
+use tsocc_proto::{StorageModel, TsoCcConfig};
 use tsocc_sim::stats::geometric_mean;
 use tsocc_workloads::Benchmark;
 
@@ -134,9 +133,8 @@ pub fn print_fig7(sweep: &Sweep) {
         for cfg in tsocc_configs() {
             let s = sweep.get(bench, &cfg);
             let misses = (s.l1.read_misses() + s.l1.write_misses()).max(1) as f64;
-            let pct = |c: SelfInvCause| {
-                100.0 * s.l1.selfinv_events[c.index()].get() as f64 / misses
-            };
+            let pct =
+                |c: SelfInvCause| 100.0 * s.l1.selfinv_events[c.index()].get() as f64 / misses;
             println!(
                 "  {:<16} {:>10.2} {:>18.2} {:>14.2} | {:>6.2}",
                 cfg,
@@ -245,10 +243,16 @@ pub fn print_table1() {
 /// Table 2: system parameters.
 pub fn print_table2(opts: &crate::SweepOpts) {
     println!("\n== Table 2: system parameters ==");
-    println!("Core count & frequency   {} (in-order + 32-entry FIFO write buffer) @ 2GHz", opts.n_cores);
+    println!(
+        "Core count & frequency   {} (in-order + 32-entry FIFO write buffer) @ 2GHz",
+        opts.n_cores
+    );
     println!("Write buffer entries     32, FIFO");
     println!("L1 D-cache (private)     32KB, 64B lines, 4-way, 3-cycle hit");
-    println!("L2 cache (NUCA, shared)  1MB x {} tiles, 64B lines, 16-way, ~30-80 cycle", opts.n_cores);
+    println!(
+        "L2 cache (NUCA, shared)  1MB x {} tiles, 64B lines, 16-way, ~30-80 cycle",
+        opts.n_cores
+    );
     println!("Memory                   ~150-230 cycles (4 controllers at mesh corners)");
     println!("On-chip network          2D mesh, XY routing, 16B flits, 3 vnets");
 }
@@ -276,14 +280,18 @@ mod tests {
             n_cores: 4,
             scale: Scale::Tiny,
             seed: 3,
+            threads: 0,
         };
+        // Reuse one cheap run per config for every benchmark to keep
+        // the test fast; printers only need the keys.
+        let per_config: Vec<_> = tsocc_protocols::Protocol::paper_configs()
+            .into_iter()
+            .map(|p| (p.name(), Sweep::run_one(Benchmark::Fft, p, opts)))
+            .collect();
         let mut results = std::collections::BTreeMap::new();
         for bench in Benchmark::ALL {
-            for p in tsocc::Protocol::paper_configs() {
-                // Reuse one cheap run per config for every benchmark to
-                // keep the test fast; printers only need the keys.
-                let stats = Sweep::run_one(Benchmark::Fft, p, opts);
-                results.insert((bench.name().to_string(), p.name()), stats);
+            for (name, stats) in &per_config {
+                results.insert((bench.name().to_string(), name.clone()), stats.clone());
             }
         }
         Sweep { opts, results }

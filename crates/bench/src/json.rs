@@ -1,0 +1,106 @@
+//! A tiny hand-rolled JSON writer (no third-party deps are available in
+//! the build environment).
+//!
+//! Only what the sweep artifacts need: objects, arrays, strings,
+//! integers and floats. Output is deterministic — fields appear exactly
+//! in insertion order — which keeps `BENCH_sweep.json` diffable across
+//! runs.
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An incrementally built JSON object.
+#[derive(Default)]
+pub struct Object {
+    fields: Vec<(String, String)>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// Adds a pre-serialized JSON value under `key`.
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let v = string(value);
+        self.raw(key, v)
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Adds a float field (non-finite values serialize as `null`).
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() {
+            format!("{value:.6}")
+        } else {
+            "null".to_string()
+        };
+        self.raw(key, v)
+    }
+
+    /// Serializes the object.
+    pub fn build(&self) -> String {
+        let inner: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}: {}", string(k), v))
+            .collect();
+        format!("{{{}}}", inner.join(", "))
+    }
+}
+
+/// Serializes an array of pre-serialized JSON values.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let inner: Vec<String> = items.into_iter().collect();
+    format!("[{}]", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let obj = Object::new()
+            .str("name", "a \"quoted\"\nline")
+            .u64("count", 3)
+            .f64("ratio", 0.5)
+            .raw("list", array(["1".to_string(), "2".to_string()]))
+            .build();
+        assert_eq!(
+            obj,
+            r#"{"name": "a \"quoted\"\nline", "count": 3, "ratio": 0.500000, "list": [1, 2]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert!(Object::new().f64("x", f64::NAN).build().contains("null"));
+    }
+}

@@ -8,9 +8,15 @@
 //!
 //! - `TSOCC_CORES` — core count (default 32, the paper's Table 2),
 //! - `TSOCC_SCALE` — `tiny` / `small` / `full` workload scale,
-//! - `TSOCC_SEED` — simulation seed.
+//! - `TSOCC_SEED` — simulation seed,
+//! - `TSOCC_THREADS` — sweep worker threads (default: one per CPU).
+//!
+//! Sweeps fan configuration points out over worker threads with
+//! deterministic per-point seeds (see [`sweep::run_points`]); serial
+//! and parallel runs produce identical results.
 
 pub mod figures;
+pub mod json;
 pub mod sweep;
 
-pub use sweep::{Sweep, SweepOpts};
+pub use sweep::{PointResult, Sweep, SweepOpts, SweepPoint};

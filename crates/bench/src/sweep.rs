@@ -1,11 +1,26 @@
-//! The benchmark sweep: every Table 3 kernel × every §4.2 protocol
-//! configuration.
+//! The sweep engine: runs a matrix of (benchmark × protocol × machine)
+//! configuration points, fanning the points out over worker threads.
+//!
+//! Each point gets a **deterministic seed** derived from the base seed
+//! and the point's identity (benchmark, protocol, core count) — never
+//! from which worker picked the point up — so a parallel sweep produces
+//! bit-identical results to a serial one (verified by
+//! `tests::parallel_matches_serial`). Systems are built, run and
+//! dropped entirely inside one worker; nothing about the simulator
+//! itself needs to be thread-safe beyond the shared
+//! [`tsocc_coherence::ProtocolFactory`] handles.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use tsocc::{Protocol, RunStats, SystemConfig};
+use tsocc::{RunStats, SystemConfig};
+use tsocc_protocols::Protocol;
+use tsocc_sim::rng::SplitMix64;
 use tsocc_workloads::{run_workload, Benchmark, Scale};
+
+use crate::json;
 
 /// Sweep parameters.
 #[derive(Clone, Copy, Debug)]
@@ -14,8 +29,11 @@ pub struct SweepOpts {
     pub n_cores: usize,
     /// Workload scale.
     pub scale: Scale,
-    /// Simulation seed.
+    /// Base simulation seed (per-point seeds derive from it).
     pub seed: u64,
+    /// Worker threads for the point fan-out; `0` means one per
+    /// available CPU.
+    pub threads: usize,
 }
 
 impl Default for SweepOpts {
@@ -24,13 +42,15 @@ impl Default for SweepOpts {
             n_cores: 32,
             scale: Scale::Small,
             seed: 0xC0FFEE,
+            threads: 0,
         }
     }
 }
 
 impl SweepOpts {
-    /// Reads `TSOCC_CORES`, `TSOCC_SCALE` and `TSOCC_SEED` from the
-    /// environment, falling back to the paper defaults.
+    /// Reads `TSOCC_CORES`, `TSOCC_SCALE`, `TSOCC_SEED` and
+    /// `TSOCC_THREADS` from the environment, falling back to the paper
+    /// defaults.
     pub fn from_env() -> Self {
         let mut opts = SweepOpts::default();
         if let Ok(v) = std::env::var("TSOCC_CORES") {
@@ -50,8 +70,154 @@ impl SweepOpts {
                 opts.seed = n;
             }
         }
+        if let Ok(v) = std::env::var("TSOCC_THREADS") {
+            if let Ok(n) = v.parse() {
+                opts.threads = n;
+            }
+        }
         opts
     }
+}
+
+/// One configuration point of a sweep matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// The workload.
+    pub bench: Benchmark,
+    /// The protocol configuration.
+    pub protocol: Protocol,
+    /// Machine core count.
+    pub n_cores: usize,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl SweepPoint {
+    /// The point's deterministic seed: a hash of the base seed and the
+    /// point's identity. Independent of point order and thread
+    /// schedule.
+    pub fn seed(&self, base_seed: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.bench.name().as_bytes());
+        eat(self.protocol.name().as_bytes());
+        eat(&(self.n_cores as u64).to_le_bytes());
+        eat(format!("{:?}", self.scale).as_bytes());
+        SplitMix64::new(base_seed ^ h).next_u64()
+    }
+
+    /// Runs this point to completion.
+    pub fn run(&self, base_seed: u64) -> PointResult {
+        let seed = self.seed(base_seed);
+        let workload = self.bench.build(self.n_cores, self.scale, seed);
+        let mut cfg = SystemConfig::table2_with_cores(self.protocol, self.n_cores);
+        cfg.seed = seed;
+        let t = Instant::now();
+        let stats = run_workload(&workload, cfg)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", self.bench.name(), self.protocol.name()));
+        PointResult {
+            bench: self.bench.name().to_string(),
+            config: self.protocol.name(),
+            n_cores: self.n_cores,
+            seed,
+            stats,
+            wall: t.elapsed(),
+        }
+    }
+}
+
+/// The outcome of one sweep point.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// Benchmark name.
+    pub bench: String,
+    /// Protocol configuration name.
+    pub config: String,
+    /// Machine core count.
+    pub n_cores: usize,
+    /// The seed the point ran with.
+    pub seed: u64,
+    /// Simulation results.
+    pub stats: RunStats,
+    /// Host wall-clock time spent simulating this point.
+    pub wall: Duration,
+}
+
+impl PointResult {
+    /// The point as a JSON object (the `BENCH_sweep.json` row format).
+    pub fn to_json(&self) -> String {
+        json::Object::new()
+            .str("bench", &self.bench)
+            .str("config", &self.config)
+            .u64("n_cores", self.n_cores as u64)
+            .u64("seed", self.seed)
+            .u64("cycles", self.stats.cycles)
+            .u64("instructions", self.stats.instructions)
+            .u64("msgs", self.stats.noc.total_messages())
+            .u64("flits", self.stats.total_flits())
+            .u64("flit_hops", self.stats.noc.flit_hops.get())
+            .f64("wall_seconds", self.wall.as_secs_f64())
+            .build()
+    }
+}
+
+/// How many workers a fan-out should actually use.
+fn effective_threads(requested: usize, n_points: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t = if requested == 0 { auto } else { requested };
+    t.clamp(1, n_points.max(1))
+}
+
+/// Runs `points` on `threads` workers (0 = one per CPU) and returns the
+/// results in point order.
+///
+/// Workers pull points off a shared counter, so long points do not
+/// stall the queue behind them. Results are keyed by point index:
+/// output order (and content, thanks to per-point seeds) is identical
+/// no matter the interleaving.
+///
+/// # Panics
+///
+/// Panics if any point fails to complete (propagated from the worker).
+pub fn run_points(points: &[SweepPoint], threads: usize, base_seed: u64) -> Vec<PointResult> {
+    let threads = effective_threads(threads, points.len());
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<PointResult>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(i) else { break };
+                let result = point.run(base_seed);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[{:>7.1?}] {:>3}/{} {:<16} {:<16} {:>12} cycles ({:.1?})",
+                    start.elapsed(),
+                    finished,
+                    points.len(),
+                    result.bench,
+                    result.config,
+                    result.stats.cycles,
+                    result.wall,
+                );
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no worker panicked holding a result slot")
+                .expect("every slot filled once the scope joins")
+        })
+        .collect()
 }
 
 /// Results of one full sweep, keyed by (benchmark, configuration).
@@ -64,40 +230,57 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    /// Runs one benchmark under one protocol.
-    pub fn run_one(bench: Benchmark, protocol: Protocol, opts: SweepOpts) -> RunStats {
-        let threads = opts.n_cores;
-        let workload = bench.build(threads, opts.scale, opts.seed);
-        let mut cfg = SystemConfig::table2_with_cores(protocol, opts.n_cores);
-        cfg.seed = opts.seed;
-        run_workload(&workload, cfg)
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), protocol.name()))
-    }
-
-    /// Runs the full 16×7 sweep, printing progress to stderr.
-    pub fn run(opts: SweepOpts) -> Sweep {
-        let mut results = BTreeMap::new();
-        let configs = Protocol::paper_configs();
-        let start = Instant::now();
+    /// The full paper matrix for `opts`: every Table 3 benchmark ×
+    /// every §4.2 protocol configuration.
+    pub fn paper_points(opts: &SweepOpts) -> Vec<SweepPoint> {
+        let mut points = Vec::new();
         for bench in Benchmark::ALL {
-            for protocol in &configs {
-                let t = Instant::now();
-                let stats = Sweep::run_one(bench, *protocol, opts);
-                eprintln!(
-                    "[{:>7.1?}] {:<16} {:<16} {:>10} cycles {:>10} flits ({:.1?})",
-                    start.elapsed(),
-                    bench.name(),
-                    protocol.name(),
-                    stats.cycles,
-                    stats.total_flits(),
-                    t.elapsed(),
-                );
-                results.insert(
-                    (bench.name().to_string(), protocol.name().to_string()),
-                    stats,
-                );
+            for protocol in Protocol::paper_configs() {
+                points.push(SweepPoint {
+                    bench,
+                    protocol,
+                    n_cores: opts.n_cores,
+                    scale: opts.scale,
+                });
             }
         }
+        points
+    }
+
+    /// Runs one benchmark under one protocol (one point of the paper
+    /// matrix, same per-point seed as the full sweep).
+    pub fn run_one(bench: Benchmark, protocol: Protocol, opts: SweepOpts) -> RunStats {
+        SweepPoint {
+            bench,
+            protocol,
+            n_cores: opts.n_cores,
+            scale: opts.scale,
+        }
+        .run(opts.seed)
+        .stats
+    }
+
+    /// Runs the full 16×7 sweep across `opts.threads` workers, printing
+    /// progress to stderr.
+    pub fn run(opts: SweepOpts) -> Sweep {
+        let points = Sweep::paper_points(&opts);
+        let results = run_points(&points, opts.threads, opts.seed);
+        Sweep::from_results(opts, results)
+    }
+
+    /// Runs the full sweep on the calling thread only (the reference
+    /// mode the parallel engine is checked against).
+    pub fn run_serial(opts: SweepOpts) -> Sweep {
+        let points = Sweep::paper_points(&opts);
+        let results = run_points(&points, 1, opts.seed);
+        Sweep::from_results(opts, results)
+    }
+
+    fn from_results(opts: SweepOpts, results: Vec<PointResult>) -> Sweep {
+        let results = results
+            .into_iter()
+            .map(|r| ((r.bench, r.config), r.stats))
+            .collect();
         Sweep { opts, results }
     }
 
@@ -126,21 +309,26 @@ impl Sweep {
 mod tests {
     use super::*;
 
+    fn tiny_opts() -> SweepOpts {
+        SweepOpts {
+            n_cores: 4,
+            scale: Scale::Tiny,
+            seed: 1,
+            threads: 0,
+        }
+    }
+
     #[test]
     fn env_parsing_defaults() {
         let o = SweepOpts::default();
         assert_eq!(o.n_cores, 32);
         assert!(matches!(o.scale, Scale::Small));
+        assert_eq!(o.threads, 0);
     }
 
     #[test]
     fn run_one_tiny() {
-        let opts = SweepOpts {
-            n_cores: 4,
-            scale: Scale::Tiny,
-            seed: 1,
-        };
-        let s = Sweep::run_one(Benchmark::Fft, Protocol::Mesi, opts);
+        let s = Sweep::run_one(Benchmark::Fft, Protocol::Mesi, tiny_opts());
         assert!(s.cycles > 0);
         assert!(s.total_flits() > 0);
     }
@@ -149,5 +337,91 @@ mod tests {
     fn names_align_with_paper() {
         assert_eq!(Sweep::config_names().len(), 7);
         assert_eq!(Sweep::bench_names().len(), 16);
+    }
+
+    #[test]
+    fn point_seeds_are_deterministic_and_distinct() {
+        let opts = tiny_opts();
+        let points = Sweep::paper_points(&opts);
+        let mut seeds: Vec<u64> = points.iter().map(|p| p.seed(opts.seed)).collect();
+        let replay: Vec<u64> = points.iter().map(|p| p.seed(opts.seed)).collect();
+        assert_eq!(seeds, replay);
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(
+            seeds.len(),
+            points.len(),
+            "per-point seeds must not collide"
+        );
+
+        // Every identity field participates in the hash, including scale.
+        let p = points[0];
+        let other = SweepPoint {
+            scale: Scale::Small,
+            ..p
+        };
+        assert_ne!(
+            p.seed(opts.seed),
+            other.seed(opts.seed),
+            "scale must be part of the point identity"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // A 2×2 matrix is enough to exercise the fan-out while staying
+        // fast: two benchmarks with different behaviours × two
+        // protocols, on 4 workers.
+        let opts = tiny_opts();
+        let points: Vec<SweepPoint> = [Benchmark::Fft, Benchmark::Intruder]
+            .into_iter()
+            .flat_map(|bench| {
+                [Protocol::Mesi, Protocol::TsoCc(Default::default())]
+                    .into_iter()
+                    .map(move |protocol| SweepPoint {
+                        bench,
+                        protocol,
+                        n_cores: opts.n_cores,
+                        scale: opts.scale,
+                    })
+            })
+            .collect();
+        let serial = run_points(&points, 1, opts.seed);
+        let parallel = run_points(&points, 4, opts.seed);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                (&s.bench, &s.config),
+                (&p.bench, &p.config),
+                "order preserved"
+            );
+            assert_eq!(s.seed, p.seed, "{}/{}", s.bench, s.config);
+            assert_eq!(s.stats.cycles, p.stats.cycles, "{}/{}", s.bench, s.config);
+            assert_eq!(s.stats.instructions, p.stats.instructions);
+            assert_eq!(s.stats.total_flits(), p.stats.total_flits());
+            assert_eq!(s.stats.noc.total_messages(), p.stats.noc.total_messages());
+        }
+    }
+
+    #[test]
+    fn point_json_has_the_headline_fields() {
+        let opts = tiny_opts();
+        let r = SweepPoint {
+            bench: Benchmark::Fft,
+            protocol: Protocol::Mesi,
+            n_cores: opts.n_cores,
+            scale: opts.scale,
+        }
+        .run(opts.seed);
+        let j = r.to_json();
+        for key in [
+            "\"bench\"",
+            "\"config\"",
+            "\"cycles\"",
+            "\"msgs\"",
+            "\"flits\"",
+        ] {
+            assert!(j.contains(key), "{j}");
+        }
     }
 }

@@ -95,6 +95,79 @@ pub trait L2Controller: CacheController {
     fn stats(&self) -> &crate::stats::L2Stats;
 }
 
+/// Machine geometry handed to a [`ProtocolFactory`] when it builds a
+/// controller: everything protocol-independent about the target system.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineShape {
+    /// Number of cores (one private L1 each).
+    pub n_cores: usize,
+    /// Number of L2 tiles.
+    pub n_tiles: usize,
+    /// Number of memory controllers.
+    pub n_mem: usize,
+    /// L1 geometry.
+    pub l1_params: tsocc_mem::CacheParams,
+    /// L2 tile geometry.
+    pub l2_params: tsocc_mem::CacheParams,
+    /// L1 tag-array latency charged before an outgoing request (cycles).
+    pub l1_issue_latency: u64,
+    /// L2 array access latency (cycles).
+    pub l2_latency: u64,
+}
+
+/// Builds the coherence controllers of one protocol.
+///
+/// This is the seam that keeps the system assembly (`tsocc` crate)
+/// protocol-agnostic: the assembly asks the factory for one
+/// [`L1Controller`] per core and one [`L2Controller`] per tile, and
+/// never names a concrete protocol. New protocols plug in by
+/// implementing this trait in their own crate — no change to the
+/// assembly layer is needed.
+///
+/// Factories must be `Send + Sync`: the sweep engine shares one factory
+/// across worker threads building independent systems.
+pub trait ProtocolFactory: Send + Sync {
+    /// The configuration's display name (the paper's figure legends).
+    fn protocol_name(&self) -> String;
+
+    /// Builds the private L1 controller of core `core`.
+    fn l1(&self, core: usize, shape: &MachineShape) -> Box<dyn L1Controller>;
+
+    /// Builds the L2 controller of tile `tile`.
+    fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller>;
+}
+
+/// A shared, thread-safe handle to a protocol factory — what
+/// `SystemConfig` carries instead of a closed protocol enum.
+///
+/// Cheap to clone (an [`std::sync::Arc`] under the hood) and
+/// constructible from any [`ProtocolFactory`] via `From`/`Into`, so
+/// APIs typically accept `impl Into<ProtocolHandle>`.
+#[derive(Clone)]
+pub struct ProtocolHandle(std::sync::Arc<dyn ProtocolFactory>);
+
+impl<F: ProtocolFactory + 'static> From<F> for ProtocolHandle {
+    fn from(f: F) -> ProtocolHandle {
+        ProtocolHandle(std::sync::Arc::new(f))
+    }
+}
+
+impl std::ops::Deref for ProtocolHandle {
+    type Target = dyn ProtocolFactory;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl std::fmt::Debug for ProtocolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ProtocolHandle")
+            .field(&self.protocol_name())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,10 +175,7 @@ mod tests {
     #[test]
     fn core_op_addr() {
         assert_eq!(CoreOp::Load(Addr::new(8)).addr(), Some(Addr::new(8)));
-        assert_eq!(
-            CoreOp::Store(Addr::new(16), 1).addr(),
-            Some(Addr::new(16))
-        );
+        assert_eq!(CoreOp::Store(Addr::new(16), 1).addr(), Some(Addr::new(16)));
         assert_eq!(CoreOp::Fence.addr(), None);
     }
 }

@@ -30,7 +30,10 @@ pub mod outbox;
 pub mod stats;
 pub mod wb;
 
-pub use iface::{CacheController, Completion, CoreOp, L1Controller, L2Controller, Submit};
+pub use iface::{
+    CacheController, Completion, CoreOp, L1Controller, L2Controller, MachineShape, ProtocolFactory,
+    ProtocolHandle, Submit,
+};
 pub use memctrl::MemCtrl;
 pub use msg::{Agent, Epoch, Grant, Msg, NetMsg, Ts, TsSource};
 pub use outbox::Outbox;

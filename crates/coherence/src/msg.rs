@@ -148,7 +148,12 @@ pub enum Msg {
     /// Eviction of a clean private (Exclusive) line.
     PutE { line: LineAddr },
     /// Eviction of a dirty private (Modified) line, with data.
-    PutM { line: LineAddr, data: LineData, ts: Ts, epoch: Epoch },
+    PutM {
+        line: LineAddr,
+        data: LineData,
+        ts: Ts,
+        epoch: Epoch,
+    },
     // ---- L2 → L1 forwards -------------------------------------------------
     /// Forwarded read: owner must downgrade, send data to `requester`
     /// and a [`Msg::DowngradeData`] to the L2.
@@ -160,7 +165,10 @@ pub enum Msg {
     /// is `Some(r)`, acknowledge core `r` directly (MESI
     /// requester-collected acks); otherwise acknowledge the home L2 tile
     /// (TSO-CC SharedRO broadcasts and L2 evictions of inclusive lines).
-    Inv { line: LineAddr, ack_to_requester: Option<usize> },
+    Inv {
+        line: LineAddr,
+        ack_to_requester: Option<usize>,
+    },
     /// L2 eviction of a private line: owner must invalidate and respond
     /// with [`Msg::RecallData`].
     Recall { line: LineAddr },
@@ -340,13 +348,14 @@ mod tests {
     fn vnet_classification_separates_req_fwd_resp() {
         assert_eq!(Msg::GetS { line: line() }.vnet(), VNet::Request);
         assert_eq!(
-            Msg::Inv { line: line(), ack_to_requester: None }.vnet(),
+            Msg::Inv {
+                line: line(),
+                ack_to_requester: None
+            }
+            .vnet(),
             VNet::Forward
         );
-        assert_eq!(
-            Msg::PutAck { line: line() }.vnet(),
-            VNet::Response
-        );
+        assert_eq!(Msg::PutAck { line: line() }.vnet(), VNet::Response);
     }
 
     #[test]

@@ -135,8 +135,20 @@ mod tests {
     fn len_tracks_entries() {
         let mut wb = WritebackBuffer::new();
         assert_eq!(wb.len(), 0);
-        wb.insert(Addr::new(0x40).line(), LineData::zeroed(), true, Ts::new(1), Epoch::ZERO);
-        wb.insert(Addr::new(0x80).line(), LineData::zeroed(), false, Ts::INVALID, Epoch::ZERO);
+        wb.insert(
+            Addr::new(0x40).line(),
+            LineData::zeroed(),
+            true,
+            Ts::new(1),
+            Epoch::ZERO,
+        );
+        wb.insert(
+            Addr::new(0x80).line(),
+            LineData::zeroed(),
+            false,
+            Ts::INVALID,
+            Epoch::ZERO,
+        );
         assert_eq!(wb.len(), 2);
     }
 }

@@ -1,50 +1,22 @@
 //! System configuration (the paper's Table 2).
 
+use tsocc_coherence::{MachineShape, ProtocolHandle};
 use tsocc_cpu::CoreConfig;
 use tsocc_mem::CacheParams;
 use tsocc_noc::NocConfig;
-use tsocc_proto::TsoCcConfig;
-
-/// Which coherence protocol the system runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Protocol {
-    /// The MESI directory baseline with a full sharing vector.
-    Mesi,
-    /// TSO-CC in any of its configurations (§4.2); includes
-    /// CC-shared-to-L2 via [`TsoCcConfig::cc_shared_to_l2`].
-    TsoCc(TsoCcConfig),
-}
-
-impl Protocol {
-    /// The paper's name for this configuration (Figure 3 legend).
-    pub fn name(&self) -> String {
-        match self {
-            Protocol::Mesi => "MESI".to_string(),
-            Protocol::TsoCc(cfg) => cfg.name(),
-        }
-    }
-
-    /// All seven configurations evaluated in the paper, in figure
-    /// order.
-    pub fn paper_configs() -> Vec<Protocol> {
-        vec![
-            Protocol::Mesi,
-            Protocol::TsoCc(TsoCcConfig::cc_shared_to_l2()),
-            Protocol::TsoCc(TsoCcConfig::basic()),
-            Protocol::TsoCc(TsoCcConfig::noreset()),
-            Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
-            Protocol::TsoCc(TsoCcConfig::realistic(12, 0)),
-            Protocol::TsoCc(TsoCcConfig::realistic(9, 3)),
-        ]
-    }
-}
 
 /// Full machine configuration.
+///
+/// The coherence protocol is an open extension point: `protocol` is a
+/// [`ProtocolHandle`] (a shared [`tsocc_coherence::ProtocolFactory`]),
+/// so this crate never names a concrete protocol. Pass any factory —
+/// or the `tsocc_protocols::Protocol` enum, which converts into a
+/// handle — to the constructors.
 ///
 /// [`SystemConfig::table2`] reproduces the paper's simulated machine;
 /// [`SystemConfig::small_test`] shrinks the caches so unit and litmus
 /// tests exercise evictions and run fast.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct SystemConfig {
     /// Number of cores (32 in Table 2); one L2 tile per core.
     pub n_cores: usize,
@@ -62,16 +34,33 @@ pub struct SystemConfig {
     pub mem_latency: u64,
     /// Network parameters.
     pub noc: NocConfig,
-    /// Coherence protocol.
-    pub protocol: Protocol,
+    /// Coherence protocol factory.
+    pub protocol: ProtocolHandle,
     /// Seed for all deterministic randomness (workload perturbation).
     pub seed: u64,
+}
+
+impl std::fmt::Debug for SystemConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemConfig")
+            .field("n_cores", &self.n_cores)
+            .field("n_mem", &self.n_mem)
+            .field("core", &self.core)
+            .field("l1_params", &self.l1_params)
+            .field("l2_params", &self.l2_params)
+            .field("l2_latency", &self.l2_latency)
+            .field("mem_latency", &self.mem_latency)
+            .field("noc", &self.noc)
+            .field("protocol", &self.protocol.protocol_name())
+            .field("seed", &self.seed)
+            .finish()
+    }
 }
 
 impl SystemConfig {
     /// The paper's Table 2 machine: 32 cores, 32KiB 4-way L1s, 1MiB
     /// 16-way L2 tiles, 2D mesh, 4 memory controllers.
-    pub fn table2(protocol: Protocol) -> Self {
+    pub fn table2(protocol: impl Into<ProtocolHandle>) -> Self {
         SystemConfig {
             n_cores: 32,
             n_mem: 4,
@@ -81,25 +70,25 @@ impl SystemConfig {
             l2_latency: 20,
             mem_latency: 150,
             noc: NocConfig::default(),
-            protocol,
+            protocol: protocol.into(),
             seed: 0xC0FFEE,
         }
     }
 
     /// Like [`SystemConfig::table2`] but with `n` cores.
-    pub fn table2_with_cores(protocol: Protocol, n: usize) -> Self {
+    pub fn table2_with_cores(protocol: impl Into<ProtocolHandle>, n: usize) -> Self {
         let mut cfg = SystemConfig::table2(protocol);
         cfg.n_cores = n;
-        cfg.n_mem = n.min(4).max(1);
+        cfg.n_mem = n.clamp(1, 4);
         cfg
     }
 
     /// A small machine for tests: tiny caches force evictions, small
     /// latencies keep litmus iteration fast.
-    pub fn small_test(n_cores: usize, protocol: Protocol) -> Self {
+    pub fn small_test(n_cores: usize, protocol: impl Into<ProtocolHandle>) -> Self {
         SystemConfig {
             n_cores,
-            n_mem: n_cores.min(2).max(1),
+            n_mem: n_cores.clamp(1, 2),
             core: CoreConfig {
                 write_buffer_entries: 8,
                 l1_hit_latency: 1,
@@ -109,7 +98,7 @@ impl SystemConfig {
             l2_latency: 4,
             mem_latency: 20,
             noc: NocConfig::default(),
-            protocol,
+            protocol: protocol.into(),
             seed: 42,
         }
     }
@@ -118,22 +107,31 @@ impl SystemConfig {
     pub fn n_tiles(&self) -> usize {
         self.n_cores
     }
+
+    /// The display name of the configured protocol.
+    pub fn protocol_name(&self) -> String {
+        self.protocol.protocol_name()
+    }
+
+    /// The protocol-independent machine geometry handed to the
+    /// [`tsocc_coherence::ProtocolFactory`] when controllers are built.
+    pub fn shape(&self) -> MachineShape {
+        MachineShape {
+            n_cores: self.n_cores,
+            n_tiles: self.n_tiles(),
+            n_mem: self.n_mem,
+            l1_params: self.l1_params,
+            l2_params: self.l2_params,
+            l1_issue_latency: 1,
+            l2_latency: self.l2_latency,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn paper_configs_are_seven_with_unique_names() {
-        let configs = Protocol::paper_configs();
-        assert_eq!(configs.len(), 7);
-        let mut names: Vec<String> = configs.iter().map(|c| c.name()).collect();
-        assert_eq!(names[0], "MESI");
-        names.sort();
-        names.dedup();
-        assert_eq!(names.len(), 7, "names must be distinct");
-    }
+    use tsocc_protocols::Protocol;
 
     #[test]
     fn table2_matches_paper() {
@@ -143,5 +141,24 @@ mod tests {
         assert_eq!(cfg.l1_params.lines() * 64, 32 * 1024);
         assert_eq!(cfg.l2_params.lines() * 64, 1024 * 1024);
         assert_eq!(cfg.n_tiles(), 32);
+        assert_eq!(cfg.protocol_name(), "MESI");
+    }
+
+    #[test]
+    fn shape_mirrors_config() {
+        let cfg = SystemConfig::small_test(4, Protocol::Mesi);
+        let shape = cfg.shape();
+        assert_eq!(shape.n_cores, 4);
+        assert_eq!(shape.n_tiles, cfg.n_tiles());
+        assert_eq!(shape.n_mem, cfg.n_mem);
+        assert_eq!(shape.l2_latency, cfg.l2_latency);
+    }
+
+    #[test]
+    fn config_is_cloneable_and_debuggable() {
+        let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+        let cfg2 = cfg.clone();
+        assert_eq!(cfg2.n_cores, 2);
+        assert!(format!("{cfg2:?}").contains("MESI"));
     }
 }

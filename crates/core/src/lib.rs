@@ -10,17 +10,22 @@
 //!
 //! Entry points:
 //!
-//! - [`SystemConfig`] / [`Protocol`] — machine and protocol selection,
+//! - [`SystemConfig`] — machine selection; carries a
+//!   [`tsocc_coherence::ProtocolFactory`] handle, so this crate depends
+//!   on no concrete protocol (MESI and TSO-CC plug in from their own
+//!   crates, usually via the `tsocc_protocols::Protocol` enum),
 //! - [`System`] — build with programs, [`System::run`] to completion,
-//! - [`RunStats`] — every metric behind the paper's Figures 3–9,
-//! - [`storage`] — the analytic storage-overhead model of Figure 2 and
-//!   Table 1.
+//! - [`RunStats`] — every metric behind the paper's Figures 3–9.
+//!
+//! The analytic storage-overhead model of Figure 2 / Table 1 lives with
+//! the protocol it models, in `tsocc_proto::storage`.
 //!
 //! # Examples
 //!
 //! ```
-//! use tsocc::{Protocol, System, SystemConfig};
+//! use tsocc::{System, SystemConfig};
 //! use tsocc_isa::{Asm, Reg};
+//! use tsocc_protocols::Protocol;
 //!
 //! // One core stores then loads through the full memory system.
 //! let mut asm = Asm::new();
@@ -38,9 +43,8 @@
 
 pub mod config;
 pub mod stats;
-pub mod storage;
 pub mod system;
 
-pub use config::{Protocol, SystemConfig};
+pub use config::SystemConfig;
 pub use stats::RunStats;
 pub use system::{RunError, System};

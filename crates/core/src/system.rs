@@ -5,11 +5,9 @@ use tsocc_cpu::Core;
 use tsocc_isa::Program;
 use tsocc_mem::{Addr, MainMemory};
 use tsocc_noc::{Mesh, MeshTopology};
-use tsocc_mesi::{MesiL1, MesiL1Config, MesiL2, MesiL2Config};
-use tsocc_proto::{TsoCcL1, TsoCcL1Config, TsoCcL2, TsoCcL2Config};
 use tsocc_sim::{trace::TraceSink, Cycle};
 
-use crate::config::{Protocol, SystemConfig};
+use crate::config::SystemConfig;
 use crate::stats::RunStats;
 
 /// Why a run did not complete.
@@ -37,7 +35,10 @@ impl std::fmt::Display for RunError {
             RunError::Timeout { max_cycles } => {
                 write!(f, "run exceeded {max_cycles} cycles")
             }
-            RunError::Deadlock { stalled_at, cores_unfinished } => write!(
+            RunError::Deadlock {
+                stalled_at,
+                cores_unfinished,
+            } => write!(
                 f,
                 "deadlock at cycle {stalled_at} with {cores_unfinished} cores unfinished"
             ),
@@ -87,46 +88,17 @@ impl System {
             .enumerate()
             .map(|(i, p)| Core::new(i, p, cfg.core, cfg.seed.wrapping_add(i as u64 * 7919)))
             .collect();
+        let shape = cfg.shape();
         let l1s: Vec<Box<dyn L1Controller>> = (0..cfg.n_cores)
-            .map(|i| match cfg.protocol {
-                Protocol::Mesi => Box::new(MesiL1::new(MesiL1Config {
-                    id: i,
-                    n_tiles: cfg.n_tiles(),
-                    params: cfg.l1_params,
-                    issue_latency: 1,
-                })) as Box<dyn L1Controller>,
-                Protocol::TsoCc(proto) => Box::new(TsoCcL1::new(TsoCcL1Config {
-                    id: i,
-                    n_cores: cfg.n_cores,
-                    n_tiles: cfg.n_tiles(),
-                    params: cfg.l1_params,
-                    issue_latency: 1,
-                    proto,
-                })) as Box<dyn L1Controller>,
-            })
+            .map(|i| cfg.protocol.l1(i, &shape))
             .collect();
         let l2s: Vec<Box<dyn L2Controller>> = (0..cfg.n_tiles())
-            .map(|t| match cfg.protocol {
-                Protocol::Mesi => Box::new(MesiL2::new(MesiL2Config {
-                    tile: t,
-                    n_cores: cfg.n_cores,
-                    n_mem: cfg.n_mem,
-                    params: cfg.l2_params,
-                    latency: cfg.l2_latency,
-                })) as Box<dyn L2Controller>,
-                Protocol::TsoCc(proto) => Box::new(TsoCcL2::new(TsoCcL2Config {
-                    tile: t,
-                    n_cores: cfg.n_cores,
-                    n_mem: cfg.n_mem,
-                    params: cfg.l2_params,
-                    latency: cfg.l2_latency,
-                    proto,
-                })) as Box<dyn L2Controller>,
-            })
+            .map(|t| cfg.protocol.l2(t, &shape))
             .collect();
         let mems: Vec<MemCtrl> = (0..cfg.n_mem)
             .map(|j| MemCtrl::new(j, MainMemory::new(), cfg.mem_latency))
             .collect();
+        let mesh = Mesh::new(topo, cfg.noc);
         System {
             cfg,
             topo,
@@ -134,7 +106,7 @@ impl System {
             l1s,
             l2s,
             mems,
-            mesh: Mesh::new(topo, cfg.noc),
+            mesh,
             now: Cycle::ZERO,
             trace: TraceSink::disabled(),
         }

@@ -1,9 +1,10 @@
 use tsocc_isa::{Asm, Program, Reg};
 use tsocc_mem::Addr;
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 
 use super::*;
-use crate::config::{Protocol, SystemConfig};
+use crate::config::SystemConfig;
 
 fn all_protocols() -> Vec<Protocol> {
     Protocol::paper_configs()
@@ -178,8 +179,17 @@ fn capacity_evictions_preserve_data_all_protocols() {
 
         let (sys, stats) = run_programs(protocol, vec![a.finish()]);
         let expected: u64 = (1..=n_lines).sum();
-        assert_eq!(sys.core(0).thread().reg(Reg::R5), expected, "{}", protocol.name());
-        assert!(stats.l2.writebacks.get() > 0, "{}: evictions must occur", protocol.name());
+        assert_eq!(
+            sys.core(0).thread().reg(Reg::R5),
+            expected,
+            "{}",
+            protocol.name()
+        );
+        assert!(
+            stats.l2.writebacks.get() > 0,
+            "{}: evictions must occur",
+            protocol.name()
+        );
     }
 }
 
@@ -321,7 +331,11 @@ fn protocol_trace_records_message_flow() {
     sys.run(1_000_000).unwrap();
     let lines = sys.trace().lines();
     assert!(!lines.is_empty());
-    assert!(lines.iter().any(|l| l.contains("GetX")), "trace: {}", sys.trace().tail(10));
+    assert!(
+        lines.iter().any(|l| l.contains("GetX")),
+        "trace: {}",
+        sys.trace().tail(10)
+    );
     assert!(lines.iter().any(|l| l.contains("GetS")));
     assert!(lines.iter().any(|l| l.contains("MemRead")));
     assert!(lines.iter().any(|l| l.contains("Unblock")));

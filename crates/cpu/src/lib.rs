@@ -177,13 +177,14 @@ impl Core {
                         self.stats.rmw_latency.record(now - issued);
                         self.pending = Pending::None;
                     }
-                    ref other => panic!(
-                        "core {}: load completion while {:?}",
-                        self.id, other
-                    ),
+                    ref other => panic!("core {}: load completion while {:?}", self.id, other),
                 },
                 Completion::Store => {
-                    assert!(self.store_inflight, "core {}: spurious store completion", self.id);
+                    assert!(
+                        self.store_inflight,
+                        "core {}: spurious store completion",
+                        self.id
+                    );
                     self.store_inflight = false;
                     self.write_buffer.pop_front();
                 }
@@ -254,7 +255,11 @@ impl Core {
                 self.pending = Pending::DelayUntil(now + c as u64);
             }
             Effect::RandDelay(max) => {
-                let d = if max == 0 { 0 } else { self.rng.range(0, max as u64 + 1) };
+                let d = if max == 0 {
+                    0
+                } else {
+                    self.rng.range(0, max as u64 + 1)
+                };
                 self.pending = Pending::DelayUntil(now + d);
             }
             Effect::Mem(MemOp::Load { addr }) => {
@@ -294,14 +299,22 @@ impl Core {
         }
     }
 
-    fn issue_load(&mut self, now: Cycle, l1: &mut dyn L1Controller, addr: Addr, first_issued: Cycle) {
+    fn issue_load(
+        &mut self,
+        now: Cycle,
+        l1: &mut dyn L1Controller,
+        addr: Addr,
+        first_issued: Cycle,
+    ) {
         match l1.submit(now, CoreOp::Load(addr)) {
             Submit::Hit(value) => {
                 self.thread.complete_load(value);
                 self.pending = Pending::DelayUntil(now + self.cfg.l1_hit_latency);
             }
             Submit::Miss => {
-                self.pending = Pending::WaitLoad { issued: first_issued };
+                self.pending = Pending::WaitLoad {
+                    issued: first_issued,
+                };
             }
             Submit::Retry => {
                 self.pending = Pending::Resubmit {
@@ -312,7 +325,13 @@ impl Core {
         }
     }
 
-    fn issue_rmw(&mut self, now: Cycle, l1: &mut dyn L1Controller, addr: Addr, op: tsocc_isa::RmwOp) {
+    fn issue_rmw(
+        &mut self,
+        now: Cycle,
+        l1: &mut dyn L1Controller,
+        addr: Addr,
+        op: tsocc_isa::RmwOp,
+    ) {
         match l1.submit(now, CoreOp::Rmw(addr, op)) {
             Submit::Hit(old) => {
                 self.thread.complete_load(old);

@@ -197,7 +197,11 @@ fn fence_waits_for_drain() {
     let mut l1 = MockL1::missy(100);
     run(&mut core, &mut l1, 2000);
     // The fence must be performed after the store completed.
-    let fence_pos = l1.log.iter().position(|o| matches!(o, CoreOp::Fence)).unwrap();
+    let fence_pos = l1
+        .log
+        .iter()
+        .position(|o| matches!(o, CoreOp::Fence))
+        .unwrap();
     let store_pos = l1
         .log
         .iter()
@@ -221,7 +225,11 @@ fn rmw_drains_then_executes_atomically() {
     assert_eq!(core.thread().reg(Reg::R3), 0, "old value");
     assert_eq!(l1.mem[&0x400], 1);
     // RMW must be ordered after the buffered store drained.
-    let rmw_pos = l1.log.iter().position(|o| matches!(o, CoreOp::Rmw(..))).unwrap();
+    let rmw_pos = l1
+        .log
+        .iter()
+        .position(|o| matches!(o, CoreOp::Rmw(..)))
+        .unwrap();
     let store_pos = l1
         .log
         .iter()

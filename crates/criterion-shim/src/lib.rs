@@ -1,0 +1,205 @@
+#![warn(missing_docs)]
+
+//! A minimal, dependency-free stand-in for [criterion.rs] so `cargo
+//! bench` works offline.
+//!
+//! Only the API subset used by the `tsocc-bench` benches is provided:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Measurement is deliberately simple — a short warm-up, then a
+//! fixed number of timed samples — and reports the per-iteration median
+//! and min/max to stdout. For statistically rigorous numbers, point the
+//! `criterion` dependency of `tsocc-bench` back at the registry crate;
+//! no bench source changes are needed.
+//!
+//! [criterion.rs]: https://github.com/bheisler/criterion.rs
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark (each sample times one batch).
+const SAMPLES: usize = 11;
+/// Target wall-clock budget per benchmark; batch sizes adapt to it.
+const TARGET: Duration = Duration::from_millis(300);
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Drives the iteration loop of one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, calling it repeatedly: a calibration pass picks a
+    /// batch size aiming at [`TARGET`] total, then [`SAMPLES`] batches
+    /// are timed.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: time one call to size the batches.
+        let t0 = Instant::now();
+        std_black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = TARGET / (SAMPLES as u32);
+        self.iters_per_sample =
+            (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<48} time: [{} {} {}]  ({} iters x {} samples)",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi),
+            self.iters_per_sample,
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver (criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        b.report(&name);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { name, _c: self }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Expands to `main`, running every group, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert_eq!(b.samples.len(), SAMPLES);
+        assert!(b.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn group_runs_functions() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| {
+            b.iter(|| black_box(2 + 2));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -65,10 +65,7 @@ impl Asm {
     ///
     /// Panics if the label was already bound.
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.labels[label.0].is_none(),
-            "label bound twice"
-        );
+        assert!(self.labels[label.0].is_none(), "label bound twice");
         self.labels[label.0] = Some(self.instrs.len());
     }
 
@@ -86,7 +83,12 @@ impl Asm {
 
     /// `rd = rs` (encoded as `rd = rs + 0`).
     pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
-        self.push(Instr::Alui { op: AluOp::Add, rd, ra: rs, imm: 0 })
+        self.push(Instr::Alui {
+            op: AluOp::Add,
+            rd,
+            ra: rs,
+            imm: 0,
+        })
     }
 
     /// `rd = op(ra, rb)`
@@ -101,42 +103,82 @@ impl Asm {
 
     /// `rd = ra + imm`
     pub fn addi(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::Alui { op: AluOp::Add, rd, ra, imm })
+        self.push(Instr::Alui {
+            op: AluOp::Add,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra - imm`
     pub fn subi(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::Alui { op: AluOp::Sub, rd, ra, imm })
+        self.push(Instr::Alui {
+            op: AluOp::Sub,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra * imm`
     pub fn muli(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::Alui { op: AluOp::Mul, rd, ra, imm })
+        self.push(Instr::Alui {
+            op: AluOp::Mul,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra & imm`
     pub fn andi(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::Alui { op: AluOp::And, rd, ra, imm })
+        self.push(Instr::Alui {
+            op: AluOp::And,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra ^ imm`
     pub fn xori(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::Alui { op: AluOp::Xor, rd, ra, imm })
+        self.push(Instr::Alui {
+            op: AluOp::Xor,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra % imm` (imm 0 ⇒ identity).
     pub fn remi(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::Alui { op: AluOp::Rem, rd, ra, imm })
+        self.push(Instr::Alui {
+            op: AluOp::Rem,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra << imm`
     pub fn shli(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::Alui { op: AluOp::Shl, rd, ra, imm })
+        self.push(Instr::Alui {
+            op: AluOp::Shl,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     /// `rd = ra >> imm` (logical)
     pub fn shri(&mut self, rd: Reg, ra: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::Alui { op: AluOp::Shr, rd, ra, imm })
+        self.push(Instr::Alui {
+            op: AluOp::Shr,
+            rd,
+            ra,
+            imm,
+        })
     }
 
     // ---- memory --------------------------------------------------------
@@ -148,7 +190,11 @@ impl Asm {
 
     /// `rd = mem[addr]` for a constant address (uses R0 as base).
     pub fn load_abs(&mut self, rd: Reg, addr: u64) -> &mut Self {
-        self.push(Instr::Load { rd, base: Reg::R0, offset: addr })
+        self.push(Instr::Load {
+            rd,
+            base: Reg::R0,
+            offset: addr,
+        })
     }
 
     /// `mem[base + offset] = rs`
@@ -158,22 +204,42 @@ impl Asm {
 
     /// `mem[addr] = rs` for a constant address.
     pub fn store_abs(&mut self, rs: Reg, addr: u64) -> &mut Self {
-        self.push(Instr::Store { rs, base: Reg::R0, offset: addr })
+        self.push(Instr::Store {
+            rs,
+            base: Reg::R0,
+            offset: addr,
+        })
     }
 
     /// `rd = CAS(mem[base+offset], expected, new)`; rd gets the old value.
     pub fn cas(&mut self, rd: Reg, base: Reg, offset: u64, expected: Reg, new: Reg) -> &mut Self {
-        self.push(Instr::Cas { rd, base, offset, expected, new })
+        self.push(Instr::Cas {
+            rd,
+            base,
+            offset,
+            expected,
+            new,
+        })
     }
 
     /// `rd = fetch_add(mem[base+offset], rs)`
     pub fn fetch_add(&mut self, rd: Reg, base: Reg, offset: u64, rs: Reg) -> &mut Self {
-        self.push(Instr::FetchAdd { rd, base, offset, rs })
+        self.push(Instr::FetchAdd {
+            rd,
+            base,
+            offset,
+            rs,
+        })
     }
 
     /// `rd = swap(mem[base+offset], rs)`
     pub fn swap(&mut self, rd: Reg, base: Reg, offset: u64, rs: Reg) -> &mut Self {
-        self.push(Instr::Swap { rd, base, offset, rs })
+        self.push(Instr::Swap {
+            rd,
+            base,
+            offset,
+            rs,
+        })
     }
 
     /// Full fence (`mfence`).
@@ -186,7 +252,12 @@ impl Asm {
     /// Branch to `label` if `cond(ra, rb)`.
     pub fn branch(&mut self, cond: Cond, ra: Reg, rb: Reg, label: Label) -> &mut Self {
         self.patches.push((self.instrs.len(), label));
-        self.push(Instr::Branch { cond, ra, rb, target: usize::MAX })
+        self.push(Instr::Branch {
+            cond,
+            ra,
+            rb,
+            target: usize::MAX,
+        })
     }
 
     /// Branch if `ra == rb`.

@@ -17,10 +17,38 @@ use std::fmt;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)] // the 32 registers are self-describing
 pub enum Reg {
-    R0, R1, R2, R3, R4, R5, R6, R7,
-    R8, R9, R10, R11, R12, R13, R14, R15,
-    R16, R17, R18, R19, R20, R21, R22, R23,
-    R24, R25, R26, R27, R28, R29, R30, R31,
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    R16,
+    R17,
+    R18,
+    R19,
+    R20,
+    R21,
+    R22,
+    R23,
+    R24,
+    R25,
+    R26,
+    R27,
+    R28,
+    R29,
+    R30,
+    R31,
 }
 
 impl Reg {
@@ -39,10 +67,38 @@ impl Reg {
     /// Panics if `i >= 32`.
     pub fn from_index(i: usize) -> Reg {
         const ALL: [Reg; 32] = [
-            Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7,
-            Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15,
-            Reg::R16, Reg::R17, Reg::R18, Reg::R19, Reg::R20, Reg::R21, Reg::R22, Reg::R23,
-            Reg::R24, Reg::R25, Reg::R26, Reg::R27, Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+            Reg::R0,
+            Reg::R1,
+            Reg::R2,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R7,
+            Reg::R8,
+            Reg::R9,
+            Reg::R10,
+            Reg::R11,
+            Reg::R12,
+            Reg::R13,
+            Reg::R14,
+            Reg::R15,
+            Reg::R16,
+            Reg::R17,
+            Reg::R18,
+            Reg::R19,
+            Reg::R20,
+            Reg::R21,
+            Reg::R22,
+            Reg::R23,
+            Reg::R24,
+            Reg::R25,
+            Reg::R26,
+            Reg::R27,
+            Reg::R28,
+            Reg::R29,
+            Reg::R30,
+            Reg::R31,
         ];
         ALL[i]
     }
@@ -180,24 +236,55 @@ pub enum Instr {
     /// `rd = imm`
     Movi { rd: Reg, imm: u64 },
     /// `rd = op(ra, rb)`
-    Alu { op: AluOp, rd: Reg, ra: Reg, rb: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
     /// `rd = op(ra, imm)`
-    Alui { op: AluOp, rd: Reg, ra: Reg, imm: u64 },
+    Alui {
+        op: AluOp,
+        rd: Reg,
+        ra: Reg,
+        imm: u64,
+    },
     /// `rd = mem[ra + offset]`
     Load { rd: Reg, base: Reg, offset: u64 },
     /// `mem[ra + offset] = rs`
     Store { rs: Reg, base: Reg, offset: u64 },
     /// Atomic RMW on `mem[base + offset]`; `rd` receives the old value.
     /// `expected`/`operand` come from registers at issue time.
-    Cas { rd: Reg, base: Reg, offset: u64, expected: Reg, new: Reg },
+    Cas {
+        rd: Reg,
+        base: Reg,
+        offset: u64,
+        expected: Reg,
+        new: Reg,
+    },
     /// `rd = fetch_add(mem[base+offset], rs)`
-    FetchAdd { rd: Reg, base: Reg, offset: u64, rs: Reg },
+    FetchAdd {
+        rd: Reg,
+        base: Reg,
+        offset: u64,
+        rs: Reg,
+    },
     /// `rd = swap(mem[base+offset], rs)`
-    Swap { rd: Reg, base: Reg, offset: u64, rs: Reg },
+    Swap {
+        rd: Reg,
+        base: Reg,
+        offset: u64,
+        rs: Reg,
+    },
     /// Full memory fence (x86 `mfence`).
     Fence,
     /// Conditional branch to absolute instruction index.
-    Branch { cond: Cond, ra: Reg, rb: Reg, target: usize },
+    Branch {
+        cond: Cond,
+        ra: Reg,
+        rb: Reg,
+        target: usize,
+    },
     /// Unconditional jump to absolute instruction index.
     Jump { target: usize },
     /// Stall the thread for `cycles` cycles (models local compute).
@@ -251,8 +338,22 @@ mod tests {
 
     #[test]
     fn rmw_semantics() {
-        assert_eq!(RmwOp::Cas { expected: 0, new: 1 }.apply(0), 1);
-        assert_eq!(RmwOp::Cas { expected: 0, new: 1 }.apply(7), 7);
+        assert_eq!(
+            RmwOp::Cas {
+                expected: 0,
+                new: 1
+            }
+            .apply(0),
+            1
+        );
+        assert_eq!(
+            RmwOp::Cas {
+                expected: 0,
+                new: 1
+            }
+            .apply(7),
+            7
+        );
         assert_eq!(RmwOp::FetchAdd { operand: 5 }.apply(10), 15);
         assert_eq!(RmwOp::Swap { operand: 9 }.apply(1), 9);
     }

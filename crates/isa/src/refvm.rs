@@ -68,8 +68,8 @@ pub fn run_ref(
             Effect::Continue | Effect::Delay(_) | Effect::RandDelay(_) => {}
             Effect::Halted => {
                 let mut regs = [0u64; Reg::COUNT];
-                for i in 0..Reg::COUNT {
-                    regs[i] = t.reg(Reg::from_index(i));
+                for (i, r) in regs.iter_mut().enumerate() {
+                    *r = t.reg(Reg::from_index(i));
                 }
                 return Ok(regs);
             }

@@ -217,7 +217,13 @@ impl ThreadState {
                 self.pc += 1;
                 Effect::Mem(MemOp::Store { addr, value })
             }
-            Instr::Cas { rd, base, offset, expected, new } => {
+            Instr::Cas {
+                rd,
+                base,
+                offset,
+                expected,
+                new,
+            } => {
                 let addr = self.mem_addr(base, offset);
                 let op = RmwOp::Cas {
                     expected: self.reg(expected),
@@ -227,16 +233,30 @@ impl ThreadState {
                 self.pc += 1;
                 Effect::Mem(MemOp::Rmw { addr, op })
             }
-            Instr::FetchAdd { rd, base, offset, rs } => {
+            Instr::FetchAdd {
+                rd,
+                base,
+                offset,
+                rs,
+            } => {
                 let addr = self.mem_addr(base, offset);
-                let op = RmwOp::FetchAdd { operand: self.reg(rs) };
+                let op = RmwOp::FetchAdd {
+                    operand: self.reg(rs),
+                };
                 self.pending_rd = Some(rd);
                 self.pc += 1;
                 Effect::Mem(MemOp::Rmw { addr, op })
             }
-            Instr::Swap { rd, base, offset, rs } => {
+            Instr::Swap {
+                rd,
+                base,
+                offset,
+                rs,
+            } => {
                 let addr = self.mem_addr(base, offset);
-                let op = RmwOp::Swap { operand: self.reg(rs) };
+                let op = RmwOp::Swap {
+                    operand: self.reg(rs),
+                };
                 self.pending_rd = Some(rd);
                 self.pc += 1;
                 Effect::Mem(MemOp::Rmw { addr, op })
@@ -245,7 +265,12 @@ impl ThreadState {
                 self.pc += 1;
                 Effect::Mem(MemOp::Fence)
             }
-            Instr::Branch { cond, ra, rb, target } => {
+            Instr::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 if cond.holds(self.reg(ra), self.reg(rb)) {
                     self.pc = target;
                 } else {
@@ -274,7 +299,11 @@ impl ThreadState {
 
     fn mem_addr(&self, base: Reg, offset: u64) -> u64 {
         let addr = self.reg(base).wrapping_add(offset);
-        assert!(addr % 8 == 0, "unaligned memory operand 0x{addr:x} at pc {}", self.pc);
+        assert!(
+            addr.is_multiple_of(8),
+            "unaligned memory operand 0x{addr:x} at pc {}",
+            self.pc
+        );
         addr
     }
 }

@@ -94,8 +94,7 @@ proptest! {
 
 #[test]
 fn program_rejects_dangling_branch_targets() {
-    let result = std::panic::catch_unwind(|| {
-        Program::new(vec![Instr::Jump { target: 5 }, Instr::Halt])
-    });
+    let result =
+        std::panic::catch_unwind(|| Program::new(vec![Instr::Jump { target: 5 }, Instr::Halt]));
     assert!(result.is_err(), "target past end+1 must be rejected");
 }

@@ -54,7 +54,7 @@ impl Addr {
     /// Whether this address is 8-byte aligned (required for word ops).
     #[inline]
     pub const fn is_word_aligned(self) -> bool {
-        self.0 % 8 == 0
+        self.0.is_multiple_of(8)
     }
 
     /// Byte offset from this address.

@@ -38,7 +38,10 @@ impl CacheParams {
     ///
     /// Panics if `sets` is zero or not a power of two, or if `ways` is 0.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be positive");
         CacheParams { sets, ways }
     }
@@ -50,7 +53,10 @@ impl CacheParams {
     /// Panics if the derived set count is not a positive power of two.
     pub fn from_capacity(bytes: usize, ways: usize) -> Self {
         let lines = bytes / crate::addr::LINE_BYTES as usize;
-        assert!(ways > 0 && lines >= ways, "capacity too small for associativity");
+        assert!(
+            ways > 0 && lines >= ways,
+            "capacity too small for associativity"
+        );
         CacheParams::new(lines / ways, ways)
     }
 
@@ -178,7 +184,9 @@ impl<T> CacheArray<T> {
     /// Mutable access without touching recency (for sweeps/metadata).
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut T> {
         let set = &mut self.sets[self.params.set_of(line)];
-        set.iter_mut().find(|s| s.line == line).map(|s| &mut s.entry)
+        set.iter_mut()
+            .find(|s| s.line == line)
+            .map(|s| &mut s.entry)
     }
 
     /// Installs `entry` for `line`, evicting the least-recently-used

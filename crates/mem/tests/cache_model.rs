@@ -98,11 +98,11 @@ proptest! {
                     prop_assert_eq!(cache.lookup(line).copied(), model.lookup(l));
                 }
                 Op::Insert(l, v) => {
-                    if model.data.contains_key(&l) {
+                    if let Some(mv) = model.data.get_mut(&l) {
                         // The array forbids double insertion; update in
                         // place through the same path controllers use.
                         *cache.peek_mut(LineAddr::new(l)).expect("resident") = v;
-                        model.data.insert(l, v);
+                        *mv = v;
                         continue;
                     }
                     let outcome = cache.insert(LineAddr::new(l), v, 0, |_, _| true);

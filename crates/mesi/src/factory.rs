@@ -1,0 +1,62 @@
+//! The MESI [`ProtocolFactory`]: how the baseline registers itself with
+//! the protocol-agnostic system assembly.
+
+use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
+
+use crate::{MesiL1, MesiL1Config, MesiL2, MesiL2Config};
+
+/// Builds MESI L1/L2 controllers for any machine shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MesiFactory;
+
+impl ProtocolFactory for MesiFactory {
+    fn protocol_name(&self) -> String {
+        "MESI".to_string()
+    }
+
+    fn l1(&self, core: usize, shape: &MachineShape) -> Box<dyn L1Controller> {
+        Box::new(MesiL1::new(MesiL1Config {
+            id: core,
+            n_tiles: shape.n_tiles,
+            params: shape.l1_params,
+            issue_latency: shape.l1_issue_latency,
+        }))
+    }
+
+    fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller> {
+        Box::new(MesiL2::new(MesiL2Config {
+            tile,
+            n_cores: shape.n_cores,
+            n_mem: shape.n_mem,
+            params: shape.l2_params,
+            latency: shape.l2_latency,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsocc_mem::CacheParams;
+
+    fn shape() -> MachineShape {
+        MachineShape {
+            n_cores: 4,
+            n_tiles: 4,
+            n_mem: 2,
+            l1_params: CacheParams::new(8, 2),
+            l2_params: CacheParams::new(16, 4),
+            l1_issue_latency: 1,
+            l2_latency: 4,
+        }
+    }
+
+    #[test]
+    fn builds_quiescent_controllers() {
+        let f = MesiFactory;
+        assert_eq!(f.protocol_name(), "MESI");
+        let shape = shape();
+        assert!(f.l1(0, &shape).is_quiescent());
+        assert!(f.l2(3, &shape).is_quiescent());
+    }
+}

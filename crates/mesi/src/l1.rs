@@ -199,9 +199,17 @@ impl MesiL1 {
                     // (the directory serialized our read before the
                     // write that invalidated).
                     if ack_required {
-                        self.send(now, self.home(line), Msg::Unblock { line, from: self.cfg.id });
+                        self.send(
+                            now,
+                            self.home(line),
+                            Msg::Unblock {
+                                line,
+                                from: self.cfg.id,
+                            },
+                        );
                     }
-                    self.completions.push(Completion::Load(data.read_word(word)));
+                    self.completions
+                        .push(Completion::Load(data.read_word(word)));
                     return;
                 }
                 (state, Completion::Load(data.read_word(word)))
@@ -233,13 +241,25 @@ impl MesiL1 {
                     self.send(
                         now,
                         self.home(line),
-                        Msg::PutM { line, data, ts: Ts::INVALID, epoch: Epoch::ZERO },
+                        Msg::PutM {
+                            line,
+                            data,
+                            ts: Ts::INVALID,
+                            epoch: Epoch::ZERO,
+                        },
                     );
                 }
             }
         }
         if ack_required {
-            self.send(now, self.home(line), Msg::Unblock { line, from: self.cfg.id });
+            self.send(
+                now,
+                self.home(line),
+                Msg::Unblock {
+                    line,
+                    from: self.cfg.id,
+                },
+            );
         }
         self.completions.push(completion);
     }
@@ -265,10 +285,7 @@ impl CacheController for MesiL1 {
                     data
                 } else {
                     // Upgrade grant: our resident Shared copy is valid.
-                    self.cache
-                        .peek(line)
-                        .map(|l| l.data)
-                        .unwrap_or(data)
+                    self.cache.peek(line).map(|l| l.data).unwrap_or(data)
                 };
                 entry.data = Some((grant, data, ack_required));
                 entry.acks_expected = Some(acks_expected);
@@ -376,7 +393,10 @@ impl CacheController for MesiL1 {
                     },
                 );
             }
-            Msg::Inv { line, ack_to_requester } => {
+            Msg::Inv {
+                line,
+                ack_to_requester,
+            } => {
                 if let Some(l) = self.cache.peek(line) {
                     debug_assert_eq!(l.state, State::Shared, "Inv must target shared copies");
                     self.cache.remove(line);
@@ -389,13 +409,23 @@ impl CacheController for MesiL1 {
                 match ack_to_requester {
                     Some(r) => {
                         debug_assert_ne!(r, self.cfg.id);
-                        self.send(now, Agent::L1(r), Msg::InvAck { line, from: self.cfg.id });
+                        self.send(
+                            now,
+                            Agent::L1(r),
+                            Msg::InvAck {
+                                line,
+                                from: self.cfg.id,
+                            },
+                        );
                     }
                     None => {
                         self.send(
                             now,
                             self.home(line),
-                            Msg::InvAckToL2 { line, from: self.cfg.id },
+                            Msg::InvAckToL2 {
+                                line,
+                                from: self.cfg.id,
+                            },
                         );
                     }
                 }

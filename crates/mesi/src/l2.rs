@@ -172,7 +172,14 @@ impl MesiL2 {
         match old.state {
             State::Idle => {
                 if old.dirty {
-                    self.send(now, self.mem(), Msg::MemWrite { line: victim, data: old.data });
+                    self.send(
+                        now,
+                        self.mem(),
+                        Msg::MemWrite {
+                            line: victim,
+                            data: old.data,
+                        },
+                    );
                 }
             }
             State::Shared => {
@@ -182,14 +189,24 @@ impl MesiL2 {
                         self.send(
                             now,
                             Agent::L1(core),
-                            Msg::Inv { line: victim, ack_to_requester: None },
+                            Msg::Inv {
+                                line: victim,
+                                ack_to_requester: None,
+                            },
                         );
                         acks += 1;
                     }
                 }
                 if acks == 0 {
                     if old.dirty {
-                        self.send(now, self.mem(), Msg::MemWrite { line: victim, data: old.data });
+                        self.send(
+                            now,
+                            self.mem(),
+                            Msg::MemWrite {
+                                line: victim,
+                                data: old.data,
+                            },
+                        );
                     }
                     return;
                 }
@@ -376,7 +393,10 @@ impl MesiL2 {
                         self.send(
                             now,
                             Agent::L1(core),
-                            Msg::Inv { line, ack_to_requester: Some(requester) },
+                            Msg::Inv {
+                                line,
+                                ack_to_requester: Some(requester),
+                            },
                         );
                         acks += 1;
                     }
@@ -445,7 +465,9 @@ impl CacheController for MesiL2 {
                 busy.need_unblock = false;
                 self.maybe_finish(line);
             }
-            Msg::DowngradeData { line, data, dirty, .. } => {
+            Msg::DowngradeData {
+                line, data, dirty, ..
+            } => {
                 let busy = self
                     .busy
                     .get_mut(&line)
@@ -467,17 +489,35 @@ impl CacheController for MesiL2 {
                 }
                 self.maybe_finish(line);
             }
-            Msg::RecallData { line, data, dirty, .. } => {
+            Msg::RecallData {
+                line, data, dirty, ..
+            } => {
                 let busy = self
                     .busy
                     .remove(&line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray RecallData {line}", self.cfg.tile));
-                let BusyKind::Dying { data: old_data, dirty: old_dirty, .. } = busy.kind else {
+                let BusyKind::Dying {
+                    data: old_data,
+                    dirty: old_dirty,
+                    ..
+                } = busy.kind
+                else {
                     panic!("L2[{}]: RecallData outside Dying", self.cfg.tile);
                 };
-                let (wb_data, wb_dirty) = if dirty { (data, true) } else { (old_data, old_dirty) };
+                let (wb_data, wb_dirty) = if dirty {
+                    (data, true)
+                } else {
+                    (old_data, old_dirty)
+                };
                 if wb_dirty {
-                    self.send(now, self.mem(), Msg::MemWrite { line, data: wb_data });
+                    self.send(
+                        now,
+                        self.mem(),
+                        Msg::MemWrite {
+                            line,
+                            data: wb_data,
+                        },
+                    );
                 }
                 self.replay.extend(busy.waiting);
             }
@@ -486,7 +526,13 @@ impl CacheController for MesiL2 {
                     .busy
                     .get_mut(&line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray InvAckToL2 {line}", self.cfg.tile));
-                let BusyKind::Dying { ref mut acks_left, data, dirty, .. } = busy.kind else {
+                let BusyKind::Dying {
+                    ref mut acks_left,
+                    data,
+                    dirty,
+                    ..
+                } = busy.kind
+                else {
                     panic!("L2[{}]: InvAckToL2 outside Dying", self.cfg.tile);
                 };
                 *acks_left -= 1;

@@ -21,9 +21,11 @@
 //! remains available to serve forwards until the home tile acknowledges
 //! the PUT.
 
+mod factory;
 mod l1;
 mod l2;
 
+pub use factory::MesiFactory;
 pub use l1::{MesiL1, MesiL1Config};
 pub use l2::{MesiL2, MesiL2Config};
 

@@ -3,8 +3,7 @@
 //! individual transactions can be inspected deterministically.
 
 use tsocc_coherence::{
-    Agent, CacheController, Completion, CoreOp, L1Controller, L2Controller, MemCtrl, NetMsg,
-    Submit,
+    Agent, CacheController, Completion, CoreOp, L1Controller, L2Controller, MemCtrl, NetMsg, Submit,
 };
 use tsocc_isa::RmwOp;
 use tsocc_mem::{Addr, CacheParams, MainMemory};
@@ -143,7 +142,10 @@ fn upgrade_invalidates_sharers() {
     // Core 1 upgrades: cores 0 and 2 must lose their Shared copies.
     h.store(1, 0x40, 9);
     assert!(
-        matches!(h.l1s[0].submit(h.now, CoreOp::Load(Addr::new(0x40))), Submit::Miss),
+        matches!(
+            h.l1s[0].submit(h.now, CoreOp::Load(Addr::new(0x40))),
+            Submit::Miss
+        ),
         "core 0's Shared copy must be invalidated"
     );
     // Drain core 0's new transaction and check it sees the new value.
@@ -161,7 +163,10 @@ fn upgrade_invalidates_sharers() {
 fn rmw_is_atomic_and_returns_old_value() {
     let mut h = Harness::new(2);
     h.store(0, 0x80, 10);
-    let old = h.run_op(1, CoreOp::Rmw(Addr::new(0x80), RmwOp::FetchAdd { operand: 5 }));
+    let old = h.run_op(
+        1,
+        CoreOp::Rmw(Addr::new(0x80), RmwOp::FetchAdd { operand: 5 }),
+    );
     assert_eq!(old, 10);
     assert_eq!(h.load(0, 0x80), 15);
 }
@@ -172,7 +177,13 @@ fn failed_cas_leaves_value() {
     h.store(0, 0x80, 3);
     let old = h.run_op(
         1,
-        CoreOp::Rmw(Addr::new(0x80), RmwOp::Cas { expected: 99, new: 1 }),
+        CoreOp::Rmw(
+            Addr::new(0x80),
+            RmwOp::Cas {
+                expected: 99,
+                new: 1,
+            },
+        ),
     );
     assert_eq!(old, 3);
     assert_eq!(h.load(0, 0x80), 3, "failed CAS must not write");
@@ -208,7 +219,10 @@ fn l2_eviction_recalls_private_line() {
 #[test]
 fn fence_is_a_local_no_op_for_mesi() {
     let mut h = Harness::new(1);
-    assert!(matches!(h.l1s[0].submit(h.now, CoreOp::Fence), Submit::Hit(0)));
+    assert!(matches!(
+        h.l1s[0].submit(h.now, CoreOp::Fence),
+        Submit::Hit(0)
+    ));
     assert_eq!(L1Controller::stats(&h.l1s[0]).selfinv_total(), 0);
 }
 

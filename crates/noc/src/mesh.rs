@@ -145,7 +145,10 @@ impl<M> Mesh<M> {
     ///
     /// Panics if `src`/`dst` are out of range or `flits == 0`.
     pub fn send(&mut self, now: Cycle, src: usize, dst: usize, vnet: VNet, flits: u32, payload: M) {
-        assert!(src < self.topo.nodes() && dst < self.topo.nodes(), "router out of range");
+        assert!(
+            src < self.topo.nodes() && dst < self.topo.nodes(),
+            "router out of range"
+        );
         assert!(flits > 0, "messages carry at least one flit");
         self.stats.messages[vnet.index()].inc();
         self.stats.flits_injected.add(flits as u64);
@@ -166,7 +169,7 @@ impl<M> Mesh<M> {
                 self.stats.contention_cycles.add(start - t);
                 // The link is serialized: it cannot accept the next
                 // message until all flits of this one have left.
-                let done = start + flits as u64 * 1;
+                let done = start + flits as u64;
                 self.link_busy.insert(key, done);
                 t = done + self.cfg.link_latency + self.cfg.router_latency;
             }
@@ -263,7 +266,11 @@ mod tests {
         let got = drain_all(&mut m, 100);
         let t1 = got.iter().find(|g| g.2 == 1).unwrap().0;
         let t2 = got.iter().find(|g| g.2 == 2).unwrap().0;
-        assert_eq!(t2 - t1, 5, "second message waits out 5 flits of serialization");
+        assert_eq!(
+            t2 - t1,
+            5,
+            "second message waits out 5 flits of serialization"
+        );
         assert!(m.stats().contention_cycles.get() >= 5);
     }
 

@@ -44,7 +44,7 @@ impl MeshTopology {
         let mut rows = 1usize;
         let mut r = 1usize;
         while r * r <= n {
-            if n % r == 0 {
+            if n.is_multiple_of(r) {
                 rows = r;
             }
             r *= 2;
@@ -83,7 +83,10 @@ impl MeshTopology {
     ///
     /// Panics if out of range.
     pub fn node_at(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of range"
+        );
         row * self.cols + col
     }
 

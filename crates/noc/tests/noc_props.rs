@@ -9,7 +9,11 @@ fn drain(mesh: &mut Mesh<usize>) -> Vec<(u64, usize, usize)> {
     let mut out = Vec::new();
     let mut t = 0u64;
     while !mesh.is_idle() {
-        t = mesh.next_arrival().map(|c| c.as_u64()).unwrap_or(t + 1).max(t);
+        t = mesh
+            .next_arrival()
+            .map(|c| c.as_u64())
+            .unwrap_or(t + 1)
+            .max(t);
         for (dst, id) in mesh.deliver(Cycle::new(t)) {
             out.push((t, dst, id));
         }

@@ -1,0 +1,119 @@
+#![warn(missing_docs)]
+
+//! Protocol registry: one convenient enum over every built-in
+//! [`ProtocolFactory`].
+//!
+//! The system assembly (`tsocc` crate) is protocol-agnostic — it builds
+//! controllers through a [`ProtocolHandle`] and never names MESI or
+//! TSO-CC. This crate sits on the *other* side of that seam: it depends
+//! on every concrete protocol crate and packages them behind the closed
+//! [`Protocol`] enum that tests, examples and the evaluation harness
+//! use to enumerate configurations (e.g. [`Protocol::paper_configs`]).
+//!
+//! `Protocol` itself implements [`ProtocolFactory`], so any API that
+//! accepts `impl Into<ProtocolHandle>` accepts a `Protocol` directly:
+//!
+//! ```
+//! use tsocc_coherence::ProtocolHandle;
+//! use tsocc_protocols::Protocol;
+//!
+//! let handle: ProtocolHandle = Protocol::Mesi.into();
+//! assert_eq!(handle.protocol_name(), "MESI");
+//! # use tsocc_coherence::ProtocolFactory;
+//! ```
+//!
+//! A protocol living outside this enum needs no registration: implement
+//! `ProtocolFactory` in its own crate and pass the factory wherever a
+//! `Protocol` would go.
+
+use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
+use tsocc_mesi::MesiFactory;
+use tsocc_proto::{TsoCcConfig, TsoCcFactory};
+
+/// Which coherence protocol the system runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// The MESI directory baseline with a full sharing vector.
+    Mesi,
+    /// TSO-CC in any of its configurations (§4.2); includes
+    /// CC-shared-to-L2 via [`TsoCcConfig::cc_shared_to_l2`].
+    TsoCc(TsoCcConfig),
+}
+
+impl Protocol {
+    /// The paper's name for this configuration (Figure 3 legend).
+    pub fn name(&self) -> String {
+        match self {
+            Protocol::Mesi => "MESI".to_string(),
+            Protocol::TsoCc(cfg) => cfg.name(),
+        }
+    }
+
+    /// All seven configurations evaluated in the paper, in figure
+    /// order.
+    pub fn paper_configs() -> Vec<Protocol> {
+        vec![
+            Protocol::Mesi,
+            Protocol::TsoCc(TsoCcConfig::cc_shared_to_l2()),
+            Protocol::TsoCc(TsoCcConfig::basic()),
+            Protocol::TsoCc(TsoCcConfig::noreset()),
+            Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+            Protocol::TsoCc(TsoCcConfig::realistic(12, 0)),
+            Protocol::TsoCc(TsoCcConfig::realistic(9, 3)),
+        ]
+    }
+}
+
+impl ProtocolFactory for Protocol {
+    fn protocol_name(&self) -> String {
+        self.name()
+    }
+
+    fn l1(&self, core: usize, shape: &MachineShape) -> Box<dyn L1Controller> {
+        match self {
+            Protocol::Mesi => MesiFactory.l1(core, shape),
+            Protocol::TsoCc(cfg) => TsoCcFactory::new(*cfg).l1(core, shape),
+        }
+    }
+
+    fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller> {
+        match self {
+            Protocol::Mesi => MesiFactory.l2(tile, shape),
+            Protocol::TsoCc(cfg) => TsoCcFactory::new(*cfg).l2(tile, shape),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_seven_with_unique_names() {
+        let configs = Protocol::paper_configs();
+        assert_eq!(configs.len(), 7);
+        let mut names: Vec<String> = configs.iter().map(|c| c.name()).collect();
+        assert_eq!(names[0], "MESI");
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 7, "names must be distinct");
+    }
+
+    #[test]
+    fn enum_delegates_to_concrete_factories() {
+        use tsocc_mem::CacheParams;
+        let shape = MachineShape {
+            n_cores: 2,
+            n_tiles: 2,
+            n_mem: 1,
+            l1_params: CacheParams::new(8, 2),
+            l2_params: CacheParams::new(16, 4),
+            l1_issue_latency: 1,
+            l2_latency: 4,
+        };
+        for p in Protocol::paper_configs() {
+            assert!(p.l1(0, &shape).is_quiescent(), "{}", p.name());
+            assert!(p.l2(1, &shape).is_quiescent(), "{}", p.name());
+        }
+    }
+}

@@ -151,7 +151,10 @@ impl fmt::Display for Histogram {
         write!(
             f,
             "n={} mean={:.2} min={:?} max={:?}",
-            self.count, self.mean(), self.min, self.max
+            self.count,
+            self.mean(),
+            self.min,
+            self.max
         )
     }
 }

@@ -166,10 +166,16 @@ mod tests {
 
     #[test]
     fn ts_params_arithmetic() {
-        let p = TsParams { ts_bits: 12, write_group_bits: 3 };
+        let p = TsParams {
+            ts_bits: 12,
+            write_group_bits: 3,
+        };
         assert_eq!(p.max_ts(), 4095);
         assert_eq!(p.group_size(), 8);
-        let huge = TsParams { ts_bits: 62, write_group_bits: 0 };
+        let huge = TsParams {
+            ts_bits: 62,
+            write_group_bits: 0,
+        };
         assert!(huge.max_ts() > 1u64 << 61);
         assert_eq!(huge.group_size(), 1);
     }

@@ -1,0 +1,72 @@
+//! The TSO-CC [`ProtocolFactory`]: how the paper's protocol registers
+//! itself with the protocol-agnostic system assembly.
+
+use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
+
+use crate::{TsoCcConfig, TsoCcL1, TsoCcL1Config, TsoCcL2, TsoCcL2Config};
+
+/// Builds TSO-CC L1/L2 controllers, in any §4.2 configuration, for any
+/// machine shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TsoCcFactory {
+    /// Protocol parameters (timestamp widths, access budget, …).
+    pub proto: TsoCcConfig,
+}
+
+impl TsoCcFactory {
+    /// A factory for one §4.2 configuration.
+    pub fn new(proto: TsoCcConfig) -> Self {
+        TsoCcFactory { proto }
+    }
+}
+
+impl ProtocolFactory for TsoCcFactory {
+    fn protocol_name(&self) -> String {
+        self.proto.name()
+    }
+
+    fn l1(&self, core: usize, shape: &MachineShape) -> Box<dyn L1Controller> {
+        Box::new(TsoCcL1::new(TsoCcL1Config {
+            id: core,
+            n_cores: shape.n_cores,
+            n_tiles: shape.n_tiles,
+            params: shape.l1_params,
+            issue_latency: shape.l1_issue_latency,
+            proto: self.proto,
+        }))
+    }
+
+    fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller> {
+        Box::new(TsoCcL2::new(TsoCcL2Config {
+            tile,
+            n_cores: shape.n_cores,
+            n_mem: shape.n_mem,
+            params: shape.l2_params,
+            latency: shape.l2_latency,
+            proto: self.proto,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod factory_tests {
+    use super::*;
+    use tsocc_mem::CacheParams;
+
+    #[test]
+    fn builds_quiescent_controllers_with_config_name() {
+        let f = TsoCcFactory::new(TsoCcConfig::basic());
+        assert_eq!(f.protocol_name(), TsoCcConfig::basic().name());
+        let shape = MachineShape {
+            n_cores: 2,
+            n_tiles: 2,
+            n_mem: 1,
+            l1_params: CacheParams::new(8, 2),
+            l2_params: CacheParams::new(16, 4),
+            l1_issue_latency: 1,
+            l2_latency: 4,
+        };
+        assert!(f.l1(1, &shape).is_quiescent());
+        assert!(f.l2(0, &shape).is_quiescent());
+    }
+}

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use tsocc_coherence::{
-    Agent, CacheController, Completion, CoreOp, Epoch, Grant, L1Stats, L1Controller, Msg, NetMsg,
+    Agent, CacheController, Completion, CoreOp, Epoch, Grant, L1Controller, L1Stats, Msg, NetMsg,
     Outbox, SelfInvCause, Submit, Ts, TsSource, WritebackBuffer,
 };
 use tsocc_isa::RmwOp;
@@ -146,7 +146,11 @@ impl TsoCcL1 {
     fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
         self.outbox.push(
             now + self.cfg.issue_latency,
-            NetMsg { src: self.agent(), dst, msg },
+            NetMsg {
+                src: self.agent(),
+                dst,
+                msg,
+            },
         );
     }
 
@@ -323,7 +327,8 @@ impl TsoCcL1 {
             // §3.4 — the coarse group vector stays conservatively set).
             State::Shared | State::SharedRO => {}
             State::Exclusive => {
-                self.wb.insert(victim, line.data, false, Ts::INVALID, Epoch::ZERO);
+                self.wb
+                    .insert(victim, line.data, false, Ts::INVALID, Epoch::ZERO);
                 self.send(now, self.home(victim), Msg::PutE { line: victim });
             }
             State::Modified => {
@@ -332,7 +337,12 @@ impl TsoCcL1 {
                 self.send(
                     now,
                     self.home(victim),
-                    Msg::PutM { line: victim, data: line.data, ts, epoch: self.epoch },
+                    Msg::PutM {
+                        line: victim,
+                        data: line.data,
+                        ts,
+                        epoch: self.epoch,
+                    },
                 );
             }
         }
@@ -380,14 +390,24 @@ impl TsoCcL1 {
                     Grant::Shared => State::Shared,
                     Grant::SharedRO => State::SharedRO,
                 };
-                let entry = Line { state, data, acnt: 0, ts: Ts::INVALID };
+                let entry = Line {
+                    state,
+                    data,
+                    acnt: 0,
+                    ts: Ts::INVALID,
+                };
                 (Some(entry), Completion::Load(value))
             }
             MshrOp::Store { word, value } => {
                 assert_eq!(grant, Grant::Exclusive, "stores need exclusive grants");
                 data.write_word(word, value);
                 let ts = self.on_write(now);
-                let entry = Line { state: State::Modified, data, acnt: 0, ts };
+                let entry = Line {
+                    state: State::Modified,
+                    data,
+                    acnt: 0,
+                    ts,
+                };
                 (Some(entry), Completion::Store)
             }
             MshrOp::Rmw { word, op } => {
@@ -395,15 +415,20 @@ impl TsoCcL1 {
                 let old = data.read_word(word);
                 data.write_word(word, op.apply(old));
                 let ts = self.on_write(now);
-                let entry = Line { state: State::Modified, data, acnt: 0, ts };
+                let entry = Line {
+                    state: State::Modified,
+                    data,
+                    acnt: 0,
+                    ts,
+                };
                 (Some(entry), Completion::Load(old))
             }
         };
         if let Some(entry) = entry {
             // CC-shared-to-L2 never caches Shared data; poisoned shared
             // grants (a racing invalidation) must not be cached either.
-            let cacheable = !(entry.state == State::Shared && self.cfg.proto.max_acc == 0)
-                && !(poisoned && matches!(entry.state, State::Shared | State::SharedRO));
+            let cacheable = !((entry.state == State::Shared && self.cfg.proto.max_acc == 0)
+                || (poisoned && matches!(entry.state, State::Shared | State::SharedRO)));
             if cacheable {
                 let installed = self.install(now, line, entry);
                 if !installed {
@@ -411,7 +436,8 @@ impl TsoCcL1 {
                     match entry.state {
                         State::Shared | State::SharedRO => {}
                         State::Exclusive => {
-                            self.wb.insert(line, entry.data, false, Ts::INVALID, Epoch::ZERO);
+                            self.wb
+                                .insert(line, entry.data, false, Ts::INVALID, Epoch::ZERO);
                             self.send(now, self.home(line), Msg::PutE { line });
                         }
                         State::Modified => {
@@ -420,7 +446,12 @@ impl TsoCcL1 {
                             self.send(
                                 now,
                                 self.home(line),
-                                Msg::PutM { line, data: entry.data, ts, epoch: self.epoch },
+                                Msg::PutM {
+                                    line,
+                                    data: entry.data,
+                                    ts,
+                                    epoch: self.epoch,
+                                },
                             );
                         }
                     }
@@ -432,7 +463,14 @@ impl TsoCcL1 {
             }
         }
         if ack_required {
-            self.send(now, self.home(line), Msg::Unblock { line, from: self.cfg.id });
+            self.send(
+                now,
+                self.home(line),
+                Msg::Unblock {
+                    line,
+                    from: self.cfg.id,
+                },
+            );
         }
         self.completions.push(completion);
     }
@@ -544,7 +582,10 @@ impl CacheController for TsoCcL1 {
                     },
                 );
             }
-            Msg::Inv { line, ack_to_requester } => {
+            Msg::Inv {
+                line,
+                ack_to_requester,
+            } => {
                 // SharedRO broadcast invalidation or inclusive L2
                 // eviction; shared copies are removed blindly.
                 if let Some(l) = self.cache.peek(line) {
@@ -563,7 +604,10 @@ impl CacheController for TsoCcL1 {
                 self.send(
                     now,
                     self.home(line),
-                    Msg::InvAckToL2 { line, from: self.cfg.id },
+                    Msg::InvAckToL2 {
+                        line,
+                        from: self.cfg.id,
+                    },
                 );
             }
             Msg::Recall { line } => {
@@ -676,7 +720,13 @@ impl TsoCcL1 {
         } else {
             self.stats.read_miss_invalid.inc();
         }
-        self.mshrs.insert(line, Mshr { op: MshrOp::Load { word }, poisoned: false });
+        self.mshrs.insert(
+            line,
+            Mshr {
+                op: MshrOp::Load { word },
+                poisoned: false,
+            },
+        );
         self.send(now, self.home(line), Msg::GetS { line });
         Submit::Miss
     }
@@ -706,8 +756,13 @@ impl TsoCcL1 {
             Some(State::SharedRO) => self.stats.write_miss_sharedro.inc(),
             _ => self.stats.write_miss_invalid.inc(),
         }
-        self.mshrs
-            .insert(line, Mshr { op: MshrOp::Store { word, value }, poisoned: false });
+        self.mshrs.insert(
+            line,
+            Mshr {
+                op: MshrOp::Store { word, value },
+                poisoned: false,
+            },
+        );
         self.send(now, self.home(line), Msg::GetX { line });
         Submit::Miss
     }
@@ -739,8 +794,13 @@ impl TsoCcL1 {
             Some(State::SharedRO) => self.stats.write_miss_sharedro.inc(),
             _ => self.stats.write_miss_invalid.inc(),
         }
-        self.mshrs
-            .insert(line, Mshr { op: MshrOp::Rmw { word, op: rmw }, poisoned: false });
+        self.mshrs.insert(
+            line,
+            Mshr {
+                op: MshrOp::Rmw { word, op: rmw },
+                poisoned: false,
+            },
+        );
         self.send(now, self.home(line), Msg::GetX { line });
         Submit::Miss
     }

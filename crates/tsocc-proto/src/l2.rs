@@ -3,8 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use tsocc_coherence::{
-    Agent, CacheController, Epoch, Grant, L2Controller, L2Stats, Msg, NetMsg, Outbox, Ts,
-    TsSource,
+    Agent, CacheController, Epoch, Grant, L2Controller, L2Stats, Msg, NetMsg, Outbox, Ts, TsSource,
 };
 use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData};
 use tsocc_sim::Cycle;
@@ -57,7 +56,11 @@ enum BusyKind {
     /// Exclusive to `requester` (§3.4).
     SroInv { requester: usize, acks_left: u32 },
     /// L2 eviction of a SharedRO (acks) or Exclusive (recall) line.
-    Dying { acks_left: u32, data: LineData, dirty: bool },
+    Dying {
+        acks_left: u32,
+        data: LineData,
+        dirty: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -168,7 +171,11 @@ impl TsoCcL2 {
     fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
         self.outbox.push(
             now + self.cfg.latency,
-            NetMsg { src: self.agent(), dst, msg },
+            NetMsg {
+                src: self.agent(),
+                dst,
+                msg,
+            },
         );
     }
 
@@ -247,7 +254,7 @@ impl TsoCcL2 {
 
     /// Transitions a resident line to SharedRO, assigning a tile
     /// timestamp, and returns (groups already set ∪ extra cores).
-    fn to_sharedro(&mut self, now: Cycle, line_addr: LineAddr, cores: &[usize]) {
+    fn make_sharedro(&mut self, now: Cycle, line_addr: LineAddr, cores: &[usize]) {
         let (ts, epoch) = self.next_sro_ts(now);
         let mut groups = 0u32;
         for &c in cores {
@@ -287,7 +294,14 @@ impl TsoCcL2 {
                 // stale L1 copies age out via their access counters.
                 self.stats.writebacks.inc();
                 if old.dirty {
-                    self.send(now, self.mem(), Msg::MemWrite { line: victim, data: old.data });
+                    self.send(
+                        now,
+                        self.mem(),
+                        Msg::MemWrite {
+                            line: victim,
+                            data: old.data,
+                        },
+                    );
                 }
             }
             State::SharedRO => {
@@ -301,21 +315,35 @@ impl TsoCcL2 {
                         self.send(
                             now,
                             Agent::L1(core),
-                            Msg::Inv { line: victim, ack_to_requester: None },
+                            Msg::Inv {
+                                line: victim,
+                                ack_to_requester: None,
+                            },
                         );
                         acks += 1;
                     }
                 }
                 if acks == 0 {
                     if old.dirty {
-                        self.send(now, self.mem(), Msg::MemWrite { line: victim, data: old.data });
+                        self.send(
+                            now,
+                            self.mem(),
+                            Msg::MemWrite {
+                                line: victim,
+                                data: old.data,
+                            },
+                        );
                     }
                     return;
                 }
                 self.busy.insert(
                     victim,
                     Busy {
-                        kind: BusyKind::Dying { acks_left: acks, data: old.data, dirty: old.dirty },
+                        kind: BusyKind::Dying {
+                            acks_left: acks,
+                            data: old.data,
+                            dirty: old.dirty,
+                        },
                         need_unblock: false,
                         need_owner_data: true,
                         waiting: VecDeque::new(),
@@ -328,7 +356,11 @@ impl TsoCcL2 {
                 self.busy.insert(
                     victim,
                     Busy {
-                        kind: BusyKind::Dying { acks_left: 0, data: old.data, dirty: old.dirty },
+                        kind: BusyKind::Dying {
+                            acks_left: 0,
+                            data: old.data,
+                            dirty: old.dirty,
+                        },
                         need_unblock: false,
                         need_owner_data: true,
                         waiting: VecDeque::new(),
@@ -415,10 +447,12 @@ impl TsoCcL2 {
         match msg {
             Msg::GetS { .. } => self.process_gets(now, line, requester),
             Msg::GetX { .. } => self.process_getx(now, line, requester),
-            Msg::PutE { .. } => self.process_put(now, line, requester, None, Ts::INVALID, Epoch::ZERO),
-            Msg::PutM { data, ts, epoch, .. } => {
-                self.process_put(now, line, requester, Some(data), ts, epoch)
+            Msg::PutE { .. } => {
+                self.process_put(now, line, requester, None, Ts::INVALID, Epoch::ZERO)
             }
+            Msg::PutM {
+                data, ts, epoch, ..
+            } => self.process_put(now, line, requester, Some(data), ts, epoch),
             _ => unreachable!(),
         }
     }
@@ -477,7 +511,7 @@ impl TsoCcL2 {
                 });
                 if decayed {
                     self.stats.decays.inc();
-                    self.to_sharedro(now, line, &[l.owner, requester]);
+                    self.make_sharedro(now, line, &[l.owner, requester]);
                     self.respond_sharedro(now, line, requester);
                 } else {
                     // Shared responses are immediate and unacknowledged
@@ -582,7 +616,14 @@ impl TsoCcL2 {
                 let mut acks = 0u32;
                 for core in 0..self.cfg.n_cores {
                     if core != requester && l.groups & (1 << self.cfg.group_of(core)) != 0 {
-                        self.send(now, Agent::L1(core), Msg::Inv { line, ack_to_requester: None });
+                        self.send(
+                            now,
+                            Agent::L1(core),
+                            Msg::Inv {
+                                line,
+                                ack_to_requester: None,
+                            },
+                        );
                         acks += 1;
                     }
                 }
@@ -592,7 +633,10 @@ impl TsoCcL2 {
                     self.busy.insert(
                         line,
                         Busy {
-                            kind: BusyKind::SroInv { requester, acks_left: acks },
+                            kind: BusyKind::SroInv {
+                                requester,
+                                acks_left: acks,
+                            },
                             need_unblock: true,
                             need_owner_data: true,
                             waiting: VecDeque::new(),
@@ -646,7 +690,14 @@ impl CacheController for TsoCcL2 {
                 busy.need_unblock = false;
                 self.maybe_finish(line);
             }
-            Msg::DowngradeData { line, data, dirty, ts, epoch, from } => {
+            Msg::DowngradeData {
+                line,
+                data,
+                dirty,
+                ts,
+                epoch,
+                from,
+            } => {
                 let requester = {
                     let busy = self.busy.get_mut(&line).unwrap_or_else(|| {
                         panic!("L2[{}]: stray DowngradeData {line}", self.cfg.tile)
@@ -673,23 +724,46 @@ impl CacheController for TsoCcL2 {
                 } else {
                     // Clean downgrade: the line was not modified by the
                     // previous owner and becomes SharedRO (§3.4).
-                    self.to_sharedro(now, line, &[from, requester]);
+                    self.make_sharedro(now, line, &[from, requester]);
                 }
                 self.maybe_finish(line);
             }
-            Msg::RecallData { line, data, dirty, ts, epoch, from } => {
+            Msg::RecallData {
+                line,
+                data,
+                dirty,
+                ts,
+                epoch,
+                from,
+            } => {
                 let busy = self
                     .busy
                     .remove(&line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray RecallData {line}", self.cfg.tile));
-                let BusyKind::Dying { data: old_data, dirty: old_dirty, .. } = busy.kind else {
+                let BusyKind::Dying {
+                    data: old_data,
+                    dirty: old_dirty,
+                    ..
+                } = busy.kind
+                else {
                     panic!("L2[{}]: RecallData outside Dying", self.cfg.tile);
                 };
                 self.note_writer_ts(from, ts, epoch);
-                let (wb_data, wb_dirty) = if dirty { (data, true) } else { (old_data, old_dirty) };
+                let (wb_data, wb_dirty) = if dirty {
+                    (data, true)
+                } else {
+                    (old_data, old_dirty)
+                };
                 if wb_dirty {
                     self.flag_dirty_path = true;
-                    self.send(now, self.mem(), Msg::MemWrite { line, data: wb_data });
+                    self.send(
+                        now,
+                        self.mem(),
+                        Msg::MemWrite {
+                            line,
+                            data: wb_data,
+                        },
+                    );
                 }
                 self.replay.extend(busy.waiting);
             }
@@ -699,7 +773,10 @@ impl CacheController for TsoCcL2 {
                     .get_mut(&line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray InvAckToL2 {line}", self.cfg.tile));
                 match &mut busy.kind {
-                    BusyKind::SroInv { requester, acks_left } => {
+                    BusyKind::SroInv {
+                        requester,
+                        acks_left,
+                    } => {
                         *acks_left -= 1;
                         if *acks_left == 0 {
                             let requester = *requester;
@@ -714,7 +791,11 @@ impl CacheController for TsoCcL2 {
                                 .waiting = waiting;
                         }
                     }
-                    BusyKind::Dying { acks_left, data, dirty } => {
+                    BusyKind::Dying {
+                        acks_left,
+                        data,
+                        dirty,
+                    } => {
                         *acks_left -= 1;
                         if *acks_left == 0 {
                             let (data, dirty) = (*data, *dirty);

@@ -33,12 +33,16 @@
 //! is expressed as a [`TsoCcConfig`] with `max_acc = 0`.
 
 mod config;
+mod factory;
 mod l1;
 mod l2;
+pub mod storage;
 
 pub use config::{TsParams, TsoCcConfig};
+pub use factory::TsoCcFactory;
 pub use l1::{TsoCcL1, TsoCcL1Config};
 pub use l2::{TsoCcL2, TsoCcL2Config};
+pub use storage::StorageModel;
 
 #[cfg(test)]
 mod tests;

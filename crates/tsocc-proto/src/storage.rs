@@ -11,7 +11,7 @@
 //! records our percentages next to the paper's (38%/82% reductions at
 //! 32/128 cores for TSO-CC-4-12-3).
 
-use tsocc_proto::TsoCcConfig;
+use crate::TsoCcConfig;
 
 /// Machine shape for the storage model.
 #[derive(Clone, Copy, Debug)]

@@ -133,7 +133,10 @@ fn shared_hits_are_bounded_by_the_access_counter() {
         ));
     }
     assert!(
-        matches!(h.l1s[1].submit(h.now, CoreOp::Load(Addr::new(0x40))), Submit::Miss),
+        matches!(
+            h.l1s[1].submit(h.now, CoreOp::Load(Addr::new(0x40))),
+            Submit::Miss
+        ),
         "the 17th access must re-request from the L2"
     );
     // Finish the transaction and confirm the counter reset.
@@ -155,8 +158,8 @@ fn writes_to_shared_lines_get_immediate_grants() {
     let mut h = Harness::new(3, best());
     h.store(0, 0x40, 1);
     h.load(1, 0x40); // line Shared at L2
-    // Core 2 writes: no invalidations are sent — the L2 responds
-    // immediately (§3.2) and core 1's stale copy ages out.
+                     // Core 2 writes: no invalidations are sent — the L2 responds
+                     // immediately (§3.2) and core 1's stale copy ages out.
     h.store(2, 0x40, 2);
     assert_eq!(h.stats(2).write_miss_invalid.get(), 1);
     // Core 1 still hits its stale Shared copy (bounded staleness!).
@@ -186,7 +189,10 @@ fn acquire_detection_sweeps_shared_lines() {
         "acquire must trigger a self-invalidation event"
     );
     assert!(
-        matches!(h.l1s[1].submit(h.now, CoreOp::Load(Addr::new(0x400))), Submit::Miss),
+        matches!(
+            h.l1s[1].submit(h.now, CoreOp::Load(Addr::new(0x400))),
+            Submit::Miss
+        ),
         "the Shared copy of A must be gone after the acquire"
     );
 }
@@ -202,7 +208,11 @@ fn reading_own_writes_does_not_sweep() {
     // Re-reading our own evicted write: last writer == requester, so no
     // self-invalidation (§3.2).
     assert_eq!(h.load(0, 0x40), 1);
-    assert_eq!(h.stats(0).selfinv_total(), before, "no sweep for own writes");
+    assert_eq!(
+        h.stats(0).selfinv_total(),
+        before,
+        "no sweep for own writes"
+    );
 }
 
 #[test]
@@ -233,8 +243,8 @@ fn writes_to_sharedro_broadcast_invalidate() {
     h.load(0, 0x40);
     h.load(1, 0x40); // SharedRO at L2
     h.load(2, 0x40); // SharedRO copy at core 2
-    // Core 0 writes: the coarse group vector is broadcast-invalidated
-    // and the writer gets an Exclusive grant (§3.4).
+                     // Core 0 writes: the coarse group vector is broadcast-invalidated
+                     // and the writer gets an Exclusive grant (§3.4).
     h.store(0, 0x40, 6);
     assert!(h.stats(0).write_miss_sharedro.get() <= 1); // by state at core 0
     assert_eq!(L2Controller::stats(&h.l2).sro_invalidations.get(), 1);
@@ -262,7 +272,10 @@ fn fence_sweeps_only_shared_lines() {
     h.load(1, 0x400);
     // ...and a private line at core 1.
     h.store(1, 0x440, 3);
-    assert!(matches!(h.l1s[1].submit(h.now, CoreOp::Fence), Submit::Hit(0)));
+    assert!(matches!(
+        h.l1s[1].submit(h.now, CoreOp::Fence),
+        Submit::Hit(0)
+    ));
     assert_eq!(
         h.stats(1).selfinv_events[SelfInvCause::Fence.index()].get(),
         1
@@ -345,7 +358,10 @@ fn rmw_applies_acquire_rules() {
 fn timestamp_reset_broadcasts_reach_peers() {
     // 4-bit timestamps, group size 1: resets every 14 writes.
     let cfg = TsoCcConfig {
-        write_ts: Some(TsParams { ts_bits: 4, write_group_bits: 0 }),
+        write_ts: Some(TsParams {
+            ts_bits: 4,
+            write_group_bits: 0,
+        }),
         ..best()
     };
     let mut h = Harness::new(2, cfg);

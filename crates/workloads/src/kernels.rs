@@ -648,23 +648,58 @@ struct StampShape {
 impl StampShape {
     /// bayes: long transactions with large read footprints.
     fn bayes(f: u64) -> Self {
-        StampShape { table: 256, hot: 24, reads: 10, writes: 4, compute: 50, txns: 6 * f }
+        StampShape {
+            table: 256,
+            hot: 24,
+            reads: 10,
+            writes: 4,
+            compute: 50,
+            txns: 6 * f,
+        }
     }
     /// genome: medium transactions over a large hash-segment space.
     fn genome(f: u64) -> Self {
-        StampShape { table: 512, hot: 32, reads: 6, writes: 2, compute: 20, txns: 10 * f }
+        StampShape {
+            table: 512,
+            hot: 32,
+            reads: 6,
+            writes: 2,
+            compute: 20,
+            txns: 10 * f,
+        }
     }
     /// intruder: short transactions on a hot table — high abort rate.
     fn intruder(f: u64) -> Self {
-        StampShape { table: 16, hot: 8, reads: 4, writes: 3, compute: 8, txns: 14 * f }
+        StampShape {
+            table: 16,
+            hot: 8,
+            reads: 4,
+            writes: 3,
+            compute: 8,
+            txns: 14 * f,
+        }
     }
     /// ssca2: tiny low-conflict transactions over a big graph.
     fn ssca2(f: u64) -> Self {
-        StampShape { table: 1024, hot: 256, reads: 2, writes: 2, compute: 5, txns: 20 * f }
+        StampShape {
+            table: 1024,
+            hot: 256,
+            reads: 2,
+            writes: 2,
+            compute: 5,
+            txns: 20 * f,
+        }
     }
     /// vacation: medium tree-lookup-like transactions.
     fn vacation(f: u64) -> Self {
-        StampShape { table: 384, hot: 24, reads: 8, writes: 2, compute: 25, txns: 8 * f }
+        StampShape {
+            table: 384,
+            hot: 24,
+            reads: 8,
+            writes: 2,
+            compute: 25,
+            txns: 8 * f,
+        }
     }
 }
 
@@ -730,11 +765,7 @@ mod tests {
             for n in [1, 2, 4, 8] {
                 let w = b.build(n, Scale::Tiny, 1);
                 assert_eq!(w.programs.len(), n, "{}", b.name());
-                assert!(
-                    w.programs.iter().all(|p| !p.is_empty()),
-                    "{}",
-                    b.name()
-                );
+                assert!(w.programs.iter().all(|p| !p.is_empty()), "{}", b.name());
             }
         }
     }
@@ -742,9 +773,18 @@ mod tests {
     #[test]
     fn names_and_suites_match_table3() {
         assert_eq!(Benchmark::ALL.len(), 16);
-        let parsec = Benchmark::ALL.iter().filter(|b| b.suite() == "PARSEC").count();
-        let splash = Benchmark::ALL.iter().filter(|b| b.suite() == "SPLASH-2").count();
-        let stamp = Benchmark::ALL.iter().filter(|b| b.suite() == "STAMP").count();
+        let parsec = Benchmark::ALL
+            .iter()
+            .filter(|b| b.suite() == "PARSEC")
+            .count();
+        let splash = Benchmark::ALL
+            .iter()
+            .filter(|b| b.suite() == "SPLASH-2")
+            .count();
+        let stamp = Benchmark::ALL
+            .iter()
+            .filter(|b| b.suite() == "STAMP")
+            .count();
         assert_eq!((parsec, splash, stamp), (5, 6, 5));
         assert_eq!(Benchmark::LuNonCont.name(), "lu (non-cont.)");
     }
@@ -770,7 +810,12 @@ mod tests {
         use tsocc_isa::refvm::run_ref;
         // Kernels without cross-thread waits must terminate single-
         // threaded on the reference interpreter.
-        for b in [Benchmark::Blackscholes, Benchmark::Canneal, Benchmark::Raytrace, Benchmark::Ssca2] {
+        for b in [
+            Benchmark::Blackscholes,
+            Benchmark::Canneal,
+            Benchmark::Raytrace,
+            Benchmark::Ssca2,
+        ] {
             let w = b.build(1, Scale::Tiny, 3);
             let mut mem = HashMap::new();
             run_ref(&w.programs[0], &mut mem, 2_000_000)

@@ -18,7 +18,8 @@
 //! # Examples
 //!
 //! ```
-//! use tsocc::{Protocol, SystemConfig};
+//! use tsocc::SystemConfig;
+//! use tsocc_protocols::Protocol;
 //! use tsocc_workloads::{Benchmark, Scale, run_workload};
 //!
 //! let w = Benchmark::Fft.build(4, Scale::Tiny, 7);
@@ -35,5 +36,5 @@ pub mod sync;
 pub mod tso_model;
 
 pub use kernels::{Benchmark, Scale, Workload};
-pub use litmus::{LitmusReport, LitmusTest, litmus_suite, run_litmus};
+pub use litmus::{litmus_suite, run_litmus, LitmusReport, LitmusTest};
 pub use runner::run_workload;

@@ -11,7 +11,8 @@
 
 use std::collections::BTreeMap;
 
-use tsocc::{Protocol, System, SystemConfig};
+use tsocc::{System, SystemConfig};
+use tsocc_coherence::ProtocolHandle;
 use tsocc_isa::{Asm, Program, Reg};
 
 /// The register each observed value is read from, per thread.
@@ -535,20 +536,26 @@ pub fn litmus_suite() -> Vec<LitmusTest> {
 /// Panics if a run fails to terminate (a liveness violation — e.g. a
 /// spin that never observes its release would hit the deadlock
 /// detector).
-pub fn run_litmus(test: &LitmusTest, protocol: Protocol, iterations: u64, seed: u64) -> LitmusReport {
+pub fn run_litmus(
+    test: &LitmusTest,
+    protocol: impl Into<ProtocolHandle>,
+    iterations: u64,
+    seed: u64,
+) -> LitmusReport {
+    let protocol = protocol.into();
     let mut report = LitmusReport::default();
     let n = test.programs.len();
     for it in 0..iterations {
-        let mut cfg = SystemConfig::small_test(n.max(2), protocol);
+        let mut cfg = SystemConfig::small_test(n.max(2), protocol.clone());
         cfg.seed = seed ^ (it.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut sys = System::new(cfg, test.programs.clone());
         sys.run(10_000_000).unwrap_or_else(|e| {
-            panic!("litmus {} on {}: {e}", test.name, protocol.name())
+            panic!("litmus {} on {}: {e}", test.name, protocol.protocol_name())
         });
         let mut outcome = Vec::new();
         for (t, &n_obs) in test.observed.iter().enumerate() {
-            for r in 0..n_obs {
-                outcome.push(sys.core(t).thread().reg(OBS[r]));
+            for &obs in &OBS[..n_obs] {
+                outcome.push(sys.core(t).thread().reg(obs));
             }
         }
         report.iterations += 1;
@@ -568,6 +575,7 @@ pub fn run_litmus(test: &LitmusTest, protocol: Protocol, iterations: u64, seed: 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tsocc_protocols::Protocol;
 
     #[test]
     fn suite_has_the_expected_tests() {
@@ -582,12 +590,7 @@ mod tests {
     #[test]
     fn mp_passes_on_default_tsocc() {
         let t = mp();
-        let report = run_litmus(
-            &t,
-            Protocol::TsoCc(Default::default()),
-            30,
-            7,
-        );
+        let report = run_litmus(&t, Protocol::TsoCc(Default::default()), 30, 7);
         assert!(report.passed(), "outcomes: {:?}", report.outcomes);
         assert_eq!(report.iterations, 30);
     }

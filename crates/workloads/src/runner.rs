@@ -30,8 +30,9 @@ pub fn run_workload(workload: &Workload, cfg: SystemConfig) -> Result<RunStats, 
 mod tests {
     use super::*;
     use crate::kernels::{Benchmark, Scale};
-    use tsocc::{Protocol, SystemConfig};
+    use tsocc::SystemConfig;
     use tsocc_proto::TsoCcConfig;
+    use tsocc_protocols::Protocol;
 
     #[test]
     fn every_benchmark_completes_on_mesi_and_tsocc() {
@@ -42,9 +43,8 @@ mod tests {
                 Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
             ] {
                 let cfg = SystemConfig::small_test(4, protocol);
-                let stats = run_workload(&w, cfg).unwrap_or_else(|e| {
-                    panic!("{} on {}: {e}", b.name(), protocol.name())
-                });
+                let stats = run_workload(&w, cfg)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", b.name(), protocol.name()));
                 assert!(stats.instructions > 0, "{}", b.name());
             }
         }
@@ -55,8 +55,8 @@ mod tests {
         let w = Benchmark::Intruder.build(4, Scale::Tiny, 5);
         for protocol in Protocol::paper_configs() {
             let cfg = SystemConfig::small_test(4, protocol);
-            let stats = run_workload(&w, cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+            let stats =
+                run_workload(&w, cfg).unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
             assert!(stats.rmw_latency.count() > 0, "STM commits use CAS");
         }
     }

@@ -7,9 +7,10 @@
 //!
 //! Run with: `cargo run --release --example core_scaling`
 
-use tsocc::storage::StorageModel;
-use tsocc::{Protocol, SystemConfig};
+use tsocc::SystemConfig;
+use tsocc_proto::StorageModel;
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{run_workload, Benchmark, Scale};
 
 fn main() {

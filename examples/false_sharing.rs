@@ -12,8 +12,9 @@
 //!
 //! Run with: `cargo run --release --example false_sharing`
 
-use tsocc::{Protocol, SystemConfig};
+use tsocc::SystemConfig;
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{run_workload, Benchmark, Scale};
 
 fn main() {

@@ -10,8 +10,8 @@
 //! (The full sweep over all seven configurations is
 //! `cargo run --release -p tsocc-bench --bin litmus`.)
 
-use tsocc::Protocol;
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{litmus_suite, run_litmus};
 
 fn main() {
@@ -25,7 +25,11 @@ fn main() {
         println!("== {} ==", protocol.name());
         for test in litmus_suite() {
             let report = run_litmus(&test, protocol, iters, 0x5EED);
-            let verdict = if report.passed() { "ok" } else { "FORBIDDEN OUTCOME" };
+            let verdict = if report.passed() {
+                "ok"
+            } else {
+                "FORBIDDEN OUTCOME"
+            };
             all_passed &= report.passed();
             println!(
                 "  {:<16} {:<18} outcomes: {}",

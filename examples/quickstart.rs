@@ -7,9 +7,10 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use tsocc::{Protocol, System, SystemConfig};
+use tsocc::{System, SystemConfig};
 use tsocc_isa::{Asm, Reg};
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 
 fn main() {
     let data = 0x8000u64;
@@ -35,7 +36,9 @@ fn main() {
     let protocol = Protocol::TsoCc(TsoCcConfig::realistic(12, 3));
     let cfg = SystemConfig::small_test(2, protocol);
     let mut sys = System::new(cfg, vec![producer.finish(), consumer.finish()]);
-    let stats = sys.run(1_000_000).expect("the spin must terminate (write propagation)");
+    let stats = sys
+        .run(1_000_000)
+        .expect("the spin must terminate (write propagation)");
 
     let observed = sys.core(1).thread().reg(Reg::R2);
     println!("protocol            : {}", protocol.name());

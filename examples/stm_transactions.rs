@@ -10,7 +10,8 @@
 //!
 //! Run with: `cargo run --release --example stm_transactions`
 
-use tsocc::{Protocol, SystemConfig};
+use tsocc::SystemConfig;
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{run_workload, Benchmark, Scale};
 
 fn main() {

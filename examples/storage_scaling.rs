@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --example storage_scaling`
 
-use tsocc::storage::StorageModel;
+use tsocc_proto::StorageModel;
 use tsocc_proto::TsoCcConfig;
 
 fn main() {

@@ -6,9 +6,10 @@
 //!
 //! Run with: `cargo run --example trace_debug`
 
-use tsocc::{Protocol, System, SystemConfig};
+use tsocc::{System, SystemConfig};
 use tsocc_isa::{Asm, Reg};
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 
 fn main() {
     let data = 0x8000u64;

@@ -2,8 +2,9 @@
 //! Table 2 machine shape, determinism, and protocol-differentiating
 //! sanity properties.
 
-use tsocc::{Protocol, SystemConfig};
+use tsocc::SystemConfig;
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{run_workload, Benchmark, Scale};
 
 #[test]
@@ -23,9 +24,12 @@ fn suite_completes_on_eight_core_table2_machine() {
 #[test]
 fn runs_are_bit_deterministic() {
     let w = Benchmark::Intruder.build(4, Scale::Tiny, 17);
-    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(9, 3))] {
+    for protocol in [
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::realistic(9, 3)),
+    ] {
         let cfg = SystemConfig::small_test(4, protocol);
-        let a = run_workload(&w, cfg).unwrap();
+        let a = run_workload(&w, cfg.clone()).unwrap();
         let b = run_workload(&w, cfg).unwrap();
         assert_eq!(a.cycles, b.cycles, "{}", protocol.name());
         assert_eq!(a.total_flits(), b.total_flits());
@@ -96,9 +100,12 @@ fn false_sharing_hurts_tsocc_less_than_mesi() {
     // TSO-CC than under MESI.
     let n = 8;
     let mut penalty = Vec::new();
-    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
+    for protocol in [
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+    ] {
         let cfg = SystemConfig::table2_with_cores(protocol, n);
-        let cont = run_workload(&Benchmark::LuCont.build(n, Scale::Small, 7), cfg).unwrap();
+        let cont = run_workload(&Benchmark::LuCont.build(n, Scale::Small, 7), cfg.clone()).unwrap();
         let non = run_workload(&Benchmark::LuNonCont.build(n, Scale::Small, 7), cfg).unwrap();
         penalty.push(non.cycles as f64 / cont.cycles as f64);
     }

@@ -6,9 +6,10 @@
 //! configuration and randomized timing.
 
 use proptest::prelude::*;
-use tsocc::{Protocol, System, SystemConfig};
+use tsocc::{System, SystemConfig};
 use tsocc_isa::{Asm, Reg};
 use tsocc_proto::{TsParams, TsoCcConfig};
+use tsocc_protocols::Protocol;
 
 const A0: u64 = 0x2000;
 const A1: u64 = 0x2040;
@@ -20,7 +21,10 @@ fn configs() -> Vec<Protocol> {
         Protocol::TsoCc(TsoCcConfig::basic()),
         Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
         Protocol::TsoCc(TsoCcConfig {
-            write_ts: Some(TsParams { ts_bits: 4, write_group_bits: 0 }),
+            write_ts: Some(TsParams {
+                ts_bits: 4,
+                write_group_bits: 0,
+            }),
             ..TsoCcConfig::realistic(12, 3)
         }),
     ]

@@ -6,10 +6,11 @@
 use std::collections::HashMap;
 
 use proptest::prelude::*;
-use tsocc::{Protocol, System, SystemConfig};
+use tsocc::{System, SystemConfig};
 use tsocc_isa::{refvm::run_ref, Asm, Program, Reg};
 use tsocc_mem::Addr;
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 use tsocc_workloads::sync;
 
 fn protocols() -> Vec<Protocol> {
@@ -60,7 +61,7 @@ fn single_thread_program(seed: u64) -> Program {
     a.fetch_add(Reg::R3, Reg::R0, 0x5000, Reg::R2);
     a.xori(Reg::R4, Reg::R3, 0x55);
     a.add(Reg::R5, Reg::R5, Reg::R4);
-    if seed % 2 == 0 {
+    if seed.is_multiple_of(2) {
         a.fence();
     }
     a.addi(Reg::R1, Reg::R1, 1);

@@ -2,8 +2,8 @@
 //! configuration, plus a stress configuration with 4-bit timestamps
 //! that forces frequent timestamp resets and epoch wraparound.
 
-use tsocc::Protocol;
 use tsocc_proto::{TsParams, TsoCcConfig};
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{litmus_suite, run_litmus};
 
 fn stress_configs() -> Vec<Protocol> {
@@ -35,7 +35,8 @@ fn no_forbidden_outcomes_under_any_configuration() {
         for test in litmus_suite() {
             let report = run_litmus(&test, protocol, iters, 0xFACE);
             assert_eq!(
-                report.forbidden_count, 0,
+                report.forbidden_count,
+                0,
                 "{} under {} produced a forbidden outcome: {:?}",
                 test.name,
                 protocol.name(),

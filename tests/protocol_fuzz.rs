@@ -16,9 +16,10 @@
 //!    writer at the same address. Recorded loads are checked post-run.
 //! 3. **Determinism**: re-running a scenario reproduces it exactly.
 
-use tsocc::{Protocol, System, SystemConfig};
+use tsocc::{System, SystemConfig};
 use tsocc_isa::{Asm, Program, Reg};
 use tsocc_proto::{TsParams, TsoCcConfig};
+use tsocc_protocols::Protocol;
 use tsocc_sim::Xoshiro256StarStar;
 
 /// Contended pool: two words sharing line A, one word on line B, one
@@ -88,7 +89,10 @@ fn fuzz_configs() -> Vec<Protocol> {
         Protocol::TsoCc(TsoCcConfig::basic()),
         Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
         Protocol::TsoCc(TsoCcConfig {
-            write_ts: Some(TsParams { ts_bits: 4, write_group_bits: 0 }),
+            write_ts: Some(TsParams {
+                ts_bits: 4,
+                write_group_bits: 0,
+            }),
             ..TsoCcConfig::realistic(12, 3)
         }),
     ]
@@ -151,7 +155,10 @@ fn randomized_scenarios_hold_coherence_axioms() {
 
 #[test]
 fn scenarios_are_reproducible() {
-    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
+    for protocol in [
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+    ] {
         for seed in [3u64, 17, 99] {
             let a = run_scenario(protocol, seed);
             let b = run_scenario(protocol, seed);

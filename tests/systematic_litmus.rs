@@ -8,9 +8,10 @@
 //! the full simulator repeatedly under randomized timing — every
 //! observed outcome must be in the allowed set.
 
-use tsocc::{Protocol, System, SystemConfig};
+use tsocc::{System, SystemConfig};
 use tsocc_isa::{Asm, Program, Reg};
 use tsocc_proto::{TsParams, TsoCcConfig};
+use tsocc_protocols::Protocol;
 use tsocc_workloads::tso_model::{allowed_outcomes, generate_two_thread_programs, ModelOp};
 
 /// Distinct cache lines for the model's two locations.
@@ -47,7 +48,10 @@ fn compile(ops: &[ModelOp], jitter: u32) -> Program {
 fn observed_outcome(sys: &System, program: &[Vec<ModelOp>]) -> Vec<u64> {
     let mut outcome = Vec::new();
     for (t, ops) in program.iter().enumerate() {
-        let loads = ops.iter().filter(|o| matches!(o, ModelOp::Load { .. })).count();
+        let loads = ops
+            .iter()
+            .filter(|o| matches!(o, ModelOp::Load { .. }))
+            .count();
         for i in 0..loads {
             outcome.push(sys.core(t).thread().reg(Reg::from_index(1 + i)));
         }
@@ -61,10 +65,7 @@ fn sweep(protocol: Protocol, ops_per_thread: usize, iters: u64, stride: usize) {
         let allowed = allowed_outcomes(program);
         for it in 0..iters {
             let seed = (pi as u64) << 8 | it;
-            let compiled = vec![
-                compile(&program[0], 50),
-                compile(&program[1], 50),
-            ];
+            let compiled = vec![compile(&program[0], 50), compile(&program[1], 50)];
             let mut cfg = SystemConfig::small_test(2, protocol);
             cfg.seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let mut sys = System::new(cfg, compiled);
@@ -98,7 +99,10 @@ fn two_op_threads_sampled_on_key_configs() {
         Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
         Protocol::TsoCc(TsoCcConfig::basic()),
         Protocol::TsoCc(TsoCcConfig {
-            write_ts: Some(TsParams { ts_bits: 4, write_group_bits: 0 }),
+            write_ts: Some(TsParams {
+                ts_bits: 4,
+                write_group_bits: 0,
+            }),
             ..TsoCcConfig::realistic(12, 3)
         }),
     ];
@@ -122,7 +126,10 @@ fn classic_shapes_full_iteration_counts() {
             vec![st(1), ModelOp::Fence, ld(0)],
         ],
     ];
-    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
+    for protocol in [
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+    ] {
         for (si, program) in shapes.iter().enumerate() {
             let allowed = allowed_outcomes(program);
             for it in 0..25u64 {

@@ -3,9 +3,10 @@
 //! epoch changes and clamping fire constantly while programs must still
 //! observe TSO.
 
-use tsocc::{Protocol, RunStats, System, SystemConfig};
+use tsocc::{RunStats, System, SystemConfig};
 use tsocc_isa::{Asm, Program, Reg};
 use tsocc_proto::{TsParams, TsoCcConfig};
+use tsocc_protocols::Protocol;
 
 fn tiny_ts(ts_bits: u32, wg_bits: u32) -> Protocol {
     Protocol::TsoCc(TsoCcConfig {

@@ -2,8 +2,9 @@
 //! pattern DESIGN.md §3 claims for it — the property that makes the
 //! Figure 3–9 comparisons meaningful.
 
-use tsocc::{Protocol, RunStats, SystemConfig};
+use tsocc::{RunStats, SystemConfig};
 use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
 use tsocc_workloads::{run_workload, Benchmark, Scale};
 
 fn run(bench: Benchmark, protocol: Protocol) -> RunStats {
@@ -103,7 +104,7 @@ fn protocols_agree_on_instruction_counts_for_data_independent_kernels() {
     // barrier's spin iterations (and which thread arrives last) vary
     // with protocol timing, so instruction counts agree within a small
     // tolerance.
-    let a = run(Benchmark::Blackscholes, Protocol::Mesi) .instructions as f64;
+    let a = run(Benchmark::Blackscholes, Protocol::Mesi).instructions as f64;
     let b = run(Benchmark::Blackscholes, tsocc()).instructions as f64;
     let ratio = a.max(b) / a.min(b);
     assert!(ratio < 1.02, "instruction counts diverged: {a} vs {b}");
