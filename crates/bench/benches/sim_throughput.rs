@@ -1,0 +1,57 @@
+//! Simulator-throughput benchmark: simulated-cycles per wall-clock
+//! second and host steps ("events") per second, for the event-driven
+//! scheduler and the cycle-by-cycle reference stepper.
+//!
+//! The ratio between the two steppers' throughput is the payoff of the
+//! wake-list scheduler; the absolute numbers are the perf trajectory
+//! tracked across PRs (also recorded per sweep point in
+//! `BENCH_sweep.json` as `sim_cycles_per_second`).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsocc::{Stepper, System, SystemConfig};
+use tsocc_mem::Addr;
+use tsocc_protocols::Protocol;
+use tsocc_workloads::{Benchmark, Scale};
+
+/// Runs one fft sweep point to completion; returns (cycles, host steps).
+fn run_once(n_cores: usize, stepper: Stepper) -> (u64, u64) {
+    let seed = 0xC0FFEE;
+    let workload = Benchmark::Fft.build(n_cores, Scale::Small, seed);
+    let mut cfg = SystemConfig::table2_with_cores(Protocol::TsoCc(Default::default()), n_cores);
+    cfg.seed = seed;
+    cfg.stepper = stepper;
+    let mut sys = System::new(cfg, workload.programs.clone());
+    for &(addr, value) in &workload.init {
+        sys.write_word(Addr::new(addr), value);
+    }
+    let stats = sys.run(200_000_000).expect("fft completes");
+    (stats.cycles, sys.steps_executed())
+}
+
+fn bench_steppers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    for (label, stepper) in [
+        ("event_driven_8c", Stepper::EventDriven),
+        ("reference_8c", Stepper::Reference),
+    ] {
+        // Report the headline rates once per stepper, outside the
+        // timed iterations.
+        let t = Instant::now();
+        let (cycles, steps) = run_once(8, stepper);
+        let wall = t.elapsed().as_secs_f64().max(1e-9);
+        eprintln!(
+            "{label}: {cycles} cycles in {steps} host steps, \
+             {:.0} sim-cycles/s, {:.0} host-events/s",
+            cycles as f64 / wall,
+            steps as f64 / wall,
+        );
+        group.bench_function(label, |b| b.iter(|| black_box(run_once(8, stepper))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steppers);
+criterion_main!(benches);

@@ -148,6 +148,12 @@ pub struct PointResult {
 }
 
 impl PointResult {
+    /// Simulated-cycles per host wall-clock second: the simulator
+    /// throughput metric tracked across PRs.
+    pub fn sim_cycles_per_second(&self) -> f64 {
+        self.stats.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
     /// The point as a JSON object (the `BENCH_sweep.json` row format).
     pub fn to_json(&self) -> String {
         json::Object::new()
@@ -161,6 +167,7 @@ impl PointResult {
             .u64("flits", self.stats.total_flits())
             .u64("flit_hops", self.stats.noc.flit_hops.get())
             .f64("wall_seconds", self.wall.as_secs_f64())
+            .f64("sim_cycles_per_second", self.sim_cycles_per_second())
             .build()
     }
 }
@@ -420,8 +427,10 @@ mod tests {
             "\"cycles\"",
             "\"msgs\"",
             "\"flits\"",
+            "\"sim_cycles_per_second\"",
         ] {
             assert!(j.contains(key), "{j}");
         }
+        assert!(r.sim_cycles_per_second() > 0.0);
     }
 }

@@ -68,12 +68,27 @@ pub trait CacheController {
     /// Advances internal state by one cycle (retries, sweeps).
     fn tick(&mut self, now: Cycle);
 
-    /// Takes every outgoing message that is ready to inject at `now`.
-    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg>;
+    /// Appends every outgoing message that is ready to inject at `now`
+    /// to `out` (the run loop passes one reusable scratch buffer to all
+    /// controllers instead of allocating a `Vec` per controller per
+    /// cycle).
+    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>);
 
     /// Whether this controller has no in-flight transactions and no
     /// queued messages (used for run-loop termination diagnostics).
     fn is_quiescent(&self) -> bool;
+
+    /// The earliest future cycle at which this controller will act on
+    /// its own — i.e. at which [`CacheController::tick`] or
+    /// [`CacheController::drain_outbox`] could do anything — assuming
+    /// no further messages are delivered to it. [`Cycle::MAX`] when the
+    /// controller is purely waiting on the network (or idle).
+    ///
+    /// This is the wake-list contract of the event-driven scheduler:
+    /// between "now" and the returned cycle, ticking and draining the
+    /// controller must be a state-free no-op, so the system may skip
+    /// those cycles entirely without changing any simulated outcome.
+    fn next_event(&self) -> Cycle;
 }
 
 /// The core-facing interface of an L1 controller, implemented by both

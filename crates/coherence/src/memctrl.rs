@@ -24,8 +24,11 @@ use crate::outbox::Outbox;
 /// let mut mc = MemCtrl::new(0, MainMemory::new(), 100);
 /// let line = Addr::new(0x40).line();
 /// mc.handle_message(Cycle::ZERO, Agent::L2(3), Msg::MemRead { line });
-/// assert!(mc.drain_outbox(Cycle::new(99)).is_empty());
-/// let out = mc.drain_outbox(Cycle::new(100));
+/// assert_eq!(mc.next_event(), Cycle::new(100));
+/// let mut out = Vec::new();
+/// mc.drain_outbox(Cycle::new(99), &mut out);
+/// assert!(out.is_empty());
+/// mc.drain_outbox(Cycle::new(100), &mut out);
 /// assert_eq!(out.len(), 1);
 /// assert_eq!(out[0].dst, Agent::L2(3));
 /// ```
@@ -96,12 +99,17 @@ impl CacheController for MemCtrl {
 
     fn tick(&mut self, _now: Cycle) {}
 
-    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg> {
-        self.outbox.drain_ready(now)
+    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
+        self.outbox.drain_ready_into(now, out);
     }
 
     fn is_quiescent(&self) -> bool {
         self.outbox.is_empty()
+    }
+
+    fn next_event(&self) -> Cycle {
+        // Purely reactive: acts only when a queued response matures.
+        self.outbox.next_ready()
     }
 }
 
@@ -117,7 +125,10 @@ mod tests {
         let mut mc = MemCtrl::new(0, mem, 10);
         let line = Addr::new(0x40).line();
         mc.handle_message(Cycle::ZERO, Agent::L2(1), Msg::MemRead { line });
-        let out = mc.drain_outbox(Cycle::new(10));
+        assert_eq!(mc.next_event(), Cycle::new(10));
+        let mut out = Vec::new();
+        mc.drain_outbox(Cycle::new(10), &mut out);
+        assert_eq!(mc.next_event(), Cycle::MAX);
         match &out[0].msg {
             Msg::MemData { data, .. } => assert_eq!(data.read_word(0), 99),
             other => panic!("unexpected {other:?}"),
@@ -132,7 +143,9 @@ mod tests {
         let mut data = LineData::zeroed();
         data.write_word(1, 5);
         mc.handle_message(Cycle::ZERO, Agent::L2(0), Msg::MemWrite { line, data });
-        assert!(mc.drain_outbox(Cycle::new(1000)).is_empty());
+        let mut out = Vec::new();
+        mc.drain_outbox(Cycle::new(1000), &mut out);
+        assert!(out.is_empty());
         assert_eq!(mc.memory().read_word(Addr::new(0x88)), 5);
         assert_eq!(mc.writes.get(), 1);
         assert!(mc.is_quiescent());

@@ -61,13 +61,28 @@ impl Outbox {
     /// Removes and returns every message with `ready_at <= now`.
     pub fn drain_ready(&mut self, now: Cycle) -> Vec<NetMsg> {
         let mut out = Vec::new();
+        self.drain_ready_into(now, &mut out);
+        out
+    }
+
+    /// Appends every message with `ready_at <= now` to `out`, avoiding
+    /// a fresh allocation per drain (the run loop reuses one scratch
+    /// buffer across all controllers).
+    pub fn drain_ready_into(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
         while let Some((t, _)) = self.queue.front() {
             if *t > now {
                 break;
             }
             out.push(self.queue.pop_front().expect("peeked").1);
         }
-        out
+    }
+
+    /// The ready time of the oldest pending message, or [`Cycle::MAX`]
+    /// when the outbox is empty. Because ready times are monotonic,
+    /// this is the earliest cycle at which a drain can yield anything —
+    /// the controller's wake deadline for the event-driven scheduler.
+    pub fn next_ready(&self) -> Cycle {
+        self.queue.front().map_or(Cycle::MAX, |(t, _)| *t)
     }
 
     /// Whether no messages are pending.
@@ -116,5 +131,21 @@ mod tests {
         let mut ob = Outbox::new();
         ob.push(Cycle::new(5), msg(1));
         assert!(ob.drain_ready(Cycle::new(4)).is_empty());
+    }
+
+    #[test]
+    fn next_ready_tracks_head() {
+        let mut ob = Outbox::new();
+        assert_eq!(ob.next_ready(), Cycle::MAX);
+        ob.push(Cycle::new(5), msg(1));
+        ob.push(Cycle::new(8), msg(2));
+        assert_eq!(ob.next_ready(), Cycle::new(5));
+        let mut out = Vec::new();
+        ob.drain_ready_into(Cycle::new(5), &mut out);
+        assert_eq!(out, vec![msg(1)]);
+        assert_eq!(ob.next_ready(), Cycle::new(8));
+        ob.drain_ready_into(Cycle::new(8), &mut out);
+        assert_eq!(out.len(), 2, "drain appends, preserving prior content");
+        assert_eq!(ob.next_ready(), Cycle::MAX);
     }
 }

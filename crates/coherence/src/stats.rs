@@ -53,7 +53,7 @@ impl SelfInvCause {
 /// The hit/miss categories follow Figures 5 and 6 exactly: misses are
 /// split by the state the line was in when the access missed
 /// (Invalid / Shared / SharedRO), hits by the state they hit in.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct L1Stats {
     /// Loads that hit a private (Exclusive or Modified) line.
     pub read_hit_private: Counter,
@@ -150,7 +150,7 @@ impl L1Stats {
 }
 
 /// L2 tile statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct L2Stats {
     /// Requests serviced without a memory fetch.
     pub hits: Counter,

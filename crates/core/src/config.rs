@@ -5,6 +5,26 @@ use tsocc_cpu::CoreConfig;
 use tsocc_mem::CacheParams;
 use tsocc_noc::NocConfig;
 
+/// Which run loop drives the machine.
+///
+/// Both steppers execute the same per-cycle `step` function and are
+/// **bit-identical** in every simulated outcome (cycles, messages,
+/// flits, statistics, final memory). The event-driven scheduler merely
+/// skips cycles in which no component can act; the reference stepper
+/// walks them one by one and is kept as the determinism oracle
+/// (`tests/event_driven_parity.rs` diffs the two across the full sweep
+/// matrix).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Stepper {
+    /// Wake-list scheduler: every component reports its next wake
+    /// cycle and simulated time jumps straight to the minimum. The
+    /// default.
+    #[default]
+    EventDriven,
+    /// The original cycle-by-cycle polling stepper.
+    Reference,
+}
+
 /// Full machine configuration.
 ///
 /// The coherence protocol is an open extension point: `protocol` is a
@@ -38,6 +58,9 @@ pub struct SystemConfig {
     pub protocol: ProtocolHandle,
     /// Seed for all deterministic randomness (workload perturbation).
     pub seed: u64,
+    /// Which run loop drives the machine (identical results either
+    /// way; see [`Stepper`]).
+    pub stepper: Stepper,
 }
 
 impl std::fmt::Debug for SystemConfig {
@@ -53,6 +76,7 @@ impl std::fmt::Debug for SystemConfig {
             .field("noc", &self.noc)
             .field("protocol", &self.protocol.protocol_name())
             .field("seed", &self.seed)
+            .field("stepper", &self.stepper)
             .finish()
     }
 }
@@ -72,6 +96,7 @@ impl SystemConfig {
             noc: NocConfig::default(),
             protocol: protocol.into(),
             seed: 0xC0FFEE,
+            stepper: Stepper::default(),
         }
     }
 
@@ -100,6 +125,7 @@ impl SystemConfig {
             noc: NocConfig::default(),
             protocol: protocol.into(),
             seed: 42,
+            stepper: Stepper::default(),
         }
     }
 

@@ -45,6 +45,6 @@ pub mod config;
 pub mod stats;
 pub mod system;
 
-pub use config::SystemConfig;
+pub use config::{Stepper, SystemConfig};
 pub use stats::RunStats;
 pub use system::{RunError, System};

@@ -5,7 +5,10 @@ use tsocc_noc::NocStats;
 use tsocc_sim::Histogram;
 
 /// Aggregated results of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// Implements `PartialEq` so integration tests can assert bit-identical
+/// outcomes across run-loop implementations and thread counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Execution time in cycles (Figure 3's metric, before
     /// normalization).

@@ -3,12 +3,17 @@
 use tsocc_coherence::{Agent, CacheController, L1Controller, L2Controller, MemCtrl, NetMsg};
 use tsocc_cpu::Core;
 use tsocc_isa::Program;
-use tsocc_mem::{Addr, MainMemory};
+use tsocc_mem::{Addr, LineAddr, LineData, MainMemory};
 use tsocc_noc::{Mesh, MeshTopology};
 use tsocc_sim::{trace::TraceSink, Cycle};
 
-use crate::config::SystemConfig;
+use crate::config::{Stepper, SystemConfig};
 use crate::stats::RunStats;
+
+/// Cycles without message movement after which a run with unfinished
+/// cores is declared deadlocked. A generous quiet window: random
+/// backoffs and memory round trips are far shorter than this.
+const DEADLOCK_WINDOW: u64 = 200_000;
 
 /// Why a run did not complete.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +67,25 @@ pub struct System {
     mesh: Mesh<NetMsg>,
     now: Cycle,
     trace: TraceSink,
+    /// Scratch buffers reused by every `step` (no per-cycle allocation).
+    arrivals: Vec<(usize, NetMsg)>,
+    outgoing: Vec<NetMsg>,
+    /// Outstanding-work ledger, refreshed at the end of each executed
+    /// step, so [`System::is_finished`] is O(1) instead of re-scanning
+    /// every component per cycle.
+    cores_running: usize,
+    busy_controllers: usize,
+    /// Host-side count of actually executed steps (the event-driven
+    /// scheduler executes far fewer steps than simulated cycles).
+    steps: u64,
+    /// Earliest cycle any component can act on its own, maintained by
+    /// `step` for the event-driven run loop.
+    wake: Cycle,
+    /// Step generation (`steps` value) at which each L1 / L2 last
+    /// received a network message, so a step can prove which cores and
+    /// tiles cannot possibly act this cycle and skip their ticks.
+    l1_msg_gen: Vec<u64>,
+    l2_msg_gen: Vec<u64>,
 }
 
 impl System {
@@ -99,6 +123,8 @@ impl System {
             .map(|j| MemCtrl::new(j, MainMemory::new(), cfg.mem_latency))
             .collect();
         let mesh = Mesh::new(topo, cfg.noc);
+        let cores_running = cores.len();
+        let n_tiles = l2s.len();
         System {
             cfg,
             topo,
@@ -109,6 +135,14 @@ impl System {
             mesh,
             now: Cycle::ZERO,
             trace: TraceSink::disabled(),
+            arrivals: Vec::new(),
+            outgoing: Vec::new(),
+            cores_running,
+            busy_controllers: 0,
+            steps: 0,
+            wake: Cycle::ZERO,
+            l1_msg_gen: vec![0; cores_running],
+            l2_msg_gen: vec![0; n_tiles],
         }
     }
 
@@ -154,6 +188,19 @@ impl System {
         self.mems[ctrl].memory().read_word(addr)
     }
 
+    /// A deterministic snapshot of DRAM: every line ever written,
+    /// sorted by line address. Used by parity tests to compare final
+    /// memory images across steppers and protocols.
+    pub fn memory_image(&self) -> Vec<(LineAddr, LineData)> {
+        let mut image: Vec<(LineAddr, LineData)> = self
+            .mems
+            .iter()
+            .flat_map(|m| m.memory().lines().map(|(l, d)| (*l, *d)))
+            .collect();
+        image.sort_unstable_by_key(|&(l, _)| l);
+        image
+    }
+
     fn router_of(&self, agent: Agent) -> usize {
         match agent {
             Agent::L1(i) | Agent::L2(i) => i,
@@ -168,70 +215,127 @@ impl System {
         self.trace
             .emit(now, || format!("{} -> {}: {:?}", nm.src, nm.dst, nm.msg));
         match nm.dst {
-            Agent::L1(i) => self.l1s[i].handle_message(now, nm.src, nm.msg),
-            Agent::L2(i) => self.l2s[i].handle_message(now, nm.src, nm.msg),
+            Agent::L1(i) => {
+                self.l1s[i].handle_message(now, nm.src, nm.msg);
+                self.l1_msg_gen[i] = self.steps;
+            }
+            Agent::L2(i) => {
+                self.l2s[i].handle_message(now, nm.src, nm.msg);
+                self.l2_msg_gen[i] = self.steps;
+            }
             Agent::Mem(j) => self.mems[j].handle_message(now, nm.src, nm.msg),
         }
     }
 
     /// Advances the machine one cycle; returns whether any component
     /// showed activity (message movement).
+    ///
+    /// While running its phases this also maintains, for free (the
+    /// loops already touch every component):
+    /// - the outstanding-work ledger behind the O(1)
+    ///   [`System::is_finished`], and
+    /// - `self.wake`, the earliest cycle at which any component can act
+    ///   on its own — the next mesh arrival, the next outbox-ready
+    ///   deadline, or the next self-driven core event. Every simulated
+    ///   cycle strictly between `self.now` and `self.wake` is provably
+    ///   a no-op for every component, which is what lets the
+    ///   event-driven run loop skip those cycles bit-exactly. Each
+    ///   component is sampled after its last possible mutation in the
+    ///   step (cores after phase 2, controller outboxes after their
+    ///   phase-4 drain, the mesh after injection).
     fn step(&mut self) -> bool {
         let now = self.now;
+        self.steps += 1;
         let mut active = false;
+        let mut wake = Cycle::MAX;
 
         // 1. Deliver arrived network messages.
-        let arrivals = self.mesh.deliver(now);
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        self.mesh.deliver_into(now, &mut arrivals);
         active |= !arrivals.is_empty();
-        for (_router, nm) in arrivals {
+        for (_router, nm) in arrivals.drain(..) {
             self.dispatch(now, nm);
         }
+        self.arrivals = arrivals;
 
-        // 2. Cores execute against their L1s.
-        for (core, l1) in self.cores.iter_mut().zip(self.l1s.iter_mut()) {
-            core.tick(now, l1.as_mut());
+        // 2. Cores execute against their L1s. A core's tick is provably
+        // a no-op — and is skipped — unless the core can act this cycle
+        // (its own wake deadline has arrived) or its L1 just received a
+        // message (which may have queued completions to pop).
+        let gen = self.steps;
+        let next = now + 1;
+        let mut cores_running = 0;
+        for (i, (core, l1)) in self.cores.iter_mut().zip(self.l1s.iter_mut()).enumerate() {
+            if self.l1_msg_gen[i] == gen || core.next_event(now) <= now {
+                core.tick(now, l1.as_mut());
+            }
+            if !core.is_done() {
+                cores_running += 1;
+            }
+            wake = wake.min(core.next_event(next));
+        }
+        self.cores_running = cores_running;
+
+        // 3. Tile controllers advance (queued-request replay). Replay
+        // entries only appear while handling a message, so a tile that
+        // received nothing this step has nothing to do.
+        for (i, l2) in self.l2s.iter_mut().enumerate() {
+            if self.l2_msg_gen[i] == gen {
+                l2.tick(now);
+            }
         }
 
-        // 3. Controllers advance (queued-request replay).
-        for l2 in &mut self.l2s {
-            l2.tick(now);
-        }
-
-        // 4. Inject ready outgoing messages into the mesh.
-        let mut outgoing: Vec<NetMsg> = Vec::new();
+        // 4. Inject ready outgoing messages into the mesh, draining
+        // every controller into one reusable scratch buffer.
+        let mut outgoing = std::mem::take(&mut self.outgoing);
+        let mut busy_controllers = 0;
         for l1 in &mut self.l1s {
-            outgoing.extend(l1.drain_outbox(now));
+            l1.drain_outbox(now, &mut outgoing);
+            busy_controllers += usize::from(!l1.is_quiescent());
+            wake = wake.min(l1.next_event());
         }
         for l2 in &mut self.l2s {
-            outgoing.extend(l2.drain_outbox(now));
+            l2.drain_outbox(now, &mut outgoing);
+            busy_controllers += usize::from(!l2.is_quiescent());
+            wake = wake.min(l2.next_event());
         }
         for mem in &mut self.mems {
-            outgoing.extend(mem.drain_outbox(now));
+            mem.drain_outbox(now, &mut outgoing);
+            busy_controllers += usize::from(!mem.is_quiescent());
+            wake = wake.min(mem.next_event());
         }
+        self.busy_controllers = busy_controllers;
         active |= !outgoing.is_empty();
-        for nm in outgoing {
+        for nm in outgoing.drain(..) {
             let src = self.router_of(nm.src);
             let dst = self.router_of(nm.dst);
             let vnet = nm.msg.vnet();
             let flits = self.cfg.noc.flits_for_payload(nm.msg.payload_bytes());
             self.mesh.send(now, src, dst, vnet, flits, nm);
         }
+        self.outgoing = outgoing;
+        self.wake = wake.min(self.mesh.next_arrival().unwrap_or(Cycle::MAX));
 
         self.now += 1;
         active
     }
 
     /// Whether every core has finished and the machine is quiescent.
+    /// O(1): reads the outstanding-work counters maintained by `step`.
     pub fn is_finished(&self) -> bool {
-        self.cores.iter().all(Core::is_done)
-            && self.l1s.iter().all(|c| c.is_quiescent())
-            && self.l2s.iter().all(|c| c.is_quiescent())
-            && self.mems.iter().all(|c| c.is_quiescent())
-            && self.mesh.is_idle()
+        self.cores_running == 0 && self.busy_controllers == 0 && self.mesh.is_idle()
+    }
+
+    /// Number of steps the run loop actually executed so far. Under the
+    /// event-driven scheduler this is the host-event count — typically
+    /// far below [`RunStats::cycles`]; under [`Stepper::Reference`] the
+    /// two advance in lockstep.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps
     }
 
     /// Runs until every core halts and the machine drains, or until
-    /// `max_cycles`.
+    /// `max_cycles`, using the configured [`Stepper`].
     ///
     /// # Errors
     ///
@@ -239,9 +343,15 @@ impl System {
     /// [`RunError::Deadlock`] if nothing moves for a long stretch while
     /// cores are unfinished.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, RunError> {
-        // A generous quiet window: random backoffs and memory round
-        // trips are far shorter than this.
-        const DEADLOCK_WINDOW: u64 = 200_000;
+        match self.cfg.stepper {
+            Stepper::EventDriven => self.run_event_driven(max_cycles),
+            Stepper::Reference => self.run_reference(max_cycles),
+        }
+    }
+
+    /// The original cycle-by-cycle polling loop, kept as the
+    /// determinism oracle for the event-driven scheduler.
+    fn run_reference(&mut self, max_cycles: u64) -> Result<RunStats, RunError> {
         let mut last_active = self.now;
         while self.now.as_u64() < max_cycles {
             let active = self.step();
@@ -254,11 +364,50 @@ impl System {
             if self.now - last_active > DEADLOCK_WINDOW {
                 return Err(RunError::Deadlock {
                     stalled_at: self.now.as_u64(),
-                    cores_unfinished: self.cores.iter().filter(|c| !c.is_done()).count(),
+                    cores_unfinished: self.cores_running,
                 });
             }
         }
         Err(RunError::Timeout { max_cycles })
+    }
+
+    /// The event-driven scheduler: identical per-cycle semantics to
+    /// [`System::run_reference`], but after each executed step simulated
+    /// time jumps straight to the earliest cycle any component can act,
+    /// instead of single-stepping through the idle window. The skipped
+    /// cycles are exactly those in which the reference loop's step would
+    /// have been a no-op, so both loops produce bit-identical results —
+    /// including timeout and deadlock reporting, which is emulated at
+    /// the cycle the reference loop would have detected it.
+    fn run_event_driven(&mut self, max_cycles: u64) -> Result<RunStats, RunError> {
+        let mut last_active = self.now;
+        loop {
+            if self.now - last_active > DEADLOCK_WINDOW {
+                return Err(RunError::Deadlock {
+                    stalled_at: self.now.as_u64(),
+                    cores_unfinished: self.cores_running,
+                });
+            }
+            if self.now.as_u64() >= max_cycles {
+                return Err(RunError::Timeout { max_cycles });
+            }
+            let active = self.step();
+            if active {
+                last_active = self.now;
+            }
+            if self.is_finished() {
+                return Ok(self.collect_stats());
+            }
+            // Fast-forward over the idle window, stopping where the
+            // reference loop would declare deadlock or run out of budget.
+            let target = self
+                .wake
+                .min(last_active.saturating_add(DEADLOCK_WINDOW + 1))
+                .min(Cycle::new(max_cycles));
+            if target > self.now {
+                self.now = target;
+            }
+        }
     }
 
     /// Aggregates all statistics (valid at any point, typically after

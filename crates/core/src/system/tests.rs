@@ -4,7 +4,7 @@ use tsocc_proto::TsoCcConfig;
 use tsocc_protocols::Protocol;
 
 use super::*;
-use crate::config::SystemConfig;
+use crate::config::{Stepper, SystemConfig};
 
 fn all_protocols() -> Vec<Protocol> {
     Protocol::paper_configs()
@@ -350,4 +350,98 @@ fn trace_disabled_by_default() {
     let mut sys = System::new(cfg, vec![a.finish()]);
     sys.run(1_000_000).unwrap();
     assert!(sys.trace().lines().is_empty());
+}
+
+/// Two cores ping-ponging a line through the protocol, run under both
+/// steppers: everything observable must be bit-identical, while the
+/// event-driven scheduler executes fewer host steps.
+#[test]
+fn steppers_are_bit_identical_on_all_protocols() {
+    for protocol in all_protocols() {
+        let programs = || {
+            let data = 0x8000u64;
+            let flag = 0x8040u64;
+            let mut a = Asm::new();
+            a.movi(Reg::R1, 77);
+            a.store_abs(Reg::R1, data);
+            a.movi(Reg::R2, 1);
+            a.store_abs(Reg::R2, flag);
+            a.fence();
+            a.halt();
+            let mut b = Asm::new();
+            let spin = b.new_label();
+            b.bind(spin);
+            b.load_abs(Reg::R1, flag);
+            b.beq(Reg::R1, Reg::R0, spin);
+            b.load_abs(Reg::R2, data);
+            b.fence();
+            b.halt();
+            vec![a.finish(), b.finish()]
+        };
+        let run = |stepper: Stepper| {
+            let mut cfg = SystemConfig::small_test(2, protocol);
+            cfg.stepper = stepper;
+            let mut sys = System::new(cfg, programs());
+            let stats = sys.run(2_000_000).unwrap();
+            (stats, sys.memory_image(), sys.steps_executed())
+        };
+        let (ev_stats, ev_mem, ev_steps) = run(Stepper::EventDriven);
+        let (ref_stats, ref_mem, ref_steps) = run(Stepper::Reference);
+        assert_eq!(ev_stats, ref_stats, "{}", protocol.name());
+        assert_eq!(ev_mem, ref_mem, "{}", protocol.name());
+        assert!(
+            ev_steps < ref_steps,
+            "{}: {ev_steps} vs {ref_steps} host steps",
+            protocol.name()
+        );
+        assert_eq!(
+            ref_steps, ref_stats.cycles,
+            "the reference stepper walks every cycle"
+        );
+    }
+}
+
+/// Timeout must be reported identically: same error, same simulated
+/// state, regardless of how idle cycles were traversed.
+#[test]
+fn steppers_agree_on_timeout() {
+    let program = || {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.load_abs(Reg::R1, 0x4000);
+        a.jump(top);
+        a.finish()
+    };
+    let run = |stepper: Stepper| {
+        let mut cfg = SystemConfig::small_test(2, Protocol::Mesi);
+        cfg.stepper = stepper;
+        let mut sys = System::new(cfg, vec![program()]);
+        let err = sys.run(5_000).unwrap_err();
+        (err, sys.collect_stats())
+    };
+    let (ev_err, ev_stats) = run(Stepper::EventDriven);
+    let (ref_err, ref_stats) = run(Stepper::Reference);
+    assert_eq!(ev_err, ref_err);
+    assert_eq!(ev_stats, ref_stats);
+}
+
+/// A machine stalled on long memory round trips is exactly where the
+/// wake-list pays off: far fewer host steps than simulated cycles.
+#[test]
+fn event_driven_skips_idle_memory_latency() {
+    let mut a = Asm::new();
+    for i in 0..8u64 {
+        a.load_abs(Reg::R1, 0x4000 + i * 0x1000);
+    }
+    a.halt();
+    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let mut sys = System::new(cfg, vec![a.finish()]);
+    let stats = sys.run(2_000_000).unwrap();
+    assert!(
+        sys.steps_executed() * 2 < stats.cycles,
+        "{} steps for {} cycles: the miss latency should be skipped",
+        sys.steps_executed(),
+        stats.cycles
+    );
 }

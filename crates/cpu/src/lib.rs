@@ -152,6 +152,58 @@ impl Core {
             && matches!(self.pending, Pending::None)
     }
 
+    /// The earliest cycle at or after `now` at which this core's
+    /// [`Core::tick`] could change machine state, assuming no L1
+    /// completions arrive in between (message deliveries wake the
+    /// system independently). Returns [`Cycle::MAX`] when the core is
+    /// finished or blocked purely on its memory system.
+    ///
+    /// This is the event-driven scheduler's contract: every skipped
+    /// cycle strictly before the returned value must be one where
+    /// `tick` would have been a no-op — no instruction executed, no L1
+    /// submit attempted, no statistic counted — so skipping preserves
+    /// bit-identical simulation results.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if self.is_done() {
+            return Cycle::MAX;
+        }
+        // The write-buffer head is (re)submitted on every tick while no
+        // store is in flight; a submit can change L1 state (MSHR
+        // allocation, recency), so those cycles must actually run.
+        if !self.store_inflight && !self.write_buffer.is_empty() {
+            return now;
+        }
+        match self.pending {
+            // Blocked on an outstanding L1 transaction: only a message
+            // delivery (a separate wake source) can unblock.
+            Pending::WaitLoad { .. } | Pending::WaitRmw { .. } => Cycle::MAX,
+            // Waiting on the write buffer: with buffered stores the
+            // head-submit rule above applies; otherwise the in-flight
+            // store must complete first (message-driven), except when
+            // the buffer already drained and the op issues next tick.
+            Pending::DrainForRmw { .. } | Pending::DrainForFence => {
+                if self.store_inflight {
+                    Cycle::MAX
+                } else {
+                    now
+                }
+            }
+            Pending::DelayUntil(t) => t.max(now),
+            // Retries submit, and a full-buffer stall counts a stall
+            // statistic, every cycle; neither may be skipped.
+            Pending::Resubmit { .. } | Pending::WbFull { .. } => now,
+            Pending::None => {
+                if self.thread.is_halted() {
+                    // Halted with a store in flight (is_done and the
+                    // head-submit rule handled the other cases).
+                    Cycle::MAX
+                } else {
+                    now
+                }
+            }
+        }
+    }
+
     /// Youngest buffered store to `addr`, if any (TSO load forwarding).
     fn forward_from_wb(&self, addr: Addr) -> Option<u64> {
         self.write_buffer

@@ -62,11 +62,12 @@ impl CacheController for MockL1 {
     fn tick(&mut self, now: Cycle) {
         self.now = now;
     }
-    fn drain_outbox(&mut self, _now: Cycle) -> Vec<NetMsg> {
-        Vec::new()
-    }
+    fn drain_outbox(&mut self, _now: Cycle, _out: &mut Vec<NetMsg>) {}
     fn is_quiescent(&self) -> bool {
         self.inflight.is_empty()
+    }
+    fn next_event(&self) -> Cycle {
+        self.inflight.front().map_or(Cycle::MAX, |&(t, _)| t)
     }
 }
 
@@ -317,4 +318,113 @@ fn halted_core_stays_done() {
     assert_eq!(core.id(), 3);
     core.tick(Cycle::new(999), &mut l1);
     assert!(core.is_done());
+}
+
+#[test]
+fn next_event_of_a_fresh_core_is_immediate() {
+    let mut a = Asm::new();
+    a.halt();
+    let core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    assert_eq!(core.next_event(Cycle::new(5)), Cycle::new(5));
+}
+
+#[test]
+fn next_event_of_a_done_core_is_never() {
+    let mut a = Asm::new();
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::hit();
+    run(&mut core, &mut l1, 100);
+    assert_eq!(core.next_event(Cycle::new(50)), Cycle::MAX);
+}
+
+#[test]
+fn next_event_while_blocked_on_load_is_never() {
+    let mut a = Asm::new();
+    a.load_abs(Reg::R1, 0x100);
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::missy(500);
+    // Tick until the load has been issued and the core is waiting.
+    for t in 0..5 {
+        let now = Cycle::new(t);
+        l1.tick(now);
+        core.tick(now, &mut l1);
+    }
+    assert!(!core.is_done());
+    assert_eq!(
+        core.next_event(Cycle::new(5)),
+        Cycle::MAX,
+        "a core blocked on an L1 miss has no self-driven wake"
+    );
+}
+
+#[test]
+fn next_event_with_buffered_store_is_immediate() {
+    // A store parked in the write buffer is re-submitted every cycle,
+    // so the core must not be skipped while the head is not in flight.
+    let mut a = Asm::new();
+    a.movi(Reg::R1, 1);
+    a.store_abs(Reg::R1, 0x100);
+    a.store_abs(Reg::R1, 0x140);
+    a.halt();
+    let mut core = Core::new(0, a.finish(), CoreConfig::default(), 1);
+    let mut l1 = MockL1::missy(500);
+    for t in 0..4 {
+        let now = Cycle::new(t);
+        l1.tick(now);
+        core.tick(now, &mut l1);
+    }
+    // One store is in flight at the L1 and one still sits in the
+    // buffer; the buffered one submits as soon as the first completes,
+    // which is message-driven — until then ticks are no-ops.
+    assert!(!core.is_done());
+    assert_eq!(core.next_event(Cycle::new(4)), Cycle::MAX);
+}
+
+#[test]
+fn skipping_to_next_event_matches_per_cycle_ticking() {
+    // Drive two identical cores to completion, one ticked every cycle,
+    // one ticked only at next_event() wake-ups (plus completion
+    // cycles), and require identical timing and statistics.
+    let build = || {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 3);
+        a.store_abs(Reg::R1, 0x100);
+        a.load_abs(Reg::R2, 0x180);
+        a.delay(17);
+        a.load_abs(Reg::R3, 0x100);
+        a.halt();
+        a.finish()
+    };
+    let mut ref_core = Core::new(0, build(), CoreConfig::default(), 7);
+    let mut ref_l1 = MockL1::missy(40);
+    let done_ref = run(&mut ref_core, &mut ref_l1, 10_000);
+
+    let mut ev_core = Core::new(0, build(), CoreConfig::default(), 7);
+    let mut ev_l1 = MockL1::missy(40);
+    let mut ticked = 0u64;
+    let mut done_ev = None;
+    for t in 0..10_000u64 {
+        let now = Cycle::new(t);
+        // The MockL1's completion deadline stands in for the mesh wake.
+        let wake = ev_core.next_event(now).min(ev_l1.next_event());
+        if wake > now {
+            continue;
+        }
+        ev_l1.tick(now);
+        ev_core.tick(now, &mut ev_l1);
+        ticked += 1;
+        if ev_core.is_done() {
+            done_ev = Some(t);
+            break;
+        }
+    }
+    assert_eq!(done_ev, Some(done_ref), "event-driven timing must match");
+    assert!(ticked < done_ref, "some idle cycles must have been skipped");
+    assert_eq!(
+        ev_core.stats().instructions.get(),
+        ref_core.stats().instructions.get()
+    );
+    assert_eq!(ev_core.stats().loads.get(), ref_core.stats().loads.get());
 }

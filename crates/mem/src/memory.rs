@@ -74,6 +74,12 @@ impl MainMemory {
     pub fn touched_lines(&self) -> usize {
         self.lines.len()
     }
+
+    /// Iterates over every line ever written, in arbitrary order
+    /// (callers wanting a canonical image sort by [`LineAddr`]).
+    pub fn lines(&self) -> impl Iterator<Item = (&LineAddr, &LineData)> {
+        self.lines.iter()
+    }
 }
 
 #[cfg(test)]

@@ -461,12 +461,18 @@ impl CacheController for MesiL1 {
 
     fn tick(&mut self, _now: Cycle) {}
 
-    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg> {
-        self.outbox.drain_ready(now)
+    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
+        self.outbox.drain_ready_into(now, out);
     }
 
     fn is_quiescent(&self) -> bool {
         self.mshrs.is_empty() && self.wb.is_empty() && self.outbox.is_empty()
+    }
+
+    fn next_event(&self) -> Cycle {
+        // MSHRs and writeback entries complete on message arrival; the
+        // only self-driven action is injecting queued outbox messages.
+        self.outbox.next_ready()
     }
 }
 

@@ -581,12 +581,22 @@ impl CacheController for MesiL2 {
         }
     }
 
-    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg> {
-        self.outbox.drain_ready(now)
+    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
+        self.outbox.drain_ready_into(now, out);
     }
 
     fn is_quiescent(&self) -> bool {
         self.busy.is_empty() && self.replay.is_empty() && self.outbox.is_empty()
+    }
+
+    fn next_event(&self) -> Cycle {
+        // The replay queue is filled by message handling and drained by
+        // the same cycle's tick, so between steps it is empty; if a
+        // driver queries mid-cycle anyway, demand an immediate tick.
+        if !self.replay.is_empty() {
+            return Cycle::ZERO;
+        }
+        self.outbox.next_ready()
     }
 }
 

@@ -62,11 +62,11 @@ impl Harness {
             let mut msgs: Vec<NetMsg> = Vec::new();
             for l1 in &mut self.l1s {
                 l1.tick(now);
-                msgs.extend(l1.drain_outbox(now));
+                l1.drain_outbox(now, &mut msgs);
             }
             self.l2.tick(now);
-            msgs.extend(self.l2.drain_outbox(now));
-            msgs.extend(self.mem.drain_outbox(now));
+            self.l2.drain_outbox(now, &mut msgs);
+            self.mem.drain_outbox(now, &mut msgs);
             for nm in msgs {
                 self.route(nm);
             }

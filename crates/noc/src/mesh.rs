@@ -1,7 +1,7 @@
 //! Message timing, link contention and flit accounting.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use tsocc_sim::{Counter, Cycle};
 
@@ -102,12 +102,18 @@ impl<M> Ord for Arrival<M> {
 pub struct Mesh<M> {
     topo: MeshTopology,
     cfg: NocConfig,
-    /// busy-until time per (from-router, to-router, vnet) directed link.
-    link_busy: HashMap<(usize, usize, usize), Cycle>,
+    /// Busy-until time per directed link and vnet, flat-indexed by
+    /// [`Mesh::link_id`]. Each router has at most four outgoing mesh
+    /// links (one per direction), so the table is `nodes × 4 × vnets`
+    /// entries — a direct index instead of hashing a 3-tuple per hop.
+    link_busy: Vec<Cycle>,
     in_flight: BinaryHeap<Reverse<Arrival<M>>>,
     seq: u64,
     stats: NocStats,
 }
+
+/// Outgoing link directions of a mesh router, in dense-index order.
+const LINK_DIRS: usize = 4;
 
 impl<M> Mesh<M> {
     /// Creates an idle mesh.
@@ -115,11 +121,29 @@ impl<M> Mesh<M> {
         Mesh {
             topo,
             cfg,
-            link_busy: HashMap::new(),
+            link_busy: vec![Cycle::ZERO; topo.nodes() * LINK_DIRS * VNet::ALL.len()],
             in_flight: BinaryHeap::new(),
             seq: 0,
             stats: NocStats::default(),
         }
+    }
+
+    /// Dense index of the directed link `from → to` (adjacent routers)
+    /// on `vnet`: the from-router's slot for the step's direction
+    /// (0 east, 1 west, 2 south, 3 north).
+    fn link_id(&self, from: usize, to: usize, vnet: VNet) -> usize {
+        let cols = self.topo.cols();
+        let dir = if to == from + 1 {
+            0
+        } else if to + 1 == from {
+            1
+        } else if to == from + cols {
+            2
+        } else {
+            debug_assert_eq!(to + cols, from, "{from} -> {to} is not a mesh link");
+            3
+        };
+        (from * LINK_DIRS + dir) * VNet::ALL.len() + vnet.index()
     }
 
     /// The mesh geometry.
@@ -158,20 +182,32 @@ impl<M> Mesh<M> {
             // Local delivery through the router's crossbar only.
             t += self.cfg.router_latency.max(1);
         } else {
-            let path = self.topo.route(src, dst);
+            // Walk the XY route inline (X first, then Y — the same hop
+            // sequence `MeshTopology::route` materializes) so the hot
+            // send path allocates nothing.
             self.stats
                 .flit_hops
-                .add(flits as u64 * (path.len() as u64 - 1));
-            for w in path.windows(2) {
-                let key = (w[0], w[1], vnet.index());
-                let free = self.link_busy.get(&key).copied().unwrap_or(Cycle::ZERO);
+                .add(flits as u64 * self.topo.hops(src, dst) as u64);
+            let (dr, dc) = self.topo.coords(dst);
+            let (mut r, mut c) = self.topo.coords(src);
+            let mut from = src;
+            while (r, c) != (dr, dc) {
+                if c != dc {
+                    c = if c < dc { c + 1 } else { c - 1 };
+                } else {
+                    r = if r < dr { r + 1 } else { r - 1 };
+                }
+                let to = self.topo.node_at(r, c);
+                let key = self.link_id(from, to, vnet);
+                let free = self.link_busy[key];
                 let start = t.max(free);
                 self.stats.contention_cycles.add(start - t);
                 // The link is serialized: it cannot accept the next
                 // message until all flits of this one have left.
                 let done = start + flits as u64;
-                self.link_busy.insert(key, done);
+                self.link_busy[key] = done;
                 t = done + self.cfg.link_latency + self.cfg.router_latency;
+                from = to;
             }
         }
         self.seq += 1;
@@ -188,6 +224,13 @@ impl<M> Mesh<M> {
     /// deterministic).
     pub fn deliver(&mut self, now: Cycle) -> Vec<(usize, M)> {
         let mut out = Vec::new();
+        self.deliver_into(now, &mut out);
+        out
+    }
+
+    /// Like [`Mesh::deliver`], but appends into a caller-provided
+    /// buffer so the per-cycle run loop can reuse one allocation.
+    pub fn deliver_into(&mut self, now: Cycle, out: &mut Vec<(usize, M)>) {
         while let Some(Reverse(head)) = self.in_flight.peek() {
             if head.at > now {
                 break;
@@ -195,7 +238,6 @@ impl<M> Mesh<M> {
             let Reverse(arr) = self.in_flight.pop().expect("peeked");
             out.push((arr.dst, arr.payload));
         }
-        out
     }
 
     /// Whether any message is still in flight.
@@ -325,5 +367,50 @@ mod tests {
     fn zero_flit_message_panics() {
         let mut m = mesh();
         m.send(Cycle::ZERO, 0, 1, VNet::Request, 0, 1);
+    }
+
+    #[test]
+    fn distinct_outgoing_links_do_not_contend() {
+        // Router 1 of a 2x4 mesh has east (1->2), west (1->0) and south
+        // (1->5) links; same-vnet messages over different directions
+        // must not serialize against each other in the flat busy table.
+        let mut m = mesh();
+        m.send(Cycle::ZERO, 1, 2, VNet::Request, 5, 1);
+        m.send(Cycle::ZERO, 1, 0, VNet::Request, 5, 2);
+        m.send(Cycle::ZERO, 1, 5, VNet::Request, 5, 3);
+        let got = drain_all(&mut m, 100);
+        let times: Vec<u64> = [1, 2, 3]
+            .iter()
+            .map(|id| got.iter().find(|g| g.2 == *id).unwrap().0)
+            .collect();
+        assert_eq!(times[0], times[1]);
+        assert_eq!(times[0], times[2]);
+        assert_eq!(m.stats().contention_cycles.get(), 0);
+    }
+
+    #[test]
+    fn inline_walk_matches_route_hops() {
+        // Multi-hop timing must still follow the XY path: contention on
+        // the first shared link delays a message even when the rest of
+        // the routes diverge.
+        let mut m = mesh();
+        m.send(Cycle::ZERO, 0, 6, VNet::Request, 5, 1); // 0->1->2->6
+        m.send(Cycle::ZERO, 0, 1, VNet::Request, 5, 2); // 0->1
+        let got = drain_all(&mut m, 100);
+        let t2 = got.iter().find(|g| g.2 == 2).unwrap().0;
+        // The second message waits out the first's 5 flits on link 0->1.
+        assert!(m.stats().contention_cycles.get() >= 5, "{t2}");
+    }
+
+    #[test]
+    fn deliver_into_reuses_buffer() {
+        let mut m = mesh();
+        m.send(Cycle::ZERO, 0, 1, VNet::Request, 1, 7);
+        let mut out = Vec::new();
+        let at = m.next_arrival().unwrap();
+        m.deliver_into(at, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 1);
+        assert!(m.is_idle());
     }
 }

@@ -651,12 +651,19 @@ impl CacheController for TsoCcL1 {
 
     fn tick(&mut self, _now: Cycle) {}
 
-    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg> {
-        self.outbox.drain_ready(now)
+    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
+        self.outbox.drain_ready_into(now, out);
     }
 
     fn is_quiescent(&self) -> bool {
         self.mshrs.is_empty() && self.wb.is_empty() && self.outbox.is_empty()
+    }
+
+    fn next_event(&self) -> Cycle {
+        // MSHR retries and writeback completion are message-driven;
+        // self-invalidation happens synchronously inside submits and
+        // data responses. Only the outbox needs a timed wake.
+        self.outbox.next_ready()
     }
 }
 

@@ -863,12 +863,21 @@ impl CacheController for TsoCcL2 {
         }
     }
 
-    fn drain_outbox(&mut self, now: Cycle) -> Vec<NetMsg> {
-        self.outbox.drain_ready(now)
+    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
+        self.outbox.drain_ready_into(now, out);
     }
 
     fn is_quiescent(&self) -> bool {
         self.busy.is_empty() && self.replay.is_empty() && self.outbox.is_empty()
+    }
+
+    fn next_event(&self) -> Cycle {
+        // Same contract as the MESI tile: replay is empty between
+        // steps, so the outbox head is the only self-driven deadline.
+        if !self.replay.is_empty() {
+            return Cycle::ZERO;
+        }
+        self.outbox.next_ready()
     }
 }
 
