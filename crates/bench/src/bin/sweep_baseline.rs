@@ -69,6 +69,15 @@ fn main() {
     }
 
     let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+    // Aggregate throughput over the whole matrix (total simulated
+    // cycles per total per-point wall time): the one number CI logs
+    // surface so throughput regressions are visible at a glance.
+    // Computed from the *serial* leg — parallel per-point walls are
+    // inflated by cross-point contention and would make the metric
+    // swing with the runner's core count.
+    let total_cycles: u64 = serial.iter().map(|p| p.stats.cycles).sum();
+    let total_wall: f64 = serial.iter().map(|p| p.wall.as_secs_f64()).sum();
+    let aggregate_cps = total_cycles as f64 / total_wall.max(1e-9);
     let doc = json::Object::new()
         .str("schema", "tsocc-sweep-baseline/v1")
         .str("bench", Benchmark::Fft.name())
@@ -82,6 +91,7 @@ fn main() {
         .f64("serial_wall_seconds", serial_wall.as_secs_f64())
         .f64("parallel_wall_seconds", parallel_wall.as_secs_f64())
         .f64("parallel_speedup", speedup)
+        .f64("aggregate_sim_cycles_per_second", aggregate_cps)
         .raw("points", json::array(parallel.iter().map(|p| p.to_json())))
         .build();
     std::fs::write(&out_path, doc + "\n").expect("write baseline artifact");
@@ -89,4 +99,5 @@ fn main() {
         "wrote {out_path}: {} points, serial {serial_wall:.2?} vs parallel {parallel_wall:.2?} ({speedup:.2}x)",
         points.len()
     );
+    eprintln!("aggregate sim_cycles_per_second: {aggregate_cps:.0}");
 }

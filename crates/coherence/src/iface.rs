@@ -97,8 +97,12 @@ pub trait L1Controller: CacheController {
     /// Attempts to perform `op`.
     fn submit(&mut self, now: Cycle, op: CoreOp) -> Submit;
 
-    /// Takes all miss completions that became ready.
-    fn pop_completions(&mut self) -> Vec<Completion>;
+    /// Appends every miss completion that became ready to `out`,
+    /// leaving the controller's completion queue empty. Mirrors
+    /// [`CacheController::drain_outbox`]: the core passes one reusable
+    /// scratch buffer every cycle, so the core↔L1 boundary allocates
+    /// nothing per cycle.
+    fn drain_completions(&mut self, out: &mut Vec<Completion>);
 
     /// Per-L1 statistics for the paper's Figures 5–9.
     fn stats(&self) -> &L1Stats;

@@ -7,9 +7,7 @@
 //! arrives, and services forwards from that buffer in the meantime.
 //! This is the standard resolution used by gem5's Ruby protocols.
 
-use std::collections::HashMap;
-
-use tsocc_mem::{LineAddr, LineData};
+use tsocc_mem::{LineAddr, LineData, LineMap};
 
 use crate::msg::{Epoch, Ts};
 
@@ -47,14 +45,14 @@ pub struct WbEntry {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct WritebackBuffer {
-    entries: HashMap<LineAddr, WbEntry>,
+    entries: LineMap<WbEntry>,
 }
 
 impl WritebackBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
         WritebackBuffer {
-            entries: HashMap::new(),
+            entries: LineMap::new(),
         }
     }
 
@@ -81,17 +79,17 @@ impl WritebackBuffer {
 
     /// Looks up an in-flight eviction.
     pub fn get(&self, line: LineAddr) -> Option<&WbEntry> {
-        self.entries.get(&line)
+        self.entries.get(line)
     }
 
     /// Mutable lookup (to mark `forwarded`).
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut WbEntry> {
-        self.entries.get_mut(&line)
+        self.entries.get_mut(line)
     }
 
     /// Completes an eviction (PutAck received).
     pub fn remove(&mut self, line: LineAddr) -> Option<WbEntry> {
-        self.entries.remove(&line)
+        self.entries.remove(line)
     }
 
     /// Whether no evictions are in flight.

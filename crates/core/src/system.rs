@@ -81,11 +81,25 @@ pub struct System {
     /// Earliest cycle any component can act on its own, maintained by
     /// `step` for the event-driven run loop.
     wake: Cycle,
-    /// Step generation (`steps` value) at which each L1 / L2 last
-    /// received a network message, so a step can prove which cores and
-    /// tiles cannot possibly act this cycle and skip their ticks.
+    /// Step generation (`steps` value) at which each L1 / L2 / memory
+    /// controller last received a network message — or, for an L1, at
+    /// which its core last ticked (a tick may submit into the L1). A
+    /// step can thereby prove which cores, tiles and outboxes cannot
+    /// possibly act this cycle and skip their ticks and drains.
     l1_msg_gen: Vec<u64>,
     l2_msg_gen: Vec<u64>,
+    mem_msg_gen: Vec<u64>,
+    /// Cached `next_event()` per controller, valid while the matching
+    /// `*_msg_gen` stamp proves the controller untouched since it was
+    /// sampled (a controller's wake deadline only changes inside
+    /// `handle_message`, `tick`, `submit` or `drain_outbox`).
+    l1_wake: Vec<Cycle>,
+    l2_wake: Vec<Cycle>,
+    mem_wake: Vec<Cycle>,
+    /// Cached `!is_quiescent()` per controller, same validity rule.
+    l1_busy: Vec<bool>,
+    l2_busy: Vec<bool>,
+    mem_busy: Vec<bool>,
 }
 
 impl System {
@@ -125,6 +139,7 @@ impl System {
         let mesh = Mesh::new(topo, cfg.noc);
         let cores_running = cores.len();
         let n_tiles = l2s.len();
+        let cfg_n_mem = mems.len();
         System {
             cfg,
             topo,
@@ -143,6 +158,13 @@ impl System {
             wake: Cycle::ZERO,
             l1_msg_gen: vec![0; cores_running],
             l2_msg_gen: vec![0; n_tiles],
+            mem_msg_gen: vec![0; cfg_n_mem],
+            l1_wake: vec![Cycle::MAX; cores_running],
+            l2_wake: vec![Cycle::MAX; n_tiles],
+            mem_wake: vec![Cycle::MAX; cfg_n_mem],
+            l1_busy: vec![false; cores_running],
+            l2_busy: vec![false; n_tiles],
+            mem_busy: vec![false; cfg_n_mem],
         }
     }
 
@@ -189,13 +211,17 @@ impl System {
     }
 
     /// A deterministic snapshot of DRAM: every line ever written,
-    /// sorted by line address. Used by parity tests to compare final
-    /// memory images across steppers and protocols.
+    /// **sorted by line address** — a guarantee, not an iteration-order
+    /// accident. Each controller's [`tsocc_mem::MainMemory::lines`] is
+    /// already sorted; the sort here merely merges the per-controller
+    /// (line-interleaved) sequences into one ordered image. Used by
+    /// parity tests to compare final memory images across steppers and
+    /// protocols.
     pub fn memory_image(&self) -> Vec<(LineAddr, LineData)> {
         let mut image: Vec<(LineAddr, LineData)> = self
             .mems
             .iter()
-            .flat_map(|m| m.memory().lines().map(|(l, d)| (*l, *d)))
+            .flat_map(|m| m.memory().lines().map(|(l, d)| (l, *d)))
             .collect();
         image.sort_unstable_by_key(|&(l, _)| l);
         image
@@ -223,7 +249,10 @@ impl System {
                 self.l2s[i].handle_message(now, nm.src, nm.msg);
                 self.l2_msg_gen[i] = self.steps;
             }
-            Agent::Mem(j) => self.mems[j].handle_message(now, nm.src, nm.msg),
+            Agent::Mem(j) => {
+                self.mems[j].handle_message(now, nm.src, nm.msg);
+                self.mem_msg_gen[j] = self.steps;
+            }
         }
     }
 
@@ -267,7 +296,10 @@ impl System {
         let mut cores_running = 0;
         for (i, (core, l1)) in self.cores.iter_mut().zip(self.l1s.iter_mut()).enumerate() {
             if self.l1_msg_gen[i] == gen || core.next_event(now) <= now {
+                // The tick may submit into the L1, so the L1's cached
+                // wake/quiescence are stale from here on: re-stamp.
                 core.tick(now, l1.as_mut());
+                self.l1_msg_gen[i] = gen;
             }
             if !core.is_done() {
                 cores_running += 1;
@@ -286,23 +318,41 @@ impl System {
         }
 
         // 4. Inject ready outgoing messages into the mesh, draining
-        // every controller into one reusable scratch buffer.
+        // every controller into one reusable scratch buffer. A
+        // controller untouched this step (no message handled, no core
+        // submit, no tick) whose cached wake deadline has not arrived
+        // provably has nothing ready — its outbox, quiescence and
+        // next_event are exactly what they were when last sampled — so
+        // the drain and its virtual calls are skipped and the cached
+        // values are reused.
         let mut outgoing = std::mem::take(&mut self.outgoing);
         let mut busy_controllers = 0;
-        for l1 in &mut self.l1s {
-            l1.drain_outbox(now, &mut outgoing);
-            busy_controllers += usize::from(!l1.is_quiescent());
-            wake = wake.min(l1.next_event());
+        for (i, l1) in self.l1s.iter_mut().enumerate() {
+            if self.l1_msg_gen[i] == gen || self.l1_wake[i] <= now {
+                l1.drain_outbox(now, &mut outgoing);
+                self.l1_busy[i] = !l1.is_quiescent();
+                self.l1_wake[i] = l1.next_event();
+            }
+            busy_controllers += usize::from(self.l1_busy[i]);
+            wake = wake.min(self.l1_wake[i]);
         }
-        for l2 in &mut self.l2s {
-            l2.drain_outbox(now, &mut outgoing);
-            busy_controllers += usize::from(!l2.is_quiescent());
-            wake = wake.min(l2.next_event());
+        for (i, l2) in self.l2s.iter_mut().enumerate() {
+            if self.l2_msg_gen[i] == gen || self.l2_wake[i] <= now {
+                l2.drain_outbox(now, &mut outgoing);
+                self.l2_busy[i] = !l2.is_quiescent();
+                self.l2_wake[i] = l2.next_event();
+            }
+            busy_controllers += usize::from(self.l2_busy[i]);
+            wake = wake.min(self.l2_wake[i]);
         }
-        for mem in &mut self.mems {
-            mem.drain_outbox(now, &mut outgoing);
-            busy_controllers += usize::from(!mem.is_quiescent());
-            wake = wake.min(mem.next_event());
+        for (i, mem) in self.mems.iter_mut().enumerate() {
+            if self.mem_msg_gen[i] == gen || self.mem_wake[i] <= now {
+                mem.drain_outbox(now, &mut outgoing);
+                self.mem_busy[i] = !mem.is_quiescent();
+                self.mem_wake[i] = mem.next_event();
+            }
+            busy_controllers += usize::from(self.mem_busy[i]);
+            wake = wake.min(self.mem_wake[i]);
         }
         self.busy_controllers = busy_controllers;
         active |= !outgoing.is_empty();

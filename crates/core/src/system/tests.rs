@@ -307,6 +307,31 @@ fn too_many_programs_panics() {
 }
 
 #[test]
+fn memory_image_is_sorted_and_complete() {
+    // The sorted-by-line-address guarantee of `memory_image` (and of
+    // `MainMemory::lines` underneath) is what parity tests compare
+    // across steppers and protocols; pin it with scrambled writes that
+    // land on different memory controllers and far-apart pages.
+    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let mut sys = System::new(cfg, vec![]);
+    let addrs = [0x9_0000u64, 0x40, 0x10_0000, 0x0, 0x80, 0x4_1000, 0xc0];
+    for (i, &a) in addrs.iter().enumerate() {
+        sys.write_word(Addr::new(a), i as u64 + 1);
+    }
+    let image = sys.memory_image();
+    let mut want: Vec<u64> = addrs
+        .iter()
+        .map(|a| Addr::new(*a).line().as_u64())
+        .collect();
+    want.sort_unstable();
+    let got: Vec<u64> = image.iter().map(|(l, _)| l.as_u64()).collect();
+    assert_eq!(got, want, "memory_image must be sorted by line address");
+    for (i, &a) in addrs.iter().enumerate() {
+        assert_eq!(sys.read_mem_word(Addr::new(a)), i as u64 + 1);
+    }
+}
+
+#[test]
 fn memory_word_init_visible_to_programs() {
     let mut a = Asm::new();
     a.load_abs(Reg::R1, 0x7000);

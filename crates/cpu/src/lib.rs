@@ -109,6 +109,9 @@ pub struct Core {
     /// Whether the head of the write buffer has been accepted by the L1
     /// and awaits completion.
     store_inflight: bool,
+    /// Scratch buffer handed to `L1Controller::drain_completions` every
+    /// tick, so the core↔L1 boundary allocates nothing per cycle.
+    completions: Vec<Completion>,
     stats: CoreStats,
 }
 
@@ -124,6 +127,7 @@ impl Core {
             pending: Pending::None,
             write_buffer: VecDeque::new(),
             store_inflight: false,
+            completions: Vec::new(),
             stats: CoreStats::default(),
         }
     }
@@ -215,8 +219,13 @@ impl Core {
 
     /// Advances the core by one cycle against its L1.
     pub fn tick(&mut self, now: Cycle, l1: &mut dyn L1Controller) {
-        // 1. Collect completions of outstanding L1 transactions.
-        for completion in l1.pop_completions() {
+        // 1. Collect completions of outstanding L1 transactions into
+        // the reusable scratch buffer (moved out for the loop so the
+        // body may borrow `self`, moved back to keep its capacity).
+        let mut completions = std::mem::take(&mut self.completions);
+        debug_assert!(completions.is_empty());
+        l1.drain_completions(&mut completions);
+        for completion in completions.drain(..) {
             match completion {
                 Completion::Load(value) => match self.pending {
                     Pending::WaitLoad { issued } => {
@@ -242,6 +251,7 @@ impl Core {
                 }
             }
         }
+        self.completions = completions;
 
         // 2. Drain the write buffer: issue the head store if idle.
         if !self.store_inflight {

@@ -87,8 +87,7 @@ impl L1Controller for MockL1 {
         }
     }
 
-    fn pop_completions(&mut self) -> Vec<Completion> {
-        let mut out = Vec::new();
+    fn drain_completions(&mut self, out: &mut Vec<Completion>) {
         while let Some(&(t, c)) = self.inflight.front() {
             if t > self.now {
                 break;
@@ -96,7 +95,6 @@ impl L1Controller for MockL1 {
             self.inflight.pop_front();
             out.push(c);
         }
-        out
     }
 
     fn stats(&self) -> &L1Stats {

@@ -127,10 +127,13 @@ pub struct CacheArray<T> {
 
 impl<T> CacheArray<T> {
     /// Creates an empty array with the given geometry.
+    ///
+    /// Set storage is allocated lazily on each set's first insert:
+    /// building a machine costs O(sets) empty vectors (no heap
+    /// traffic), and sweeps over mostly-idle caches touch only the sets
+    /// actually used.
     pub fn new(params: CacheParams) -> Self {
-        let sets = (0..params.sets())
-            .map(|_| Vec::with_capacity(params.ways()))
-            .collect();
+        let sets = (0..params.sets()).map(|_| Vec::new()).collect();
         CacheArray {
             params,
             sets,
@@ -219,6 +222,11 @@ impl<T> CacheArray<T> {
             "line {line} already resident; update in place instead"
         );
         if set.len() < ways {
+            if set.capacity() == 0 {
+                // First touch of this set: one exact allocation instead
+                // of doubling through push-growth.
+                set.reserve_exact(ways);
+            }
             set.push(Slot {
                 line,
                 lru: tick,

@@ -4,8 +4,9 @@
 //!
 //! Provides strongly-typed addresses ([`Addr`], [`LineAddr`]), functional
 //! 64-byte cache-line data ([`LineData`]), a generic set-associative cache
-//! array with LRU replacement ([`CacheArray`]) and a flat main-memory
-//! backing store ([`MainMemory`]).
+//! array with LRU replacement ([`CacheArray`]), a paged main-memory
+//! backing store ([`MainMemory`]) and a flat open-addressed map for
+//! per-line controller state ([`LineMap`]).
 //!
 //! Cache lines carry *real data words*: the simulator executes programs
 //! functionally through the memory hierarchy, which is what makes stale
@@ -26,9 +27,11 @@
 pub mod addr;
 pub mod cache;
 pub mod line;
+pub mod linemap;
 pub mod memory;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES, WORDS_PER_LINE};
 pub use cache::{CacheArray, CacheParams, InsertOutcome};
 pub use line::LineData;
+pub use linemap::LineMap;
 pub use memory::MainMemory;

@@ -1,14 +1,45 @@
-//! Flat main-memory backing store.
-
-use std::collections::HashMap;
+//! Paged main-memory backing store.
 
 use crate::addr::{Addr, LineAddr};
 use crate::line::LineData;
+use crate::linemap::FxMap;
 
-/// The simulated DRAM: a sparse map from line address to line data.
+/// Cache lines per memory page (64 lines × 64 B = 4 KiB pages).
+const PAGE_LINES: usize = 64;
+const PAGE_SHIFT: u32 = PAGE_LINES.trailing_zeros();
+const PAGE_MASK: u64 = PAGE_LINES as u64 - 1;
+// The shift/mask split and the one-word `touched` bitmap both require
+// a power-of-two line count of at most 64.
+const _: () = assert!(PAGE_LINES.is_power_of_two() && PAGE_LINES <= 64);
+
+/// One 4 KiB page of simulated DRAM: a flat line array plus a bitmap of
+/// lines ever written (so sparse iteration stays exact — a zero-filled
+/// but never-written line is *not* part of the memory image).
+#[derive(Clone, Debug)]
+struct Page {
+    touched: u64,
+    lines: [LineData; PAGE_LINES],
+}
+
+impl Page {
+    fn zeroed() -> Box<Page> {
+        Box::new(Page {
+            touched: 0,
+            lines: [LineData::zeroed(); PAGE_LINES],
+        })
+    }
+}
+
+/// The simulated DRAM: a sparse *paged* store.
 ///
-/// Lines never written read as zero, matching the initial state assumed
-/// by litmus tests (`init: data = flag = 0`).
+/// A page table (open-addressed, hand-rolled mixer — see
+/// [`LineMap`](crate::LineMap) for the rationale) maps page numbers to
+/// boxed 4 KiB pages, allocated zero-filled on first write. A line read
+/// is one page-table probe plus an array index; lines never written read
+/// as zero, matching the initial state assumed by litmus tests
+/// (`init: data = flag = 0`). This replaces the earlier
+/// `HashMap<LineAddr, LineData>`, which paid a SipHash per line access
+/// on the `MemRead`/`MemWrite` hot path.
 ///
 /// # Examples
 ///
@@ -26,25 +57,49 @@ use crate::line::LineData;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MainMemory {
-    lines: HashMap<LineAddr, LineData>,
+    pages: FxMap<Box<Page>>,
 }
 
 impl MainMemory {
     /// Creates an empty (all-zero) memory.
     pub fn new() -> Self {
         MainMemory {
-            lines: HashMap::new(),
+            pages: FxMap::new(),
         }
     }
 
-    /// Reads a full line; unwritten lines are zero.
-    pub fn read_line(&self, line: LineAddr) -> LineData {
-        self.lines.get(&line).copied().unwrap_or_default()
+    #[inline]
+    fn split(line: LineAddr) -> (u64, usize) {
+        (
+            line.as_u64() >> PAGE_SHIFT,
+            (line.as_u64() & PAGE_MASK) as usize,
+        )
     }
 
-    /// Writes a full line back to memory.
+    /// Reads a full line; unwritten lines are zero.
+    #[inline]
+    pub fn read_line(&self, line: LineAddr) -> LineData {
+        let (page, index) = Self::split(line);
+        match self.pages.get(page) {
+            Some(p) => p.lines[index],
+            None => LineData::zeroed(),
+        }
+    }
+
+    /// Writes a full line back to memory, allocating the page on first
+    /// touch.
+    #[inline]
     pub fn write_line(&mut self, line: LineAddr, data: LineData) {
-        self.lines.insert(line, data);
+        let (page, index) = Self::split(line);
+        let p = match self.pages.get_mut(page) {
+            Some(p) => p,
+            None => {
+                self.pages.insert(page, Page::zeroed());
+                self.pages.get_mut(page).expect("just inserted")
+            }
+        };
+        p.touched |= 1 << index;
+        p.lines[index] = data;
     }
 
     /// Reads one aligned 64-bit word (test/diagnostic convenience).
@@ -72,13 +127,31 @@ impl MainMemory {
 
     /// Number of distinct lines ever written.
     pub fn touched_lines(&self) -> usize {
-        self.lines.len()
+        self.pages
+            .iter()
+            .map(|(_, p)| p.touched.count_ones() as usize)
+            .sum()
     }
 
-    /// Iterates over every line ever written, in arbitrary order
-    /// (callers wanting a canonical image sort by [`LineAddr`]).
-    pub fn lines(&self) -> impl Iterator<Item = (&LineAddr, &LineData)> {
-        self.lines.iter()
+    /// Iterates over every line ever written, **sorted by line
+    /// address**. This ordering is a guarantee (relied on by
+    /// `System::memory_image` and the cross-stepper/protocol parity
+    /// tests), not an accident of storage layout: pages are visited in
+    /// ascending page-number order and lines in ascending order within
+    /// each page.
+    pub fn lines(&self) -> impl Iterator<Item = (LineAddr, &LineData)> {
+        let mut pages: Vec<(u64, &Page)> = self.pages.iter().map(|(n, p)| (n, &**p)).collect();
+        pages.sort_unstable_by_key(|&(n, _)| n);
+        pages.into_iter().flat_map(|(number, page)| {
+            (0..PAGE_LINES).filter_map(move |i| {
+                if page.touched & (1 << i) != 0 {
+                    let line = LineAddr::new((number << PAGE_SHIFT) | i as u64);
+                    Some((line, &page.lines[i]))
+                } else {
+                    None
+                }
+            })
+        })
     }
 }
 
@@ -125,5 +198,40 @@ mod tests {
         mem.write_word(Addr::new(0x08), 2); // same line
         mem.write_word(Addr::new(0x40), 3); // new line
         assert_eq!(mem.touched_lines(), 2);
+    }
+
+    #[test]
+    fn zero_valued_writes_still_count_as_touched() {
+        // The memory image must distinguish "written with zero" from
+        // "never written", exactly like the old map-backed store.
+        let mut mem = MainMemory::new();
+        mem.write_line(LineAddr::new(5), LineData::zeroed());
+        assert_eq!(mem.touched_lines(), 1);
+        assert_eq!(
+            mem.lines().map(|(l, _)| l).collect::<Vec<_>>(),
+            vec![LineAddr::new(5)]
+        );
+    }
+
+    #[test]
+    fn lines_iterates_sorted_by_address() {
+        // Scrambled writes across many pages, including within-page
+        // neighbours and far-apart pages.
+        let mut mem = MainMemory::new();
+        let addrs = [
+            900_000u64, 3, 64, 65, 1_000_000, 0, 70, 4096, 127, 90_001, 2,
+        ];
+        for &l in &addrs {
+            let mut d = LineData::zeroed();
+            d.write_word(0, l);
+            mem.write_line(LineAddr::new(l), d);
+        }
+        let got: Vec<u64> = mem.lines().map(|(l, _)| l.as_u64()).collect();
+        let mut want: Vec<u64> = addrs.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want, "lines() must iterate sorted by line address");
+        for (l, d) in mem.lines() {
+            assert_eq!(d.read_word(0), l.as_u64(), "data follows its line");
+        }
     }
 }

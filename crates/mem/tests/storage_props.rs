@@ -1,0 +1,153 @@
+//! Storage-model parity: the flat hot-path structures ([`LineMap`] and
+//! the paged [`MainMemory`]) are driven through random operation
+//! sequences against the `std::collections::HashMap` reference model
+//! they replaced, and must agree on every lookup, removal, length and
+//! full iteration — including the access patterns that stress an
+//! open-addressed table: churn on a small key pool (busy-table /
+//! MSHR-style insert-remove cycles), keys pinned live across heavy
+//! churn (eviction-pinned lines), and colliding stride keys.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tsocc_mem::{LineAddr, LineData, LineMap, MainMemory};
+
+/// Op encoding: 0 = insert, 1 = remove, 2 = lookup (the value operand
+/// doubles as the inserted payload).
+fn apply_ops(keys: &[u64], ops: &[(u8, usize, u64)]) {
+    let mut map: LineMap<u64> = LineMap::new();
+    let mut reference: HashMap<u64, u64> = HashMap::new();
+    for (step, &(op, key_index, value)) in ops.iter().enumerate() {
+        let key = keys[key_index % keys.len()];
+        let line = LineAddr::new(key);
+        match op % 3 {
+            0 => {
+                assert_eq!(
+                    map.insert(line, value),
+                    reference.insert(key, value),
+                    "insert {key} at step {step}"
+                );
+            }
+            1 => {
+                assert_eq!(
+                    map.remove(line),
+                    reference.remove(&key),
+                    "remove {key} at step {step}"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    map.get(line),
+                    reference.get(&key),
+                    "lookup {key} at step {step}"
+                );
+                assert_eq!(map.contains_key(line), reference.contains_key(&key));
+            }
+        }
+        assert_eq!(map.len(), reference.len(), "len at step {step}");
+        assert_eq!(map.is_empty(), reference.is_empty());
+    }
+    let mut got: Vec<(u64, u64)> = map.iter().map(|(l, &v)| (l.as_u64(), v)).collect();
+    got.sort_unstable();
+    let mut want: Vec<(u64, u64)> = reference.into_iter().collect();
+    want.sort_unstable();
+    assert_eq!(got, want, "final iteration must match the reference model");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary keys, arbitrary op sequences.
+    #[test]
+    fn linemap_matches_hashmap_on_random_keys(
+        keys in proptest::collection::vec(any::<u64>(), 1..24),
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u64>()), 1..400),
+    ) {
+        apply_ops(&keys, &ops);
+    }
+
+    /// Busy-table churn: a handful of lines inserted and removed over
+    /// and over (what the L2 busy and L1 MSHR tables do all run long),
+    /// so tombstone reuse and same-size rehashes are exercised.
+    #[test]
+    fn linemap_matches_hashmap_under_small_pool_churn(
+        pool_size in 1u64..8,
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u64>()), 100..1500),
+    ) {
+        let keys: Vec<u64> = (0..pool_size).collect();
+        apply_ops(&keys, &ops);
+    }
+
+    /// Eviction-pinned pattern: some keys stay live for the whole run
+    /// (inserted up front, never removed — like lines pinned by an
+    /// in-flight transaction) while colliding stride neighbours churn
+    /// around them.
+    #[test]
+    fn linemap_keeps_pinned_keys_through_stride_churn(
+        pinned in proptest::collection::vec(0u64..64, 1..8),
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u64>()), 100..1000),
+    ) {
+        let mut map: LineMap<u64> = LineMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for &p in &pinned {
+            // Pinned keys share low bits with the churn keys below
+            // (same probe neighbourhood) but live in a disjoint range.
+            let key = (p << 40) | 1;
+            map.insert(LineAddr::new(key), p);
+            reference.insert(key, p);
+        }
+        for &(op, key_index, value) in &ops {
+            let key = ((key_index as u64 % 64) << 40) | 2;
+            let line = LineAddr::new(key);
+            match op % 2 {
+                0 => {
+                    prop_assert_eq!(map.insert(line, value), reference.insert(key, value));
+                }
+                _ => {
+                    prop_assert_eq!(map.remove(line), reference.remove(&key));
+                }
+            }
+        }
+        for &p in &pinned {
+            let key = (p << 40) | 1;
+            prop_assert_eq!(
+                map.get(LineAddr::new(key)),
+                reference.get(&key),
+                "pinned key {} must survive churn", key
+            );
+        }
+        prop_assert_eq!(map.len(), reference.len());
+    }
+
+    /// The paged memory agrees with a `HashMap<LineAddr, LineData>`
+    /// model on reads, the touched-line count and sorted iteration,
+    /// for writes scattered within and across pages.
+    #[test]
+    fn paged_memory_matches_hashmap_model(
+        writes in proptest::collection::vec((0u64..4096, any::<u64>()), 1..300),
+        probes in proptest::collection::vec(0u64..4096, 1..100),
+        page_stride in 1u64..1_000_000,
+    ) {
+        let mut mem = MainMemory::new();
+        let mut reference: HashMap<u64, LineData> = HashMap::new();
+        for &(slot, value) in &writes {
+            // Spread slots over distant pages so page allocation, within-
+            // page neighbours and page-table growth are all exercised.
+            let line = (slot / 64) * page_stride * 64 + (slot % 64);
+            let mut data = LineData::zeroed();
+            data.write_word((value % 8) as usize, value);
+            mem.write_line(LineAddr::new(line), data);
+            reference.insert(line, data);
+        }
+        for &slot in &probes {
+            let line = (slot / 64) * page_stride * 64 + (slot % 64);
+            let want = reference.get(&line).copied().unwrap_or_default();
+            prop_assert_eq!(mem.read_line(LineAddr::new(line)), want, "line {}", line);
+        }
+        prop_assert_eq!(mem.touched_lines(), reference.len());
+        let got: Vec<(u64, LineData)> = mem.lines().map(|(l, d)| (l.as_u64(), *d)).collect();
+        let mut want: Vec<(u64, LineData)> = reference.into_iter().collect();
+        want.sort_unstable_by_key(|&(l, _)| l);
+        prop_assert_eq!(got, want, "iteration must be sorted and complete");
+    }
+}

@@ -1,13 +1,11 @@
 //! MESI private L1 cache controller.
 
-use std::collections::HashMap;
-
 use tsocc_coherence::{
     Agent, CacheController, Completion, CoreOp, Epoch, Grant, L1Controller, L1Stats, Msg, NetMsg,
     Outbox, Submit, Ts, WritebackBuffer,
 };
 use tsocc_isa::RmwOp;
-use tsocc_mem::{Addr, CacheArray, CacheParams, InsertOutcome, LineAddr, LineData};
+use tsocc_mem::{Addr, CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, LineMap};
 use tsocc_sim::Cycle;
 
 /// L1 line states (Invalid is represented by absence).
@@ -74,7 +72,7 @@ impl MesiL1Config {
 pub struct MesiL1 {
     cfg: MesiL1Config,
     cache: CacheArray<Line>,
-    mshrs: HashMap<LineAddr, Mshr>,
+    mshrs: LineMap<Mshr>,
     wb: WritebackBuffer,
     outbox: Outbox,
     completions: Vec<Completion>,
@@ -87,7 +85,7 @@ impl MesiL1 {
         MesiL1 {
             cfg,
             cache: CacheArray::new(cfg.params),
-            mshrs: HashMap::new(),
+            mshrs: LineMap::new(),
             wb: WritebackBuffer::new(),
             outbox: Outbox::new(),
             completions: Vec::new(),
@@ -116,7 +114,7 @@ impl MesiL1 {
 
     /// Whether a new transaction may start on `line`.
     fn line_free(&self, line: LineAddr) -> bool {
-        !self.mshrs.contains_key(&line) && self.wb.get(line).is_none()
+        !self.mshrs.contains_key(line) && self.wb.get(line).is_none()
     }
 
     /// Evicts `victim` (already removed from the array), emitting the
@@ -160,7 +158,7 @@ impl MesiL1 {
         let mshrs = &self.mshrs;
         let outcome = self
             .cache
-            .insert(line, entry, now.as_u64(), |la, _| !mshrs.contains_key(&la));
+            .insert(line, entry, now.as_u64(), |la, _| !mshrs.contains_key(la));
         match outcome {
             InsertOutcome::Installed => true,
             InsertOutcome::Evicted(victim, old) => {
@@ -173,7 +171,7 @@ impl MesiL1 {
 
     /// Completes an MSHR whose data and acks have all arrived.
     fn try_complete(&mut self, now: Cycle, line: LineAddr) {
-        let Some(entry) = self.mshrs.get(&line) else {
+        let Some(entry) = self.mshrs.get(line) else {
             return;
         };
         let Some((grant, _, _)) = entry.data else {
@@ -183,7 +181,7 @@ impl MesiL1 {
         if entry.acks_received < needed {
             return;
         }
-        let entry = self.mshrs.remove(&line).expect("checked above");
+        let entry = self.mshrs.remove(line).expect("checked above");
         // Payload-less (upgrade) grants were already substituted with the
         // resident copy's data in `handle_message`.
         let (_, mut data, ack_required) = entry.data.expect("checked above");
@@ -279,7 +277,7 @@ impl CacheController for MesiL1 {
             } => {
                 let entry = self
                     .mshrs
-                    .get_mut(&line)
+                    .get_mut(line)
                     .unwrap_or_else(|| panic!("L1[{}]: data for no MSHR {line}", self.cfg.id));
                 let data = if with_payload {
                     data
@@ -292,7 +290,7 @@ impl CacheController for MesiL1 {
                 self.try_complete(now, line);
             }
             Msg::InvAck { line, .. } => {
-                if let Some(entry) = self.mshrs.get_mut(&line) {
+                if let Some(entry) = self.mshrs.get_mut(line) {
                     entry.acks_received += 1;
                     self.try_complete(now, line);
                 } else {
@@ -401,7 +399,7 @@ impl CacheController for MesiL1 {
                     debug_assert_eq!(l.state, State::Shared, "Inv must target shared copies");
                     self.cache.remove(line);
                 }
-                if let Some(m) = self.mshrs.get_mut(&line) {
+                if let Some(m) = self.mshrs.get_mut(line) {
                     if matches!(m.op, MshrOp::Load { .. }) {
                         m.poisoned = true;
                     }
@@ -486,8 +484,8 @@ impl L1Controller for MesiL1 {
         }
     }
 
-    fn pop_completions(&mut self) -> Vec<Completion> {
-        std::mem::take(&mut self.completions)
+    fn drain_completions(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
     }
 
     fn stats(&self) -> &L1Stats {

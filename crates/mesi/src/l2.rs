@@ -1,11 +1,11 @@
 //! MESI NUCA L2 tile with an embedded full-sharing-vector directory.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use tsocc_coherence::{
     Agent, CacheController, Epoch, Grant, L2Controller, L2Stats, Msg, NetMsg, Outbox, Ts,
 };
-use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData};
+use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, LineMap};
 use tsocc_sim::Cycle;
 
 /// Directory state of a resident line (absence = not present).
@@ -94,7 +94,7 @@ impl MesiL2Config {
 pub struct MesiL2 {
     cfg: MesiL2Config,
     cache: CacheArray<Line>,
-    busy: HashMap<LineAddr, Busy>,
+    busy: LineMap<Busy>,
     replay: VecDeque<(Agent, Msg)>,
     outbox: Outbox,
     stats: L2Stats,
@@ -106,7 +106,7 @@ impl MesiL2 {
         MesiL2 {
             cfg,
             cache: CacheArray::new(cfg.params),
-            busy: HashMap::new(),
+            busy: LineMap::new(),
             replay: VecDeque::new(),
             outbox: Outbox::new(),
             stats: L2Stats::default(),
@@ -158,10 +158,10 @@ impl MesiL2 {
     fn maybe_finish(&mut self, line: LineAddr) {
         let done = self
             .busy
-            .get(&line)
+            .get(line)
             .is_some_and(|b| !b.need_unblock && !b.need_owner_data);
         if done {
-            let busy = self.busy.remove(&line).expect("checked");
+            let busy = self.busy.remove(line).expect("checked");
             self.replay.extend(busy.waiting);
         }
     }
@@ -248,7 +248,7 @@ impl MesiL2 {
         let busy = &self.busy;
         let outcome = self
             .cache
-            .insert(line, entry, now.as_u64(), |la, _| !busy.contains_key(&la));
+            .insert(line, entry, now.as_u64(), |la, _| !busy.contains_key(la));
         match outcome {
             InsertOutcome::Installed => {}
             InsertOutcome::Evicted(victim, old) => self.start_eviction(now, victim, old),
@@ -264,7 +264,7 @@ impl MesiL2 {
             Msg::PutM { line, .. } => *line,
             other => unreachable!("not a queueable request: {other:?}"),
         };
-        if let Some(busy) = self.busy.get_mut(&line) {
+        if let Some(busy) = self.busy.get_mut(line) {
             busy.waiting.push_back((src, msg));
             return;
         }
@@ -460,7 +460,7 @@ impl CacheController for MesiL2 {
             Msg::Unblock { line, .. } => {
                 let busy = self
                     .busy
-                    .get_mut(&line)
+                    .get_mut(line)
                     .unwrap_or_else(|| panic!("L2[{}]: Unblock for idle {line}", self.cfg.tile));
                 busy.need_unblock = false;
                 self.maybe_finish(line);
@@ -470,7 +470,7 @@ impl CacheController for MesiL2 {
             } => {
                 let busy = self
                     .busy
-                    .get_mut(&line)
+                    .get_mut(line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray DowngradeData {line}", self.cfg.tile));
                 let BusyKind::FwdS { requester } = busy.kind else {
                     panic!("L2[{}]: DowngradeData outside FwdS", self.cfg.tile);
@@ -494,7 +494,7 @@ impl CacheController for MesiL2 {
             } => {
                 let busy = self
                     .busy
-                    .remove(&line)
+                    .remove(line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray RecallData {line}", self.cfg.tile));
                 let BusyKind::Dying {
                     data: old_data,
@@ -524,7 +524,7 @@ impl CacheController for MesiL2 {
             Msg::InvAckToL2 { line, .. } => {
                 let busy = self
                     .busy
-                    .get_mut(&line)
+                    .get_mut(line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray InvAckToL2 {line}", self.cfg.tile));
                 let BusyKind::Dying {
                     ref mut acks_left,
@@ -537,7 +537,7 @@ impl CacheController for MesiL2 {
                 };
                 *acks_left -= 1;
                 if *acks_left == 0 {
-                    let busy = self.busy.remove(&line).expect("present");
+                    let busy = self.busy.remove(line).expect("present");
                     if dirty {
                         self.send(now, self.mem(), Msg::MemWrite { line, data });
                     }
@@ -547,7 +547,7 @@ impl CacheController for MesiL2 {
             Msg::MemData { line, data } => {
                 let busy = self
                     .busy
-                    .get_mut(&line)
+                    .get_mut(line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray MemData {line}", self.cfg.tile));
                 let BusyKind::Fetch { requester } = busy.kind else {
                     panic!("L2[{}]: MemData outside Fetch", self.cfg.tile);

@@ -74,6 +74,13 @@ impl Harness {
         }
     }
 
+    /// Drains core `core`'s ready completions into a fresh vector.
+    fn take_completions(&mut self, core: usize) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.l1s[core].drain_completions(&mut out);
+        out
+    }
+
     /// Submits an op and pumps until its completion arrives.
     fn run_op(&mut self, core: usize, op: CoreOp) -> u64 {
         match self.l1s[core].submit(self.now, op) {
@@ -81,7 +88,7 @@ impl Harness {
             Submit::Miss => {
                 for _ in 0..500 {
                     self.pump(1);
-                    let completions = self.l1s[core].pop_completions();
+                    let completions = self.take_completions(core);
                     if let Some(c) = completions.first() {
                         return match c {
                             Completion::Load(v) => *v,
@@ -151,7 +158,7 @@ fn upgrade_invalidates_sharers() {
     // Drain core 0's new transaction and check it sees the new value.
     for _ in 0..500 {
         h.pump(1);
-        if let Some(Completion::Load(v)) = h.l1s[0].pop_completions().first() {
+        if let Some(Completion::Load(v)) = h.take_completions(0).first() {
             assert_eq!(*v, 9);
             return;
         }

@@ -1,13 +1,11 @@
 //! TSO-CC private L1 cache controller.
 
-use std::collections::HashMap;
-
 use tsocc_coherence::{
     Agent, CacheController, Completion, CoreOp, Epoch, Grant, L1Controller, L1Stats, Msg, NetMsg,
     Outbox, SelfInvCause, Submit, Ts, TsSource, WritebackBuffer,
 };
 use tsocc_isa::RmwOp;
-use tsocc_mem::{Addr, CacheArray, CacheParams, InsertOutcome, LineAddr, LineData};
+use tsocc_mem::{Addr, CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, LineMap};
 use tsocc_sim::Cycle;
 
 use crate::config::TsoCcConfig;
@@ -93,7 +91,7 @@ impl TsoCcL1Config {
 pub struct TsoCcL1 {
     cfg: TsoCcL1Config,
     cache: CacheArray<Line>,
-    mshrs: HashMap<LineAddr, Mshr>,
+    mshrs: LineMap<Mshr>,
     wb: WritebackBuffer,
     outbox: Outbox,
     completions: Vec<Completion>,
@@ -104,14 +102,18 @@ pub struct TsoCcL1 {
     wg_count: u64,
     /// Current epoch of this core's timestamp source.
     epoch: Epoch,
-    /// Last-seen write timestamp per remote core (`ts_L1`).
-    ts_l1: HashMap<usize, Ts>,
-    /// Expected epoch per remote core's timestamp source.
-    epochs_l1: HashMap<usize, Epoch>,
-    /// Last-seen SharedRO timestamp per L2 tile (`ts_L2`).
-    ts_l2: HashMap<usize, Ts>,
-    /// Expected epoch per L2 tile's timestamp source.
-    epochs_l2: HashMap<usize, Epoch>,
+    /// Last-seen write timestamp per remote core (`ts_L1`), indexed by
+    /// core id; [`Ts::INVALID`] means "never seen" (every recorded
+    /// timestamp is valid, so the sentinel is unambiguous).
+    ts_l1: Vec<Ts>,
+    /// Expected epoch per remote core's timestamp source, indexed by
+    /// core id ([`Epoch::ZERO`] until a reset is observed).
+    epochs_l1: Vec<Epoch>,
+    /// Last-seen SharedRO timestamp per L2 tile (`ts_L2`), indexed by
+    /// tile; [`Ts::INVALID`] means "never seen".
+    ts_l2: Vec<Ts>,
+    /// Expected epoch per L2 tile's timestamp source, indexed by tile.
+    epochs_l2: Vec<Epoch>,
 }
 
 impl TsoCcL1 {
@@ -120,7 +122,7 @@ impl TsoCcL1 {
         TsoCcL1 {
             cfg,
             cache: CacheArray::new(cfg.params),
-            mshrs: HashMap::new(),
+            mshrs: LineMap::new(),
             wb: WritebackBuffer::new(),
             outbox: Outbox::new(),
             completions: Vec::new(),
@@ -128,10 +130,10 @@ impl TsoCcL1 {
             ts_src: Ts::SMALLEST_VALID,
             wg_count: 0,
             epoch: Epoch::ZERO,
-            ts_l1: HashMap::new(),
-            epochs_l1: HashMap::new(),
-            ts_l2: HashMap::new(),
-            epochs_l2: HashMap::new(),
+            ts_l1: vec![Ts::INVALID; cfg.n_cores],
+            epochs_l1: vec![Epoch::ZERO; cfg.n_cores],
+            ts_l2: vec![Ts::INVALID; cfg.n_tiles],
+            epochs_l2: vec![Epoch::ZERO; cfg.n_tiles],
         }
     }
 
@@ -155,7 +157,7 @@ impl TsoCcL1 {
     }
 
     fn line_free(&self, line: LineAddr) -> bool {
-        !self.mshrs.contains_key(&line) && self.wb.get(line).is_none()
+        !self.mshrs.contains_key(line) && self.wb.get(line).is_none()
     }
 
     // ---- timestamp management (§3.3 / §3.5) -----------------------------
@@ -242,30 +244,25 @@ impl TsoCcL1 {
                 };
                 // Epoch mismatch: handle as if the reset message arrived
                 // (the response raced past a TsReset broadcast).
-                let expected = self.epochs_l2.get(&tile).copied().unwrap_or(Epoch::ZERO);
-                if epoch != expected {
-                    self.epochs_l2.insert(tile, epoch);
-                    self.ts_l2.remove(&tile);
+                if epoch != self.epochs_l2[tile] {
+                    self.epochs_l2[tile] = epoch;
+                    self.ts_l2[tile] = Ts::INVALID;
                 }
                 if !ts.is_valid() {
                     self.self_invalidate(SelfInvCause::InvalidTs);
                     return;
                 }
-                match self.ts_l2.get(&tile).copied() {
-                    None => {
-                        // Never read from this tile (or reset dropped the
-                        // entry): mandatory self-invalidation.
-                        self.self_invalidate(SelfInvCause::InvalidTs);
-                        self.ts_l2.insert(tile, ts);
-                    }
-                    Some(seen) => {
-                        // SharedRO timestamps are grouped (§3.4), so the
-                        // potential-acquire rule is "larger than".
-                        if ts > seen {
-                            self.self_invalidate(SelfInvCause::AcquireSro);
-                            self.ts_l2.insert(tile, ts);
-                        }
-                    }
+                let seen = self.ts_l2[tile];
+                if !seen.is_valid() {
+                    // Never read from this tile (or reset dropped the
+                    // entry): mandatory self-invalidation.
+                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    self.ts_l2[tile] = ts;
+                } else if ts > seen {
+                    // SharedRO timestamps are grouped (§3.4), so the
+                    // potential-acquire rule is "larger than".
+                    self.self_invalidate(SelfInvCause::AcquireSro);
+                    self.ts_l2[tile] = ts;
                 }
             }
             Grant::Exclusive | Grant::Shared => {
@@ -287,32 +284,29 @@ impl TsoCcL1 {
                 }
                 if let Some(TsSource::L1(w)) = ts_source {
                     debug_assert_eq!(w, writer);
-                    let expected = self.epochs_l1.get(&w).copied().unwrap_or(Epoch::ZERO);
-                    if epoch != expected {
-                        self.epochs_l1.insert(w, epoch);
-                        self.ts_l1.remove(&w);
+                    if epoch != self.epochs_l1[w] {
+                        self.epochs_l1[w] = epoch;
+                        self.ts_l1[w] = Ts::INVALID;
                     }
                 }
-                match self.ts_l1.get(&writer).copied() {
-                    None => {
-                        // Never read from this writer before (§3.3).
-                        self.self_invalidate(SelfInvCause::InvalidTs);
-                        self.ts_l1.insert(writer, ts);
+                let seen = self.ts_l1[writer];
+                if !seen.is_valid() {
+                    // Never read from this writer before (§3.3).
+                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    self.ts_l1[writer] = ts;
+                } else {
+                    // Write groups share timestamps, so with groups
+                    // the rule is >=; with group size 1 it is > (§3.3).
+                    let acquire = if params.group_size() > 1 {
+                        ts >= seen
+                    } else {
+                        ts > seen
+                    };
+                    if acquire {
+                        self.self_invalidate(SelfInvCause::AcquireNonSro);
                     }
-                    Some(seen) => {
-                        // Write groups share timestamps, so with groups
-                        // the rule is >=; with group size 1 it is > (§3.3).
-                        let acquire = if params.group_size() > 1 {
-                            ts >= seen
-                        } else {
-                            ts > seen
-                        };
-                        if acquire {
-                            self.self_invalidate(SelfInvCause::AcquireNonSro);
-                        }
-                        if ts > seen {
-                            self.ts_l1.insert(writer, ts);
-                        }
+                    if ts > seen {
+                        self.ts_l1[writer] = ts;
                     }
                 }
             }
@@ -356,7 +350,7 @@ impl TsoCcL1 {
         let mshrs = &self.mshrs;
         let outcome = self
             .cache
-            .insert(line, entry, now.as_u64(), |la, _| !mshrs.contains_key(&la));
+            .insert(line, entry, now.as_u64(), |la, _| !mshrs.contains_key(la));
         match outcome {
             InsertOutcome::Installed => true,
             InsertOutcome::Evicted(victim, old) => {
@@ -378,7 +372,7 @@ impl TsoCcL1 {
     ) {
         let mshr = self
             .mshrs
-            .remove(&line)
+            .remove(line)
             .unwrap_or_else(|| panic!("L1[{}]: data for no MSHR {line}", self.cfg.id));
         let poisoned = mshr.poisoned;
         let mut data = data;
@@ -595,7 +589,7 @@ impl CacheController for TsoCcL1 {
                     );
                     self.cache.remove(line);
                 }
-                if let Some(m) = self.mshrs.get_mut(&line) {
+                if let Some(m) = self.mshrs.get_mut(line) {
                     if matches!(m.op, MshrOp::Load { .. }) {
                         m.poisoned = true;
                     }
@@ -637,12 +631,12 @@ impl CacheController for TsoCcL1 {
             }
             Msg::TsReset { source, epoch } => match source {
                 TsSource::L1(core) => {
-                    self.ts_l1.remove(&core);
-                    self.epochs_l1.insert(core, epoch);
+                    self.ts_l1[core] = Ts::INVALID;
+                    self.epochs_l1[core] = epoch;
                 }
                 TsSource::L2(tile) => {
-                    self.ts_l2.remove(&tile);
-                    self.epochs_l2.insert(tile, epoch);
+                    self.ts_l2[tile] = Ts::INVALID;
+                    self.epochs_l2[tile] = epoch;
                 }
             },
             other => panic!("L1[{}]: unexpected {other:?}", self.cfg.id),
@@ -681,8 +675,8 @@ impl L1Controller for TsoCcL1 {
         }
     }
 
-    fn pop_completions(&mut self) -> Vec<Completion> {
-        std::mem::take(&mut self.completions)
+    fn drain_completions(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
     }
 
     fn stats(&self) -> &L1Stats {

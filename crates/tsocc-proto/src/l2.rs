@@ -1,11 +1,11 @@
 //! TSO-CC NUCA L2 tile: the sharing-vector-free directory.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use tsocc_coherence::{
     Agent, CacheController, Epoch, Grant, L2Controller, L2Stats, Msg, NetMsg, Outbox, Ts, TsSource,
 };
-use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData};
+use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, LineMap};
 use tsocc_sim::Cycle;
 
 use crate::config::TsoCcConfig;
@@ -121,7 +121,7 @@ impl TsoCcL2Config {
 pub struct TsoCcL2 {
     cfg: TsoCcL2Config,
     cache: CacheArray<Line>,
-    busy: HashMap<LineAddr, Busy>,
+    busy: LineMap<Busy>,
     replay: VecDeque<(Agent, Msg)>,
     outbox: Outbox,
     stats: L2Stats,
@@ -135,10 +135,11 @@ pub struct TsoCcL2 {
     /// Increment flag 2: a line entered the Shared state (§3.4,
     /// condition 2).
     flag_entered_shared: bool,
-    /// Last-seen write timestamp per core (`ts_L1` at the L2, §3.5).
-    ts_l1: HashMap<usize, Ts>,
-    /// Expected epoch per core's timestamp source.
-    epochs_l1: HashMap<usize, Epoch>,
+    /// Last-seen write timestamp per core (`ts_L1` at the L2, §3.5),
+    /// indexed by core id; [`Ts::INVALID`] means "never seen".
+    ts_l1: Vec<Ts>,
+    /// Expected epoch per core's timestamp source, indexed by core id.
+    epochs_l1: Vec<Epoch>,
 }
 
 impl TsoCcL2 {
@@ -147,7 +148,7 @@ impl TsoCcL2 {
         TsoCcL2 {
             cfg,
             cache: CacheArray::new(cfg.params),
-            busy: HashMap::new(),
+            busy: LineMap::new(),
             replay: VecDeque::new(),
             outbox: Outbox::new(),
             stats: L2Stats::default(),
@@ -155,8 +156,8 @@ impl TsoCcL2 {
             tile_epoch: Epoch::ZERO,
             flag_dirty_path: false,
             flag_entered_shared: false,
-            ts_l1: HashMap::new(),
-            epochs_l1: HashMap::new(),
+            ts_l1: vec![Ts::INVALID; cfg.n_cores],
+            epochs_l1: vec![Epoch::ZERO; cfg.n_cores],
         }
     }
 
@@ -187,15 +188,15 @@ impl TsoCcL2 {
         if !ts.is_valid() {
             return;
         }
-        let expected = self.epochs_l1.get(&writer).copied().unwrap_or(Epoch::ZERO);
-        if epoch != expected {
-            self.epochs_l1.insert(writer, epoch);
-            self.ts_l1.insert(writer, ts);
+        if epoch != self.epochs_l1[writer] {
+            self.epochs_l1[writer] = epoch;
+            self.ts_l1[writer] = ts;
             return;
         }
-        let seen = self.ts_l1.entry(writer).or_insert(ts);
-        if ts > *seen {
-            *seen = ts;
+        // `ts` is valid and the sentinel is zero, so this also covers
+        // the first-ever record from `writer` (entry-or-insert).
+        if ts > self.ts_l1[writer] {
+            self.ts_l1[writer] = ts;
         }
     }
 
@@ -208,10 +209,8 @@ impl TsoCcL2 {
         if w == usize::MAX || !line.ts.is_valid() {
             return (w, Ts::INVALID, Epoch::ZERO, None);
         }
-        let cur_epoch = self.epochs_l1.get(&w).copied().unwrap_or(Epoch::ZERO);
-        let ts = if line.ts_epoch == cur_epoch
-            && self.ts_l1.get(&w).copied().unwrap_or(Ts::INVALID) >= line.ts
-        {
+        let cur_epoch = self.epochs_l1[w];
+        let ts = if line.ts_epoch == cur_epoch && self.ts_l1[w] >= line.ts {
             line.ts
         } else {
             Ts::SMALLEST_VALID
@@ -274,10 +273,10 @@ impl TsoCcL2 {
     fn maybe_finish(&mut self, line: LineAddr) {
         let done = self
             .busy
-            .get(&line)
+            .get(line)
             .is_some_and(|b| !b.need_unblock && !b.need_owner_data);
         if done {
-            let busy = self.busy.remove(&line).expect("checked");
+            let busy = self.busy.remove(line).expect("checked");
             self.replay.extend(busy.waiting);
         }
     }
@@ -374,7 +373,7 @@ impl TsoCcL2 {
         let busy = &self.busy;
         let outcome = self
             .cache
-            .insert(line, entry, now.as_u64(), |la, _| !busy.contains_key(&la));
+            .insert(line, entry, now.as_u64(), |la, _| !busy.contains_key(la));
         match outcome {
             InsertOutcome::Installed => {}
             InsertOutcome::Evicted(victim, old) => self.start_eviction(now, victim, old),
@@ -436,7 +435,7 @@ impl TsoCcL2 {
             Msg::PutM { line, .. } => *line,
             other => unreachable!("not a queueable request: {other:?}"),
         };
-        if let Some(busy) = self.busy.get_mut(&line) {
+        if let Some(busy) = self.busy.get_mut(line) {
             busy.waiting.push_back((src, msg));
             return;
         }
@@ -501,13 +500,7 @@ impl TsoCcL2 {
                 let decayed = self.cfg.proto.decay_ts_units().is_some_and(|units| {
                     l.ts.is_valid()
                         && l.owner != usize::MAX
-                        && self
-                            .ts_l1
-                            .get(&l.owner)
-                            .copied()
-                            .unwrap_or(Ts::INVALID)
-                            .distance_from(l.ts)
-                            > units
+                        && self.ts_l1[l.owner].distance_from(l.ts) > units
                 });
                 if decayed {
                     self.stats.decays.inc();
@@ -685,7 +678,7 @@ impl CacheController for TsoCcL2 {
             Msg::Unblock { line, .. } => {
                 let busy = self
                     .busy
-                    .get_mut(&line)
+                    .get_mut(line)
                     .unwrap_or_else(|| panic!("L2[{}]: Unblock for idle {line}", self.cfg.tile));
                 busy.need_unblock = false;
                 self.maybe_finish(line);
@@ -699,7 +692,7 @@ impl CacheController for TsoCcL2 {
                 from,
             } => {
                 let requester = {
-                    let busy = self.busy.get_mut(&line).unwrap_or_else(|| {
+                    let busy = self.busy.get_mut(line).unwrap_or_else(|| {
                         panic!("L2[{}]: stray DowngradeData {line}", self.cfg.tile)
                     });
                     let BusyKind::FwdS { requester } = busy.kind else {
@@ -738,7 +731,7 @@ impl CacheController for TsoCcL2 {
             } => {
                 let busy = self
                     .busy
-                    .remove(&line)
+                    .remove(line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray RecallData {line}", self.cfg.tile));
                 let BusyKind::Dying {
                     data: old_data,
@@ -770,7 +763,7 @@ impl CacheController for TsoCcL2 {
             Msg::InvAckToL2 { line, .. } => {
                 let busy = self
                     .busy
-                    .get_mut(&line)
+                    .get_mut(line)
                     .unwrap_or_else(|| panic!("L2[{}]: stray InvAckToL2 {line}", self.cfg.tile));
                 match &mut busy.kind {
                     BusyKind::SroInv {
@@ -783,10 +776,10 @@ impl CacheController for TsoCcL2 {
                             busy.need_owner_data = false;
                             // The grant below replaces this busy entry.
                             let waiting = std::mem::take(&mut busy.waiting);
-                            self.busy.remove(&line);
+                            self.busy.remove(line);
                             self.grant_exclusive(now, line, requester);
                             self.busy
-                                .get_mut(&line)
+                                .get_mut(line)
                                 .expect("grant_exclusive sets busy")
                                 .waiting = waiting;
                         }
@@ -799,7 +792,7 @@ impl CacheController for TsoCcL2 {
                         *acks_left -= 1;
                         if *acks_left == 0 {
                             let (data, dirty) = (*data, *dirty);
-                            let busy = self.busy.remove(&line).expect("present");
+                            let busy = self.busy.remove(line).expect("present");
                             if dirty {
                                 self.send(now, self.mem(), Msg::MemWrite { line, data });
                             }
@@ -813,7 +806,7 @@ impl CacheController for TsoCcL2 {
                 let requester = {
                     let busy = self
                         .busy
-                        .get_mut(&line)
+                        .get_mut(line)
                         .unwrap_or_else(|| panic!("L2[{}]: stray MemData {line}", self.cfg.tile));
                     let BusyKind::Fetch { requester } = busy.kind else {
                         panic!("L2[{}]: MemData outside Fetch", self.cfg.tile);
@@ -838,10 +831,10 @@ impl CacheController for TsoCcL2 {
                 );
                 // Temporarily drop the busy entry so grant_exclusive can
                 // install its own (preserving queued waiters).
-                let busy = self.busy.remove(&line).expect("present");
+                let busy = self.busy.remove(line).expect("present");
                 self.grant_exclusive(now, line, requester);
                 self.busy
-                    .get_mut(&line)
+                    .get_mut(line)
                     .expect("grant_exclusive sets busy")
                     .waiting = busy.waiting;
             }
@@ -849,8 +842,8 @@ impl CacheController for TsoCcL2 {
                 let TsSource::L1(core) = source else {
                     panic!("L2[{}]: TsReset from an L2 tile", self.cfg.tile);
                 };
-                self.ts_l1.remove(&core);
-                self.epochs_l1.insert(core, epoch);
+                self.ts_l1[core] = Ts::INVALID;
+                self.epochs_l1[core] = epoch;
             }
             other => panic!("L2[{}]: unexpected {other:?}", self.cfg.tile),
         }

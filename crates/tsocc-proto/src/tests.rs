@@ -77,6 +77,13 @@ impl Harness {
         }
     }
 
+    /// Drains core `core`'s ready completions into a fresh vector.
+    fn take_completions(&mut self, core: usize) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.l1s[core].drain_completions(&mut out);
+        out
+    }
+
     fn run_op(&mut self, core: usize, op: CoreOp) -> u64 {
         for _ in 0..100 {
             match self.l1s[core].submit(self.now, op) {
@@ -84,7 +91,7 @@ impl Harness {
                 Submit::Miss => {
                     for _ in 0..800 {
                         self.pump(1);
-                        if let Some(c) = self.l1s[core].pop_completions().first() {
+                        if let Some(c) = self.take_completions(core).first() {
                             return match c {
                                 Completion::Load(v) => *v,
                                 Completion::Store => 0,
@@ -142,7 +149,7 @@ fn shared_hits_are_bounded_by_the_access_counter() {
     // Finish the transaction and confirm the counter reset.
     for _ in 0..800 {
         h.pump(1);
-        if !h.l1s[1].pop_completions().is_empty() {
+        if !h.take_completions(1).is_empty() {
             break;
         }
     }
@@ -255,7 +262,7 @@ fn writes_to_sharedro_broadcast_invalidate() {
     ));
     for _ in 0..800 {
         h.pump(1);
-        if let Some(Completion::Load(v)) = h.l1s[2].pop_completions().first() {
+        if let Some(Completion::Load(v)) = h.take_completions(2).first() {
             assert_eq!(*v, 6);
             return;
         }
