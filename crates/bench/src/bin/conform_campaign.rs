@@ -1,0 +1,147 @@
+//! The conformance campaign entry point (§4.3 grown into CI): runs a
+//! budgeted randomized N-thread litmus campaign against the operational
+//! memory-model oracle and writes a JSON report.
+//!
+//! ```text
+//! conform_campaign [--budget-ms N] [--seed N] [--threads N]
+//!                  [--min-programs N] [--max-programs N]
+//!                  [--cores N] [--iters N] [--oracle tso|sc]
+//!                  [--all-configs] [--out PATH]
+//! ```
+//!
+//! Defaults: 2000 ms budget, ≥ 500 programs, 3 threads per program,
+//! MESI + TSO-CC-realistic(12,3), TSO oracle, `CONFORM_report.json`.
+//! `--oracle sc` deliberately strengthens the oracle to sequential
+//! consistency — a TSO machine then *must* produce violations, which
+//! demonstrates (and in CI smoke-tests) the catcher + shrinker end to
+//! end.
+//!
+//! Exit status: nonzero iff violations were found under the TSO oracle
+//! (under `--oracle sc` violations are the expected outcome and the
+//! exit flips: zero iff at least one violation was caught and shrunk).
+
+use std::time::Duration;
+
+use tsocc_bench::json;
+use tsocc_conform::{litmus_text, op_count, run_campaign, CampaignOpts, GenConfig};
+use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
+use tsocc_workloads::tso_model::ModelMode;
+
+fn parse_args() -> (CampaignOpts, String) {
+    let mut opts = CampaignOpts {
+        budget: Duration::from_millis(2000),
+        min_programs: 500,
+        protocols: vec![
+            Protocol::Mesi,
+            Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+        ],
+        gen: GenConfig {
+            threads: 3,
+            ..GenConfig::default()
+        },
+        ..Default::default()
+    };
+    let mut out = "CONFORM_report.json".to_string();
+    let mut args = std::env::args().skip(1);
+    let num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--budget-ms" => opts.budget = Duration::from_millis(num(&mut args, "--budget-ms")),
+            "--seed" => opts.seed = num(&mut args, "--seed"),
+            "--threads" => opts.workers = num(&mut args, "--threads") as usize,
+            "--min-programs" => opts.min_programs = num(&mut args, "--min-programs") as usize,
+            "--max-programs" => opts.max_programs = num(&mut args, "--max-programs") as usize,
+            "--cores" => opts.gen.threads = num(&mut args, "--cores") as usize,
+            "--iters" => opts.iters_per_program = num(&mut args, "--iters"),
+            "--oracle" => {
+                opts.oracle = match args.next().as_deref() {
+                    Some("tso") => ModelMode::Tso,
+                    Some("sc") => ModelMode::Sc,
+                    other => panic!("--oracle must be tso or sc, got {other:?}"),
+                }
+            }
+            "--all-configs" => opts.protocols = Protocol::paper_configs(),
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    (opts, out)
+}
+
+fn main() {
+    let (opts, out_path) = parse_args();
+    let report = run_campaign(&opts);
+    eprintln!("{}", report.summary());
+
+    let histogram = |h: &[u64]| json::array(h.iter().map(u64::to_string));
+    let violations = report.violations.iter().map(|v| {
+        let outcome = match &v.outcome {
+            Some(o) => json::array(o.iter().map(u64::to_string)),
+            None => "null".to_string(),
+        };
+        json::Object::new()
+            .u64("program_index", v.program_index as u64)
+            .u64("program_seed", v.program_seed)
+            .str("protocol", &v.protocol)
+            .raw("outcome", outcome)
+            .str("error", v.error.as_deref().unwrap_or(""))
+            .u64("original_ops", op_count(&v.program) as u64)
+            .u64("shrunk_ops", op_count(&v.shrunk) as u64)
+            .str("shrunk_litmus", &litmus_text(&v.shrunk))
+            .build()
+    });
+    let doc = json::Object::new()
+        .str("schema", "tsocc-conform-campaign/v1")
+        .u64("seed", opts.seed)
+        .u64("budget_ms", opts.budget.as_millis() as u64)
+        .str(
+            "oracle",
+            match opts.oracle {
+                ModelMode::Tso => "tso",
+                ModelMode::Sc => "sc",
+            },
+        )
+        .u64("gen_threads", opts.gen.threads as u64)
+        .u64("gen_max_ops", opts.gen.max_ops as u64)
+        .u64("gen_locations", opts.gen.locations as u64)
+        .raw(
+            "protocols",
+            json::array(report.protocols.iter().map(|p| json::string(p))),
+        )
+        .u64("programs_checked", report.programs_checked as u64)
+        .u64("programs_skipped_too_large", report.programs_skipped as u64)
+        .u64("sim_runs", report.sim_runs)
+        .u64("model_states_total", report.states_total)
+        .u64("max_state_space", report.max_state_space as u64)
+        .raw(
+            "state_space_histogram_log2",
+            histogram(&report.state_space_histogram),
+        )
+        .raw(
+            "outcome_coverage_histogram_deciles",
+            histogram(&report.coverage_histogram),
+        )
+        .u64("allowed_outcomes_total", report.allowed_outcomes_total)
+        .u64("observed_outcomes_total", report.observed_outcomes_total)
+        .u64("violations_total", report.violations_total)
+        .raw("violations", json::array(violations))
+        .f64("elapsed_seconds", report.elapsed.as_secs_f64())
+        .build();
+    std::fs::write(&out_path, doc + "\n").expect("write campaign report");
+    eprintln!("wrote {out_path}");
+
+    let failed = match opts.oracle {
+        // Real oracle: any violation is a conformance bug.
+        ModelMode::Tso => report.violations_total > 0,
+        // Injected fault: the campaign must catch it and shrink small.
+        ModelMode::Sc => !report.violations.iter().any(|v| op_count(&v.shrunk) <= 6),
+    };
+    if failed {
+        std::process::exit(1);
+    }
+}

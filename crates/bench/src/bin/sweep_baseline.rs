@@ -12,26 +12,28 @@
 //! (parallel-leg workers; default one per CPU), `TSOCC_SWEEP_CORES`
 //! (comma-separated core counts, default `2,4,8`), `TSOCC_OUT`
 //! (output path, default `BENCH_sweep.json`).
+//!
+//! `--check [path]` flips the binary into drift-check mode: instead of
+//! writing an artifact, it loads the committed one (default
+//! `BENCH_sweep.json`), re-runs the *same* matrix — scale, seed and
+//! core counts come from the artifact, not the environment — and exits
+//! nonzero if any **simulated** metric (cycles, instructions, messages,
+//! flits, flit-hops, per-point seeds) differs. Wall-clock fields are
+//! ignored: hosts differ, simulations must not.
 
 use std::time::Instant;
 
-use tsocc_bench::json;
+use tsocc_bench::json::{self, Value};
 use tsocc_bench::sweep::{run_points, SweepOpts, SweepPoint};
 use tsocc_protocols::Protocol;
-use tsocc_workloads::Benchmark;
+use tsocc_workloads::{Benchmark, Scale};
 
-fn main() {
-    let opts = SweepOpts::from_env();
-    let scale = opts.scale;
-    let core_counts: Vec<usize> = std::env::var("TSOCC_SWEEP_CORES")
-        .unwrap_or_else(|_| "2,4,8".to_string())
-        .split(',')
-        .filter_map(|s| s.trim().parse().ok())
-        .collect();
-    let out_path = std::env::var("TSOCC_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
-
+/// The baseline matrix: every paper protocol configuration at each core
+/// count. The writer and the drift checker both build the matrix
+/// through this one function, so they can never disagree on its shape.
+fn baseline_matrix(scale: Scale, core_counts: &[usize]) -> Vec<SweepPoint> {
     let mut points = Vec::new();
-    for &n_cores in &core_counts {
+    for &n_cores in core_counts {
         for protocol in Protocol::paper_configs() {
             points.push(SweepPoint {
                 bench: Benchmark::Fft,
@@ -41,6 +43,116 @@ fn main() {
             });
         }
     }
+    points
+}
+
+/// Re-runs the committed artifact's matrix and diffs simulated metrics.
+/// Returns the number of mismatches.
+fn check_against(path: &str) -> usize {
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed artifact {path}: {e}"));
+    let doc = json::parse(&doc).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    let field = |v: &Value, key: &str| -> u64 {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("{path}: missing numeric field {key:?}"))
+    };
+    let scale = match doc.get("scale").and_then(Value::as_str) {
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        other => panic!("{path}: unknown scale {other:?}"),
+    };
+    let base_seed = field(&doc, "base_seed");
+    let committed = doc
+        .get("points")
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| panic!("{path}: missing points array"))
+        .to_vec();
+    // The artifact's matrix is (cores in first-appearance order) ×
+    // paper configs — rebuilt through the same `baseline_matrix` the
+    // writer uses.
+    let mut core_counts: Vec<usize> = Vec::new();
+    for p in &committed {
+        let n = field(p, "n_cores") as usize;
+        if !core_counts.contains(&n) {
+            core_counts.push(n);
+        }
+    }
+    let points = baseline_matrix(scale, &core_counts);
+    assert_eq!(
+        points.len(),
+        committed.len(),
+        "{path}: artifact has {} points, matrix reconstruction has {}",
+        committed.len(),
+        points.len()
+    );
+    eprintln!(
+        "== drift check against {path}: {} points, scale {scale:?}, seed {base_seed} ==",
+        points.len()
+    );
+    let results = run_points(&points, SweepOpts::from_env().threads, base_seed);
+    let mut mismatches = 0usize;
+    for (old, new) in committed.iter().zip(&results) {
+        let sim_metrics = [
+            ("seed", new.seed),
+            ("cycles", new.stats.cycles),
+            ("instructions", new.stats.instructions),
+            ("msgs", new.stats.noc.total_messages()),
+            ("flits", new.stats.total_flits()),
+            ("flit_hops", new.stats.noc.flit_hops.get()),
+        ];
+        let id = format!("{}/{}x{}", new.bench, new.config, new.n_cores);
+        let old_config = old.get("config").and_then(Value::as_str).unwrap_or("?");
+        let old_bench = old.get("bench").and_then(Value::as_str).unwrap_or("?");
+        if old_config != new.config
+            || old_bench != new.bench
+            || field(old, "n_cores") as usize != new.n_cores
+        {
+            eprintln!("MISMATCH {id}: committed row is {old_bench}/{old_config}");
+            mismatches += 1;
+            continue;
+        }
+        for (key, got) in sim_metrics {
+            let want = field(old, key);
+            if want != got {
+                eprintln!("MISMATCH {id}.{key}: committed {want}, regenerated {got}");
+                mismatches += 1;
+            }
+        }
+    }
+    mismatches
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_sweep.json");
+        let mismatches = check_against(path);
+        if mismatches > 0 {
+            eprintln!("{mismatches} simulated metric(s) drifted from {path}");
+            std::process::exit(1);
+        }
+        eprintln!("all simulated metrics match {path}");
+        return;
+    }
+    assert!(
+        args.is_empty(),
+        "unknown arguments {args:?}; only --check [path] is supported"
+    );
+    let opts = SweepOpts::from_env();
+    let scale = opts.scale;
+    let core_counts: Vec<usize> = std::env::var("TSOCC_SWEEP_CORES")
+        .unwrap_or_else(|_| "2,4,8".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out_path = std::env::var("TSOCC_OUT").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+
+    let points = baseline_matrix(scale, &core_counts);
     assert!(
         points.len() >= 8,
         "baseline needs a >=8-point matrix, got {}",

@@ -1,0 +1,223 @@
+//! The seeded program generator: N-thread model programs over a small
+//! contended location pool, with multi-value stores and RMWs.
+//!
+//! Generation is a pure function of `(GenConfig, seed)` — the campaign
+//! engine derives one seed per program index, so a reported
+//! counterexample is reproducible from its index alone, and the
+//! property tests pin determinism directly.
+
+use tsocc_isa::RmwOp;
+use tsocc_sim::Xoshiro256StarStar;
+use tsocc_workloads::tso_model::{ModelOp, ModelProgram};
+
+use crate::compile::MAX_OBSERVATIONS;
+
+/// Shape of the generated programs.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Threads per program (the paper family had 2; campaigns run ≥3).
+    pub threads: usize,
+    /// Minimum ops per thread.
+    pub min_ops: usize,
+    /// Maximum ops per thread (inclusive).
+    pub max_ops: usize,
+    /// How many pool locations programs range over (≤ the compile
+    /// pool's length; the default pool has 4, including two words of
+    /// one line).
+    pub locations: usize,
+    /// Whether to generate CAS/FADD/SWAP ops.
+    pub rmws: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            threads: 3,
+            min_ops: 2,
+            max_ops: 5,
+            locations: 4,
+            rmws: true,
+        }
+    }
+}
+
+/// Generates one model program. Store values (and RMW `new`/operand
+/// values) are drawn from a per-program counter, so every write is
+/// distinguishable in outcomes; CAS `expected` values are biased toward
+/// values actually written to that location (or the initial 0) so both
+/// success and failure paths are exercised.
+///
+/// The program always contains at least one observing op (a load is
+/// prepended to thread 0 otherwise — an observation-free program has a
+/// single trivial outcome and would waste a campaign slot).
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (no threads, `min_ops >
+/// max_ops`, `max_ops > MAX_OBSERVATIONS`, or no locations).
+pub fn generate_program(cfg: &GenConfig, seed: u64) -> ModelProgram {
+    assert!(cfg.threads >= 1, "at least one thread");
+    assert!(cfg.min_ops <= cfg.max_ops, "min_ops must be <= max_ops");
+    assert!(
+        cfg.max_ops <= MAX_OBSERVATIONS,
+        "every op could observe; cap ops at the observation registers"
+    );
+    assert!(cfg.locations >= 1, "at least one location");
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut next_value = 1u64;
+    let mut fresh = move || {
+        let v = next_value;
+        next_value += 1;
+        v
+    };
+    // Values written per location so far (any thread) — candidate CAS
+    // `expected` values. Generation order is deterministic, which is
+    // all that matters; real interleavings decide what CAS actually
+    // sees.
+    let mut written: Vec<Vec<u64>> = vec![Vec::new(); cfg.locations];
+    let mut program: ModelProgram = Vec::new();
+    for _ in 0..cfg.threads {
+        let n_ops = cfg.min_ops + rng.index(cfg.max_ops - cfg.min_ops + 1);
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            let addr = rng.index(cfg.locations) as u8;
+            let roll = rng.range(0, 100);
+            let op = match roll {
+                // 35% loads, 35% stores, 10% fences, 20% RMWs (folded
+                // into loads/stores when RMWs are disabled).
+                0..=34 => ModelOp::Load { addr },
+                35..=69 => {
+                    let value = fresh();
+                    written[addr as usize].push(value);
+                    ModelOp::Store { addr, value }
+                }
+                70..=79 => ModelOp::Fence,
+                _ if !cfg.rmws => {
+                    if roll < 90 {
+                        ModelOp::Load { addr }
+                    } else {
+                        let value = fresh();
+                        written[addr as usize].push(value);
+                        ModelOp::Store { addr, value }
+                    }
+                }
+                80..=86 => {
+                    let pool = &written[addr as usize];
+                    let expected = if pool.is_empty() || rng.chance(0.5) {
+                        0
+                    } else {
+                        pool[rng.index(pool.len())]
+                    };
+                    let new = fresh();
+                    written[addr as usize].push(new);
+                    ModelOp::Rmw {
+                        addr,
+                        rmw: RmwOp::Cas { expected, new },
+                    }
+                }
+                87..=93 => ModelOp::Rmw {
+                    addr,
+                    rmw: RmwOp::FetchAdd {
+                        operand: 1 + rng.range(0, 3),
+                    },
+                },
+                _ => {
+                    let operand = fresh();
+                    written[addr as usize].push(operand);
+                    ModelOp::Rmw {
+                        addr,
+                        rmw: RmwOp::Swap { operand },
+                    }
+                }
+            };
+            ops.push(op);
+        }
+        program.push(ops);
+    }
+    if !program.iter().flatten().any(ModelOp::observes) {
+        program[0].insert(0, ModelOp::Load { addr: 0 });
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_shape_bounds() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let p = generate_program(&cfg, seed);
+            assert_eq!(p.len(), cfg.threads);
+            for ops in &p {
+                assert!(ops.len() <= cfg.max_ops + 1, "load-insertion slack only");
+                for op in ops {
+                    let addr = match *op {
+                        ModelOp::Store { addr, .. }
+                        | ModelOp::Load { addr }
+                        | ModelOp::Rmw { addr, .. } => addr,
+                        ModelOp::Fence => 0,
+                    };
+                    assert!((addr as usize) < cfg.locations);
+                }
+            }
+            assert!(p.iter().flatten().any(ModelOp::observes));
+        }
+    }
+
+    #[test]
+    fn store_values_are_distinct() {
+        for seed in 0..100 {
+            let p = generate_program(&GenConfig::default(), seed);
+            let mut values: Vec<u64> = p
+                .iter()
+                .flatten()
+                .filter_map(|op| match op {
+                    ModelOp::Store { value, .. } => Some(*value),
+                    ModelOp::Rmw {
+                        rmw: RmwOp::Swap { operand },
+                        ..
+                    }
+                    | ModelOp::Rmw {
+                        rmw: RmwOp::Cas { new: operand, .. },
+                        ..
+                    } => Some(*operand),
+                    _ => None,
+                })
+                .collect();
+            let n = values.len();
+            values.sort_unstable();
+            values.dedup();
+            assert_eq!(values.len(), n, "seed {seed}: written values collide");
+        }
+    }
+
+    #[test]
+    fn rmw_free_config_generates_no_rmws() {
+        let cfg = GenConfig {
+            rmws: false,
+            ..GenConfig::default()
+        };
+        for seed in 0..100 {
+            let p = generate_program(&cfg, seed);
+            assert!(!p
+                .iter()
+                .flatten()
+                .any(|op| matches!(op, ModelOp::Rmw { .. })));
+        }
+    }
+
+    #[test]
+    fn rmws_actually_appear_in_the_default_config() {
+        let hits = (0..100)
+            .filter(|&seed| {
+                generate_program(&GenConfig::default(), seed)
+                    .iter()
+                    .flatten()
+                    .any(|op| matches!(op, ModelOp::Rmw { .. }))
+            })
+            .count();
+        assert!(hits > 50, "only {hits}/100 programs contained an RMW");
+    }
+}

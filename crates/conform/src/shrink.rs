@@ -1,0 +1,202 @@
+//! Counterexample shrinking: reduce a violating program to a minimal
+//! reproducer while preserving the violation.
+//!
+//! The shrinker is oracle-agnostic — it takes a `violates` predicate
+//! and greedily applies three reductions until a fixpoint:
+//!
+//! 1. **thread removal** (biggest first: a whole thread at a time),
+//! 2. **op deletion** (one op at a time, every position),
+//! 3. **value canonicalization** (renumber all written values to a
+//!    dense `1..=k` in first-occurrence order, preserving the equality
+//!    structure — so the final reproducer reads like a hand-written
+//!    litmus test).
+//!
+//! In the campaign engine the predicate re-runs the candidate on the
+//! simulator against the model oracle; in the property tests it is
+//! synthetic, which pins the shrinker's soundness (the result always
+//! still violates) and minimality (no single removal can be applied)
+//! without paying for simulation.
+
+use std::collections::BTreeMap;
+
+use tsocc_isa::RmwOp;
+use tsocc_workloads::tso_model::{ModelOp, ModelProgram};
+
+/// Total number of ops across all threads.
+pub fn op_count(program: &ModelProgram) -> usize {
+    program.iter().map(Vec::len).sum()
+}
+
+/// Renumbers every written value (store values, CAS `expected`/`new`,
+/// swap operands) to `1..=k` in first-occurrence order. FADD operands
+/// are left alone (they are deltas, not identities). Equal values stay
+/// equal, distinct values stay distinct, and `0` keeps meaning "the
+/// initial value".
+fn canonicalize_values(program: &ModelProgram) -> ModelProgram {
+    let mut map: BTreeMap<u64, u64> = BTreeMap::new();
+    map.insert(0, 0);
+    let mut next = 1u64;
+    let mut remap = |v: u64| {
+        *map.entry(v).or_insert_with(|| {
+            let n = next;
+            next += 1;
+            n
+        })
+    };
+    program
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .map(|op| match *op {
+                    ModelOp::Store { addr, value } => ModelOp::Store {
+                        addr,
+                        value: remap(value),
+                    },
+                    ModelOp::Rmw {
+                        addr,
+                        rmw: RmwOp::Cas { expected, new },
+                    } => ModelOp::Rmw {
+                        addr,
+                        rmw: RmwOp::Cas {
+                            expected: remap(expected),
+                            new: remap(new),
+                        },
+                    },
+                    ModelOp::Rmw {
+                        addr,
+                        rmw: RmwOp::Swap { operand },
+                    } => ModelOp::Rmw {
+                        addr,
+                        rmw: RmwOp::Swap {
+                            operand: remap(operand),
+                        },
+                    },
+                    other => other,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Shrinks `program` with respect to `violates`, which must hold for
+/// the input (if it does not, the input is returned unchanged). The
+/// result still satisfies `violates`, and neither removing any single
+/// thread nor deleting any single op keeps it violating — a local
+/// minimum, which for the memory-model violations the campaign feeds in
+/// is the familiar 4-op litmus core.
+pub fn shrink(
+    program: &ModelProgram,
+    mut violates: impl FnMut(&ModelProgram) -> bool,
+) -> ModelProgram {
+    if !violates(program) {
+        return program.clone();
+    }
+    let mut current = program.clone();
+    loop {
+        let mut changed = false;
+        // Pass 1: drop whole threads (re-test from the front after
+        // every success so indices stay honest).
+        let mut t = 0;
+        while current.len() > 1 && t < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(t);
+            if violates(&candidate) {
+                current = candidate;
+                changed = true;
+            } else {
+                t += 1;
+            }
+        }
+        // Pass 2: drop single ops.
+        let mut t = 0;
+        while t < current.len() {
+            let mut i = 0;
+            while i < current[t].len() {
+                let mut candidate = current.clone();
+                candidate[t].remove(i);
+                if violates(&candidate) {
+                    current = candidate;
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            t += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Final polish: canonical values, kept only if the violation
+    // survives the renaming (it does for any value-agnostic oracle; a
+    // value-sensitive predicate simply keeps the original values).
+    let canonical = canonicalize_values(&current);
+    if canonical != current && violates(&canonical) {
+        current = canonical;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(addr: u8, value: u64) -> ModelOp {
+        ModelOp::Store { addr, value }
+    }
+    fn ld(addr: u8) -> ModelOp {
+        ModelOp::Load { addr }
+    }
+
+    #[test]
+    fn shrinks_sb_core_out_of_noise() {
+        // The classic SB shape buried in dead ops across 3 threads; the
+        // predicate demands the shape itself (store-then-load on
+        // crossing addresses in two threads).
+        let program: ModelProgram = vec![
+            vec![ModelOp::Fence, st(0, 7), ld(1), ld(2)],
+            vec![st(2, 9), st(1, 8), ld(0)],
+            vec![ld(2), ModelOp::Fence],
+        ];
+        let has_sb = |p: &ModelProgram| {
+            let stld = |ops: &[ModelOp], a: u8, b: u8| {
+                let s = ops
+                    .iter()
+                    .position(|o| matches!(o, ModelOp::Store { addr, .. } if *addr == a));
+                let l = ops
+                    .iter()
+                    .rposition(|o| matches!(o, ModelOp::Load { addr } if *addr == b));
+                matches!((s, l), (Some(s), Some(l)) if s < l)
+            };
+            p.iter().any(|t| stld(t, 0, 1)) && p.iter().any(|t| stld(t, 1, 0))
+        };
+        let shrunk = shrink(&program, has_sb);
+        assert!(has_sb(&shrunk), "soundness: result must still violate");
+        assert_eq!(op_count(&shrunk), 4, "{shrunk:?}");
+        assert_eq!(shrunk.len(), 2, "{shrunk:?}");
+        // Canonicalization renamed 7/8 to 1/2.
+        assert_eq!(shrunk[0], vec![st(0, 1), ld(1)]);
+        assert_eq!(shrunk[1], vec![st(1, 2), ld(0)]);
+    }
+
+    #[test]
+    fn non_violating_input_is_returned_unchanged() {
+        let program: ModelProgram = vec![vec![st(0, 1)], vec![ld(0)]];
+        let shrunk = shrink(&program, |_| false);
+        assert_eq!(shrunk, program);
+    }
+
+    #[test]
+    fn value_sensitive_predicates_keep_original_values() {
+        // A predicate that cares about the literal value 7 must not see
+        // it canonicalized away.
+        let program: ModelProgram = vec![vec![st(0, 7), ld(0)]];
+        let wants_seven = |p: &ModelProgram| {
+            p.iter()
+                .flatten()
+                .any(|o| matches!(o, ModelOp::Store { value: 7, .. }))
+        };
+        let shrunk = shrink(&program, wants_seven);
+        assert!(wants_seven(&shrunk));
+    }
+}

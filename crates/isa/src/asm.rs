@@ -222,6 +222,11 @@ impl Asm {
         })
     }
 
+    /// `rd = CAS(mem[addr], expected, new)` for a constant address.
+    pub fn cas_abs(&mut self, rd: Reg, addr: u64, expected: Reg, new: Reg) -> &mut Self {
+        self.cas(rd, Reg::R0, addr, expected, new)
+    }
+
     /// `rd = fetch_add(mem[base+offset], rs)`
     pub fn fetch_add(&mut self, rd: Reg, base: Reg, offset: u64, rs: Reg) -> &mut Self {
         self.push(Instr::FetchAdd {
@@ -232,6 +237,11 @@ impl Asm {
         })
     }
 
+    /// `rd = fetch_add(mem[addr], rs)` for a constant address.
+    pub fn fetch_add_abs(&mut self, rd: Reg, addr: u64, rs: Reg) -> &mut Self {
+        self.fetch_add(rd, Reg::R0, addr, rs)
+    }
+
     /// `rd = swap(mem[base+offset], rs)`
     pub fn swap(&mut self, rd: Reg, base: Reg, offset: u64, rs: Reg) -> &mut Self {
         self.push(Instr::Swap {
@@ -240,6 +250,11 @@ impl Asm {
             offset,
             rs,
         })
+    }
+
+    /// `rd = swap(mem[addr], rs)` for a constant address.
+    pub fn swap_abs(&mut self, rd: Reg, addr: u64, rs: Reg) -> &mut Self {
+        self.swap(rd, Reg::R0, addr, rs)
     }
 
     /// Full fence (`mfence`).
@@ -393,6 +408,25 @@ mod tests {
         let l = a.new_label();
         a.bind(l);
         a.bind(l);
+    }
+
+    #[test]
+    fn abs_rmw_helpers_through_reference_vm() {
+        let mut a = Asm::new();
+        a.movi(Reg::R1, 3);
+        a.fetch_add_abs(Reg::R2, 0x200, Reg::R1); // mem = 3, returns 0
+        a.movi(Reg::R3, 3);
+        a.movi(Reg::R4, 11);
+        a.cas_abs(Reg::R5, 0x200, Reg::R3, Reg::R4); // succeeds, returns 3
+        a.movi(Reg::R6, 5);
+        a.swap_abs(Reg::R7, 0x200, Reg::R6); // mem = 5, returns 11
+        a.load_abs(Reg::R8, 0x200);
+        a.halt();
+        let regs = run_ref(&a.finish(), &mut HashMap::new(), 100).unwrap();
+        assert_eq!(regs[Reg::R2.index()], 0);
+        assert_eq!(regs[Reg::R5.index()], 3);
+        assert_eq!(regs[Reg::R7.index()], 11);
+        assert_eq!(regs[Reg::R8.index()], 5);
     }
 
     #[test]

@@ -187,7 +187,7 @@ impl Cond {
 ///
 /// These correspond to x86 `lock cmpxchg`, `lock xadd` and `xchg` — the
 /// primitives the paper's §3.6 covers ("atomic accesses and fences").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RmwOp {
     /// Compare-and-swap: if mem == expected, mem = new. Old value is
     /// always returned.

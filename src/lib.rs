@@ -12,11 +12,14 @@
 //! [`tsocc_protocols`] (the protocol registry handed to
 //! [`tsocc::SystemConfig`]) and [`tsocc_workloads`] (benchmarks and
 //! litmus tests). The evaluation harness, including the parallel sweep
-//! engine, lives in [`tsocc_bench`].
+//! engine, lives in [`tsocc_bench`]; the conformance campaign engine
+//! (N-thread litmus generation, model-oracle checking, counterexample
+//! shrinking) lives in [`tsocc_conform`].
 
 pub use tsocc;
 pub use tsocc_bench;
 pub use tsocc_coherence;
+pub use tsocc_conform;
 pub use tsocc_cpu;
 pub use tsocc_isa;
 pub use tsocc_mem;

@@ -17,27 +17,12 @@
 //! 3. **Determinism**: re-running a scenario reproduces it exactly.
 
 use tsocc::{System, SystemConfig};
+use tsocc_conform::version::{decode, encode};
+use tsocc_conform::DEFAULT_POOL as POOL;
 use tsocc_isa::{Asm, Program, Reg};
 use tsocc_proto::{TsParams, TsoCcConfig};
 use tsocc_protocols::Protocol;
 use tsocc_sim::Xoshiro256StarStar;
-
-/// Contended pool: two words sharing line A, one word on line B, one
-/// word on line C.
-const POOL: [u64; 4] = [0x2000, 0x2008, 0x2040, 0x2080];
-
-/// Version encoding: writer * 2^32 + seq (seq strictly increases per
-/// writer), 0 = initial.
-fn encode(writer: usize, seq: u32) -> u64 {
-    ((writer as u64 + 1) << 32) | seq as u64
-}
-
-fn decode(value: u64) -> Option<(usize, u32)> {
-    if value == 0 {
-        return None;
-    }
-    Some(((value >> 32) as usize - 1, value as u32))
-}
 
 /// One randomly generated core program; returns (program, the pool
 /// index each recorded load register observes).

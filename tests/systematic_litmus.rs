@@ -9,54 +9,21 @@
 //! observed outcome must be in the allowed set.
 
 use tsocc::{System, SystemConfig};
-use tsocc_isa::{Asm, Program, Reg};
+use tsocc_conform::{compile_model_thread, observed_outcome};
 use tsocc_proto::{TsParams, TsoCcConfig};
 use tsocc_protocols::Protocol;
 use tsocc_workloads::tso_model::{allowed_outcomes, generate_two_thread_programs, ModelOp};
 
-/// Distinct cache lines for the model's two locations.
+/// Distinct cache lines for the model's two locations. (The campaign's
+/// default pool adds same-line words; the systematic family keeps the
+/// historical two-line layout.)
 const ADDRS: [u64; 2] = [0x2000, 0x2040];
 
-/// Compiles a model thread to TVM IR; loads record into R1, R2, ... in
-/// program order. A warm-up pulls both lines into the cache so the
-/// store-buffer window is exercised (cold misses would hide it).
-fn compile(ops: &[ModelOp], jitter: u32) -> Program {
-    let mut a = Asm::new();
-    a.load_abs(Reg::R20, ADDRS[0]);
-    a.load_abs(Reg::R21, ADDRS[1]);
-    a.rand_delay(jitter);
-    let mut next_obs = 1;
-    for op in ops {
-        match *op {
-            ModelOp::Store { addr, value } => {
-                a.movi(Reg::R25, value);
-                a.store_abs(Reg::R25, ADDRS[addr as usize]);
-            }
-            ModelOp::Load { addr } => {
-                a.load_abs(Reg::from_index(next_obs), ADDRS[addr as usize]);
-                next_obs += 1;
-            }
-            ModelOp::Fence => {
-                a.fence();
-            }
-        }
-    }
-    a.halt();
-    a.finish()
-}
-
-fn observed_outcome(sys: &System, program: &[Vec<ModelOp>]) -> Vec<u64> {
-    let mut outcome = Vec::new();
-    for (t, ops) in program.iter().enumerate() {
-        let loads = ops
-            .iter()
-            .filter(|o| matches!(o, ModelOp::Load { .. }))
-            .count();
-        for i in 0..loads {
-            outcome.push(sys.core(t).thread().reg(Reg::from_index(1 + i)));
-        }
-    }
-    outcome
+/// Compiles a model thread against the two-line pool. Compilation and
+/// outcome extraction are the shared `tsocc-conform` helpers — the same
+/// code the campaign engine runs.
+fn compile(ops: &[ModelOp], jitter: u32) -> tsocc_isa::Program {
+    compile_model_thread(ops, &ADDRS, jitter)
 }
 
 fn sweep(protocol: Protocol, ops_per_thread: usize, iters: u64, stride: usize) {
