@@ -8,12 +8,51 @@
 //!   precision,
 //! - decay threshold for the Shared→SharedRO transition.
 //!
-//! Env: TSOCC_CORES (default 16), TSOCC_SEED.
+//! ```text
+//! ablation [--cores N] [--seed N] [--json PATH]
+//! ```
+//!
+//! Defaults: 16 cores, seed 7 (the same flag vocabulary as
+//! `sweep_baseline`/`conform_campaign`; the old `TSOCC_CORES` /
+//! `TSOCC_SEED` env knobs are gone). `--json` additionally writes every
+//! row as a machine-readable `tsocc-ablation/v1` report.
 
 use tsocc::SystemConfig;
+use tsocc_bench::json;
 use tsocc_proto::{TsParams, TsoCcConfig};
 use tsocc_protocols::Protocol;
 use tsocc_workloads::{run_workload, Benchmark, Scale};
+
+struct Args {
+    cores: usize,
+    seed: u64,
+    json_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        cores: 16,
+        seed: 7,
+        json_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--cores" => parsed.cores = num(&mut args, "--cores") as usize,
+            "--seed" => parsed.seed = num(&mut args, "--seed"),
+            "--json" => parsed.json_out = Some(args.next().expect("--json needs a path")),
+            other => panic!(
+                "unknown flag {other:?}; usage: ablation [--cores N] [--seed N] [--json PATH]"
+            ),
+        }
+    }
+    parsed
+}
 
 fn run(protocol: Protocol, n_cores: usize, bench: Benchmark, seed: u64) -> tsocc::RunStats {
     let w = bench.build(n_cores, Scale::Small, seed);
@@ -22,15 +61,37 @@ fn run(protocol: Protocol, n_cores: usize, bench: Benchmark, seed: u64) -> tsocc
     run_workload(&w, cfg).expect("terminates")
 }
 
+/// One ablation row, printed as it is produced and collected for the
+/// optional JSON report.
+fn row(
+    rows: &mut Vec<String>,
+    ablation: &str,
+    bench: &str,
+    param: &str,
+    value: &str,
+    s: &tsocc::RunStats,
+) {
+    rows.push(
+        json::Object::new()
+            .str("ablation", ablation)
+            .str("bench", bench)
+            .str("param", param)
+            .str("value", value)
+            .u64("cycles", s.cycles)
+            .u64("flits", s.total_flits())
+            .u64("read_miss_shared", s.l1.read_miss_shared.get())
+            .u64("read_hit_sharedro", s.l1.read_hit_sharedro.get())
+            .u64("ts_resets", s.l1.ts_resets.get())
+            .u64("selfinv_events", s.l1.selfinv_total())
+            .u64("decays", s.l2.decays.get())
+            .build(),
+    );
+}
+
 fn main() {
-    let n: usize = std::env::var("TSOCC_CORES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(16);
-    let seed: u64 = std::env::var("TSOCC_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(7);
+    let args = parse_args();
+    let (n, seed) = (args.cores, args.seed);
+    let mut rows: Vec<String> = Vec::new();
 
     println!("== Ablation 1: Shared-line access budget (max_acc), x264 wavefront ==");
     println!(
@@ -49,6 +110,14 @@ fn main() {
             s.cycles,
             s.total_flits(),
             s.l1.read_miss_shared.get()
+        );
+        row(
+            &mut rows,
+            "max_acc",
+            "x264",
+            "max_acc",
+            &max_acc.to_string(),
+            &s,
         );
     }
 
@@ -74,6 +143,14 @@ fn main() {
             s.l1.ts_resets.get(),
             s.l1.selfinv_total()
         );
+        row(
+            &mut rows,
+            "ts_bits",
+            "canneal",
+            "ts_bits",
+            &ts_bits.to_string(),
+            &s,
+        );
     }
 
     println!("\n== Ablation 3: write-group size at fixed 6-bit timestamps, fft ==");
@@ -97,6 +174,14 @@ fn main() {
             s.l1.ts_resets.get(),
             s.l1.selfinv_total()
         );
+        row(
+            &mut rows,
+            "write_group",
+            "fft",
+            "group_size",
+            &(1u64 << wg_bits).to_string(),
+            &s,
+        );
     }
 
     println!("\n== Ablation 4: Shared->SharedRO decay threshold (write-once/read-many kernel) ==");
@@ -114,13 +199,34 @@ fn main() {
         // driven by that table, §3.4).
         let sys_cfg = SystemConfig::small_test(2, Protocol::TsoCc(cfg));
         let s = run_workload(&decay_workload(), sys_cfg).expect("terminates");
+        let label = decay.map_or("off".to_string(), |d| d.to_string());
         println!(
             "{:<12} {:>10} {:>10} {:>16}",
-            decay.map_or("off".to_string(), |d| d.to_string()),
+            label,
             s.cycles,
             s.l2.decays.get(),
             s.l1.read_hit_sharedro.get()
         );
+        row(
+            &mut rows,
+            "decay",
+            "decay-synthetic",
+            "decay_writes",
+            &label,
+            &s,
+        );
+    }
+
+    if let Some(path) = args.json_out {
+        let doc = json::Object::new()
+            .str("schema", "tsocc-ablation/v1")
+            .u64("cores", n as u64)
+            .u64("seed", seed)
+            .u64("rows_total", rows.len() as u64)
+            .raw("rows", json::array(rows))
+            .build();
+        std::fs::write(&path, doc + "\n").expect("write ablation report");
+        eprintln!("wrote {path}");
     }
 }
 

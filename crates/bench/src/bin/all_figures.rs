@@ -1,20 +1,8 @@
-//! Runs the full benchmark sweep once and regenerates every figure and
-//! table (the source of EXPERIMENTS.md).
+//! Alias for `figures all`: runs the full benchmark sweep once and
+//! regenerates every figure and table (the source of EXPERIMENTS.md).
 //! Env: TSOCC_CORES, TSOCC_SCALE (tiny/small/full), TSOCC_SEED.
-use tsocc_bench::{figures, Sweep, SweepOpts};
 
 fn main() {
-    let opts = SweepOpts::from_env();
-    figures::print_table2(&opts);
-    figures::print_table3();
-    figures::print_table1();
-    figures::print_fig2();
-    let sweep = Sweep::run(opts);
-    figures::print_fig3(&sweep);
-    figures::print_fig4(&sweep);
-    figures::print_fig5(&sweep);
-    figures::print_fig6(&sweep);
-    figures::print_fig7(&sweep);
-    figures::print_fig8(&sweep);
-    figures::print_fig9(&sweep);
+    tsocc_bench::figures::render("all", tsocc_bench::SweepOpts::from_env())
+        .expect("\"all\" is always a valid selection");
 }

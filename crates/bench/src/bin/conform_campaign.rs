@@ -6,11 +6,14 @@
 //! conform_campaign [--budget-ms N] [--seed N] [--threads N]
 //!                  [--min-programs N] [--max-programs N]
 //!                  [--cores N] [--iters N] [--oracle tso|sc]
-//!                  [--all-configs] [--out PATH]
+//!                  [--all-configs] [--protocol NAME]... [--out PATH]
 //! ```
 //!
 //! Defaults: 2000 ms budget, ≥ 500 programs, 3 threads per program,
 //! MESI + TSO-CC-realistic(12,3), TSO oracle, `CONFORM_report.json`.
+//! `--protocol` (repeatable, any `Protocol::from_name` display name,
+//! e.g. `MESI-P2-G2`) replaces the default protocol list; the first use
+//! clears it. `--protocol` and `--all-configs` are mutually exclusive.
 //! `--oracle sc` deliberately strengthens the oracle to sequential
 //! consistency — a TSO machine then *must* produce violations, which
 //! demonstrates (and in CI smoke-tests) the catcher + shrinker end to
@@ -43,6 +46,8 @@ fn parse_args() -> (CampaignOpts, String) {
         ..Default::default()
     };
     let mut out = "CONFORM_report.json".to_string();
+    let mut explicit_protocols = false;
+    let mut all_configs = false;
     let mut args = std::env::args().skip(1);
     let num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
         args.next()
@@ -65,7 +70,28 @@ fn parse_args() -> (CampaignOpts, String) {
                     other => panic!("--oracle must be tso or sc, got {other:?}"),
                 }
             }
-            "--all-configs" => opts.protocols = Protocol::paper_configs(),
+            "--all-configs" => {
+                assert!(
+                    !explicit_protocols,
+                    "--all-configs and --protocol are mutually exclusive"
+                );
+                all_configs = true;
+                opts.protocols = Protocol::sweep_configs();
+            }
+            "--protocol" => {
+                assert!(
+                    !all_configs,
+                    "--all-configs and --protocol are mutually exclusive"
+                );
+                let name = args.next().expect("--protocol needs a configuration name");
+                let p = Protocol::from_name(&name)
+                    .unwrap_or_else(|| panic!("unknown protocol configuration {name:?}"));
+                if !explicit_protocols {
+                    opts.protocols.clear();
+                    explicit_protocols = true;
+                }
+                opts.protocols.push(p);
+            }
             "--out" => out = args.next().expect("--out needs a path"),
             other => panic!("unknown flag {other:?}"),
         }

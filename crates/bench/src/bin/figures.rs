@@ -1,0 +1,28 @@
+//! Regenerates any figure or table of the paper (the former
+//! `fig2`…`fig9` / `table1`–`table3` binaries, collapsed into one
+//! subcommand interface):
+//!
+//! ```text
+//! figures <table1|table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all>...
+//! ```
+//!
+//! Multiple selections render in order, sharing one benchmark sweep.
+//! `figures all` prints everything — the `all_figures` binary remains
+//! as an alias for it.
+//! Env: TSOCC_CORES, TSOCC_SCALE (tiny/small/full), TSOCC_SEED.
+
+fn main() {
+    let opts = tsocc_bench::SweepOpts::from_env();
+    let selections: Vec<String> = std::env::args().skip(1).collect();
+    if selections.is_empty() {
+        eprintln!(
+            "usage: figures <selection>...\nselections: {}",
+            tsocc_bench::figures::SELECTIONS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    if let Err(e) = tsocc_bench::figures::render_all(&selections, opts) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+}

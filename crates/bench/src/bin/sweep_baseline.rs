@@ -28,13 +28,14 @@ use tsocc_bench::sweep::{run_points, SweepOpts, SweepPoint};
 use tsocc_protocols::Protocol;
 use tsocc_workloads::{Benchmark, Scale};
 
-/// The baseline matrix: every paper protocol configuration at each core
+/// The baseline matrix: every sweep protocol configuration (the seven
+/// paper configs plus the MESI-coarse directory points) at each core
 /// count. The writer and the drift checker both build the matrix
 /// through this one function, so they can never disagree on its shape.
 fn baseline_matrix(scale: Scale, core_counts: &[usize]) -> Vec<SweepPoint> {
     let mut points = Vec::new();
     for &n_cores in core_counts {
-        for protocol in Protocol::paper_configs() {
+        for protocol in Protocol::sweep_configs() {
             points.push(SweepPoint {
                 bench: Benchmark::Fft,
                 protocol,

@@ -268,6 +268,76 @@ pub fn print_table3() {
     }
 }
 
+/// Every selection the `figures` binary accepts.
+pub const SELECTIONS: [&str; 12] = [
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "all",
+];
+
+/// Runs the benchmark sweep at most once across a render batch.
+fn ensure_sweep(sweep: &mut Option<Sweep>, opts: crate::SweepOpts) -> &Sweep {
+    if sweep.is_none() {
+        *sweep = Some(Sweep::run(opts));
+    }
+    sweep.as_ref().expect("just filled")
+}
+
+/// Renders one figure or table (or `all` of them, in the historical
+/// `all_figures` order), running the benchmark sweep only when the
+/// selection needs it. Returns an error listing the valid selections
+/// for anything unrecognized.
+pub fn render(selection: &str, opts: crate::SweepOpts) -> Result<(), String> {
+    render_all(&[selection], opts)
+}
+
+/// Renders several selections in order, sharing **one** benchmark
+/// sweep across all of them (the sweep dominates the cost, so
+/// `figures fig3 fig5` must not run it twice). Every selection is
+/// validated before any work starts.
+pub fn render_all<S: AsRef<str>>(selections: &[S], opts: crate::SweepOpts) -> Result<(), String> {
+    for s in selections {
+        if !SELECTIONS.contains(&s.as_ref()) {
+            return Err(format!(
+                "unknown selection {:?}; expected one of {}",
+                s.as_ref(),
+                SELECTIONS.join(", ")
+            ));
+        }
+    }
+    let mut sweep: Option<Sweep> = None;
+    for selection in selections {
+        match selection.as_ref() {
+            "table1" => print_table1(),
+            "table2" => print_table2(&opts),
+            "table3" => print_table3(),
+            "fig2" => print_fig2(),
+            "fig3" => print_fig3(ensure_sweep(&mut sweep, opts)),
+            "fig4" => print_fig4(ensure_sweep(&mut sweep, opts)),
+            "fig5" => print_fig5(ensure_sweep(&mut sweep, opts)),
+            "fig6" => print_fig6(ensure_sweep(&mut sweep, opts)),
+            "fig7" => print_fig7(ensure_sweep(&mut sweep, opts)),
+            "fig8" => print_fig8(ensure_sweep(&mut sweep, opts)),
+            "fig9" => print_fig9(ensure_sweep(&mut sweep, opts)),
+            "all" => {
+                print_table2(&opts);
+                print_table3();
+                print_table1();
+                print_fig2();
+                let sweep = ensure_sweep(&mut sweep, opts);
+                print_fig3(sweep);
+                print_fig4(sweep);
+                print_fig5(sweep);
+                print_fig6(sweep);
+                print_fig7(sweep);
+                print_fig8(sweep);
+                print_fig9(sweep);
+            }
+            _ => unreachable!("validated above"),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

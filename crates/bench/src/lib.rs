@@ -1,8 +1,11 @@
 //! Evaluation harness: regenerates every table and figure of the paper.
 //!
-//! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md §6):
-//! `table1`–`table3`, `fig2`–`fig9`, `litmus`, and `all_figures` (which
-//! runs the benchmark sweep once and prints everything).
+//! The `figures` binary reproduces any table or figure via a
+//! subcommand (`figures fig3`, `figures table1`, …; see DESIGN.md §6);
+//! `figures all` — aliased by the `all_figures` binary — runs the
+//! benchmark sweep once and prints everything. `litmus`,
+//! `sweep_baseline`, `ablation` and `conform_campaign` cover the
+//! remaining entry points.
 //!
 //! Environment knobs (read by [`SweepOpts::from_env`]):
 //!

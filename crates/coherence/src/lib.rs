@@ -9,7 +9,10 @@
 //! - logical timestamps ([`Ts`]) and epoch-ids ([`Epoch`]) used by
 //!   TSO-CC's transitive-reduction optimization (paper §3.3/§3.5),
 //! - the controller interfaces ([`L1Controller`], [`CacheController`])
-//!   through which the system assembly drives either protocol,
+//!   through which the system assembly drives every protocol,
+//! - the shared controller [`chassis`] ([`L1Chassis`], [`L2Chassis`],
+//!   [`MshrTable`], [`Txn`]) that hosts each protocol's transition
+//!   policy ([`L1Policy`], [`L2Policy`]),
 //! - an [`Outbox`] with modelled controller latency,
 //! - shared statistics ([`L1Stats`], [`L2Stats`]) matching the paper's
 //!   figure breakdowns,
@@ -23,6 +26,7 @@
 //! system assembly monomorphic and the protocol code legible, at the
 //! cost of a few variants that MESI never sends.
 
+pub mod chassis;
 pub mod iface;
 pub mod memctrl;
 pub mod msg;
@@ -30,6 +34,9 @@ pub mod outbox;
 pub mod stats;
 pub mod wb;
 
+pub use chassis::{
+    Install, L1Chassis, L1Ctl, L1Policy, L2Chassis, L2Ctl, L2Policy, MshrTable, Txn,
+};
 pub use iface::{
     CacheController, Completion, CoreOp, L1Controller, L2Controller, MachineShape, ProtocolFactory,
     ProtocolHandle, Submit,

@@ -1,0 +1,199 @@
+//! Chassis-component parity: the [`MshrTable`] and the writeback
+//! engine ([`WritebackBuffer`] + the PUT-emitting `park_writeback`
+//! path of [`L1Chassis`]) are driven through random operation
+//! sequences against `std::collections::HashMap` reference models,
+//! mirroring `crates/mem/tests/storage_props.rs`. The tables must
+//! agree on every lookup, removal, occupancy and `line_free` verdict —
+//! and every parked writeback must emit exactly one PUT of the right
+//! flavour addressed to the line's home tile.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tsocc_coherence::{Agent, Epoch, L1Chassis, Msg, MshrTable, Ts, WritebackBuffer};
+use tsocc_mem::{CacheParams, LineAddr, LineData};
+use tsocc_sim::Cycle;
+
+/// Op encoding for the MSHR model: 0 = alloc-if-free, 1 = remove,
+/// 2 = lookup/mutate.
+fn drive_mshrs(keys: &[u64], ops: &[(u8, usize, u64)]) {
+    let mut table: MshrTable<u64> = MshrTable::new();
+    let mut reference: HashMap<u64, u64> = HashMap::new();
+    for (step, &(op, key_index, value)) in ops.iter().enumerate() {
+        let key = keys[key_index % keys.len()];
+        let line = LineAddr::new(key);
+        match op % 3 {
+            0 => {
+                // The chassis invariant: allocation only after a
+                // `contains` check (alloc on an occupied line panics).
+                assert_eq!(
+                    table.contains(line),
+                    reference.contains_key(&key),
+                    "occupancy disagrees before alloc of {key} at step {step}"
+                );
+                if !table.contains(line) {
+                    table.alloc(line, value);
+                    reference.insert(key, value);
+                }
+            }
+            1 => {
+                assert_eq!(
+                    table.remove(line),
+                    reference.remove(&key),
+                    "remove {key} at step {step}"
+                );
+            }
+            _ => {
+                assert_eq!(table.get(line), reference.get(&key));
+                if let Some(m) = table.get_mut(line) {
+                    *m = m.wrapping_add(1);
+                    *reference.get_mut(&key).expect("models agree") += 1;
+                }
+            }
+        }
+        assert_eq!(table.len(), reference.len(), "len at step {step}");
+        assert_eq!(table.is_empty(), reference.is_empty());
+    }
+}
+
+/// Reference model of one writeback-buffer entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct RefWb {
+    dirty: bool,
+    ts: Ts,
+    forwarded: bool,
+}
+
+/// Op encoding for the writeback engine: 0 = park-if-free (evict),
+/// 1 = PutAck (remove), 2 = forward-mark, 3 = lookup.
+fn drive_writebacks(keys: &[u64], ops: &[(u8, usize, u64)]) {
+    let n_tiles = 4;
+    let mut ch: L1Chassis<(), u8> = L1Chassis::new(1, 8, n_tiles, 1, CacheParams::new(4, 2));
+    let mut reference: HashMap<u64, RefWb> = HashMap::new();
+    let mut now = Cycle::ZERO;
+    let mut puts_expected: Vec<(Agent, bool, u64)> = Vec::new(); // (home, dirty, line)
+    for (step, &(op, key_index, value)) in ops.iter().enumerate() {
+        let key = keys[key_index % keys.len()];
+        let line = LineAddr::new(key);
+        now += 1; // outbox ready times must be monotonic
+        match op % 4 {
+            0 => {
+                // An L1 only evicts a resident line, which cannot have
+                // an eviction in flight: park only when free (the same
+                // `line_free` check the policies make).
+                assert_eq!(
+                    ch.line_free(line),
+                    !reference.contains_key(&key),
+                    "line_free disagrees for {key} at step {step} (no MSHRs in this model)"
+                );
+                if ch.line_free(line) {
+                    let dirty = value % 2 == 0;
+                    let ts = if dirty {
+                        Ts::new(value | 1)
+                    } else {
+                        Ts::INVALID
+                    };
+                    ch.park_writeback(now, line, LineData::zeroed(), dirty, ts, Epoch::ZERO);
+                    reference.insert(
+                        key,
+                        RefWb {
+                            dirty,
+                            ts,
+                            forwarded: false,
+                        },
+                    );
+                    puts_expected.push((ch.home(line), dirty, key));
+                }
+            }
+            1 => {
+                let got = ch.wb.remove(line).map(|e| RefWb {
+                    dirty: e.dirty,
+                    ts: e.ts,
+                    forwarded: e.forwarded,
+                });
+                assert_eq!(
+                    got,
+                    reference.remove(&key),
+                    "PutAck for {key} at step {step}"
+                );
+            }
+            2 => match (ch.wb.get_mut(line), reference.get_mut(&key)) {
+                (Some(e), Some(r)) => {
+                    e.forwarded = true;
+                    r.forwarded = true;
+                }
+                (None, None) => {}
+                (got, want) => panic!("forward-mark disagrees for {key}: {got:?} vs {want:?}"),
+            },
+            _ => {
+                let got = ch.wb.get(line).map(|e| (e.dirty, e.ts, e.forwarded));
+                let want = reference.get(&key).map(|r| (r.dirty, r.ts, r.forwarded));
+                assert_eq!(got, want, "lookup {key} at step {step}");
+            }
+        }
+        assert_eq!(ch.wb.len(), reference.len());
+        assert_eq!(ch.wb.is_empty(), reference.is_empty());
+    }
+    // Every park emitted exactly one PUT: PutM with data for dirty
+    // lines, PutE for clean ones, each addressed to the line's home.
+    let mut sent = Vec::new();
+    ch.outbox.drain_ready_into(now + 1000, &mut sent);
+    assert_eq!(sent.len(), puts_expected.len(), "one PUT per eviction");
+    for (msg, (home, dirty, key)) in sent.iter().zip(&puts_expected) {
+        assert_eq!(msg.src, Agent::L1(1));
+        assert_eq!(&msg.dst, home, "PUT must target the home tile");
+        match (&msg.msg, dirty) {
+            (Msg::PutM { line, .. }, true) | (Msg::PutE { line }, false) => {
+                assert_eq!(*line, LineAddr::new(*key));
+            }
+            other => panic!("wrong PUT flavour for line {key}: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary keys, arbitrary op sequences.
+    #[test]
+    fn mshr_table_matches_hashmap_on_random_keys(
+        keys in proptest::collection::vec(any::<u64>(), 1..16),
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u64>()), 1..400),
+    ) {
+        drive_mshrs(&keys, &ops);
+    }
+
+    /// MSHR-style churn on a small line pool: alloc/complete cycles on
+    /// a handful of hot lines, the pattern L1s produce all run long.
+    #[test]
+    fn mshr_table_matches_hashmap_under_hot_line_churn(
+        pool_size in 1u64..6,
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u64>()), 100..1200),
+    ) {
+        let keys: Vec<u64> = (0..pool_size).map(|k| k << 6).collect();
+        drive_mshrs(&keys, &ops);
+    }
+
+    /// The writeback engine against its reference model, including the
+    /// PUT-emission contract.
+    #[test]
+    fn writeback_engine_matches_reference_model(
+        keys in proptest::collection::vec(any::<u64>(), 1..12),
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u64>()), 1..600),
+    ) {
+        drive_writebacks(&keys, &ops);
+    }
+}
+
+/// The plain (non-property) invariants the engine relies on.
+#[test]
+fn writeback_buffer_basics() {
+    let mut wb = WritebackBuffer::new();
+    let line = LineAddr::new(0x40);
+    wb.insert(line, LineData::zeroed(), true, Ts::new(3), Epoch::ZERO);
+    assert!(!wb.is_empty());
+    assert!(wb.get(line).is_some_and(|e| e.dirty && !e.forwarded));
+    wb.get_mut(line).unwrap().forwarded = true;
+    assert!(wb.remove(line).is_some_and(|e| e.forwarded));
+    assert!(wb.is_empty());
+}

@@ -22,7 +22,7 @@
 //! - [`version`] — the writer/sequence value encoding shared with
 //!   `tests/protocol_fuzz.rs`;
 //! - [`gen`] — the seeded program generator;
-//! - [`shrink`] — the counterexample shrinker;
+//! - [`mod@shrink`] — the counterexample shrinker;
 //! - [`engine`] — the multi-threaded campaign driver and its report.
 //!
 //! The `conform_campaign` binary in `tsocc-bench` wraps [`engine`] with

@@ -35,7 +35,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f`, calling it repeatedly: a calibration pass picks a
-    /// batch size aiming at [`TARGET`] total, then [`SAMPLES`] batches
+    /// batch size aiming at `TARGET` total, then `SAMPLES` batches
     /// are timed.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         // Calibrate: time one call to size the batches.

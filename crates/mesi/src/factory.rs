@@ -3,7 +3,7 @@
 
 use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
 
-use crate::{MesiL1, MesiL1Config, MesiL2, MesiL2Config};
+use crate::{MesiL1Config, MesiL2Config};
 
 /// Builds MESI L1/L2 controllers for any machine shape.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -15,22 +15,29 @@ impl ProtocolFactory for MesiFactory {
     }
 
     fn l1(&self, core: usize, shape: &MachineShape) -> Box<dyn L1Controller> {
-        Box::new(MesiL1::new(MesiL1Config {
-            id: core,
-            n_tiles: shape.n_tiles,
-            params: shape.l1_params,
-            issue_latency: shape.l1_issue_latency,
-        }))
+        Box::new(
+            MesiL1Config {
+                id: core,
+                n_cores: shape.n_cores,
+                n_tiles: shape.n_tiles,
+                params: shape.l1_params,
+                issue_latency: shape.l1_issue_latency,
+            }
+            .build(),
+        )
     }
 
     fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller> {
-        Box::new(MesiL2::new(MesiL2Config {
-            tile,
-            n_cores: shape.n_cores,
-            n_mem: shape.n_mem,
-            params: shape.l2_params,
-            latency: shape.l2_latency,
-        }))
+        Box::new(
+            MesiL2Config {
+                tile,
+                n_cores: shape.n_cores,
+                n_mem: shape.n_mem,
+                params: shape.l2_params,
+                latency: shape.l2_latency,
+            }
+            .build(),
+        )
     }
 }
 

@@ -1,11 +1,11 @@
-//! MESI private L1 cache controller.
+//! MESI private L1 cache controller, as a policy over the shared
+//! [`L1Chassis`].
 
 use tsocc_coherence::{
-    Agent, CacheController, Completion, CoreOp, Epoch, Grant, L1Controller, L1Stats, Msg, NetMsg,
-    Outbox, Submit, Ts, WritebackBuffer,
+    Agent, Completion, CoreOp, Epoch, Grant, Install, L1Chassis, L1Ctl, L1Policy, Msg, Submit, Ts,
 };
 use tsocc_isa::RmwOp;
-use tsocc_mem::{Addr, CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, LineMap};
+use tsocc_mem::{Addr, CacheParams, LineAddr, LineData};
 use tsocc_sim::Cycle;
 
 /// L1 line states (Invalid is represented by absence).
@@ -16,8 +16,9 @@ enum State {
     Modified,
 }
 
+/// One resident MESI L1 line (opaque outside the policy).
 #[derive(Clone, Copy, Debug)]
-struct Line {
+pub struct Line {
     state: State,
     data: LineData,
 }
@@ -29,8 +30,9 @@ enum MshrOp {
     Rmw { word: usize, op: RmwOp },
 }
 
+/// One in-flight MESI L1 miss (opaque outside the policy).
 #[derive(Debug)]
-struct Mshr {
+pub struct Mshr {
     op: MshrOp,
     /// Grant + data, once the data response has arrived.
     data: Option<(Grant, LineData, bool)>, // (grant, data, ack_required)
@@ -47,6 +49,8 @@ struct Mshr {
 pub struct MesiL1Config {
     /// This core's id.
     pub id: usize,
+    /// Total number of cores in the machine.
+    pub n_cores: usize,
     /// Number of L2 tiles (for home-tile interleaving).
     pub n_tiles: usize,
     /// Cache geometry (32 KiB 4-way in Table 2).
@@ -57,121 +61,64 @@ pub struct MesiL1Config {
 
 impl MesiL1Config {
     /// The paper's Table 2 L1: 32 KiB, 4-way.
-    pub fn table2(id: usize, n_tiles: usize) -> Self {
+    pub fn table2(id: usize, n_cores: usize, n_tiles: usize) -> Self {
         MesiL1Config {
             id,
+            n_cores,
             n_tiles,
             params: CacheParams::from_capacity(32 * 1024, 4),
             issue_latency: 1,
         }
     }
+
+    /// Builds the controller: a [`MesiL1Policy`] over a fresh chassis.
+    pub fn build(self) -> MesiL1 {
+        L1Ctl::assemble(
+            L1Chassis::new(
+                self.id,
+                self.n_cores,
+                self.n_tiles,
+                self.issue_latency,
+                self.params,
+            ),
+            MesiL1Policy,
+        )
+    }
 }
 
 /// The MESI L1 controller for one core.
-#[derive(Debug)]
-pub struct MesiL1 {
-    cfg: MesiL1Config,
-    cache: CacheArray<Line>,
-    mshrs: LineMap<Mshr>,
-    wb: WritebackBuffer,
-    outbox: Outbox,
-    completions: Vec<Completion>,
-    stats: L1Stats,
-}
+pub type MesiL1 = L1Ctl<MesiL1Policy>;
 
-impl MesiL1 {
-    /// Creates the controller.
-    pub fn new(cfg: MesiL1Config) -> Self {
-        MesiL1 {
-            cfg,
-            cache: CacheArray::new(cfg.params),
-            mshrs: LineMap::new(),
-            wb: WritebackBuffer::new(),
-            outbox: Outbox::new(),
-            completions: Vec::new(),
-            stats: L1Stats::default(),
-        }
-    }
+/// The MESI L1 transition rules. Stateless: eager invalidation-based
+/// MESI keeps everything it needs (lines, MSHRs, the writeback buffer)
+/// in the chassis. Shared verbatim by the MESI-coarse protocol, whose
+/// directory change is invisible to the private caches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MesiL1Policy;
 
-    fn agent(&self) -> Agent {
-        Agent::L1(self.cfg.id)
-    }
+type Ch = L1Chassis<Line, Mshr>;
 
-    fn home(&self, line: LineAddr) -> Agent {
-        Agent::L2(line.home(self.cfg.n_tiles))
-    }
-
-    fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
-        self.outbox.push(
-            now + self.cfg.issue_latency,
-            NetMsg {
-                src: self.agent(),
-                dst,
-                msg,
-            },
-        );
-    }
-
-    /// Whether a new transaction may start on `line`.
-    fn line_free(&self, line: LineAddr) -> bool {
-        !self.mshrs.contains_key(line) && self.wb.get(line).is_none()
-    }
-
-    /// Evicts `victim` (already removed from the array), emitting the
-    /// PUT and parking the data in the writeback buffer.
-    fn evict(&mut self, now: Cycle, victim: LineAddr, line: Line) {
-        match line.state {
+impl MesiL1Policy {
+    /// Writes an evicted line back: silent for Shared, PutE/PutM (via
+    /// the chassis writeback buffer) for private lines.
+    fn writeback(&mut self, ch: &mut Ch, now: Cycle, line: LineAddr, l: Line) {
+        match l.state {
             State::Shared => {
                 // Silent shared replacement; the directory's sharer bit
                 // goes stale and later invalidations are acked blindly.
             }
             State::Exclusive => {
-                self.wb
-                    .insert(victim, line.data, false, Ts::INVALID, Epoch::ZERO);
-                self.send(now, self.home(victim), Msg::PutE { line: victim });
+                ch.park_writeback(now, line, l.data, false, Ts::INVALID, Epoch::ZERO);
             }
             State::Modified => {
-                self.wb
-                    .insert(victim, line.data, true, Ts::INVALID, Epoch::ZERO);
-                self.send(
-                    now,
-                    self.home(victim),
-                    Msg::PutM {
-                        line: victim,
-                        data: line.data,
-                        ts: Ts::INVALID,
-                        epoch: Epoch::ZERO,
-                    },
-                );
+                ch.park_writeback(now, line, l.data, true, Ts::INVALID, Epoch::ZERO);
             }
-        }
-    }
-
-    /// Installs a line delivered by a data response, evicting if needed.
-    /// Returns false if the set had no evictable way (pathological); the
-    /// caller then completes the access without caching.
-    fn install(&mut self, now: Cycle, line: LineAddr, entry: Line) -> bool {
-        if let Some(resident) = self.cache.peek_mut(line) {
-            *resident = entry;
-            return true;
-        }
-        let mshrs = &self.mshrs;
-        let outcome = self
-            .cache
-            .insert(line, entry, now.as_u64(), |la, _| !mshrs.contains_key(la));
-        match outcome {
-            InsertOutcome::Installed => true,
-            InsertOutcome::Evicted(victim, old) => {
-                self.evict(now, victim, old);
-                true
-            }
-            InsertOutcome::SetFull => false,
         }
     }
 
     /// Completes an MSHR whose data and acks have all arrived.
-    fn try_complete(&mut self, now: Cycle, line: LineAddr) {
-        let Some(entry) = self.mshrs.get(line) else {
+    fn try_complete(&mut self, ch: &mut Ch, now: Cycle, line: LineAddr) {
+        let Some(entry) = ch.mshrs.get(line) else {
             return;
         };
         let Some((grant, _, _)) = entry.data else {
@@ -181,7 +128,7 @@ impl MesiL1 {
         if entry.acks_received < needed {
             return;
         }
-        let entry = self.mshrs.remove(line).expect("checked above");
+        let entry = ch.mshrs.remove(line).expect("checked above");
         // Payload-less (upgrade) grants were already substituted with the
         // resident copy's data in `handle_message`.
         let (_, mut data, ack_required) = entry.data.expect("checked above");
@@ -197,17 +144,9 @@ impl MesiL1 {
                     // (the directory serialized our read before the
                     // write that invalidated).
                     if ack_required {
-                        self.send(
-                            now,
-                            self.home(line),
-                            Msg::Unblock {
-                                line,
-                                from: self.cfg.id,
-                            },
-                        );
+                        ch.send_unblock(now, line);
                     }
-                    self.completions
-                        .push(Completion::Load(data.read_word(word)));
+                    ch.completions.push(Completion::Load(data.read_word(word)));
                     return;
                 }
                 (state, Completion::Load(data.read_word(word)))
@@ -224,47 +163,142 @@ impl MesiL1 {
                 (State::Modified, Completion::Load(old))
             }
         };
-        let installed = self.install(now, line, Line { state, data });
-        if !installed {
-            // No evictable way: keep the directory consistent by
-            // immediately writing the line back.
-            match state {
-                State::Shared => {}
-                State::Exclusive => {
-                    self.wb.insert(line, data, false, Ts::INVALID, Epoch::ZERO);
-                    self.send(now, self.home(line), Msg::PutE { line });
-                }
-                State::Modified => {
-                    self.wb.insert(line, data, true, Ts::INVALID, Epoch::ZERO);
-                    self.send(
-                        now,
-                        self.home(line),
-                        Msg::PutM {
-                            line,
-                            data,
-                            ts: Ts::INVALID,
-                            epoch: Epoch::ZERO,
-                        },
-                    );
-                }
+        match ch.install(now, line, Line { state, data }) {
+            Install::Done => {}
+            Install::Evicted(victim, old) => self.writeback(ch, now, victim, old),
+            Install::NoWay => {
+                // No evictable way: keep the directory consistent by
+                // immediately writing the line back.
+                self.writeback(ch, now, line, Line { state, data });
             }
         }
         if ack_required {
-            self.send(
-                now,
-                self.home(line),
-                Msg::Unblock {
-                    line,
-                    from: self.cfg.id,
-                },
-            );
+            ch.send_unblock(now, line);
         }
-        self.completions.push(completion);
+        ch.completions.push(completion);
+    }
+
+    fn submit_load(&mut self, ch: &mut Ch, now: Cycle, addr: Addr) -> Submit {
+        let line = addr.line();
+        let word = addr.word_index();
+        if let Some(l) = ch.cache.lookup(line) {
+            match l.state {
+                State::Shared => ch.stats.read_hit_shared.inc(),
+                State::Exclusive | State::Modified => ch.stats.read_hit_private.inc(),
+            }
+            return Submit::Hit(l.data.read_word(word));
+        }
+        if !ch.line_free(line) {
+            return Submit::Retry;
+        }
+        ch.stats.read_miss_invalid.inc();
+        ch.mshrs.alloc(
+            line,
+            Mshr {
+                op: MshrOp::Load { word },
+                data: None,
+                acks_expected: None,
+                acks_received: 0,
+                poisoned: false,
+            },
+        );
+        let home = ch.home(line);
+        ch.send(now, home, Msg::GetS { line });
+        Submit::Miss
+    }
+
+    fn submit_store(&mut self, ch: &mut Ch, now: Cycle, addr: Addr, value: u64) -> Submit {
+        let line = addr.line();
+        let word = addr.word_index();
+        if let Some(l) = ch.cache.lookup_mut(line) {
+            match l.state {
+                State::Exclusive | State::Modified => {
+                    l.state = State::Modified;
+                    l.data.write_word(word, value);
+                    ch.stats.write_hit_private.inc();
+                    return Submit::Hit(0);
+                }
+                State::Shared => {
+                    // Upgrade: needs a GetX transaction.
+                    if !ch.line_free(line) {
+                        return Submit::Retry;
+                    }
+                    ch.stats.write_miss_shared.inc();
+                }
+            }
+        } else {
+            if !ch.line_free(line) {
+                return Submit::Retry;
+            }
+            ch.stats.write_miss_invalid.inc();
+        }
+        ch.mshrs.alloc(
+            line,
+            Mshr {
+                op: MshrOp::Store { word, value },
+                data: None,
+                acks_expected: None,
+                acks_received: 0,
+                poisoned: false,
+            },
+        );
+        let home = ch.home(line);
+        ch.send(now, home, Msg::GetX { line });
+        Submit::Miss
+    }
+
+    fn submit_rmw(&mut self, ch: &mut Ch, now: Cycle, addr: Addr, rmw: RmwOp) -> Submit {
+        let line = addr.line();
+        let word = addr.word_index();
+        if let Some(l) = ch.cache.lookup_mut(line) {
+            if matches!(l.state, State::Exclusive | State::Modified) {
+                l.state = State::Modified;
+                let old = l.data.read_word(word);
+                l.data.write_word(word, rmw.apply(old));
+                ch.stats.rmw_hit.inc();
+                ch.stats.write_hit_private.inc();
+                return Submit::Hit(old);
+            }
+        }
+        if !ch.line_free(line) {
+            return Submit::Retry;
+        }
+        ch.stats.rmw_miss.inc();
+        if ch.cache.peek(line).is_some() {
+            ch.stats.write_miss_shared.inc();
+        } else {
+            ch.stats.write_miss_invalid.inc();
+        }
+        ch.mshrs.alloc(
+            line,
+            Mshr {
+                op: MshrOp::Rmw { word, op: rmw },
+                data: None,
+                acks_expected: None,
+                acks_received: 0,
+                poisoned: false,
+            },
+        );
+        let home = ch.home(line);
+        ch.send(now, home, Msg::GetX { line });
+        Submit::Miss
     }
 }
 
-impl CacheController for MesiL1 {
-    fn handle_message(&mut self, now: Cycle, _src: Agent, msg: Msg) {
+impl L1Policy for MesiL1Policy {
+    type Line = Line;
+    type Mshr = Mshr;
+
+    fn submit(&mut self, ch: &mut Ch, now: Cycle, op: CoreOp) -> Submit {
+        match op {
+            CoreOp::Fence => Submit::Hit(0), // MESI is eager; fences are core-local
+            CoreOp::Load(addr) => self.submit_load(ch, now, addr),
+            CoreOp::Store(addr, value) => self.submit_store(ch, now, addr, value),
+            CoreOp::Rmw(addr, rmw) => self.submit_rmw(ch, now, addr, rmw),
+        }
+    }
+
+    fn handle_message(&mut self, ch: &mut Ch, now: Cycle, _src: Agent, msg: Msg) {
         match msg {
             Msg::Data {
                 line,
@@ -275,113 +309,62 @@ impl CacheController for MesiL1 {
                 ack_required,
                 ..
             } => {
-                let entry = self
+                let id = ch.id();
+                let resident = ch.cache.peek(line).map(|l| l.data);
+                let entry = ch
                     .mshrs
                     .get_mut(line)
-                    .unwrap_or_else(|| panic!("L1[{}]: data for no MSHR {line}", self.cfg.id));
+                    .unwrap_or_else(|| panic!("L1[{id}]: data for no MSHR {line}"));
                 let data = if with_payload {
                     data
                 } else {
                     // Upgrade grant: our resident Shared copy is valid.
-                    self.cache.peek(line).map(|l| l.data).unwrap_or(data)
+                    resident.unwrap_or(data)
                 };
                 entry.data = Some((grant, data, ack_required));
                 entry.acks_expected = Some(acks_expected);
-                self.try_complete(now, line);
+                self.try_complete(ch, now, line);
             }
             Msg::InvAck { line, .. } => {
-                if let Some(entry) = self.mshrs.get_mut(line) {
+                if let Some(entry) = ch.mshrs.get_mut(line) {
                     entry.acks_received += 1;
-                    self.try_complete(now, line);
+                    self.try_complete(ch, now, line);
                 } else {
-                    panic!("L1[{}]: stray InvAck for {line}", self.cfg.id);
+                    panic!("L1[{}]: stray InvAck for {line}", ch.id());
                 }
             }
             Msg::FwdGetS { line, requester } => {
-                if let Some(l) = self.cache.peek_mut(line) {
+                if let Some(l) = ch.cache.peek_mut(line) {
                     let dirty = l.state == State::Modified;
                     l.state = State::Shared;
                     let data = l.data;
-                    self.send(
-                        now,
-                        Agent::L1(requester),
-                        Msg::Data {
-                            line,
-                            data,
-                            grant: Grant::Shared,
-                            writer: self.cfg.id,
-                            ts: Ts::INVALID,
-                            epoch: Epoch::ZERO,
-                            ts_source: None,
-                            acks_expected: 0,
-                            with_payload: true,
-                            ack_required: true,
-                        },
-                    );
-                    self.send(
-                        now,
-                        self.home(line),
-                        Msg::DowngradeData {
-                            line,
-                            data,
-                            dirty,
-                            ts: Ts::INVALID,
-                            epoch: Epoch::ZERO,
-                            from: self.cfg.id,
-                        },
-                    );
-                } else if let Some(entry) = self.wb.get_mut(line) {
+                    self.forward_shared(ch, now, line, requester, data, dirty);
+                } else if let Some(entry) = ch.wb.get_mut(line) {
                     entry.forwarded = true;
                     let (data, dirty) = (entry.data, entry.dirty);
-                    self.send(
-                        now,
-                        Agent::L1(requester),
-                        Msg::Data {
-                            line,
-                            data,
-                            grant: Grant::Shared,
-                            writer: self.cfg.id,
-                            ts: Ts::INVALID,
-                            epoch: Epoch::ZERO,
-                            ts_source: None,
-                            acks_expected: 0,
-                            with_payload: true,
-                            ack_required: true,
-                        },
-                    );
-                    self.send(
-                        now,
-                        self.home(line),
-                        Msg::DowngradeData {
-                            line,
-                            data,
-                            dirty,
-                            ts: Ts::INVALID,
-                            epoch: Epoch::ZERO,
-                            from: self.cfg.id,
-                        },
-                    );
+                    self.forward_shared(ch, now, line, requester, data, dirty);
                 } else {
-                    panic!("L1[{}]: FwdGetS for absent line {line}", self.cfg.id);
+                    panic!("L1[{}]: FwdGetS for absent line {line}", ch.id());
                 }
             }
             Msg::FwdGetX { line, requester } => {
-                let data = if let Some(l) = self.cache.remove(line) {
+                let data = if let Some(l) = ch.cache.remove(line) {
                     l.data
-                } else if let Some(entry) = self.wb.get_mut(line) {
+                } else if let Some(entry) = ch.wb.get_mut(line) {
                     entry.forwarded = true;
                     entry.data
                 } else {
-                    panic!("L1[{}]: FwdGetX for absent line {line}", self.cfg.id);
+                    panic!("L1[{}]: FwdGetX for absent line {line}", ch.id());
                 };
-                self.send(
+                let id = ch.id();
+                ch.send(
                     now,
                     Agent::L1(requester),
                     Msg::Data {
                         line,
                         data,
                         grant: Grant::Exclusive,
-                        writer: self.cfg.id,
+                        writer: id,
                         ts: Ts::INVALID,
                         epoch: Epoch::ZERO,
                         ts_source: None,
@@ -395,205 +378,100 @@ impl CacheController for MesiL1 {
                 line,
                 ack_to_requester,
             } => {
-                if let Some(l) = self.cache.peek(line) {
+                if let Some(l) = ch.cache.peek(line) {
                     debug_assert_eq!(l.state, State::Shared, "Inv must target shared copies");
-                    self.cache.remove(line);
+                    ch.cache.remove(line);
                 }
-                if let Some(m) = self.mshrs.get_mut(line) {
+                if let Some(m) = ch.mshrs.get_mut(line) {
                     if matches!(m.op, MshrOp::Load { .. }) {
                         m.poisoned = true;
                     }
                 }
+                let id = ch.id();
                 match ack_to_requester {
                     Some(r) => {
-                        debug_assert_ne!(r, self.cfg.id);
-                        self.send(
-                            now,
-                            Agent::L1(r),
-                            Msg::InvAck {
-                                line,
-                                from: self.cfg.id,
-                            },
-                        );
+                        debug_assert_ne!(r, id);
+                        ch.send(now, Agent::L1(r), Msg::InvAck { line, from: id });
                     }
                     None => {
-                        self.send(
-                            now,
-                            self.home(line),
-                            Msg::InvAckToL2 {
-                                line,
-                                from: self.cfg.id,
-                            },
-                        );
+                        let home = ch.home(line);
+                        ch.send(now, home, Msg::InvAckToL2 { line, from: id });
                     }
                 }
             }
             Msg::Recall { line } => {
-                let (data, dirty) = if let Some(l) = self.cache.remove(line) {
+                let (data, dirty) = if let Some(l) = ch.cache.remove(line) {
                     (l.data, l.state == State::Modified)
-                } else if let Some(entry) = self.wb.get_mut(line) {
+                } else if let Some(entry) = ch.wb.get_mut(line) {
                     entry.forwarded = true;
                     (entry.data, entry.dirty)
                 } else {
-                    panic!("L1[{}]: Recall for absent line {line}", self.cfg.id);
+                    panic!("L1[{}]: Recall for absent line {line}", ch.id());
                 };
-                self.send(
+                let home = ch.home(line);
+                let from = ch.id();
+                ch.send(
                     now,
-                    self.home(line),
+                    home,
                     Msg::RecallData {
                         line,
                         data,
                         dirty,
                         ts: Ts::INVALID,
                         epoch: Epoch::ZERO,
-                        from: self.cfg.id,
+                        from,
                     },
                 );
             }
             Msg::PutAck { line } => {
-                self.wb.remove(line);
+                ch.wb.remove(line);
             }
-            other => panic!("L1[{}]: unexpected {other:?}", self.cfg.id),
+            other => panic!("L1[{}]: unexpected {other:?}", ch.id()),
         }
-    }
-
-    fn tick(&mut self, _now: Cycle) {}
-
-    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
-        self.outbox.drain_ready_into(now, out);
-    }
-
-    fn is_quiescent(&self) -> bool {
-        self.mshrs.is_empty() && self.wb.is_empty() && self.outbox.is_empty()
-    }
-
-    fn next_event(&self) -> Cycle {
-        // MSHRs and writeback entries complete on message arrival; the
-        // only self-driven action is injecting queued outbox messages.
-        self.outbox.next_ready()
     }
 }
 
-impl L1Controller for MesiL1 {
-    fn submit(&mut self, now: Cycle, op: CoreOp) -> Submit {
-        match op {
-            CoreOp::Fence => Submit::Hit(0), // MESI is eager; fences are core-local
-            CoreOp::Load(addr) => self.submit_load(now, addr),
-            CoreOp::Store(addr, value) => self.submit_store(now, addr, value),
-            CoreOp::Rmw(addr, rmw) => self.submit_rmw(now, addr, rmw),
-        }
-    }
-
-    fn drain_completions(&mut self, out: &mut Vec<Completion>) {
-        out.append(&mut self.completions);
-    }
-
-    fn stats(&self) -> &L1Stats {
-        &self.stats
-    }
-}
-
-impl MesiL1 {
-    fn submit_load(&mut self, now: Cycle, addr: Addr) -> Submit {
-        let line = addr.line();
-        let word = addr.word_index();
-        if let Some(l) = self.cache.lookup(line) {
-            match l.state {
-                State::Shared => self.stats.read_hit_shared.inc(),
-                State::Exclusive | State::Modified => self.stats.read_hit_private.inc(),
-            }
-            return Submit::Hit(l.data.read_word(word));
-        }
-        if !self.line_free(line) {
-            return Submit::Retry;
-        }
-        self.stats.read_miss_invalid.inc();
-        self.mshrs.insert(
-            line,
-            Mshr {
-                op: MshrOp::Load { word },
-                data: None,
-                acks_expected: None,
-                acks_received: 0,
-                poisoned: false,
+impl MesiL1Policy {
+    /// Serves a FwdGetS: supplies the requester with a Shared copy and
+    /// refreshes the home tile via DowngradeData.
+    fn forward_shared(
+        &mut self,
+        ch: &mut Ch,
+        now: Cycle,
+        line: LineAddr,
+        requester: usize,
+        data: LineData,
+        dirty: bool,
+    ) {
+        let id = ch.id();
+        ch.send(
+            now,
+            Agent::L1(requester),
+            Msg::Data {
+                line,
+                data,
+                grant: Grant::Shared,
+                writer: id,
+                ts: Ts::INVALID,
+                epoch: Epoch::ZERO,
+                ts_source: None,
+                acks_expected: 0,
+                with_payload: true,
+                ack_required: true,
             },
         );
-        self.send(now, self.home(line), Msg::GetS { line });
-        Submit::Miss
-    }
-
-    fn submit_store(&mut self, now: Cycle, addr: Addr, value: u64) -> Submit {
-        let line = addr.line();
-        let word = addr.word_index();
-        if let Some(l) = self.cache.lookup_mut(line) {
-            match l.state {
-                State::Exclusive | State::Modified => {
-                    l.state = State::Modified;
-                    l.data.write_word(word, value);
-                    self.stats.write_hit_private.inc();
-                    return Submit::Hit(0);
-                }
-                State::Shared => {
-                    // Upgrade: needs a GetX transaction.
-                    if !self.line_free(line) {
-                        return Submit::Retry;
-                    }
-                    self.stats.write_miss_shared.inc();
-                }
-            }
-        } else {
-            if !self.line_free(line) {
-                return Submit::Retry;
-            }
-            self.stats.write_miss_invalid.inc();
-        }
-        self.mshrs.insert(
-            line,
-            Mshr {
-                op: MshrOp::Store { word, value },
-                data: None,
-                acks_expected: None,
-                acks_received: 0,
-                poisoned: false,
+        let home = ch.home(line);
+        ch.send(
+            now,
+            home,
+            Msg::DowngradeData {
+                line,
+                data,
+                dirty,
+                ts: Ts::INVALID,
+                epoch: Epoch::ZERO,
+                from: id,
             },
         );
-        self.send(now, self.home(line), Msg::GetX { line });
-        Submit::Miss
-    }
-
-    fn submit_rmw(&mut self, now: Cycle, addr: Addr, rmw: RmwOp) -> Submit {
-        let line = addr.line();
-        let word = addr.word_index();
-        if let Some(l) = self.cache.lookup_mut(line) {
-            if matches!(l.state, State::Exclusive | State::Modified) {
-                l.state = State::Modified;
-                let old = l.data.read_word(word);
-                l.data.write_word(word, rmw.apply(old));
-                self.stats.rmw_hit.inc();
-                self.stats.write_hit_private.inc();
-                return Submit::Hit(old);
-            }
-        }
-        if !self.line_free(line) {
-            return Submit::Retry;
-        }
-        self.stats.rmw_miss.inc();
-        if self.cache.peek(line).is_some() {
-            self.stats.write_miss_shared.inc();
-        } else {
-            self.stats.write_miss_invalid.inc();
-        }
-        self.mshrs.insert(
-            line,
-            Mshr {
-                op: MshrOp::Rmw { word, op: rmw },
-                data: None,
-                acks_expected: None,
-                acks_received: 0,
-                poisoned: false,
-            },
-        );
-        self.send(now, self.home(line), Msg::GetX { line });
-        Submit::Miss
     }
 }

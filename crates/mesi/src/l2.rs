@@ -1,12 +1,70 @@
-//! MESI NUCA L2 tile with an embedded full-sharing-vector directory.
+//! MESI NUCA L2 tile with an embedded directory, as a policy over the
+//! shared [`L2Chassis`].
+//!
+//! The policy is generic over the directory's sharer-set representation
+//! ([`SharerSet`]): the baseline instantiates it with a [`FullVector`]
+//! (one bit per core — the storage cost the paper attacks), while the
+//! `tsocc-mesi-coarse` crate plugs in a limited-pointer / coarse-vector
+//! set. Everything else about the protocol — the blocking directory,
+//! forwards, recalls, invalidation acks — is identical between the two.
 
-use std::collections::VecDeque;
-
-use tsocc_coherence::{
-    Agent, CacheController, Epoch, Grant, L2Controller, L2Stats, Msg, NetMsg, Outbox, Ts,
-};
-use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, LineMap};
+use tsocc_coherence::{Agent, Epoch, Grant, L2Chassis, L2Ctl, L2Policy, Msg, Ts, Txn};
+use tsocc_mem::{CacheParams, LineAddr, LineData};
 use tsocc_sim::Cycle;
+
+/// A directory's sharer-set representation: the storage/precision axis
+/// on which the paper's directory baselines differ.
+///
+/// `add`/`holds`/`may_hold` all take the representation's configuration
+/// so compact encodings (pointer budgets, coarse granularities) need no
+/// per-line storage beyond the set itself. Implementations must be
+/// conservative: `may_hold` may over-approximate (spurious
+/// invalidations are acked blindly by MESI L1s), but must never miss a
+/// real sharer.
+pub trait SharerSet: Copy + std::fmt::Debug + Send + Sync + 'static {
+    /// Per-machine configuration (pointer budget, group granularity).
+    type Cfg: Copy + std::fmt::Debug + Send + Sync + 'static;
+
+    /// The empty set.
+    fn empty(cfg: &Self::Cfg) -> Self;
+
+    /// Records `core` as a sharer; returns `true` when precision was
+    /// lost (the representation fell back to a coarse encoding).
+    fn add(&mut self, cfg: &Self::Cfg, core: usize) -> bool;
+
+    /// Exactly whether `core` holds a copy, or `None` when the current
+    /// encoding cannot tell.
+    fn holds(&self, cfg: &Self::Cfg, core: usize) -> Option<bool>;
+
+    /// Whether `core` may hold a copy — the invalidation fan-out test.
+    fn may_hold(&self, cfg: &Self::Cfg, core: usize) -> bool;
+}
+
+/// The paper's baseline representation: a full sharing vector, one bit
+/// per core (up to 128 cores).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FullVector(u128);
+
+impl SharerSet for FullVector {
+    type Cfg = ();
+
+    fn empty(_: &()) -> Self {
+        FullVector(0)
+    }
+
+    fn add(&mut self, _: &(), core: usize) -> bool {
+        self.0 |= 1u128 << core;
+        false
+    }
+
+    fn holds(&self, _: &(), core: usize) -> Option<bool> {
+        Some(self.0 & (1u128 << core) != 0)
+    }
+
+    fn may_hold(&self, _: &(), core: usize) -> bool {
+        self.0 & (1u128 << core) != 0
+    }
+}
 
 /// Directory state of a resident line (absence = not present).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,12 +77,12 @@ enum State {
     Private,
 }
 
+/// One resident directory line (opaque outside the policy).
 #[derive(Clone, Copy, Debug)]
-struct Line {
+pub struct Line<S> {
     state: State,
-    /// Full sharing vector (bit per core) — the storage cost the paper
-    /// attacks. Only meaningful in `Shared`.
-    sharers: u128,
+    /// The sharer set; only meaningful in `Shared`.
+    sharers: S,
     /// Owner core id; only meaningful in `Private`.
     owner: usize,
     data: LineData,
@@ -32,8 +90,10 @@ struct Line {
     dirty: bool,
 }
 
+/// Transaction states of the blocking MESI directory (opaque outside
+/// the policy).
 #[derive(Debug)]
-enum BusyKind {
+pub enum BusyKind {
     /// Waiting for memory data, then granting Exclusive to `requester`.
     Fetch { requester: usize },
     /// Waiting for the requester's Unblock after an Exclusive/upgrade
@@ -51,14 +111,6 @@ enum BusyKind {
         data: LineData,
         dirty: bool,
     },
-}
-
-#[derive(Debug)]
-struct Busy {
-    kind: BusyKind,
-    need_unblock: bool,
-    need_owner_data: bool,
-    waiting: VecDeque<(Agent, Msg)>,
 }
 
 /// Configuration of a MESI L2 tile.
@@ -87,51 +139,43 @@ impl MesiL2Config {
             latency: 20,
         }
     }
+
+    /// Builds the baseline full-sharing-vector tile.
+    pub fn build(self) -> MesiL2 {
+        self.build_with::<FullVector>(())
+    }
+
+    /// Builds a tile with an alternative sharer-set representation
+    /// (how `tsocc-mesi-coarse` assembles its directory).
+    pub fn build_with<S: SharerSet>(self, dir_cfg: S::Cfg) -> L2Ctl<MesiL2Policy<S>> {
+        L2Ctl::assemble(
+            L2Chassis::new(
+                self.tile,
+                self.n_cores,
+                self.n_mem,
+                self.latency,
+                self.params,
+            ),
+            MesiL2Policy { dir_cfg },
+        )
+    }
 }
 
-/// One MESI L2 tile (directory + data).
-#[derive(Debug)]
-pub struct MesiL2 {
-    cfg: MesiL2Config,
-    cache: CacheArray<Line>,
-    busy: LineMap<Busy>,
-    replay: VecDeque<(Agent, Msg)>,
-    outbox: Outbox,
-    stats: L2Stats,
+/// One MESI L2 tile (directory + data) with the baseline full sharing
+/// vector.
+pub type MesiL2 = L2Ctl<MesiL2Policy<FullVector>>;
+
+/// The MESI directory transition rules, generic over the sharer-set
+/// representation.
+#[derive(Clone, Copy, Debug)]
+pub struct MesiL2Policy<S: SharerSet> {
+    /// Sharer-set configuration (pointer budgets etc.).
+    dir_cfg: S::Cfg,
 }
 
-impl MesiL2 {
-    /// Creates the tile controller.
-    pub fn new(cfg: MesiL2Config) -> Self {
-        MesiL2 {
-            cfg,
-            cache: CacheArray::new(cfg.params),
-            busy: LineMap::new(),
-            replay: VecDeque::new(),
-            outbox: Outbox::new(),
-            stats: L2Stats::default(),
-        }
-    }
+type Ch<S> = L2Chassis<Line<S>, BusyKind>;
 
-    fn agent(&self) -> Agent {
-        Agent::L2(self.cfg.tile)
-    }
-
-    fn mem(&self) -> Agent {
-        Agent::Mem(self.cfg.tile % self.cfg.n_mem)
-    }
-
-    fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
-        self.outbox.push(
-            now + self.cfg.latency,
-            NetMsg {
-                src: self.agent(),
-                dst,
-                msg,
-            },
-        );
-    }
-
+impl<S: SharerSet> MesiL2Policy<S> {
     fn data_msg(
         line: LineAddr,
         data: LineData,
@@ -154,27 +198,16 @@ impl MesiL2 {
         }
     }
 
-    /// Finishes a busy transaction if all terminal events arrived.
-    fn maybe_finish(&mut self, line: LineAddr) {
-        let done = self
-            .busy
-            .get(line)
-            .is_some_and(|b| !b.need_unblock && !b.need_owner_data);
-        if done {
-            let busy = self.busy.remove(line).expect("checked");
-            self.replay.extend(busy.waiting);
-        }
-    }
-
     /// Starts eviction of `victim` (already removed from the array).
-    fn start_eviction(&mut self, now: Cycle, victim: LineAddr, old: Line) {
-        self.stats.writebacks.inc();
+    fn start_eviction(&mut self, ch: &mut Ch<S>, now: Cycle, victim: LineAddr, old: Line<S>) {
+        ch.stats.writebacks.inc();
         match old.state {
             State::Idle => {
                 if old.dirty {
-                    self.send(
+                    let mem = ch.mem();
+                    ch.send(
                         now,
-                        self.mem(),
+                        mem,
                         Msg::MemWrite {
                             line: victim,
                             data: old.data,
@@ -184,9 +217,9 @@ impl MesiL2 {
             }
             State::Shared => {
                 let mut acks = 0u32;
-                for core in 0..self.cfg.n_cores {
-                    if old.sharers & (1u128 << core) != 0 {
-                        self.send(
+                for core in 0..ch.n_cores() {
+                    if old.sharers.may_hold(&self.dir_cfg, core) {
+                        ch.send(
                             now,
                             Agent::L1(core),
                             Msg::Inv {
@@ -199,9 +232,10 @@ impl MesiL2 {
                 }
                 if acks == 0 {
                     if old.dirty {
-                        self.send(
+                        let mem = ch.mem();
+                        ch.send(
                             now,
-                            self.mem(),
+                            mem,
                             Msg::MemWrite {
                                 line: victim,
                                 data: old.data,
@@ -210,118 +244,75 @@ impl MesiL2 {
                     }
                     return;
                 }
-                self.busy.insert(
+                ch.begin(
                     victim,
-                    Busy {
-                        kind: BusyKind::Dying {
+                    Txn::new(
+                        BusyKind::Dying {
                             acks_left: acks,
                             data: old.data,
                             dirty: old.dirty,
                         },
-                        need_unblock: false,
-                        need_owner_data: true,
-                        waiting: VecDeque::new(),
-                    },
+                        false,
+                        true,
+                    ),
                 );
             }
             State::Private => {
-                self.send(now, Agent::L1(old.owner), Msg::Recall { line: victim });
-                self.busy.insert(
+                ch.send(now, Agent::L1(old.owner), Msg::Recall { line: victim });
+                ch.begin(
                     victim,
-                    Busy {
-                        kind: BusyKind::Dying {
+                    Txn::new(
+                        BusyKind::Dying {
                             acks_left: 0,
                             data: old.data,
                             dirty: old.dirty,
                         },
-                        need_unblock: false,
-                        need_owner_data: true,
-                        waiting: VecDeque::new(),
-                    },
+                        false,
+                        true,
+                    ),
                 );
             }
         }
     }
 
     /// Installs a fetched line, possibly starting a victim eviction.
-    fn install(&mut self, now: Cycle, line: LineAddr, entry: Line) {
-        let busy = &self.busy;
-        let outcome = self
-            .cache
-            .insert(line, entry, now.as_u64(), |la, _| !busy.contains_key(la));
-        match outcome {
-            InsertOutcome::Installed => {}
-            InsertOutcome::Evicted(victim, old) => self.start_eviction(now, victim, old),
-            InsertOutcome::SetFull => {
-                panic!("L2[{}]: no evictable way for {line}", self.cfg.tile)
-            }
+    fn install(&mut self, ch: &mut Ch<S>, now: Cycle, line: LineAddr, entry: Line<S>) {
+        if let Some((victim, old)) = ch.install(now, line, entry) {
+            self.start_eviction(ch, now, victim, old);
         }
     }
+}
 
-    fn process_request(&mut self, now: Cycle, src: Agent, msg: Msg) {
-        let line = match &msg {
-            Msg::GetS { line } | Msg::GetX { line } | Msg::PutE { line } => *line,
-            Msg::PutM { line, .. } => *line,
-            other => unreachable!("not a queueable request: {other:?}"),
-        };
-        if let Some(busy) = self.busy.get_mut(line) {
-            busy.waiting.push_back((src, msg));
-            return;
-        }
-        let requester = match src {
-            Agent::L1(i) => i,
-            other => panic!("request from non-L1 {other}"),
-        };
-        match msg {
-            Msg::GetS { .. } => self.process_gets(now, line, requester),
-            Msg::GetX { .. } => self.process_getx(now, line, requester),
-            Msg::PutE { .. } => self.process_put(now, line, requester, None),
-            Msg::PutM { data, .. } => self.process_put(now, line, requester, Some(data)),
-            _ => unreachable!(),
-        }
-    }
+impl<S: SharerSet> L2Policy for MesiL2Policy<S> {
+    type Line = Line<S>;
+    type Busy = BusyKind;
 
-    fn process_gets(&mut self, now: Cycle, line: LineAddr, requester: usize) {
-        let Some(l) = self.cache.lookup_mut(line) else {
-            self.stats.misses.inc();
-            self.busy.insert(
-                line,
-                Busy {
-                    kind: BusyKind::Fetch { requester },
-                    need_unblock: true,
-                    need_owner_data: false,
-                    waiting: VecDeque::new(),
-                },
-            );
-            self.send(now, self.mem(), Msg::MemRead { line });
+    fn gets(&mut self, ch: &mut Ch<S>, now: Cycle, line: LineAddr, requester: usize) {
+        let Some(l) = ch.cache.lookup_mut(line) else {
+            ch.stats.misses.inc();
+            ch.begin(line, Txn::new(BusyKind::Fetch { requester }, true, false));
+            let mem = ch.mem();
+            ch.send(now, mem, Msg::MemRead { line });
             return;
         };
-        self.stats.hits.inc();
+        ch.stats.hits.inc();
         match l.state {
             State::Idle => {
                 // Reads to uncached lines get Exclusive grants (E).
                 l.state = State::Private;
                 l.owner = requester;
                 let data = l.data;
-                self.busy.insert(
-                    line,
-                    Busy {
-                        kind: BusyKind::Grant,
-                        need_unblock: true,
-                        need_owner_data: false,
-                        waiting: VecDeque::new(),
-                    },
-                );
-                self.send(
+                ch.begin(line, Txn::new(BusyKind::Grant, true, false));
+                ch.send(
                     now,
                     Agent::L1(requester),
                     Self::data_msg(line, data, Grant::Exclusive, 0, true, true),
                 );
             }
             State::Shared => {
-                l.sharers |= 1u128 << requester;
+                l.sharers.add(&self.dir_cfg, requester);
                 let data = l.data;
-                self.send(
+                ch.send(
                     now,
                     Agent::L1(requester),
                     Self::data_msg(line, data, Grant::Shared, 0, true, false),
@@ -330,51 +321,28 @@ impl MesiL2 {
             State::Private => {
                 let owner = l.owner;
                 debug_assert_ne!(owner, requester, "owner re-requesting GetS");
-                self.busy.insert(
-                    line,
-                    Busy {
-                        kind: BusyKind::FwdS { requester },
-                        need_unblock: true,
-                        need_owner_data: true,
-                        waiting: VecDeque::new(),
-                    },
-                );
-                self.send(now, Agent::L1(owner), Msg::FwdGetS { line, requester });
+                ch.begin(line, Txn::new(BusyKind::FwdS { requester }, true, true));
+                ch.send(now, Agent::L1(owner), Msg::FwdGetS { line, requester });
             }
         }
     }
 
-    fn process_getx(&mut self, now: Cycle, line: LineAddr, requester: usize) {
-        let Some(l) = self.cache.lookup_mut(line) else {
-            self.stats.misses.inc();
-            self.busy.insert(
-                line,
-                Busy {
-                    kind: BusyKind::Fetch { requester },
-                    need_unblock: true,
-                    need_owner_data: false,
-                    waiting: VecDeque::new(),
-                },
-            );
-            self.send(now, self.mem(), Msg::MemRead { line });
+    fn getx(&mut self, ch: &mut Ch<S>, now: Cycle, line: LineAddr, requester: usize) {
+        let Some(l) = ch.cache.lookup_mut(line) else {
+            ch.stats.misses.inc();
+            ch.begin(line, Txn::new(BusyKind::Fetch { requester }, true, false));
+            let mem = ch.mem();
+            ch.send(now, mem, Msg::MemRead { line });
             return;
         };
-        self.stats.hits.inc();
+        ch.stats.hits.inc();
         match l.state {
             State::Idle => {
                 l.state = State::Private;
                 l.owner = requester;
                 let data = l.data;
-                self.busy.insert(
-                    line,
-                    Busy {
-                        kind: BusyKind::Grant,
-                        need_unblock: true,
-                        need_owner_data: false,
-                        waiting: VecDeque::new(),
-                    },
-                );
-                self.send(
+                ch.begin(line, Txn::new(BusyKind::Grant, true, false));
+                ch.send(
                     now,
                     Agent::L1(requester),
                     Self::data_msg(line, data, Grant::Exclusive, 0, true, true),
@@ -382,15 +350,19 @@ impl MesiL2 {
             }
             State::Shared => {
                 let sharers = l.sharers;
-                let requester_holds = sharers & (1u128 << requester) != 0;
+                // With a coarse encoding the directory cannot tell
+                // whether the requester still holds a copy; sending the
+                // payload is always correct (the L2's copy is current in
+                // the Shared state).
+                let requester_holds = sharers.holds(&self.dir_cfg, requester) == Some(true);
                 l.state = State::Private;
                 l.owner = requester;
-                l.sharers = 0;
+                l.sharers = S::empty(&self.dir_cfg);
                 let data = l.data;
                 let mut acks = 0u32;
-                for core in 0..self.cfg.n_cores {
-                    if core != requester && sharers & (1u128 << core) != 0 {
-                        self.send(
+                for core in 0..ch.n_cores() {
+                    if core != requester && sharers.may_hold(&self.dir_cfg, core) {
+                        ch.send(
                             now,
                             Agent::L1(core),
                             Msg::Inv {
@@ -401,17 +373,9 @@ impl MesiL2 {
                         acks += 1;
                     }
                 }
-                self.busy.insert(
-                    line,
-                    Busy {
-                        kind: BusyKind::Grant,
-                        need_unblock: true,
-                        need_owner_data: false,
-                        waiting: VecDeque::new(),
-                    },
-                );
+                ch.begin(line, Txn::new(BusyKind::Grant, true, false));
                 // Upgrades reuse the requester's valid Shared copy.
-                self.send(
+                ch.send(
                     now,
                     Agent::L1(requester),
                     Self::data_msg(line, data, Grant::Exclusive, acks, !requester_holds, true),
@@ -421,22 +385,23 @@ impl MesiL2 {
                 let owner = l.owner;
                 debug_assert_ne!(owner, requester, "owner re-requesting GetX");
                 l.owner = requester;
-                self.busy.insert(
-                    line,
-                    Busy {
-                        kind: BusyKind::FwdX,
-                        need_unblock: true,
-                        need_owner_data: false,
-                        waiting: VecDeque::new(),
-                    },
-                );
-                self.send(now, Agent::L1(owner), Msg::FwdGetX { line, requester });
+                ch.begin(line, Txn::new(BusyKind::FwdX, true, false));
+                ch.send(now, Agent::L1(owner), Msg::FwdGetX { line, requester });
             }
         }
     }
 
-    fn process_put(&mut self, now: Cycle, line: LineAddr, from: usize, data: Option<LineData>) {
-        if let Some(l) = self.cache.peek_mut(line) {
+    fn put(
+        &mut self,
+        ch: &mut Ch<S>,
+        now: Cycle,
+        line: LineAddr,
+        from: usize,
+        data: Option<LineData>,
+        _ts: Ts,
+        _epoch: Epoch,
+    ) {
+        if let Some(l) = ch.cache.peek_mut(line) {
             if l.state == State::Private && l.owner == from {
                 l.state = State::Idle;
                 if let Some(d) = data {
@@ -447,62 +412,54 @@ impl MesiL2 {
             // Otherwise the PUT is stale (a racing forward already moved
             // ownership); just acknowledge.
         }
-        self.send(now, Agent::L1(from), Msg::PutAck { line });
+        ch.send(now, Agent::L1(from), Msg::PutAck { line });
     }
-}
 
-impl CacheController for MesiL2 {
-    fn handle_message(&mut self, now: Cycle, src: Agent, msg: Msg) {
+    fn handle_message(&mut self, ch: &mut Ch<S>, now: Cycle, _src: Agent, msg: Msg) {
         match msg {
-            Msg::GetS { .. } | Msg::GetX { .. } | Msg::PutE { .. } | Msg::PutM { .. } => {
-                self.process_request(now, src, msg);
-            }
-            Msg::Unblock { line, .. } => {
-                let busy = self
-                    .busy
-                    .get_mut(line)
-                    .unwrap_or_else(|| panic!("L2[{}]: Unblock for idle {line}", self.cfg.tile));
-                busy.need_unblock = false;
-                self.maybe_finish(line);
-            }
             Msg::DowngradeData {
                 line, data, dirty, ..
             } => {
-                let busy = self
+                let tile = ch.tile();
+                let txn = ch
                     .busy
                     .get_mut(line)
-                    .unwrap_or_else(|| panic!("L2[{}]: stray DowngradeData {line}", self.cfg.tile));
-                let BusyKind::FwdS { requester } = busy.kind else {
-                    panic!("L2[{}]: DowngradeData outside FwdS", self.cfg.tile);
+                    .unwrap_or_else(|| panic!("L2[{tile}]: stray DowngradeData {line}"));
+                let BusyKind::FwdS { requester } = txn.kind else {
+                    panic!("L2[{tile}]: DowngradeData outside FwdS");
                 };
-                busy.need_owner_data = false;
-                let l = self
+                txn.need_owner_data = false;
+                let dir_cfg = self.dir_cfg;
+                let l = ch
                     .cache
                     .peek_mut(line)
                     .expect("forwarded line must be resident");
                 let old_owner = l.owner;
                 l.state = State::Shared;
-                l.sharers = (1u128 << old_owner) | (1u128 << requester);
+                let mut sharers = S::empty(&dir_cfg);
+                sharers.add(&dir_cfg, old_owner);
+                sharers.add(&dir_cfg, requester);
+                l.sharers = sharers;
                 if dirty {
                     l.data = data;
                     l.dirty = true;
                 }
-                self.maybe_finish(line);
+                ch.maybe_finish(line);
             }
             Msg::RecallData {
                 line, data, dirty, ..
             } => {
-                let busy = self
-                    .busy
-                    .remove(line)
-                    .unwrap_or_else(|| panic!("L2[{}]: stray RecallData {line}", self.cfg.tile));
+                let tile = ch.tile();
+                let txn = ch
+                    .finish(line)
+                    .unwrap_or_else(|| panic!("L2[{tile}]: stray RecallData {line}"));
                 let BusyKind::Dying {
                     data: old_data,
                     dirty: old_dirty,
                     ..
-                } = busy.kind
+                } = txn.kind
                 else {
-                    panic!("L2[{}]: RecallData outside Dying", self.cfg.tile);
+                    panic!("L2[{tile}]: RecallData outside Dying");
                 };
                 let (wb_data, wb_dirty) = if dirty {
                     (data, true)
@@ -510,98 +467,70 @@ impl CacheController for MesiL2 {
                     (old_data, old_dirty)
                 };
                 if wb_dirty {
-                    self.send(
+                    let mem = ch.mem();
+                    ch.send(
                         now,
-                        self.mem(),
+                        mem,
                         Msg::MemWrite {
                             line,
                             data: wb_data,
                         },
                     );
                 }
-                self.replay.extend(busy.waiting);
             }
             Msg::InvAckToL2 { line, .. } => {
-                let busy = self
+                let tile = ch.tile();
+                let txn = ch
                     .busy
                     .get_mut(line)
-                    .unwrap_or_else(|| panic!("L2[{}]: stray InvAckToL2 {line}", self.cfg.tile));
+                    .unwrap_or_else(|| panic!("L2[{tile}]: stray InvAckToL2 {line}"));
                 let BusyKind::Dying {
                     ref mut acks_left,
                     data,
                     dirty,
                     ..
-                } = busy.kind
+                } = txn.kind
                 else {
-                    panic!("L2[{}]: InvAckToL2 outside Dying", self.cfg.tile);
+                    panic!("L2[{tile}]: InvAckToL2 outside Dying");
                 };
                 *acks_left -= 1;
                 if *acks_left == 0 {
-                    let busy = self.busy.remove(line).expect("present");
+                    ch.finish(line).expect("present");
                     if dirty {
-                        self.send(now, self.mem(), Msg::MemWrite { line, data });
+                        let mem = ch.mem();
+                        ch.send(now, mem, Msg::MemWrite { line, data });
                     }
-                    self.replay.extend(busy.waiting);
                 }
             }
             Msg::MemData { line, data } => {
-                let busy = self
+                let tile = ch.tile();
+                let txn = ch
                     .busy
                     .get_mut(line)
-                    .unwrap_or_else(|| panic!("L2[{}]: stray MemData {line}", self.cfg.tile));
-                let BusyKind::Fetch { requester } = busy.kind else {
-                    panic!("L2[{}]: MemData outside Fetch", self.cfg.tile);
+                    .unwrap_or_else(|| panic!("L2[{tile}]: stray MemData {line}"));
+                let BusyKind::Fetch { requester } = txn.kind else {
+                    panic!("L2[{tile}]: MemData outside Fetch");
                 };
-                busy.kind = BusyKind::Grant;
+                txn.kind = BusyKind::Grant;
                 self.install(
+                    ch,
                     now,
                     line,
                     Line {
                         state: State::Private,
-                        sharers: 0,
+                        sharers: S::empty(&self.dir_cfg),
                         owner: requester,
                         data,
                         dirty: false,
                     },
                 );
-                self.send(
+                ch.send(
                     now,
                     Agent::L1(requester),
                     Self::data_msg(line, data, Grant::Exclusive, 0, true, true),
                 );
             }
-            other => panic!("L2[{}]: unexpected {other:?}", self.cfg.tile),
+            other => panic!("L2[{}]: unexpected {other:?}", ch.tile()),
         }
-    }
-
-    fn tick(&mut self, now: Cycle) {
-        let pending: Vec<_> = self.replay.drain(..).collect();
-        for (src, msg) in pending {
-            self.process_request(now, src, msg);
-        }
-    }
-
-    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
-        self.outbox.drain_ready_into(now, out);
-    }
-
-    fn is_quiescent(&self) -> bool {
-        self.busy.is_empty() && self.replay.is_empty() && self.outbox.is_empty()
-    }
-
-    fn next_event(&self) -> Cycle {
-        // The replay queue is filled by message handling and drained by
-        // the same cycle's tick, so between steps it is empty; if a
-        // driver queries mid-cycle anyway, demand an immediate tick.
-        if !self.replay.is_empty() {
-            return Cycle::ZERO;
-        }
-        self.outbox.next_ready()
-    }
-}
-
-impl L2Controller for MesiL2 {
-    fn stats(&self) -> &L2Stats {
-        &self.stats
     }
 }

@@ -26,8 +26,8 @@ mod l1;
 mod l2;
 
 pub use factory::MesiFactory;
-pub use l1::{MesiL1, MesiL1Config};
-pub use l2::{MesiL2, MesiL2Config};
+pub use l1::{MesiL1, MesiL1Config, MesiL1Policy};
+pub use l2::{FullVector, MesiL2, MesiL2Config, MesiL2Policy, SharerSet};
 
 #[cfg(test)]
 mod tests;

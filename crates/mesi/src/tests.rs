@@ -22,21 +22,24 @@ impl Harness {
     fn new(n_cores: usize) -> Self {
         let l1s = (0..n_cores)
             .map(|i| {
-                MesiL1::new(MesiL1Config {
+                MesiL1Config {
                     id: i,
+                    n_cores,
                     n_tiles: 1,
                     params: CacheParams::new(4, 2),
                     issue_latency: 1,
-                })
+                }
+                .build()
             })
             .collect();
-        let l2 = MesiL2::new(MesiL2Config {
+        let l2 = MesiL2Config {
             tile: 0,
             n_cores,
             n_mem: 1,
             params: CacheParams::new(8, 4),
             latency: 2,
-        });
+        }
+        .build();
         Harness {
             l1s,
             l2,

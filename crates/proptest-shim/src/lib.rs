@@ -209,7 +209,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,

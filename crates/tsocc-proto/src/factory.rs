@@ -3,7 +3,7 @@
 
 use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
 
-use crate::{TsoCcConfig, TsoCcL1, TsoCcL1Config, TsoCcL2, TsoCcL2Config};
+use crate::{TsoCcConfig, TsoCcL1Config, TsoCcL2Config};
 
 /// Builds TSO-CC L1/L2 controllers, in any §4.2 configuration, for any
 /// machine shape.
@@ -26,25 +26,31 @@ impl ProtocolFactory for TsoCcFactory {
     }
 
     fn l1(&self, core: usize, shape: &MachineShape) -> Box<dyn L1Controller> {
-        Box::new(TsoCcL1::new(TsoCcL1Config {
-            id: core,
-            n_cores: shape.n_cores,
-            n_tiles: shape.n_tiles,
-            params: shape.l1_params,
-            issue_latency: shape.l1_issue_latency,
-            proto: self.proto,
-        }))
+        Box::new(
+            TsoCcL1Config {
+                id: core,
+                n_cores: shape.n_cores,
+                n_tiles: shape.n_tiles,
+                params: shape.l1_params,
+                issue_latency: shape.l1_issue_latency,
+                proto: self.proto,
+            }
+            .build(),
+        )
     }
 
     fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller> {
-        Box::new(TsoCcL2::new(TsoCcL2Config {
-            tile,
-            n_cores: shape.n_cores,
-            n_mem: shape.n_mem,
-            params: shape.l2_params,
-            latency: shape.l2_latency,
-            proto: self.proto,
-        }))
+        Box::new(
+            TsoCcL2Config {
+                tile,
+                n_cores: shape.n_cores,
+                n_mem: shape.n_mem,
+                params: shape.l2_params,
+                latency: shape.l2_latency,
+                proto: self.proto,
+            }
+            .build(),
+        )
     }
 }
 

@@ -1,11 +1,12 @@
-//! TSO-CC private L1 cache controller.
+//! TSO-CC private L1 cache controller, as a policy over the shared
+//! [`L1Chassis`].
 
 use tsocc_coherence::{
-    Agent, CacheController, Completion, CoreOp, Epoch, Grant, L1Controller, L1Stats, Msg, NetMsg,
-    Outbox, SelfInvCause, Submit, Ts, TsSource, WritebackBuffer,
+    Agent, Completion, CoreOp, Epoch, Grant, Install, L1Chassis, L1Ctl, L1Policy, Msg,
+    SelfInvCause, Submit, Ts, TsSource,
 };
 use tsocc_isa::RmwOp;
-use tsocc_mem::{Addr, CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, LineMap};
+use tsocc_mem::{Addr, CacheParams, LineAddr, LineData};
 use tsocc_sim::Cycle;
 
 use crate::config::TsoCcConfig;
@@ -23,8 +24,9 @@ enum State {
     Modified,
 }
 
+/// One resident TSO-CC L1 line (opaque outside the policy).
 #[derive(Clone, Copy, Debug)]
-struct Line {
+pub struct Line {
     state: State,
     data: LineData,
     /// Hits consumed since the line was (re-)obtained (`b.acnt`).
@@ -41,8 +43,9 @@ enum MshrOp {
     Rmw { word: usize, op: RmwOp },
 }
 
+/// One in-flight TSO-CC L1 miss (opaque outside the policy).
 #[derive(Debug)]
-struct Mshr {
+pub struct Mshr {
     op: MshrOp,
     /// An invalidation raced past the data response (SharedRO broadcast
     /// invalidation or inclusive L2 eviction). The arriving shared data
@@ -80,22 +83,34 @@ impl TsoCcL1Config {
             proto,
         }
     }
+
+    /// Builds the controller: a [`TsoCcL1Policy`] over a fresh chassis.
+    pub fn build(self) -> TsoCcL1 {
+        L1Ctl::assemble(
+            L1Chassis::new(
+                self.id,
+                self.n_cores,
+                self.n_tiles,
+                self.issue_latency,
+                self.params,
+            ),
+            TsoCcL1Policy::new(self.proto, self.n_cores, self.n_tiles),
+        )
+    }
 }
 
 /// The TSO-CC L1 controller for one core.
+pub type TsoCcL1 = L1Ctl<TsoCcL1Policy>;
+
+/// The TSO-CC L1 transition rules and per-core protocol state.
 ///
 /// Owns the core-local timestamp source, the write-group counter, the
 /// last-seen timestamp tables (`ts_L1`, `ts_L2`) and the epoch-id tables
-/// of Table 1.
+/// of Table 1 — everything structural (lines, MSHRs, the writeback
+/// buffer) lives in the chassis.
 #[derive(Debug)]
-pub struct TsoCcL1 {
-    cfg: TsoCcL1Config,
-    cache: CacheArray<Line>,
-    mshrs: LineMap<Mshr>,
-    wb: WritebackBuffer,
-    outbox: Outbox,
-    completions: Vec<Completion>,
-    stats: L1Stats,
+pub struct TsoCcL1Policy {
+    proto: TsoCcConfig,
     /// Current write timestamp source.
     ts_src: Ts,
     /// Writes consumed in the current timestamp group.
@@ -116,48 +131,21 @@ pub struct TsoCcL1 {
     epochs_l2: Vec<Epoch>,
 }
 
-impl TsoCcL1 {
-    /// Creates the controller.
-    pub fn new(cfg: TsoCcL1Config) -> Self {
-        TsoCcL1 {
-            cfg,
-            cache: CacheArray::new(cfg.params),
-            mshrs: LineMap::new(),
-            wb: WritebackBuffer::new(),
-            outbox: Outbox::new(),
-            completions: Vec::new(),
-            stats: L1Stats::default(),
+type Ch = L1Chassis<Line, Mshr>;
+
+impl TsoCcL1Policy {
+    /// Creates the policy state for one core.
+    fn new(proto: TsoCcConfig, n_cores: usize, n_tiles: usize) -> Self {
+        TsoCcL1Policy {
+            proto,
             ts_src: Ts::SMALLEST_VALID,
             wg_count: 0,
             epoch: Epoch::ZERO,
-            ts_l1: vec![Ts::INVALID; cfg.n_cores],
-            epochs_l1: vec![Epoch::ZERO; cfg.n_cores],
-            ts_l2: vec![Ts::INVALID; cfg.n_tiles],
-            epochs_l2: vec![Epoch::ZERO; cfg.n_tiles],
+            ts_l1: vec![Ts::INVALID; n_cores],
+            epochs_l1: vec![Epoch::ZERO; n_cores],
+            ts_l2: vec![Ts::INVALID; n_tiles],
+            epochs_l2: vec![Epoch::ZERO; n_tiles],
         }
-    }
-
-    fn agent(&self) -> Agent {
-        Agent::L1(self.cfg.id)
-    }
-
-    fn home(&self, line: LineAddr) -> Agent {
-        Agent::L2(line.home(self.cfg.n_tiles))
-    }
-
-    fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
-        self.outbox.push(
-            now + self.cfg.issue_latency,
-            NetMsg {
-                src: self.agent(),
-                dst,
-                msg,
-            },
-        );
-    }
-
-    fn line_free(&self, line: LineAddr) -> bool {
-        !self.mshrs.contains_key(line) && self.wb.get(line).is_none()
     }
 
     // ---- timestamp management (§3.3 / §3.5) -----------------------------
@@ -165,8 +153,8 @@ impl TsoCcL1 {
     /// Consumes one write: returns the timestamp to stamp the line with
     /// and advances the group/source counters, broadcasting a reset on
     /// wrap-around.
-    fn on_write(&mut self, now: Cycle) -> Ts {
-        let Some(params) = self.cfg.proto.write_ts else {
+    fn on_write(&mut self, ch: &mut Ch, now: Cycle) -> Ts {
+        let Some(params) = self.proto.write_ts else {
             return Ts::INVALID;
         };
         let stamp = self.ts_src;
@@ -174,7 +162,7 @@ impl TsoCcL1 {
         if self.wg_count >= params.group_size() {
             self.wg_count = 0;
             if self.ts_src.as_u64() >= params.max_ts() {
-                self.reset_ts(now);
+                self.reset_ts(ch, now);
             } else {
                 self.ts_src = self.ts_src.next();
             }
@@ -184,21 +172,21 @@ impl TsoCcL1 {
 
     /// Wraps the timestamp source: new epoch, broadcast, restart just
     /// above the smallest valid timestamp (§3.5).
-    fn reset_ts(&mut self, now: Cycle) {
-        self.epoch = self.epoch.next(self.cfg.proto.epoch_bits);
+    fn reset_ts(&mut self, ch: &mut Ch, now: Cycle) {
+        self.epoch = self.epoch.next(self.proto.epoch_bits);
         self.ts_src = Ts::SMALLEST_VALID.next();
-        self.stats.ts_resets.inc();
+        ch.stats.ts_resets.inc();
         let msg = Msg::TsReset {
-            source: TsSource::L1(self.cfg.id),
+            source: TsSource::L1(ch.id()),
             epoch: self.epoch,
         };
-        for core in 0..self.cfg.n_cores {
-            if core != self.cfg.id {
-                self.send(now, Agent::L1(core), msg.clone());
+        for core in 0..ch.n_cores() {
+            if core != ch.id() {
+                ch.send(now, Agent::L1(core), msg.clone());
             }
         }
-        for tile in 0..self.cfg.n_tiles {
-            self.send(now, Agent::L2(tile), msg.clone());
+        for tile in 0..ch.n_tiles() {
+            ch.send(now, Agent::L2(tile), msg.clone());
         }
     }
 
@@ -219,15 +207,16 @@ impl TsoCcL1 {
 
     /// Invalidates all Shared lines (SharedRO, Exclusive and Modified
     /// lines survive).
-    fn self_invalidate(&mut self, cause: SelfInvCause) {
-        let removed = self.cache.retain(|_, l| l.state != State::Shared);
-        self.stats.record_selfinv(cause, removed as u64);
+    fn self_invalidate(&mut self, ch: &mut Ch, cause: SelfInvCause) {
+        let removed = ch.cache.retain(|_, l| l.state != State::Shared);
+        ch.stats.record_selfinv(cause, removed as u64);
     }
 
     /// Applies the potential-acquire detection rules to a data
     /// response; called for every L1 miss response before installing.
     fn acquire_check(
         &mut self,
+        ch: &mut Ch,
         grant: Grant,
         writer: usize,
         ts: Ts,
@@ -239,7 +228,7 @@ impl TsoCcL1 {
                 let Some(TsSource::L2(tile)) = ts_source else {
                     // No SharedRO timestamps (CC-shared-to-L2): always a
                     // mandatory self-invalidation.
-                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    self.self_invalidate(ch, SelfInvCause::InvalidTs);
                     return;
                 };
                 // Epoch mismatch: handle as if the reset message arrived
@@ -249,37 +238,37 @@ impl TsoCcL1 {
                     self.ts_l2[tile] = Ts::INVALID;
                 }
                 if !ts.is_valid() {
-                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    self.self_invalidate(ch, SelfInvCause::InvalidTs);
                     return;
                 }
                 let seen = self.ts_l2[tile];
                 if !seen.is_valid() {
                     // Never read from this tile (or reset dropped the
                     // entry): mandatory self-invalidation.
-                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    self.self_invalidate(ch, SelfInvCause::InvalidTs);
                     self.ts_l2[tile] = ts;
                 } else if ts > seen {
                     // SharedRO timestamps are grouped (§3.4), so the
                     // potential-acquire rule is "larger than".
-                    self.self_invalidate(SelfInvCause::AcquireSro);
+                    self.self_invalidate(ch, SelfInvCause::AcquireSro);
                     self.ts_l2[tile] = ts;
                 }
             }
             Grant::Exclusive | Grant::Shared => {
-                if writer == self.cfg.id {
+                if writer == ch.id() {
                     // Reading our own last write implies no new
                     // happened-before edge: no self-invalidation (§3.2).
                     return;
                 }
-                let Some(params) = self.cfg.proto.write_ts else {
+                let Some(params) = self.proto.write_ts else {
                     // Basic protocol: every remote data response
                     // self-invalidates; the timestamp is (vacuously)
                     // invalid.
-                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    self.self_invalidate(ch, SelfInvCause::InvalidTs);
                     return;
                 };
                 if writer == usize::MAX || !ts.is_valid() {
-                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    self.self_invalidate(ch, SelfInvCause::InvalidTs);
                     return;
                 }
                 if let Some(TsSource::L1(w)) = ts_source {
@@ -292,7 +281,7 @@ impl TsoCcL1 {
                 let seen = self.ts_l1[writer];
                 if !seen.is_valid() {
                     // Never read from this writer before (§3.3).
-                    self.self_invalidate(SelfInvCause::InvalidTs);
+                    self.self_invalidate(ch, SelfInvCause::InvalidTs);
                     self.ts_l1[writer] = ts;
                 } else {
                     // Write groups share timestamps, so with groups
@@ -303,7 +292,7 @@ impl TsoCcL1 {
                         ts > seen
                     };
                     if acquire {
-                        self.self_invalidate(SelfInvCause::AcquireNonSro);
+                        self.self_invalidate(ch, SelfInvCause::AcquireNonSro);
                     }
                     if ts > seen {
                         self.ts_l1[writer] = ts;
@@ -315,65 +304,37 @@ impl TsoCcL1 {
 
     // ---- eviction / install ----------------------------------------------
 
-    fn evict(&mut self, now: Cycle, victim: LineAddr, line: Line) {
-        match line.state {
+    /// Writes an evicted line back: silent for Shared/SharedRO, PutE /
+    /// timestamped PutM for private lines.
+    fn writeback(&mut self, ch: &mut Ch, now: Cycle, line: LineAddr, l: Line) {
+        match l.state {
             // Shared and SharedRO lines are untracked: silent (§3.2,
             // §3.4 — the coarse group vector stays conservatively set).
             State::Shared | State::SharedRO => {}
             State::Exclusive => {
-                self.wb
-                    .insert(victim, line.data, false, Ts::INVALID, Epoch::ZERO);
-                self.send(now, self.home(victim), Msg::PutE { line: victim });
+                ch.park_writeback(now, line, l.data, false, Ts::INVALID, Epoch::ZERO);
             }
             State::Modified => {
-                let ts = self.clamp_own_ts(line.ts);
-                self.wb.insert(victim, line.data, true, ts, self.epoch);
-                self.send(
-                    now,
-                    self.home(victim),
-                    Msg::PutM {
-                        line: victim,
-                        data: line.data,
-                        ts,
-                        epoch: self.epoch,
-                    },
-                );
+                let ts = self.clamp_own_ts(l.ts);
+                ch.park_writeback(now, line, l.data, true, ts, self.epoch);
             }
-        }
-    }
-
-    fn install(&mut self, now: Cycle, line: LineAddr, entry: Line) -> bool {
-        if let Some(resident) = self.cache.peek_mut(line) {
-            *resident = entry;
-            return true;
-        }
-        let mshrs = &self.mshrs;
-        let outcome = self
-            .cache
-            .insert(line, entry, now.as_u64(), |la, _| !mshrs.contains_key(la));
-        match outcome {
-            InsertOutcome::Installed => true,
-            InsertOutcome::Evicted(victim, old) => {
-                self.evict(now, victim, old);
-                true
-            }
-            InsertOutcome::SetFull => false,
         }
     }
 
     /// Handles an arriving data response for an outstanding miss.
     fn complete_miss(
         &mut self,
+        ch: &mut Ch,
         now: Cycle,
         line: LineAddr,
         data: LineData,
         grant: Grant,
         ack_required: bool,
     ) {
-        let mshr = self
+        let mshr = ch
             .mshrs
             .remove(line)
-            .unwrap_or_else(|| panic!("L1[{}]: data for no MSHR {line}", self.cfg.id));
+            .unwrap_or_else(|| panic!("L1[{}]: data for no MSHR {line}", ch.id()));
         let poisoned = mshr.poisoned;
         let mut data = data;
         let (entry, completion) = match mshr.op {
@@ -395,7 +356,7 @@ impl TsoCcL1 {
             MshrOp::Store { word, value } => {
                 assert_eq!(grant, Grant::Exclusive, "stores need exclusive grants");
                 data.write_word(word, value);
-                let ts = self.on_write(now);
+                let ts = self.on_write(ch, now);
                 let entry = Line {
                     state: State::Modified,
                     data,
@@ -408,7 +369,7 @@ impl TsoCcL1 {
                 assert_eq!(grant, Grant::Exclusive, "RMWs need exclusive grants");
                 let old = data.read_word(word);
                 data.write_word(word, op.apply(old));
-                let ts = self.on_write(now);
+                let ts = self.on_write(ch, now);
                 let entry = Line {
                     state: State::Modified,
                     data,
@@ -421,57 +382,48 @@ impl TsoCcL1 {
         if let Some(entry) = entry {
             // CC-shared-to-L2 never caches Shared data; poisoned shared
             // grants (a racing invalidation) must not be cached either.
-            let cacheable = !((entry.state == State::Shared && self.cfg.proto.max_acc == 0)
+            let cacheable = !((entry.state == State::Shared && self.proto.max_acc == 0)
                 || (poisoned && matches!(entry.state, State::Shared | State::SharedRO)));
             if cacheable {
-                let installed = self.install(now, line, entry);
-                if !installed {
-                    // No evictable way: hand the line straight back.
-                    match entry.state {
-                        State::Shared | State::SharedRO => {}
-                        State::Exclusive => {
-                            self.wb
-                                .insert(line, entry.data, false, Ts::INVALID, Epoch::ZERO);
-                            self.send(now, self.home(line), Msg::PutE { line });
-                        }
-                        State::Modified => {
-                            let ts = self.clamp_own_ts(entry.ts);
-                            self.wb.insert(line, entry.data, true, ts, self.epoch);
-                            self.send(
-                                now,
-                                self.home(line),
-                                Msg::PutM {
-                                    line,
-                                    data: entry.data,
-                                    ts,
-                                    epoch: self.epoch,
-                                },
-                            );
-                        }
+                match ch.install(now, line, entry) {
+                    Install::Done => {}
+                    Install::Evicted(victim, old) => self.writeback(ch, now, victim, old),
+                    Install::NoWay => {
+                        // No evictable way: hand the line straight back.
+                        self.writeback(ch, now, line, entry);
                     }
                 }
-            } else if self.cache.peek(line).is_some() {
+            } else if ch.cache.peek(line).is_some() {
                 // An expired or invalidation-raced resident copy must
                 // not linger with stale data.
-                self.cache.remove(line);
+                ch.cache.remove(line);
             }
         }
         if ack_required {
-            self.send(
-                now,
-                self.home(line),
-                Msg::Unblock {
-                    line,
-                    from: self.cfg.id,
-                },
-            );
+            ch.send_unblock(now, line);
         }
-        self.completions.push(completion);
+        ch.completions.push(completion);
     }
 }
 
-impl CacheController for TsoCcL1 {
-    fn handle_message(&mut self, now: Cycle, _src: Agent, msg: Msg) {
+impl L1Policy for TsoCcL1Policy {
+    type Line = Line;
+    type Mshr = Mshr;
+
+    fn submit(&mut self, ch: &mut Ch, now: Cycle, op: CoreOp) -> Submit {
+        match op {
+            CoreOp::Fence => {
+                // Fences self-invalidate all Shared lines (§3.6).
+                self.self_invalidate(ch, SelfInvCause::Fence);
+                Submit::Hit(0)
+            }
+            CoreOp::Load(addr) => self.submit_load(ch, now, addr),
+            CoreOp::Store(addr, value) => self.submit_store(ch, now, addr, value),
+            CoreOp::Rmw(addr, rmw) => self.submit_rmw(ch, now, addr, rmw),
+        }
+    }
+
+    fn handle_message(&mut self, ch: &mut Ch, now: Cycle, _src: Agent, msg: Msg) {
         match msg {
             Msg::Data {
                 line,
@@ -487,33 +439,34 @@ impl CacheController for TsoCcL1 {
                 // Potential-acquire detection happens on every L1 miss
                 // data response, before the new line is installed so the
                 // sweep cannot remove it (§3.2).
-                self.acquire_check(grant, writer, ts, epoch, ts_source);
-                self.complete_miss(now, line, data, grant, ack_required);
+                self.acquire_check(ch, grant, writer, ts, epoch, ts_source);
+                self.complete_miss(ch, now, line, data, grant, ack_required);
             }
             Msg::FwdGetS { line, requester } => {
                 // The owner downgrades to Shared, supplies the requester
                 // and refreshes the L2 copy (§3.2).
-                let (data, dirty, ts) = if let Some(l) = self.cache.peek_mut(line) {
+                let (data, dirty, ts) = if let Some(l) = ch.cache.peek_mut(line) {
                     let dirty = l.state == State::Modified;
                     let ts = l.ts;
                     l.state = State::Shared;
                     l.acnt = 0;
                     (l.data, dirty, ts)
-                } else if let Some(entry) = self.wb.get_mut(line) {
+                } else if let Some(entry) = ch.wb.get_mut(line) {
                     entry.forwarded = true;
                     (entry.data, entry.dirty, entry.ts)
                 } else {
-                    panic!("L1[{}]: FwdGetS for absent line {line}", self.cfg.id);
+                    panic!("L1[{}]: FwdGetS for absent line {line}", ch.id());
                 };
                 let (resp_ts, writer) = if dirty {
-                    (self.clamp_own_ts(ts), self.cfg.id)
+                    (self.clamp_own_ts(ts), ch.id())
                 } else {
                     // A clean Exclusive copy was never written by us; we
                     // cannot vouch for a timestamp (the L2 will move the
                     // line to SharedRO).
                     (Ts::INVALID, usize::MAX)
                 };
-                self.send(
+                let id = ch.id();
+                ch.send(
                     now,
                     Agent::L1(requester),
                     Msg::Data {
@@ -523,43 +476,45 @@ impl CacheController for TsoCcL1 {
                         writer,
                         ts: resp_ts,
                         epoch: self.epoch,
-                        ts_source: Some(TsSource::L1(self.cfg.id)),
+                        ts_source: Some(TsSource::L1(id)),
                         acks_expected: 0,
                         with_payload: true,
                         ack_required: false,
                     },
                 );
-                self.send(
+                let home = ch.home(line);
+                ch.send(
                     now,
-                    self.home(line),
+                    home,
                     Msg::DowngradeData {
                         line,
                         data,
                         dirty,
                         ts: resp_ts,
                         epoch: self.epoch,
-                        from: self.cfg.id,
+                        from: id,
                     },
                 );
             }
             Msg::FwdGetX { line, requester } => {
-                let (data, ts, writer) = if let Some(l) = self.cache.remove(line) {
+                let (data, ts, writer) = if let Some(l) = ch.cache.remove(line) {
                     if l.state == State::Modified {
-                        (l.data, self.clamp_own_ts(l.ts), self.cfg.id)
+                        (l.data, self.clamp_own_ts(l.ts), ch.id())
                     } else {
                         (l.data, Ts::INVALID, usize::MAX)
                     }
-                } else if let Some(entry) = self.wb.get_mut(line) {
+                } else if let Some(entry) = ch.wb.get_mut(line) {
                     entry.forwarded = true;
                     if entry.dirty {
-                        (entry.data, entry.ts, self.cfg.id)
+                        (entry.data, entry.ts, ch.id())
                     } else {
                         (entry.data, Ts::INVALID, usize::MAX)
                     }
                 } else {
-                    panic!("L1[{}]: FwdGetX for absent line {line}", self.cfg.id);
+                    panic!("L1[{}]: FwdGetX for absent line {line}", ch.id());
                 };
-                self.send(
+                let id = ch.id();
+                ch.send(
                     now,
                     Agent::L1(requester),
                     Msg::Data {
@@ -569,7 +524,7 @@ impl CacheController for TsoCcL1 {
                         writer,
                         ts,
                         epoch: self.epoch,
-                        ts_source: Some(TsSource::L1(self.cfg.id)),
+                        ts_source: Some(TsSource::L1(id)),
                         acks_expected: 0,
                         with_payload: true,
                         ack_required: true,
@@ -582,52 +537,49 @@ impl CacheController for TsoCcL1 {
             } => {
                 // SharedRO broadcast invalidation or inclusive L2
                 // eviction; shared copies are removed blindly.
-                if let Some(l) = self.cache.peek(line) {
+                if let Some(l) = ch.cache.peek(line) {
                     debug_assert!(
                         matches!(l.state, State::Shared | State::SharedRO),
                         "Inv must not target private lines"
                     );
-                    self.cache.remove(line);
+                    ch.cache.remove(line);
                 }
-                if let Some(m) = self.mshrs.get_mut(line) {
+                if let Some(m) = ch.mshrs.get_mut(line) {
                     if matches!(m.op, MshrOp::Load { .. }) {
                         m.poisoned = true;
                     }
                 }
                 debug_assert!(ack_to_requester.is_none(), "TSO-CC collects acks at the L2");
-                self.send(
-                    now,
-                    self.home(line),
-                    Msg::InvAckToL2 {
-                        line,
-                        from: self.cfg.id,
-                    },
-                );
+                let home = ch.home(line);
+                let from = ch.id();
+                ch.send(now, home, Msg::InvAckToL2 { line, from });
             }
             Msg::Recall { line } => {
-                let (data, dirty, ts) = if let Some(l) = self.cache.remove(line) {
+                let (data, dirty, ts) = if let Some(l) = ch.cache.remove(line) {
                     (l.data, l.state == State::Modified, self.clamp_own_ts(l.ts))
-                } else if let Some(entry) = self.wb.get_mut(line) {
+                } else if let Some(entry) = ch.wb.get_mut(line) {
                     entry.forwarded = true;
                     (entry.data, entry.dirty, entry.ts)
                 } else {
-                    panic!("L1[{}]: Recall for absent line {line}", self.cfg.id);
+                    panic!("L1[{}]: Recall for absent line {line}", ch.id());
                 };
-                self.send(
+                let home = ch.home(line);
+                let from = ch.id();
+                ch.send(
                     now,
-                    self.home(line),
+                    home,
                     Msg::RecallData {
                         line,
                         data,
                         dirty,
                         ts,
                         epoch: self.epoch,
-                        from: self.cfg.id,
+                        from,
                     },
                 );
             }
             Msg::PutAck { line } => {
-                self.wb.remove(line);
+                ch.wb.remove(line);
             }
             Msg::TsReset { source, epoch } => match source {
                 TsSource::L1(core) => {
@@ -639,65 +591,25 @@ impl CacheController for TsoCcL1 {
                     self.epochs_l2[tile] = epoch;
                 }
             },
-            other => panic!("L1[{}]: unexpected {other:?}", self.cfg.id),
+            other => panic!("L1[{}]: unexpected {other:?}", ch.id()),
         }
-    }
-
-    fn tick(&mut self, _now: Cycle) {}
-
-    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
-        self.outbox.drain_ready_into(now, out);
-    }
-
-    fn is_quiescent(&self) -> bool {
-        self.mshrs.is_empty() && self.wb.is_empty() && self.outbox.is_empty()
-    }
-
-    fn next_event(&self) -> Cycle {
-        // MSHR retries and writeback completion are message-driven;
-        // self-invalidation happens synchronously inside submits and
-        // data responses. Only the outbox needs a timed wake.
-        self.outbox.next_ready()
     }
 }
 
-impl L1Controller for TsoCcL1 {
-    fn submit(&mut self, now: Cycle, op: CoreOp) -> Submit {
-        match op {
-            CoreOp::Fence => {
-                // Fences self-invalidate all Shared lines (§3.6).
-                self.self_invalidate(SelfInvCause::Fence);
-                Submit::Hit(0)
-            }
-            CoreOp::Load(addr) => self.submit_load(now, addr),
-            CoreOp::Store(addr, value) => self.submit_store(now, addr, value),
-            CoreOp::Rmw(addr, rmw) => self.submit_rmw(now, addr, rmw),
-        }
-    }
-
-    fn drain_completions(&mut self, out: &mut Vec<Completion>) {
-        out.append(&mut self.completions);
-    }
-
-    fn stats(&self) -> &L1Stats {
-        &self.stats
-    }
-}
-
-impl TsoCcL1 {
-    fn submit_load(&mut self, now: Cycle, addr: Addr) -> Submit {
+impl TsoCcL1Policy {
+    fn submit_load(&mut self, ch: &mut Ch, now: Cycle, addr: Addr) -> Submit {
         let line = addr.line();
         let word = addr.word_index();
-        let max_acc = self.cfg.proto.max_acc;
+        let max_acc = self.proto.max_acc;
         let mut expired_shared = false;
-        if let Some(l) = self.cache.lookup_mut(line) {
+        if let Some(l) = ch.cache.lookup_mut(line) {
             match l.state {
                 State::Exclusive | State::Modified => {
-                    self.stats.read_hit_private.inc();
+                    ch.stats.read_hit_private.inc();
                     return Submit::Hit(l.data.read_word(word));
                 }
                 State::SharedRO => {
-                    self.stats.read_hit_sharedro.inc();
+                    ch.stats.read_hit_sharedro.inc();
                     return Submit::Hit(l.data.read_word(word));
                 }
                 State::Shared => {
@@ -706,103 +618,106 @@ impl TsoCcL1 {
                         // to 2^Bmaxacc hits before a forced re-request
                         // guarantees write propagation (§3.1).
                         l.acnt += 1;
-                        self.stats.read_hit_shared.inc();
+                        ch.stats.read_hit_shared.inc();
                         return Submit::Hit(l.data.read_word(word));
                     }
                     expired_shared = true;
                 }
             }
         }
-        if !self.line_free(line) {
+        if !ch.line_free(line) {
             return Submit::Retry;
         }
         if expired_shared {
-            self.stats.read_miss_shared.inc();
+            ch.stats.read_miss_shared.inc();
         } else {
-            self.stats.read_miss_invalid.inc();
+            ch.stats.read_miss_invalid.inc();
         }
-        self.mshrs.insert(
+        ch.mshrs.alloc(
             line,
             Mshr {
                 op: MshrOp::Load { word },
                 poisoned: false,
             },
         );
-        self.send(now, self.home(line), Msg::GetS { line });
+        let home = ch.home(line);
+        ch.send(now, home, Msg::GetS { line });
         Submit::Miss
     }
 
-    fn submit_store(&mut self, now: Cycle, addr: Addr, value: u64) -> Submit {
+    fn submit_store(&mut self, ch: &mut Ch, now: Cycle, addr: Addr, value: u64) -> Submit {
         let line = addr.line();
         let word = addr.word_index();
         let private = matches!(
-            self.cache.peek(line).map(|l| l.state),
+            ch.cache.peek(line).map(|l| l.state),
             Some(State::Exclusive | State::Modified)
         );
         if private {
             // Exclusive→Modified transitions are silent (§3.2).
-            let ts = self.on_write(now);
-            let l = self.cache.lookup_mut(line).expect("checked resident");
+            let ts = self.on_write(ch, now);
+            let l = ch.cache.lookup_mut(line).expect("checked resident");
             l.state = State::Modified;
             l.data.write_word(word, value);
             l.ts = ts;
-            self.stats.write_hit_private.inc();
+            ch.stats.write_hit_private.inc();
             return Submit::Hit(0);
         }
-        if !self.line_free(line) {
+        if !ch.line_free(line) {
             return Submit::Retry;
         }
-        match self.cache.peek(line).map(|l| l.state) {
-            Some(State::Shared) => self.stats.write_miss_shared.inc(),
-            Some(State::SharedRO) => self.stats.write_miss_sharedro.inc(),
-            _ => self.stats.write_miss_invalid.inc(),
+        match ch.cache.peek(line).map(|l| l.state) {
+            Some(State::Shared) => ch.stats.write_miss_shared.inc(),
+            Some(State::SharedRO) => ch.stats.write_miss_sharedro.inc(),
+            _ => ch.stats.write_miss_invalid.inc(),
         }
-        self.mshrs.insert(
+        ch.mshrs.alloc(
             line,
             Mshr {
                 op: MshrOp::Store { word, value },
                 poisoned: false,
             },
         );
-        self.send(now, self.home(line), Msg::GetX { line });
+        let home = ch.home(line);
+        ch.send(now, home, Msg::GetX { line });
         Submit::Miss
     }
 
-    fn submit_rmw(&mut self, now: Cycle, addr: Addr, rmw: RmwOp) -> Submit {
+    fn submit_rmw(&mut self, ch: &mut Ch, now: Cycle, addr: Addr, rmw: RmwOp) -> Submit {
         let line = addr.line();
         let word = addr.word_index();
         let private = matches!(
-            self.cache.peek(line).map(|l| l.state),
+            ch.cache.peek(line).map(|l| l.state),
             Some(State::Exclusive | State::Modified)
         );
         if private {
-            let ts = self.on_write(now);
-            let l = self.cache.lookup_mut(line).expect("checked resident");
+            let ts = self.on_write(ch, now);
+            let l = ch.cache.lookup_mut(line).expect("checked resident");
             l.state = State::Modified;
             let old = l.data.read_word(word);
             l.data.write_word(word, rmw.apply(old));
             l.ts = ts;
-            self.stats.rmw_hit.inc();
-            self.stats.write_hit_private.inc();
+            ch.stats.rmw_hit.inc();
+            ch.stats.write_hit_private.inc();
             return Submit::Hit(old);
         }
-        if !self.line_free(line) {
+        if !ch.line_free(line) {
             return Submit::Retry;
         }
-        self.stats.rmw_miss.inc();
-        match self.cache.peek(line).map(|l| l.state) {
-            Some(State::Shared) => self.stats.write_miss_shared.inc(),
-            Some(State::SharedRO) => self.stats.write_miss_sharedro.inc(),
-            _ => self.stats.write_miss_invalid.inc(),
+        ch.stats.rmw_miss.inc();
+        match ch.cache.peek(line).map(|l| l.state) {
+            Some(State::Shared) => ch.stats.write_miss_shared.inc(),
+            Some(State::SharedRO) => ch.stats.write_miss_sharedro.inc(),
+            _ => ch.stats.write_miss_invalid.inc(),
         }
-        self.mshrs.insert(
+        ch.mshrs.alloc(
             line,
             Mshr {
                 op: MshrOp::Rmw { word, op: rmw },
                 poisoned: false,
             },
         );
-        self.send(now, self.home(line), Msg::GetX { line });
+        let home = ch.home(line);
+        ch.send(now, home, Msg::GetX { line });
         Submit::Miss
     }
 }

@@ -1,11 +1,8 @@
-//! TSO-CC NUCA L2 tile: the sharing-vector-free directory.
+//! TSO-CC NUCA L2 tile — the sharing-vector-free directory — as a
+//! policy over the shared [`L2Chassis`].
 
-use std::collections::VecDeque;
-
-use tsocc_coherence::{
-    Agent, CacheController, Epoch, Grant, L2Controller, L2Stats, Msg, NetMsg, Outbox, Ts, TsSource,
-};
-use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, LineMap};
+use tsocc_coherence::{Agent, Epoch, Grant, L2Chassis, L2Ctl, L2Policy, Msg, Ts, TsSource, Txn};
+use tsocc_mem::{CacheParams, LineAddr, LineData};
 use tsocc_sim::Cycle;
 
 use crate::config::TsoCcConfig;
@@ -23,8 +20,9 @@ enum State {
     SharedRO,
 }
 
+/// One resident directory line (opaque outside the policy).
 #[derive(Clone, Copy, Debug)]
-struct Line {
+pub struct Line {
     state: State,
     data: LineData,
     /// Whether the L2 copy differs from memory.
@@ -42,8 +40,10 @@ struct Line {
     ts_epoch: Epoch,
 }
 
+/// Transaction states of the TSO-CC directory (opaque outside the
+/// policy).
 #[derive(Debug)]
-enum BusyKind {
+pub enum BusyKind {
     /// Waiting for memory data, then granting Exclusive to `requester`.
     Fetch { requester: usize },
     /// Waiting for the requester's Unblock after an Exclusive grant.
@@ -61,14 +61,6 @@ enum BusyKind {
         data: LineData,
         dirty: bool,
     },
-}
-
-#[derive(Debug)]
-struct Busy {
-    kind: BusyKind,
-    need_unblock: bool,
-    need_owner_data: bool,
-    waiting: VecDeque<(Agent, Msg)>,
 }
 
 /// Structural configuration of a TSO-CC L2 tile.
@@ -101,30 +93,32 @@ impl TsoCcL2Config {
         }
     }
 
-    /// Number of coarse sharer groups: `b.owner` has `log2(n)` bits to
-    /// reuse (§3.4), so there are `log2(n_cores)` groups.
-    pub fn n_groups(&self) -> usize {
-        usize::BITS as usize - (self.n_cores.max(2) - 1).leading_zeros() as usize
-    }
-
-    /// The coarse group a core belongs to.
-    pub fn group_of(&self, core: usize) -> usize {
-        core % self.n_groups()
+    /// Builds the tile controller: a [`TsoCcL2Policy`] over a fresh
+    /// chassis.
+    pub fn build(self) -> TsoCcL2 {
+        L2Ctl::assemble(
+            L2Chassis::new(
+                self.tile,
+                self.n_cores,
+                self.n_mem,
+                self.latency,
+                self.params,
+            ),
+            TsoCcL2Policy::new(self.proto, self.n_cores),
+        )
     }
 }
 
 /// One TSO-CC L2 tile.
+pub type TsoCcL2 = L2Ctl<TsoCcL2Policy>;
+
+/// The TSO-CC directory transition rules and per-tile protocol state.
 ///
 /// Owns the tile's SharedRO timestamp source, the increment flags of
 /// §3.4, and the per-core last-seen timestamp table of §3.5.
 #[derive(Debug)]
-pub struct TsoCcL2 {
-    cfg: TsoCcL2Config,
-    cache: CacheArray<Line>,
-    busy: LineMap<Busy>,
-    replay: VecDeque<(Agent, Msg)>,
-    outbox: Outbox,
-    stats: L2Stats,
+pub struct TsoCcL2Policy {
+    proto: TsoCcConfig,
     /// SharedRO timestamp source for this tile (§3.4).
     tile_ts: Ts,
     /// Epoch of the tile's timestamp source.
@@ -142,42 +136,31 @@ pub struct TsoCcL2 {
     epochs_l1: Vec<Epoch>,
 }
 
-impl TsoCcL2 {
-    /// Creates the tile controller.
-    pub fn new(cfg: TsoCcL2Config) -> Self {
-        TsoCcL2 {
-            cfg,
-            cache: CacheArray::new(cfg.params),
-            busy: LineMap::new(),
-            replay: VecDeque::new(),
-            outbox: Outbox::new(),
-            stats: L2Stats::default(),
+type Ch = L2Chassis<Line, BusyKind>;
+
+impl TsoCcL2Policy {
+    /// Creates the policy state for one tile.
+    fn new(proto: TsoCcConfig, n_cores: usize) -> Self {
+        TsoCcL2Policy {
+            proto,
             tile_ts: Ts::SMALLEST_VALID,
             tile_epoch: Epoch::ZERO,
             flag_dirty_path: false,
             flag_entered_shared: false,
-            ts_l1: vec![Ts::INVALID; cfg.n_cores],
-            epochs_l1: vec![Epoch::ZERO; cfg.n_cores],
+            ts_l1: vec![Ts::INVALID; n_cores],
+            epochs_l1: vec![Epoch::ZERO; n_cores],
         }
     }
 
-    fn agent(&self) -> Agent {
-        Agent::L2(self.cfg.tile)
+    /// Number of coarse sharer groups: `b.owner` has `log2(n)` bits to
+    /// reuse (§3.4), so there are `log2(n_cores)` groups.
+    fn n_groups(&self, n_cores: usize) -> usize {
+        usize::BITS as usize - (n_cores.max(2) - 1).leading_zeros() as usize
     }
 
-    fn mem(&self) -> Agent {
-        Agent::Mem(self.cfg.tile % self.cfg.n_mem)
-    }
-
-    fn send(&mut self, now: Cycle, dst: Agent, msg: Msg) {
-        self.outbox.push(
-            now + self.cfg.latency,
-            NetMsg {
-                src: self.agent(),
-                dst,
-                msg,
-            },
-        );
+    /// The coarse group a core belongs to.
+    fn group_of(&self, n_cores: usize, core: usize) -> usize {
+        core % self.n_groups(n_cores)
     }
 
     // ---- timestamp helpers (§3.4 / §3.5) ---------------------------------
@@ -220,29 +203,29 @@ impl TsoCcL2 {
 
     /// Advances the tile's SharedRO timestamp source if an increment
     /// flag is set; returns the timestamp to assign (§3.4).
-    fn next_sro_ts(&mut self, now: Cycle) -> (Ts, Epoch) {
-        if !self.cfg.proto.sro_ts {
+    fn next_sro_ts(&mut self, ch: &mut Ch, now: Cycle) -> (Ts, Epoch) {
+        if !self.proto.sro_ts {
             return (Ts::INVALID, Epoch::ZERO);
         }
         if self.flag_dirty_path || self.flag_entered_shared {
             self.flag_dirty_path = false;
             self.flag_entered_shared = false;
-            let max = if self.cfg.proto.sro_ts_bits() >= 63 {
+            let max = if self.proto.sro_ts_bits() >= 63 {
                 u64::MAX
             } else {
-                (1u64 << self.cfg.proto.sro_ts_bits()) - 1
+                (1u64 << self.proto.sro_ts_bits()) - 1
             };
             if self.tile_ts.as_u64() >= max {
                 // Reset the tile source and notify every L1 (§3.5).
-                self.tile_epoch = self.tile_epoch.next(self.cfg.proto.epoch_bits);
+                self.tile_epoch = self.tile_epoch.next(self.proto.epoch_bits);
                 self.tile_ts = Ts::SMALLEST_VALID.next();
-                self.stats.ts_resets.inc();
+                ch.stats.ts_resets.inc();
                 let msg = Msg::TsReset {
-                    source: TsSource::L2(self.cfg.tile),
+                    source: TsSource::L2(ch.tile()),
                     epoch: self.tile_epoch,
                 };
-                for core in 0..self.cfg.n_cores {
-                    self.send(now, Agent::L1(core), msg.clone());
+                for core in 0..ch.n_cores() {
+                    ch.send(now, Agent::L1(core), msg.clone());
                 }
             } else {
                 self.tile_ts = self.tile_ts.next();
@@ -253,15 +236,16 @@ impl TsoCcL2 {
 
     /// Transitions a resident line to SharedRO, assigning a tile
     /// timestamp, and returns (groups already set ∪ extra cores).
-    fn make_sharedro(&mut self, now: Cycle, line_addr: LineAddr, cores: &[usize]) {
-        let (ts, epoch) = self.next_sro_ts(now);
+    fn make_sharedro(&mut self, ch: &mut Ch, now: Cycle, line_addr: LineAddr, cores: &[usize]) {
+        let (ts, epoch) = self.next_sro_ts(ch, now);
+        let n_cores = ch.n_cores();
         let mut groups = 0u32;
         for &c in cores {
             if c != usize::MAX {
-                groups |= 1 << self.cfg.group_of(c);
+                groups |= 1 << self.group_of(n_cores, c);
             }
         }
-        let l = self.cache.peek_mut(line_addr).expect("resident");
+        let l = ch.cache.peek_mut(line_addr).expect("resident");
         l.state = State::SharedRO;
         l.groups = groups;
         l.ts = ts;
@@ -270,18 +254,7 @@ impl TsoCcL2 {
 
     // ---- transaction plumbing --------------------------------------------
 
-    fn maybe_finish(&mut self, line: LineAddr) {
-        let done = self
-            .busy
-            .get(line)
-            .is_some_and(|b| !b.need_unblock && !b.need_owner_data);
-        if done {
-            let busy = self.busy.remove(line).expect("checked");
-            self.replay.extend(busy.waiting);
-        }
-    }
-
-    fn start_eviction(&mut self, now: Cycle, victim: LineAddr, old: Line) {
+    fn start_eviction(&mut self, ch: &mut Ch, now: Cycle, victim: LineAddr, old: Line) {
         if old.dirty {
             // Condition 1 for SharedRO timestamp increments: a dirty
             // line leaves the L2 (§3.4).
@@ -291,11 +264,12 @@ impl TsoCcL2 {
             State::Uncached | State::Shared => {
                 // Shared lines are untracked and evict silently (§3.2);
                 // stale L1 copies age out via their access counters.
-                self.stats.writebacks.inc();
+                ch.stats.writebacks.inc();
                 if old.dirty {
-                    self.send(
+                    let mem = ch.mem();
+                    ch.send(
                         now,
-                        self.mem(),
+                        mem,
                         Msg::MemWrite {
                             line: victim,
                             data: old.data,
@@ -307,11 +281,12 @@ impl TsoCcL2 {
                 // SharedRO copies hit forever in L1s, so an L2 eviction
                 // must invalidate the sharer groups to preserve write
                 // propagation.
-                self.stats.writebacks.inc();
+                ch.stats.writebacks.inc();
+                let n_cores = ch.n_cores();
                 let mut acks = 0u32;
-                for core in 0..self.cfg.n_cores {
-                    if old.groups & (1 << self.cfg.group_of(core)) != 0 {
-                        self.send(
+                for core in 0..n_cores {
+                    if old.groups & (1 << self.group_of(n_cores, core)) != 0 {
+                        ch.send(
                             now,
                             Agent::L1(core),
                             Msg::Inv {
@@ -324,9 +299,10 @@ impl TsoCcL2 {
                 }
                 if acks == 0 {
                     if old.dirty {
-                        self.send(
+                        let mem = ch.mem();
+                        ch.send(
                             now,
-                            self.mem(),
+                            mem,
                             Msg::MemWrite {
                                 line: victim,
                                 data: old.data,
@@ -335,83 +311,60 @@ impl TsoCcL2 {
                     }
                     return;
                 }
-                self.busy.insert(
+                ch.begin(
                     victim,
-                    Busy {
-                        kind: BusyKind::Dying {
+                    Txn::new(
+                        BusyKind::Dying {
                             acks_left: acks,
                             data: old.data,
                             dirty: old.dirty,
                         },
-                        need_unblock: false,
-                        need_owner_data: true,
-                        waiting: VecDeque::new(),
-                    },
+                        false,
+                        true,
+                    ),
                 );
             }
             State::Exclusive => {
-                self.stats.writebacks.inc();
-                self.send(now, Agent::L1(old.owner), Msg::Recall { line: victim });
-                self.busy.insert(
+                ch.stats.writebacks.inc();
+                ch.send(now, Agent::L1(old.owner), Msg::Recall { line: victim });
+                ch.begin(
                     victim,
-                    Busy {
-                        kind: BusyKind::Dying {
+                    Txn::new(
+                        BusyKind::Dying {
                             acks_left: 0,
                             data: old.data,
                             dirty: old.dirty,
                         },
-                        need_unblock: false,
-                        need_owner_data: true,
-                        waiting: VecDeque::new(),
-                    },
+                        false,
+                        true,
+                    ),
                 );
             }
         }
     }
 
-    fn install(&mut self, now: Cycle, line: LineAddr, entry: Line) {
-        let busy = &self.busy;
-        let outcome = self
-            .cache
-            .insert(line, entry, now.as_u64(), |la, _| !busy.contains_key(la));
-        match outcome {
-            InsertOutcome::Installed => {}
-            InsertOutcome::Evicted(victim, old) => self.start_eviction(now, victim, old),
-            InsertOutcome::SetFull => {
-                panic!("L2[{}]: no evictable way for {line}", self.cfg.tile)
-            }
+    fn install(&mut self, ch: &mut Ch, now: Cycle, line: LineAddr, entry: Line) {
+        if let Some((victim, old)) = ch.install(now, line, entry) {
+            self.start_eviction(ch, now, victim, old);
         }
     }
 
-    fn grant_exclusive(&mut self, now: Cycle, line: LineAddr, requester: usize) {
-        let l = *self.cache.peek(line).expect("resident");
+    fn grant_exclusive(&mut self, ch: &mut Ch, now: Cycle, line: LineAddr, requester: usize) {
+        let l = *ch.cache.peek(line).expect("resident");
         let (writer, ts, epoch, ts_source) = if l.state == State::SharedRO {
             // SharedRO lines carry the tile's timestamp (§3.4).
-            (
-                usize::MAX,
-                l.ts,
-                l.ts_epoch,
-                Some(TsSource::L2(self.cfg.tile)),
-            )
+            (usize::MAX, l.ts, l.ts_epoch, Some(TsSource::L2(ch.tile())))
         } else {
             self.writer_response_ts(&l)
         };
         {
-            let lm = self.cache.peek_mut(line).expect("resident");
+            let lm = ch.cache.peek_mut(line).expect("resident");
             lm.state = State::Exclusive;
             lm.owner = requester;
             lm.groups = 0;
         }
-        self.busy.insert(
-            line,
-            Busy {
-                kind: BusyKind::Grant,
-                need_unblock: true,
-                need_owner_data: false,
-                waiting: VecDeque::new(),
-            },
-        );
-        self.send(
+        ch.begin(line, Txn::new(BusyKind::Grant, true, false));
+        ch.send(
             now,
             Agent::L1(requester),
             Msg::Data {
@@ -429,49 +382,46 @@ impl TsoCcL2 {
         );
     }
 
-    fn process_request(&mut self, now: Cycle, src: Agent, msg: Msg) {
-        let line = match &msg {
-            Msg::GetS { line } | Msg::GetX { line } | Msg::PutE { line } => *line,
-            Msg::PutM { line, .. } => *line,
-            other => unreachable!("not a queueable request: {other:?}"),
+    fn respond_sharedro(&mut self, ch: &mut Ch, now: Cycle, line: LineAddr, requester: usize) {
+        let l = *ch.cache.peek(line).expect("resident");
+        debug_assert_eq!(l.state, State::SharedRO);
+        let ts_source = if self.proto.sro_ts {
+            Some(TsSource::L2(ch.tile()))
+        } else {
+            None
         };
-        if let Some(busy) = self.busy.get_mut(line) {
-            busy.waiting.push_back((src, msg));
-            return;
-        }
-        let requester = match src {
-            Agent::L1(i) => i,
-            other => panic!("request from non-L1 {other}"),
-        };
-        match msg {
-            Msg::GetS { .. } => self.process_gets(now, line, requester),
-            Msg::GetX { .. } => self.process_getx(now, line, requester),
-            Msg::PutE { .. } => {
-                self.process_put(now, line, requester, None, Ts::INVALID, Epoch::ZERO)
-            }
-            Msg::PutM {
-                data, ts, epoch, ..
-            } => self.process_put(now, line, requester, Some(data), ts, epoch),
-            _ => unreachable!(),
-        }
-    }
-
-    fn process_gets(&mut self, now: Cycle, line: LineAddr, requester: usize) {
-        let Some(l) = self.cache.lookup(line).copied() else {
-            self.stats.misses.inc();
-            self.busy.insert(
+        ch.send(
+            now,
+            Agent::L1(requester),
+            Msg::Data {
                 line,
-                Busy {
-                    kind: BusyKind::Fetch { requester },
-                    need_unblock: true,
-                    need_owner_data: false,
-                    waiting: VecDeque::new(),
-                },
-            );
-            self.send(now, self.mem(), Msg::MemRead { line });
+                data: l.data,
+                grant: Grant::SharedRO,
+                writer: usize::MAX,
+                ts: l.ts,
+                epoch: l.ts_epoch,
+                ts_source,
+                acks_expected: 0,
+                with_payload: true,
+                ack_required: false,
+            },
+        );
+    }
+}
+
+impl L2Policy for TsoCcL2Policy {
+    type Line = Line;
+    type Busy = BusyKind;
+
+    fn gets(&mut self, ch: &mut Ch, now: Cycle, line: LineAddr, requester: usize) {
+        let Some(l) = ch.cache.lookup(line).copied() else {
+            ch.stats.misses.inc();
+            ch.begin(line, Txn::new(BusyKind::Fetch { requester }, true, false));
+            let mem = ch.mem();
+            ch.send(now, mem, Msg::MemRead { line });
             return;
         };
-        self.stats.hits.inc();
+        ch.stats.hits.inc();
         match l.state {
             State::Uncached => {
                 // Reads to lines with no L1 copies get Exclusive grants
@@ -479,38 +429,30 @@ impl TsoCcL2 {
                 if l.dirty {
                     self.flag_dirty_path = true;
                 }
-                self.grant_exclusive(now, line, requester);
+                self.grant_exclusive(ch, now, line, requester);
             }
             State::Exclusive => {
                 debug_assert_ne!(l.owner, requester, "owner re-requesting GetS");
-                self.busy.insert(
-                    line,
-                    Busy {
-                        kind: BusyKind::FwdS { requester },
-                        need_unblock: false,
-                        need_owner_data: true,
-                        waiting: VecDeque::new(),
-                    },
-                );
-                self.send(now, Agent::L1(l.owner), Msg::FwdGetS { line, requester });
+                ch.begin(line, Txn::new(BusyKind::FwdS { requester }, false, true));
+                ch.send(now, Agent::L1(l.owner), Msg::FwdGetS { line, requester });
             }
             State::Shared => {
                 // Decay check: untouched-for-long Shared lines become
                 // SharedRO (§3.4).
-                let decayed = self.cfg.proto.decay_ts_units().is_some_and(|units| {
+                let decayed = self.proto.decay_ts_units().is_some_and(|units| {
                     l.ts.is_valid()
                         && l.owner != usize::MAX
                         && self.ts_l1[l.owner].distance_from(l.ts) > units
                 });
                 if decayed {
-                    self.stats.decays.inc();
-                    self.make_sharedro(now, line, &[l.owner, requester]);
-                    self.respond_sharedro(now, line, requester);
+                    ch.stats.decays.inc();
+                    self.make_sharedro(ch, now, line, &[l.owner, requester]);
+                    self.respond_sharedro(ch, now, line, requester);
                 } else {
                     // Shared responses are immediate and unacknowledged
                     // (§3.2).
                     let (writer, ts, epoch, ts_source) = self.writer_response_ts(&l);
-                    self.send(
+                    ch.send(
                         now,
                         Agent::L1(requester),
                         Msg::Data {
@@ -529,87 +471,49 @@ impl TsoCcL2 {
                 }
             }
             State::SharedRO => {
-                let lm = self.cache.peek_mut(line).expect("resident");
-                lm.groups |= 1 << self.cfg.group_of(requester);
-                self.respond_sharedro(now, line, requester);
+                let n_cores = ch.n_cores();
+                let group = 1 << self.group_of(n_cores, requester);
+                let lm = ch.cache.peek_mut(line).expect("resident");
+                lm.groups |= group;
+                self.respond_sharedro(ch, now, line, requester);
             }
         }
     }
 
-    fn respond_sharedro(&mut self, now: Cycle, line: LineAddr, requester: usize) {
-        let l = *self.cache.peek(line).expect("resident");
-        debug_assert_eq!(l.state, State::SharedRO);
-        let ts_source = if self.cfg.proto.sro_ts {
-            Some(TsSource::L2(self.cfg.tile))
-        } else {
-            None
-        };
-        self.send(
-            now,
-            Agent::L1(requester),
-            Msg::Data {
-                line,
-                data: l.data,
-                grant: Grant::SharedRO,
-                writer: usize::MAX,
-                ts: l.ts,
-                epoch: l.ts_epoch,
-                ts_source,
-                acks_expected: 0,
-                with_payload: true,
-                ack_required: false,
-            },
-        );
-    }
-
-    fn process_getx(&mut self, now: Cycle, line: LineAddr, requester: usize) {
-        let Some(l) = self.cache.lookup(line).copied() else {
-            self.stats.misses.inc();
-            self.busy.insert(
-                line,
-                Busy {
-                    kind: BusyKind::Fetch { requester },
-                    need_unblock: true,
-                    need_owner_data: false,
-                    waiting: VecDeque::new(),
-                },
-            );
-            self.send(now, self.mem(), Msg::MemRead { line });
+    fn getx(&mut self, ch: &mut Ch, now: Cycle, line: LineAddr, requester: usize) {
+        let Some(l) = ch.cache.lookup(line).copied() else {
+            ch.stats.misses.inc();
+            ch.begin(line, Txn::new(BusyKind::Fetch { requester }, true, false));
+            let mem = ch.mem();
+            ch.send(now, mem, Msg::MemRead { line });
             return;
         };
-        self.stats.hits.inc();
+        ch.stats.hits.inc();
         match l.state {
             State::Uncached | State::Shared => {
                 // Writes to Shared lines respond immediately with the
                 // full line; stale L1 copies expire via their access
                 // counters and self-invalidation (§3.2).
-                self.grant_exclusive(now, line, requester);
+                self.grant_exclusive(ch, now, line, requester);
             }
             State::Exclusive => {
                 debug_assert_ne!(l.owner, requester, "owner re-requesting GetX");
                 {
-                    let lm = self.cache.peek_mut(line).expect("resident");
+                    let lm = ch.cache.peek_mut(line).expect("resident");
                     lm.owner = requester;
                 }
-                self.busy.insert(
-                    line,
-                    Busy {
-                        kind: BusyKind::FwdX,
-                        need_unblock: true,
-                        need_owner_data: false,
-                        waiting: VecDeque::new(),
-                    },
-                );
-                self.send(now, Agent::L1(l.owner), Msg::FwdGetX { line, requester });
+                ch.begin(line, Txn::new(BusyKind::FwdX, true, false));
+                ch.send(now, Agent::L1(l.owner), Msg::FwdGetX { line, requester });
             }
             State::SharedRO => {
                 // Broadcast invalidation to the coarse sharer groups,
                 // collect acks at the L2, then grant (§3.4).
-                self.stats.sro_invalidations.inc();
+                ch.stats.sro_invalidations.inc();
+                let n_cores = ch.n_cores();
                 let mut acks = 0u32;
-                for core in 0..self.cfg.n_cores {
-                    if core != requester && l.groups & (1 << self.cfg.group_of(core)) != 0 {
-                        self.send(
+                for core in 0..n_cores {
+                    if core != requester && l.groups & (1 << self.group_of(n_cores, core)) != 0 {
+                        ch.send(
                             now,
                             Agent::L1(core),
                             Msg::Inv {
@@ -621,27 +525,27 @@ impl TsoCcL2 {
                     }
                 }
                 if acks == 0 {
-                    self.grant_exclusive(now, line, requester);
+                    self.grant_exclusive(ch, now, line, requester);
                 } else {
-                    self.busy.insert(
+                    ch.begin(
                         line,
-                        Busy {
-                            kind: BusyKind::SroInv {
+                        Txn::new(
+                            BusyKind::SroInv {
                                 requester,
                                 acks_left: acks,
                             },
-                            need_unblock: true,
-                            need_owner_data: true,
-                            waiting: VecDeque::new(),
-                        },
+                            true,
+                            true,
+                        ),
                     );
                 }
             }
         }
     }
 
-    fn process_put(
+    fn put(
         &mut self,
+        ch: &mut Ch,
         now: Cycle,
         line: LineAddr,
         from: usize,
@@ -649,7 +553,7 @@ impl TsoCcL2 {
         ts: Ts,
         epoch: Epoch,
     ) {
-        if let Some(l) = self.cache.peek_mut(line) {
+        if let Some(l) = ch.cache.peek_mut(line) {
             if l.state == State::Exclusive && l.owner == from {
                 l.state = State::Uncached;
                 if let Some(d) = data {
@@ -665,24 +569,11 @@ impl TsoCcL2 {
             }
             // Otherwise the PUT is stale; just acknowledge.
         }
-        self.send(now, Agent::L1(from), Msg::PutAck { line });
+        ch.send(now, Agent::L1(from), Msg::PutAck { line });
     }
-}
 
-impl CacheController for TsoCcL2 {
-    fn handle_message(&mut self, now: Cycle, src: Agent, msg: Msg) {
+    fn handle_message(&mut self, ch: &mut Ch, now: Cycle, _src: Agent, msg: Msg) {
         match msg {
-            Msg::GetS { .. } | Msg::GetX { .. } | Msg::PutE { .. } | Msg::PutM { .. } => {
-                self.process_request(now, src, msg);
-            }
-            Msg::Unblock { line, .. } => {
-                let busy = self
-                    .busy
-                    .get_mut(line)
-                    .unwrap_or_else(|| panic!("L2[{}]: Unblock for idle {line}", self.cfg.tile));
-                busy.need_unblock = false;
-                self.maybe_finish(line);
-            }
             Msg::DowngradeData {
                 line,
                 data,
@@ -691,14 +582,16 @@ impl CacheController for TsoCcL2 {
                 epoch,
                 from,
             } => {
+                let tile = ch.tile();
                 let requester = {
-                    let busy = self.busy.get_mut(line).unwrap_or_else(|| {
-                        panic!("L2[{}]: stray DowngradeData {line}", self.cfg.tile)
-                    });
-                    let BusyKind::FwdS { requester } = busy.kind else {
-                        panic!("L2[{}]: DowngradeData outside FwdS", self.cfg.tile);
+                    let txn = ch
+                        .busy
+                        .get_mut(line)
+                        .unwrap_or_else(|| panic!("L2[{tile}]: stray DowngradeData {line}"));
+                    let BusyKind::FwdS { requester } = txn.kind else {
+                        panic!("L2[{tile}]: DowngradeData outside FwdS");
                     };
-                    busy.need_owner_data = false;
+                    txn.need_owner_data = false;
                     requester
                 };
                 self.note_writer_ts(from, ts, epoch);
@@ -706,7 +599,7 @@ impl CacheController for TsoCcL2 {
                     // The owner modified the line: it becomes Shared with
                     // the owner recorded as last writer (§3.2), setting
                     // increment flag 2 (§3.4).
-                    let l = self.cache.peek_mut(line).expect("forwarded line resident");
+                    let l = ch.cache.peek_mut(line).expect("forwarded line resident");
                     l.state = State::Shared;
                     l.owner = from;
                     l.data = data;
@@ -717,9 +610,9 @@ impl CacheController for TsoCcL2 {
                 } else {
                     // Clean downgrade: the line was not modified by the
                     // previous owner and becomes SharedRO (§3.4).
-                    self.make_sharedro(now, line, &[from, requester]);
+                    self.make_sharedro(ch, now, line, &[from, requester]);
                 }
-                self.maybe_finish(line);
+                ch.maybe_finish(line);
             }
             Msg::RecallData {
                 line,
@@ -729,17 +622,17 @@ impl CacheController for TsoCcL2 {
                 epoch,
                 from,
             } => {
-                let busy = self
-                    .busy
-                    .remove(line)
-                    .unwrap_or_else(|| panic!("L2[{}]: stray RecallData {line}", self.cfg.tile));
+                let tile = ch.tile();
+                let txn = ch
+                    .finish(line)
+                    .unwrap_or_else(|| panic!("L2[{tile}]: stray RecallData {line}"));
                 let BusyKind::Dying {
                     data: old_data,
                     dirty: old_dirty,
                     ..
-                } = busy.kind
+                } = txn.kind
                 else {
-                    panic!("L2[{}]: RecallData outside Dying", self.cfg.tile);
+                    panic!("L2[{tile}]: RecallData outside Dying");
                 };
                 self.note_writer_ts(from, ts, epoch);
                 let (wb_data, wb_dirty) = if dirty {
@@ -749,23 +642,24 @@ impl CacheController for TsoCcL2 {
                 };
                 if wb_dirty {
                     self.flag_dirty_path = true;
-                    self.send(
+                    let mem = ch.mem();
+                    ch.send(
                         now,
-                        self.mem(),
+                        mem,
                         Msg::MemWrite {
                             line,
                             data: wb_data,
                         },
                     );
                 }
-                self.replay.extend(busy.waiting);
             }
             Msg::InvAckToL2 { line, .. } => {
-                let busy = self
+                let tile = ch.tile();
+                let txn = ch
                     .busy
                     .get_mut(line)
-                    .unwrap_or_else(|| panic!("L2[{}]: stray InvAckToL2 {line}", self.cfg.tile));
-                match &mut busy.kind {
+                    .unwrap_or_else(|| panic!("L2[{tile}]: stray InvAckToL2 {line}"));
+                match &mut txn.kind {
                     BusyKind::SroInv {
                         requester,
                         acks_left,
@@ -773,12 +667,12 @@ impl CacheController for TsoCcL2 {
                         *acks_left -= 1;
                         if *acks_left == 0 {
                             let requester = *requester;
-                            busy.need_owner_data = false;
+                            txn.need_owner_data = false;
                             // The grant below replaces this busy entry.
-                            let waiting = std::mem::take(&mut busy.waiting);
-                            self.busy.remove(line);
-                            self.grant_exclusive(now, line, requester);
-                            self.busy
+                            let waiting = std::mem::take(&mut txn.waiting);
+                            ch.busy.remove(line);
+                            self.grant_exclusive(ch, now, line, requester);
+                            ch.busy
                                 .get_mut(line)
                                 .expect("grant_exclusive sets busy")
                                 .waiting = waiting;
@@ -792,31 +686,33 @@ impl CacheController for TsoCcL2 {
                         *acks_left -= 1;
                         if *acks_left == 0 {
                             let (data, dirty) = (*data, *dirty);
-                            let busy = self.busy.remove(line).expect("present");
+                            ch.finish(line).expect("present");
                             if dirty {
-                                self.send(now, self.mem(), Msg::MemWrite { line, data });
+                                let mem = ch.mem();
+                                ch.send(now, mem, Msg::MemWrite { line, data });
                             }
-                            self.replay.extend(busy.waiting);
                         }
                     }
-                    other => panic!("L2[{}]: InvAckToL2 during {other:?}", self.cfg.tile),
+                    other => panic!("L2[{tile}]: InvAckToL2 during {other:?}"),
                 }
             }
             Msg::MemData { line, data } => {
+                let tile = ch.tile();
                 let requester = {
-                    let busy = self
+                    let txn = ch
                         .busy
                         .get_mut(line)
-                        .unwrap_or_else(|| panic!("L2[{}]: stray MemData {line}", self.cfg.tile));
-                    let BusyKind::Fetch { requester } = busy.kind else {
-                        panic!("L2[{}]: MemData outside Fetch", self.cfg.tile);
+                        .unwrap_or_else(|| panic!("L2[{tile}]: stray MemData {line}"));
+                    let BusyKind::Fetch { requester } = txn.kind else {
+                        panic!("L2[{tile}]: MemData outside Fetch");
                     };
-                    busy.kind = BusyKind::Grant;
+                    txn.kind = BusyKind::Grant;
                     requester
                 };
                 // Timestamps are not propagated to main memory (§3.3):
                 // the refetched line has an invalid timestamp.
                 self.install(
+                    ch,
                     now,
                     line,
                     Line {
@@ -831,51 +727,21 @@ impl CacheController for TsoCcL2 {
                 );
                 // Temporarily drop the busy entry so grant_exclusive can
                 // install its own (preserving queued waiters).
-                let busy = self.busy.remove(line).expect("present");
-                self.grant_exclusive(now, line, requester);
-                self.busy
+                let txn = ch.busy.remove(line).expect("present");
+                self.grant_exclusive(ch, now, line, requester);
+                ch.busy
                     .get_mut(line)
                     .expect("grant_exclusive sets busy")
-                    .waiting = busy.waiting;
+                    .waiting = txn.waiting;
             }
             Msg::TsReset { source, epoch } => {
                 let TsSource::L1(core) = source else {
-                    panic!("L2[{}]: TsReset from an L2 tile", self.cfg.tile);
+                    panic!("L2[{}]: TsReset from an L2 tile", ch.tile());
                 };
                 self.ts_l1[core] = Ts::INVALID;
                 self.epochs_l1[core] = epoch;
             }
-            other => panic!("L2[{}]: unexpected {other:?}", self.cfg.tile),
+            other => panic!("L2[{}]: unexpected {other:?}", ch.tile()),
         }
-    }
-
-    fn tick(&mut self, now: Cycle) {
-        let pending: Vec<_> = self.replay.drain(..).collect();
-        for (src, msg) in pending {
-            self.process_request(now, src, msg);
-        }
-    }
-
-    fn drain_outbox(&mut self, now: Cycle, out: &mut Vec<NetMsg>) {
-        self.outbox.drain_ready_into(now, out);
-    }
-
-    fn is_quiescent(&self) -> bool {
-        self.busy.is_empty() && self.replay.is_empty() && self.outbox.is_empty()
-    }
-
-    fn next_event(&self) -> Cycle {
-        // Same contract as the MESI tile: replay is empty between
-        // steps, so the outbox head is the only self-driven deadline.
-        if !self.replay.is_empty() {
-            return Cycle::ZERO;
-        }
-        self.outbox.next_ready()
-    }
-}
-
-impl L2Controller for TsoCcL2 {
-    fn stats(&self) -> &L2Stats {
-        &self.stats
     }
 }

@@ -40,8 +40,8 @@ pub mod storage;
 
 pub use config::{TsParams, TsoCcConfig};
 pub use factory::TsoCcFactory;
-pub use l1::{TsoCcL1, TsoCcL1Config};
-pub use l2::{TsoCcL2, TsoCcL2Config};
+pub use l1::{TsoCcL1, TsoCcL1Config, TsoCcL1Policy};
+pub use l2::{TsoCcL2, TsoCcL2Config, TsoCcL2Policy};
 pub use storage::StorageModel;
 
 #[cfg(test)]

@@ -23,24 +23,26 @@ impl Harness {
     fn new(n_cores: usize, proto: TsoCcConfig) -> Self {
         let l1s = (0..n_cores)
             .map(|i| {
-                TsoCcL1::new(TsoCcL1Config {
+                TsoCcL1Config {
                     id: i,
                     n_cores,
                     n_tiles: 1,
                     params: CacheParams::new(4, 2),
                     issue_latency: 1,
                     proto,
-                })
+                }
+                .build()
             })
             .collect();
-        let l2 = TsoCcL2::new(TsoCcL2Config {
+        let l2 = TsoCcL2Config {
             tile: 0,
             n_cores,
             n_mem: 1,
             params: CacheParams::new(8, 4),
             latency: 2,
             proto,
-        });
+        }
+        .build();
         Harness {
             l1s,
             l2,

@@ -30,6 +30,7 @@ fn main() {
             let bits = match protocol {
                 Protocol::Mesi => model.mesi_bits(),
                 Protocol::TsoCc(c) => model.tsocc_bits(&c),
+                Protocol::MesiCoarse(_) => unreachable!("not part of this example's sweep"),
             };
             println!(
                 "{:>6} {:<16} {:>10} {:>12} {:>11.2} MB",

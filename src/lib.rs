@@ -24,6 +24,7 @@ pub use tsocc_cpu;
 pub use tsocc_isa;
 pub use tsocc_mem;
 pub use tsocc_mesi;
+pub use tsocc_mesi_coarse;
 pub use tsocc_noc;
 pub use tsocc_proto;
 pub use tsocc_protocols;

@@ -1,0 +1,116 @@
+//! Cross-protocol and cross-refactor parity for the shared controller
+//! chassis:
+//!
+//! 1. **Golden RunStats** — full `Debug`-formatted [`RunStats`] of one
+//!    fixed sweep point per protocol, captured from the pre-chassis
+//!    implementations. Every counter, histogram bucket and cycle count
+//!    must survive the policy/chassis refactor untouched, field for
+//!    field.
+//! 2. **Degenerate-directory parity** — MESI-coarse with a pointer
+//!    budget wider than the core count never overflows, so it must be
+//!    cycle-for-cycle identical to full-vector MESI: same [`RunStats`],
+//!    same final memory image.
+//!
+//! [`RunStats`]: tsocc::RunStats
+
+use tsocc::{System, SystemConfig};
+use tsocc_bench::sweep::SweepPoint;
+use tsocc_mem::Addr;
+use tsocc_mesi_coarse::MesiCoarseConfig;
+use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
+use tsocc_workloads::{Benchmark, Scale};
+
+/// The pre-refactor `Debug` rendering of the MESI point's RunStats
+/// (fft, 4 cores, Tiny scale, base seed 0xC0FFEE).
+const GOLDEN_MESI: &str = "RunStats { cycles: 3354, l1: L1Stats { read_hit_private: Counter(20), read_hit_shared: Counter(329), read_hit_sharedro: Counter(0), write_hit_private: Counter(59), read_miss_invalid: Counter(72), read_miss_shared: Counter(0), write_miss_invalid: Counter(13), write_miss_shared: Counter(16), write_miss_sharedro: Counter(0), rmw_miss: Counter(13), rmw_hit: Counter(3), selfinv_events: [Counter(0), Counter(0), Counter(0), Counter(0)], selfinv_lines: Counter(0), ts_resets: Counter(0) }, l2: L2Stats { hits: Counter(67), misses: Counter(34), writebacks: Counter(0), decays: Counter(0), sro_invalidations: Counter(0), ts_resets: Counter(0) }, noc: NocStats { messages: [Counter(135), Counter(65), Counter(279)], flits_injected: Counter(1071), flit_hops: Counter(959), contention_cycles: Counter(182) }, instructions: 1338, rmw_latency: Histogram { count: 16, sum: 1360, min: Some(3), max: Some(248) }, load_latency: Histogram { count: 72, sum: 9184, min: Some(33), max: Some(264) }, wb_full_stalls: 0 }";
+
+/// The pre-refactor `Debug` rendering of the TSO-CC-4-12-3 point.
+const GOLDEN_TSOCC: &str = "RunStats { cycles: 3489, l1: L1Stats { read_hit_private: Counter(20), read_hit_shared: Counter(211), read_hit_sharedro: Counter(56), write_hit_private: Counter(59), read_miss_invalid: Counter(91), read_miss_shared: Counter(13), write_miss_invalid: Counter(16), write_miss_shared: Counter(12), write_miss_sharedro: Counter(1), rmw_miss: Counter(13), rmw_hit: Counter(3), selfinv_events: [Counter(52), Counter(38), Counter(0), Counter(0)], selfinv_lines: Counter(76), ts_resets: Counter(0) }, l2: L2Stats { hits: Counter(99), misses: Counter(34), writebacks: Counter(0), decays: Counter(0), sro_invalidations: Counter(1), ts_resets: Counter(0) }, noc: NocStats { messages: [Counter(167), Counter(44), Counter(261)], flits_injected: Counter(1256), flit_hops: Counter(1156), contention_cycles: Counter(169) }, instructions: 1278, rmw_latency: Histogram { count: 16, sum: 1352, min: Some(3), max: Some(258) }, load_latency: Histogram { count: 104, sum: 10003, min: Some(23), max: Some(254) }, wb_full_stalls: 0 }";
+
+fn golden_point(protocol: Protocol) -> tsocc::RunStats {
+    SweepPoint {
+        bench: Benchmark::Fft,
+        protocol,
+        n_cores: 4,
+        scale: Scale::Tiny,
+    }
+    .run(0xC0FFEE)
+    .stats
+}
+
+#[test]
+fn mesi_run_stats_survive_the_chassis_refactor_field_for_field() {
+    let stats = golden_point(Protocol::Mesi);
+    assert_eq!(format!("{stats:?}"), GOLDEN_MESI);
+}
+
+#[test]
+fn tsocc_run_stats_survive_the_chassis_refactor_field_for_field() {
+    let stats = golden_point(Protocol::TsoCc(TsoCcConfig::realistic(12, 3)));
+    assert_eq!(format!("{stats:?}"), GOLDEN_TSOCC);
+}
+
+/// Runs `protocol` on a fixed workload/seed (identical across
+/// protocols — unlike sweep points, whose seeds hash the protocol
+/// name) and returns the full RunStats plus the final memory image.
+fn run_fixed(protocol: Protocol, n_cores: usize, bench: Benchmark) -> (tsocc::RunStats, Vec<u64>) {
+    let seed = 0x5EED;
+    let workload = bench.build(n_cores, Scale::Tiny, seed);
+    let mut cfg = SystemConfig::table2_with_cores(protocol, n_cores);
+    cfg.seed = seed;
+    let mut sys = System::new(cfg, workload.programs.clone());
+    for &(addr, value) in &workload.init {
+        sys.write_word(Addr::new(addr), value);
+    }
+    let stats = sys.run(200_000_000).expect("terminates");
+    let memory = sys
+        .memory_image()
+        .into_iter()
+        .map(|(line, data)| line.as_u64() ^ data.read_word(0))
+        .collect();
+    (stats, memory)
+}
+
+#[test]
+fn wide_pointer_mesi_coarse_is_bit_identical_to_full_vector_mesi() {
+    // 8 pointers >= 8 cores: the coarse fallback can never trigger, so
+    // the limited-pointer directory degenerates to an exact directory
+    // and must reproduce full-vector MESI cycle for cycle.
+    let wide = Protocol::MesiCoarse(MesiCoarseConfig::new(8, 1));
+    for bench in [Benchmark::Fft, Benchmark::Intruder] {
+        for n_cores in [2usize, 4, 8] {
+            let (mesi_stats, mesi_mem) = run_fixed(Protocol::Mesi, n_cores, bench);
+            let (coarse_stats, coarse_mem) = run_fixed(wide, n_cores, bench);
+            assert_eq!(
+                mesi_stats,
+                coarse_stats,
+                "{} x{n_cores}: RunStats diverge",
+                bench.name()
+            );
+            assert_eq!(
+                mesi_mem,
+                coarse_mem,
+                "{} x{n_cores}: final memory diverges",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn narrow_pointer_mesi_coarse_diverges_but_stays_correct() {
+    // One pointer forces the coarse fallback as soon as a second
+    // sharer appears: traffic must grow (spurious invalidations) while
+    // the architectural memory state stays identical to MESI.
+    let narrow = Protocol::MesiCoarse(MesiCoarseConfig::new(1, 4));
+    let (mesi_stats, mesi_mem) = run_fixed(Protocol::Mesi, 8, Benchmark::Fft);
+    let (coarse_stats, coarse_mem) = run_fixed(narrow, 8, Benchmark::Fft);
+    assert_eq!(mesi_mem, coarse_mem, "architectural state must agree");
+    assert!(
+        coarse_stats.noc.total_messages() > mesi_stats.noc.total_messages(),
+        "coarse fallback must cost extra invalidation traffic ({} vs {})",
+        coarse_stats.noc.total_messages(),
+        mesi_stats.noc.total_messages()
+    );
+}

@@ -4,20 +4,22 @@
 //! Two directions:
 //!
 //! 1. **soundness of the machine**: a 3-thread campaign of ≥ 500
-//!    generated programs with RMWs, run on both MESI and TSO-CC under
-//!    randomized timing, reports zero violations of the TSO oracle;
+//!    generated programs with RMWs, run on MESI, the limited-pointer
+//!    MESI-coarse directory and TSO-CC under randomized timing, reports
+//!    zero violations of the TSO oracle;
 //! 2. **soundness of the campaign**: with the oracle deliberately
 //!    strengthened to sequential consistency (an injected fault — SC
 //!    forbids behaviours the TSO machine legitimately exhibits), the
 //!    engine catches violations and shrinks one to a ≤ 6-op reproducer.
 
 use tsocc_conform::{op_count, run_campaign, CampaignOpts, GenConfig};
+use tsocc_mesi_coarse::MesiCoarseConfig;
 use tsocc_proto::TsoCcConfig;
 use tsocc_protocols::Protocol;
 use tsocc_workloads::tso_model::{enumerate, ModelMode};
 
 #[test]
-fn three_thread_rmw_campaign_is_violation_free_on_both_protocols() {
+fn three_thread_rmw_campaign_is_violation_free_across_protocols() {
     let opts = CampaignOpts {
         seed: 0x5EED_CAFE,
         min_programs: 500,
@@ -25,6 +27,10 @@ fn three_thread_rmw_campaign_is_violation_free_on_both_protocols() {
         iters_per_program: 2,
         protocols: vec![
             Protocol::Mesi,
+            // Two pointers over three threads: the third sharer always
+            // overflows into the coarse vector, so the campaign covers
+            // the fallback paths, not just exact-pointer mode.
+            Protocol::MesiCoarse(MesiCoarseConfig::new(2, 2)),
             Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
         ],
         gen: GenConfig {
@@ -49,7 +55,8 @@ fn three_thread_rmw_campaign_is_violation_free_on_both_protocols() {
         "conformance violations found:\n{}",
         report.summary()
     );
-    assert_eq!(report.sim_runs, report.programs_checked as u64 * 4);
+    // Two timing iterations per program per protocol (3 protocols).
+    assert_eq!(report.sim_runs, report.programs_checked as u64 * 6);
     // The campaign really exercised RMWs: the generator stats are not
     // exposed, but every checked program's outcomes were enumerated, so
     // sanity-check the aggregate state-space volume instead.

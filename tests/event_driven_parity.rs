@@ -76,13 +76,14 @@ fn assert_point_parity(point: &SweepPoint) {
     );
 }
 
-/// The exact `BENCH_sweep.json` matrix: fft × all 7 paper protocol
-/// configurations × {2, 4, 8} cores at Small scale.
+/// The exact `BENCH_sweep.json` matrix: fft × all 9 sweep protocol
+/// configurations (7 paper configs + 2 MESI-coarse directory points) ×
+/// {2, 4, 8} cores at Small scale.
 #[test]
 fn sweep_matrix_is_bit_identical_across_steppers() {
     let mut checked = 0;
     for n_cores in [2usize, 4, 8] {
-        for protocol in Protocol::paper_configs() {
+        for protocol in Protocol::sweep_configs() {
             let point = SweepPoint {
                 bench: Benchmark::Fft,
                 protocol,
@@ -93,7 +94,7 @@ fn sweep_matrix_is_bit_identical_across_steppers() {
             checked += 1;
         }
     }
-    assert_eq!(checked, 21, "the sweep matrix has 21 points");
+    assert_eq!(checked, 27, "the sweep matrix has 27 points");
 }
 
 /// Broader workload coverage at Tiny scale: every benchmark of the

@@ -2,12 +2,17 @@
 //! configuration, plus a stress configuration with 4-bit timestamps
 //! that forces frequent timestamp resets and epoch wraparound.
 
+use tsocc_mesi_coarse::MesiCoarseConfig;
 use tsocc_proto::{TsParams, TsoCcConfig};
 use tsocc_protocols::Protocol;
 use tsocc_workloads::{litmus_suite, run_litmus};
 
 fn stress_configs() -> Vec<Protocol> {
-    let mut configs = Protocol::paper_configs();
+    let mut configs = Protocol::sweep_configs();
+    // A one-pointer, two-core-group directory: every second sharer
+    // collapses the set to coarse groups, so invalidation broadcasts
+    // constantly over-approximate.
+    configs.push(Protocol::MesiCoarse(MesiCoarseConfig::new(1, 2)));
     // 4-bit timestamps with write-group 1: a reset every 15 writes —
     // the §3.5 reset/epoch machinery fires constantly.
     configs.push(Protocol::TsoCc(TsoCcConfig {

@@ -70,6 +70,9 @@ fn gen_program(rng: &mut Xoshiro256StarStar, core: usize, ops: usize) -> (Progra
 fn fuzz_configs() -> Vec<Protocol> {
     vec![
         Protocol::Mesi,
+        // Limited-pointer directory with an immediate coarse fallback:
+        // overflow/broadcast races on every multi-sharer line.
+        Protocol::MesiCoarse(tsocc_mesi_coarse::MesiCoarseConfig::new(1, 2)),
         Protocol::TsoCc(TsoCcConfig::cc_shared_to_l2()),
         Protocol::TsoCc(TsoCcConfig::basic()),
         Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),

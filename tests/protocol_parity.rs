@@ -1,7 +1,8 @@
-//! Integration smoke test for the protocol-factory seam: MESI and
-//! TSO-CC, constructed through the open [`ProtocolFactory`] API (not
-//! the `Protocol` enum), must agree on the final architectural state of
-//! a small deterministic program, and on litmus verdicts.
+//! Integration smoke test for the protocol-factory seam: MESI, the
+//! limited-pointer MESI-coarse directory and TSO-CC, constructed
+//! through the open [`ProtocolFactory`] API (not the `Protocol` enum),
+//! must agree on the final architectural state of a small deterministic
+//! program, and on litmus verdicts.
 //!
 //! [`ProtocolFactory`]: tsocc_coherence::ProtocolFactory
 
@@ -10,6 +11,7 @@ use tsocc_coherence::ProtocolHandle;
 use tsocc_isa::{Asm, Program, Reg};
 use tsocc_mem::Addr;
 use tsocc_mesi::MesiFactory;
+use tsocc_mesi_coarse::{MesiCoarseConfig, MesiCoarseFactory};
 use tsocc_proto::{TsoCcConfig, TsoCcFactory};
 use tsocc_workloads::{litmus_suite, run_litmus};
 
@@ -18,6 +20,10 @@ use tsocc_workloads::{litmus_suite, run_litmus};
 fn factories() -> Vec<(&'static str, ProtocolHandle)> {
     vec![
         ("mesi", MesiFactory.into()),
+        (
+            "mesi-coarse-p1-g2",
+            MesiCoarseFactory::new(MesiCoarseConfig::new(1, 2)).into(),
+        ),
         (
             "tsocc-basic",
             TsoCcFactory::new(TsoCcConfig::basic()).into(),
