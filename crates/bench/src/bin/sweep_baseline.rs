@@ -5,13 +5,18 @@
 //!
 //! The matrix runs twice — once forced single-threaded, once on the
 //! parallel engine — and the binary asserts the results are identical
-//! before writing the artifact.
+//! before writing the artifact. Two further **stepper-parity legs**
+//! then re-run the whole matrix under `Stepper::Reference` and
+//! `Stepper::ParallelShards` and assert the full `RunStats` and the
+//! final-memory fingerprint match the event-driven results point for
+//! point, so the committed artifact is always one every stepper
+//! reproduces bit-identically.
 //!
 //! Env: `TSOCC_SCALE` (tiny/small/full, default small like every
 //! other sweep entry point), `TSOCC_SEED`, `TSOCC_THREADS`
 //! (parallel-leg workers; default one per CPU), `TSOCC_SWEEP_CORES`
-//! (comma-separated core counts, default `2,4,8`), `TSOCC_OUT`
-//! (output path, default `BENCH_sweep.json`).
+//! (comma-separated core counts, default `2,4,8,16,32,64`),
+//! `TSOCC_OUT` (output path, default `BENCH_sweep.json`).
 //!
 //! `--check [path]` flips the binary into drift-check mode: instead of
 //! writing an artifact, it loads the committed one (default
@@ -23,8 +28,9 @@
 
 use std::time::Instant;
 
+use tsocc::Stepper;
 use tsocc_bench::json::{self, Value};
-use tsocc_bench::sweep::{run_points, SweepOpts, SweepPoint};
+use tsocc_bench::sweep::{run_points, run_points_with, SweepOpts, SweepPoint};
 use tsocc_protocols::Protocol;
 use tsocc_workloads::{Benchmark, Scale};
 
@@ -121,6 +127,17 @@ fn check_against(path: &str) -> usize {
                 mismatches += 1;
             }
         }
+        // The memory fingerprint is a simulated metric too, but older
+        // artifacts predate it: only check it where committed.
+        if let Some(want) = old.get("mem_fp").and_then(Value::as_u64) {
+            if want != new.mem_fp {
+                eprintln!(
+                    "MISMATCH {id}.mem_fp: committed {want}, regenerated {}",
+                    new.mem_fp
+                );
+                mismatches += 1;
+            }
+        }
     }
     mismatches
 }
@@ -147,7 +164,7 @@ fn main() {
     let opts = SweepOpts::from_env();
     let scale = opts.scale;
     let core_counts: Vec<usize> = std::env::var("TSOCC_SWEEP_CORES")
-        .unwrap_or_else(|_| "2,4,8".to_string())
+        .unwrap_or_else(|_| "2,4,8,16,32,64".to_string())
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
@@ -181,6 +198,32 @@ fn main() {
         );
     }
 
+    // Stepper-parity legs: the committed artifact must be one that
+    // every stepper reproduces bit-identically — full `RunStats`
+    // (host-side scheduler counters excluded by its `PartialEq`) and
+    // the final-memory fingerprint, across the whole matrix.
+    for (stepper, label) in [
+        (Stepper::Reference, "Reference"),
+        (Stepper::ParallelShards { shards: 4 }, "ParallelShards{4}"),
+    ] {
+        eprintln!(
+            "== stepper parity leg: {label} ({} points) ==",
+            points.len()
+        );
+        let leg = run_points_with(&points, opts.threads, opts.seed, stepper);
+        for (e, o) in serial.iter().zip(&leg) {
+            let id = format!("{}/{}x{}", e.bench, e.config, e.n_cores);
+            assert_eq!(
+                e.stats, o.stats,
+                "{label} stepper diverged from event-driven on {id}"
+            );
+            assert_eq!(
+                e.mem_fp, o.mem_fp,
+                "{label} stepper final memory diverged on {id}"
+            );
+        }
+    }
+
     let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
     // Aggregate throughput over the whole matrix (total simulated
     // cycles per total per-point wall time): the one number CI logs
@@ -205,6 +248,10 @@ fn main() {
         .f64("parallel_wall_seconds", parallel_wall.as_secs_f64())
         .f64("parallel_speedup", speedup)
         .f64("aggregate_sim_cycles_per_second", aggregate_cps)
+        .str(
+            "stepper_parity",
+            "EventDriven == Reference == ParallelShards{4} (RunStats + memory fingerprint)",
+        )
         .raw("points", json::array(parallel.iter().map(|p| p.to_json())))
         .build();
     std::fs::write(&out_path, doc + "\n").expect("write baseline artifact");

@@ -15,10 +15,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use tsocc::{RunStats, SystemConfig};
+use tsocc::{RunStats, Stepper, System, SystemConfig};
+use tsocc_mem::Addr;
 use tsocc_protocols::Protocol;
 use tsocc_sim::rng::SplitMix64;
-use tsocc_workloads::{run_workload, Benchmark, Scale};
+use tsocc_workloads::{Benchmark, Scale};
 
 use crate::json;
 
@@ -110,22 +111,48 @@ impl SweepPoint {
         SplitMix64::new(base_seed ^ h).next_u64()
     }
 
-    /// Runs this point to completion.
+    /// Runs this point to completion under the default stepper.
     pub fn run(&self, base_seed: u64) -> PointResult {
+        self.run_with_stepper(base_seed, Stepper::default())
+    }
+
+    /// Runs this point under a specific [`Stepper`] — the hook behind
+    /// the baseline's stepper-parity leg, which re-runs the whole
+    /// matrix under `Reference` and `ParallelShards` and diffs the
+    /// results (including the memory fingerprint) against the default.
+    pub fn run_with_stepper(&self, base_seed: u64, stepper: Stepper) -> PointResult {
         let seed = self.seed(base_seed);
         let workload = self.bench.build(self.n_cores, self.scale, seed);
         let mut cfg = SystemConfig::table2_with_cores(self.protocol, self.n_cores);
         cfg.seed = seed;
+        cfg.stepper = stepper;
         let t = Instant::now();
-        let stats = run_workload(&workload, cfg)
+        let mut sys = System::new(cfg, workload.programs.clone());
+        for &(addr, value) in &workload.init {
+            sys.write_word(Addr::new(addr), value);
+        }
+        let stats = sys
+            .run(200_000_000)
             .unwrap_or_else(|e| panic!("{} on {}: {e}", self.bench.name(), self.protocol.name()));
+        let wall = t.elapsed();
+        // FNV-1a over the sorted DRAM image: a simulated metric, so it
+        // belongs in the drift-checked artifact alongside cycle counts.
+        let mut mem_fp = 0xcbf2_9ce4_8422_2325u64;
+        for (line, data) in sys.memory_image() {
+            for chunk in std::iter::once(line.as_u64()).chain(data.words().iter().copied()) {
+                for b in chunk.to_le_bytes() {
+                    mem_fp = (mem_fp ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
         PointResult {
             bench: self.bench.name().to_string(),
             config: self.protocol.name(),
             n_cores: self.n_cores,
             seed,
             stats,
-            wall: t.elapsed(),
+            mem_fp,
+            wall,
         }
     }
 }
@@ -143,6 +170,10 @@ pub struct PointResult {
     pub seed: u64,
     /// Simulation results.
     pub stats: RunStats,
+    /// FNV-1a fingerprint of the final DRAM image (line addresses and
+    /// payloads in sorted order) — a compact simulated metric that
+    /// pins final memory, not just counters, in the drift check.
+    pub mem_fp: u64,
     /// Host wall-clock time spent simulating this point.
     pub wall: Duration,
 }
@@ -166,6 +197,10 @@ impl PointResult {
             .u64("msgs", self.stats.noc.total_messages())
             .u64("flits", self.stats.total_flits())
             .u64("flit_hops", self.stats.noc.flit_hops.get())
+            .u64("mem_fp", self.mem_fp)
+            .u64("sched_pops", self.stats.sched.events_popped)
+            .u64("sched_pushes", self.stats.sched.pushes)
+            .u64("sched_stale_skips", self.stats.sched.stale_skips)
             .f64("wall_seconds", self.wall.as_secs_f64())
             .f64("sim_cycles_per_second", self.sim_cycles_per_second())
             .build()
@@ -191,6 +226,18 @@ fn effective_threads(requested: usize, n_points: usize) -> usize {
 ///
 /// Panics if any point fails to complete (propagated from the worker).
 pub fn run_points(points: &[SweepPoint], threads: usize, base_seed: u64) -> Vec<PointResult> {
+    run_points_with(points, threads, base_seed, Stepper::default())
+}
+
+/// [`run_points`] under a specific [`Stepper`] (the stepper-parity
+/// legs of `sweep_baseline` re-run the matrix under `Reference` and
+/// `ParallelShards` through this).
+pub fn run_points_with(
+    points: &[SweepPoint],
+    threads: usize,
+    base_seed: u64,
+    stepper: Stepper,
+) -> Vec<PointResult> {
     let threads = effective_threads(threads, points.len());
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
@@ -201,7 +248,7 @@ pub fn run_points(points: &[SweepPoint], threads: usize, base_seed: u64) -> Vec<
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(point) = points.get(i) else { break };
-                let result = point.run(base_seed);
+                let result = point.run_with_stepper(base_seed, stepper);
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
                     "[{:>7.1?}] {:>3}/{} {:<16} {:<16} {:>12} cycles ({:.1?})",

@@ -61,7 +61,11 @@ pub enum Completion {
 /// Common behaviour of every coherence controller (L1, L2 tile, memory
 /// controller): receive network messages, advance internal time, and
 /// emit outgoing messages.
-pub trait CacheController {
+///
+/// Controllers must be `Send`: the sharded parallel stepper moves
+/// disjoint slices of controllers onto scoped worker threads (they are
+/// never shared — each controller is owned by exactly one shard).
+pub trait CacheController: Send {
     /// Delivers one message from the network.
     fn handle_message(&mut self, now: Cycle, src: Agent, msg: Msg);
 
@@ -134,6 +138,28 @@ pub struct MachineShape {
     pub l2_latency: u64,
 }
 
+impl MachineShape {
+    /// Protocol-independent geometry sanity checks. Protocols layer
+    /// their own limits on top via
+    /// [`ProtocolFactory::validate_shape`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cores == 0 {
+            return Err("machine needs at least one core".to_string());
+        }
+        if self.n_tiles == 0 {
+            return Err("machine needs at least one L2 tile".to_string());
+        }
+        if self.n_mem == 0 {
+            return Err("machine needs at least one memory controller".to_string());
+        }
+        Ok(())
+    }
+}
+
 /// Builds the coherence controllers of one protocol.
 ///
 /// This is the seam that keeps the system assembly (`tsocc` crate)
@@ -154,6 +180,23 @@ pub trait ProtocolFactory: Send + Sync {
 
     /// Builds the L2 controller of tile `tile`.
     fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller>;
+
+    /// Checks that this protocol can be instantiated for `shape`,
+    /// **before** any controller is built — a clean configuration error
+    /// instead of a panic (or worse, a silent shift overflow in a
+    /// directory bit-vector) deep inside construction.
+    ///
+    /// The default accepts every geometrically valid shape; protocols
+    /// with representation limits (e.g. a full-bit-vector directory
+    /// capped at the sharer-set width) override this and layer their
+    /// capacity check on top of [`MachineShape::validate`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    fn validate_shape(&self, shape: &MachineShape) -> Result<(), String> {
+        shape.validate()
+    }
 }
 
 /// A shared, thread-safe handle to a protocol factory — what

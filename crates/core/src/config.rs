@@ -7,22 +7,45 @@ use tsocc_noc::NocConfig;
 
 /// Which run loop drives the machine.
 ///
-/// Both steppers execute the same per-cycle `step` function and are
+/// All steppers execute the same per-cycle semantics and are
 /// **bit-identical** in every simulated outcome (cycles, messages,
 /// flits, statistics, final memory). The event-driven scheduler merely
-/// skips cycles in which no component can act; the reference stepper
-/// walks them one by one and is kept as the determinism oracle
-/// (`tests/event_driven_parity.rs` diffs the two across the full sweep
-/// matrix).
+/// skips cycles in which no component can act; the sharded stepper
+/// additionally spreads tiles over worker threads; the reference
+/// stepper walks cycles one by one and is kept as the determinism
+/// oracle (`tests/event_driven_parity.rs` and
+/// `tests/parallel_stepper_parity.rs` diff the steppers across the
+/// full sweep matrix).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Stepper {
-    /// Wake-list scheduler: every component reports its next wake
-    /// cycle and simulated time jumps straight to the minimum. The
-    /// default.
+    /// Indexed event queue: every component's wake deadline lives in a
+    /// radix heap and simulated time jumps straight to the minimum,
+    /// visiting only due-or-touched components. The default.
     #[default]
     EventDriven,
     /// The original cycle-by-cycle polling stepper.
     Reference,
+    /// Conservative-parallel stepper: tiles are split into contiguous
+    /// shards, each driven by its own scoped worker thread, with the
+    /// mesh minimum message latency as the synchronization lookahead
+    /// (no message can cross shards faster, so each window of cycles is
+    /// data-race-free by construction and the result is bit-identical
+    /// to the serial steppers on any worker count).
+    ParallelShards {
+        /// Worker-thread count; `0` picks
+        /// [`std::thread::available_parallelism`]. Clamped to the tile
+        /// count; `<= 1` effective workers falls back to the serial
+        /// event-driven scheduler.
+        shards: usize,
+    },
+}
+
+impl Stepper {
+    /// The auto-sized parallel stepper
+    /// (`ParallelShards { shards: 0 }`).
+    pub fn parallel() -> Stepper {
+        Stepper::ParallelShards { shards: 0 }
+    }
 }
 
 /// Full machine configuration.
@@ -139,6 +162,20 @@ impl SystemConfig {
         self.protocol.protocol_name()
     }
 
+    /// Checks the configuration against both the protocol-independent
+    /// geometry constraints and the configured protocol's own limits
+    /// (e.g. a full-bit-vector directory caps the core count at its
+    /// sharer-set width). [`crate::System::new`] calls this, so an
+    /// oversized machine fails with a clean message up front instead of
+    /// a shift overflow deep inside directory construction.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.protocol.validate_shape(&self.shape())
+    }
+
     /// The protocol-independent machine geometry handed to the
     /// [`tsocc_coherence::ProtocolFactory`] when controllers are built.
     pub fn shape(&self) -> MachineShape {
@@ -178,6 +215,45 @@ mod tests {
         assert_eq!(shape.n_tiles, cfg.n_tiles());
         assert_eq!(shape.n_mem, cfg.n_mem);
         assert_eq!(shape.l2_latency, cfg.l2_latency);
+    }
+
+    #[test]
+    fn full_vector_directory_rejects_129_cores() {
+        // MESI's one-bit-per-core u128 sharer vector caps the machine
+        // at 128 cores; 129+ must be a clean config error, not a shift
+        // overflow during directory construction.
+        assert!(SystemConfig::table2_with_cores(Protocol::Mesi, 128)
+            .validate()
+            .is_ok());
+        let err = SystemConfig::table2_with_cores(Protocol::Mesi, 129)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("128") && err.contains("129"), "{err}");
+    }
+
+    #[test]
+    fn coarse_directory_capacity_scales_with_granularity() {
+        use tsocc_mesi_coarse::MesiCoarseConfig;
+        // One group bit per 4 cores: up to 512 cores fit the u128.
+        let p4g4 = Protocol::MesiCoarse(MesiCoarseConfig::new(4, 4));
+        assert!(SystemConfig::table2_with_cores(p4g4, 512)
+            .validate()
+            .is_ok());
+        assert!(SystemConfig::table2_with_cores(p4g4, 513)
+            .validate()
+            .is_err());
+        // TSO-CC has no sharer vector: no core-count cap.
+        let tsocc = Protocol::TsoCc(tsocc_proto::TsoCcConfig::default());
+        assert!(SystemConfig::table2_with_cores(tsocc, 1024)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_core_machine_is_rejected() {
+        let mut cfg = SystemConfig::small_test(2, Protocol::Mesi);
+        cfg.n_cores = 0;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

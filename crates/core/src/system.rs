@@ -5,7 +5,7 @@ use tsocc_cpu::Core;
 use tsocc_isa::Program;
 use tsocc_mem::{Addr, LineAddr, LineData, MainMemory};
 use tsocc_noc::{Mesh, MeshTopology};
-use tsocc_sim::{trace::TraceSink, Cycle};
+use tsocc_sim::{trace::TraceSink, Cycle, WakeQueue};
 
 use crate::config::{Stepper, SystemConfig};
 use crate::stats::RunStats;
@@ -100,6 +100,23 @@ pub struct System {
     l1_busy: Vec<bool>,
     l2_busy: Vec<bool>,
     mem_busy: Vec<bool>,
+    /// The indexed pending-event queue behind [`System::step_indexed`]:
+    /// one slot per component (cores, then L1s, then L2 tiles, then
+    /// memory controllers), holding the same cached absolute wake
+    /// cycles as the `*_wake` vectors, so picking the next event is
+    /// amortized O(1) instead of a min-scan over every component.
+    wake_queue: WakeQueue,
+    /// Cached `is_done()` per core, so `cores_running` updates
+    /// incrementally from only the cores a step actually ticks.
+    core_done: Vec<bool>,
+    /// Scratch id sets reused by every `step_indexed` (no per-step
+    /// allocation): queue pops, then per-class candidate lists.
+    due_ids: Vec<u32>,
+    cand_core: Vec<u32>,
+    drain_l1: Vec<u32>,
+    tick_l2: Vec<u32>,
+    drain_l2: Vec<u32>,
+    drain_mem: Vec<u32>,
 }
 
 impl System {
@@ -108,8 +125,13 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if more programs than cores are supplied.
+    /// Panics if more programs than cores are supplied, or if the
+    /// configuration is invalid for the chosen protocol (see
+    /// [`SystemConfig::validate`] to check without panicking).
     pub fn new(cfg: SystemConfig, programs: Vec<Program>) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid system configuration: {e}");
+        }
         assert!(
             programs.len() <= cfg.n_cores,
             "{} programs for {} cores",
@@ -165,6 +187,14 @@ impl System {
             l1_busy: vec![false; cores_running],
             l2_busy: vec![false; n_tiles],
             mem_busy: vec![false; cfg_n_mem],
+            wake_queue: WakeQueue::new(0),
+            core_done: vec![false; cores_running],
+            due_ids: Vec::new(),
+            cand_core: Vec::new(),
+            drain_l1: Vec::new(),
+            tick_l2: Vec::new(),
+            drain_l2: Vec::new(),
+            drain_mem: Vec::new(),
         }
     }
 
@@ -370,6 +400,269 @@ impl System {
         active
     }
 
+    /// First queue id of the L1 class (cores occupy `0..l1_id_base()`).
+    fn l1_id_base(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// First queue id of the L2 class.
+    fn l2_id_base(&self) -> usize {
+        self.cores.len() + self.l1s.len()
+    }
+
+    /// First queue id of the memory-controller class.
+    fn mem_id_base(&self) -> usize {
+        self.l2_id_base() + self.l2s.len()
+    }
+
+    /// (Re)builds the indexed event queue and the incremental ledgers
+    /// from the machine's current state: one full scan at run start, so
+    /// that no later step of [`System::step_indexed`] ever needs one.
+    fn prime_queue(&mut self) {
+        let now = self.now;
+        self.wake_queue
+            .reset(self.mem_id_base() + self.mems.len(), now.as_u64());
+        let mut running = 0;
+        for (i, core) in self.cores.iter().enumerate() {
+            let done = core.is_done();
+            self.core_done[i] = done;
+            running += usize::from(!done);
+            // Sampled at `now` (not `now + 1`) so cores due at the very
+            // first executed cycle are already in the queue.
+            self.wake_queue.set(i, core.next_event(now).as_u64());
+        }
+        self.cores_running = running;
+        let mut busy = 0;
+        let (l1b, l2b, memb) = (self.l1_id_base(), self.l2_id_base(), self.mem_id_base());
+        for (i, l1) in self.l1s.iter().enumerate() {
+            self.l1_wake[i] = l1.next_event();
+            self.l1_busy[i] = !l1.is_quiescent();
+            busy += usize::from(self.l1_busy[i]);
+            self.wake_queue.set(l1b + i, self.l1_wake[i].as_u64());
+        }
+        for (i, l2) in self.l2s.iter().enumerate() {
+            self.l2_wake[i] = l2.next_event();
+            self.l2_busy[i] = !l2.is_quiescent();
+            busy += usize::from(self.l2_busy[i]);
+            self.wake_queue.set(l2b + i, self.l2_wake[i].as_u64());
+        }
+        for (i, mem) in self.mems.iter().enumerate() {
+            self.mem_wake[i] = mem.next_event();
+            self.mem_busy[i] = !mem.is_quiescent();
+            busy += usize::from(self.mem_busy[i]);
+            self.wake_queue.set(memb + i, self.mem_wake[i].as_u64());
+        }
+        self.busy_controllers = busy;
+    }
+
+    /// The indexed step: semantically identical to [`System::step`],
+    /// but instead of scanning every component for work and for the
+    /// next wake cycle, it visits only the components that are **due**
+    /// (their queued wake deadline arrived — popped from the
+    /// [`WakeQueue`]) or **touched** (a network message landed on them
+    /// this cycle). Every skipped component provably satisfies the same
+    /// "untouched and not due" conditions under which the reference
+    /// loop's phases are no-ops, so the two produce bit-identical
+    /// machines; the per-step cost is O(active components), not O(n).
+    ///
+    /// Equivalence of the core wake test deserves a note: the queue
+    /// holds `core.next_event(prev + 1)` sampled after the core's last
+    /// tick at `prev`, while the reference compares
+    /// `core.next_event(now) <= now` each cycle. For an untouched core
+    /// the two are interchangeable — `next_event(t)` only ever returns
+    /// a constant deadline, `t` itself, or `MAX`, so "cached sample
+    /// `<= now`" and "fresh sample `<= now`" agree for every `now`
+    /// after the sample point.
+    fn step_indexed(&mut self) -> bool {
+        let now = self.now;
+        self.steps += 1;
+        let gen = self.steps;
+        let mut active = false;
+
+        // Components whose cached wake deadline has arrived. Popped
+        // entries are consumed; each is re-armed below after its class
+        // phase runs (the drain/tick re-samples `next_event`).
+        let mut due_ids = std::mem::take(&mut self.due_ids);
+        due_ids.clear();
+        self.wake_queue.pop_due(now.as_u64(), &mut due_ids);
+
+        let mut cand_core = std::mem::take(&mut self.cand_core);
+        let mut drain_l1 = std::mem::take(&mut self.drain_l1);
+        let mut tick_l2 = std::mem::take(&mut self.tick_l2);
+        let mut drain_l2 = std::mem::take(&mut self.drain_l2);
+        let mut drain_mem = std::mem::take(&mut self.drain_mem);
+        cand_core.clear();
+        drain_l1.clear();
+        tick_l2.clear();
+        drain_l2.clear();
+        drain_mem.clear();
+
+        let (l1b, l2b, memb) = (self.l1_id_base(), self.l2_id_base(), self.mem_id_base());
+        for &id in &due_ids {
+            let id = id as usize;
+            if id < l1b {
+                cand_core.push(id as u32);
+            } else if id < l2b {
+                drain_l1.push((id - l1b) as u32);
+            } else if id < memb {
+                drain_l2.push((id - l2b) as u32);
+            } else {
+                drain_mem.push((id - memb) as u32);
+            }
+        }
+
+        // 1. Deliver arrived network messages, recording which
+        // components they touch — the indexed equivalent of the
+        // reference loop discovering fresh `*_msg_gen` stamps by scan.
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        self.mesh.deliver_into(now, &mut arrivals);
+        active |= !arrivals.is_empty();
+        for (_router, nm) in arrivals.drain(..) {
+            match nm.dst {
+                Agent::L1(i) => {
+                    if self.l1_msg_gen[i] != gen {
+                        cand_core.push(i as u32);
+                    }
+                }
+                Agent::L2(i) => {
+                    if self.l2_msg_gen[i] != gen {
+                        tick_l2.push(i as u32);
+                        drain_l2.push(i as u32);
+                    }
+                }
+                Agent::Mem(j) => {
+                    if self.mem_msg_gen[j] != gen {
+                        drain_mem.push(j as u32);
+                    }
+                }
+            }
+            self.dispatch(now, nm);
+        }
+        self.arrivals = arrivals;
+
+        // 2. Cores execute against their L1s. Condition verbatim from
+        // the reference step; candidates outside the due/touched sets
+        // would fail it anyway.
+        cand_core.sort_unstable();
+        cand_core.dedup();
+        let next = now + 1;
+        for &i in &cand_core {
+            let i = i as usize;
+            let core = &mut self.cores[i];
+            if self.l1_msg_gen[i] == gen || core.next_event(now) <= now {
+                core.tick(now, self.l1s[i].as_mut());
+                self.l1_msg_gen[i] = gen;
+            }
+            let done = core.is_done();
+            if done != self.core_done[i] {
+                self.core_done[i] = done;
+                if done {
+                    self.cores_running -= 1;
+                } else {
+                    self.cores_running += 1;
+                }
+            }
+            self.wake_queue.set(i, core.next_event(next).as_u64());
+        }
+
+        // 3. Touched tiles advance (queued-request replay).
+        tick_l2.sort_unstable();
+        tick_l2.dedup();
+        for &i in &tick_l2 {
+            let i = i as usize;
+            if self.l2_msg_gen[i] == gen {
+                self.l2s[i].tick(now);
+            }
+        }
+
+        // 4. Drain candidates into the mesh — ascending index within
+        // each class, classes in L1, L2, memory order, so the mesh sees
+        // the exact injection sequence of the reference step (its
+        // link-contention and tie-break state are order-sensitive).
+        let mut outgoing = std::mem::take(&mut self.outgoing);
+        drain_l1.extend_from_slice(&cand_core);
+        drain_l1.sort_unstable();
+        drain_l1.dedup();
+        for &i in &drain_l1 {
+            let i = i as usize;
+            if self.l1_msg_gen[i] == gen || self.l1_wake[i] <= now {
+                let l1 = &mut self.l1s[i];
+                l1.drain_outbox(now, &mut outgoing);
+                let busy = !l1.is_quiescent();
+                if busy != self.l1_busy[i] {
+                    self.l1_busy[i] = busy;
+                    if busy {
+                        self.busy_controllers += 1;
+                    } else {
+                        self.busy_controllers -= 1;
+                    }
+                }
+                self.l1_wake[i] = l1.next_event();
+                self.wake_queue.set(l1b + i, self.l1_wake[i].as_u64());
+            }
+        }
+        drain_l2.sort_unstable();
+        drain_l2.dedup();
+        for &i in &drain_l2 {
+            let i = i as usize;
+            if self.l2_msg_gen[i] == gen || self.l2_wake[i] <= now {
+                let l2 = &mut self.l2s[i];
+                l2.drain_outbox(now, &mut outgoing);
+                let busy = !l2.is_quiescent();
+                if busy != self.l2_busy[i] {
+                    self.l2_busy[i] = busy;
+                    if busy {
+                        self.busy_controllers += 1;
+                    } else {
+                        self.busy_controllers -= 1;
+                    }
+                }
+                self.l2_wake[i] = l2.next_event();
+                self.wake_queue.set(l2b + i, self.l2_wake[i].as_u64());
+            }
+        }
+        drain_mem.sort_unstable();
+        drain_mem.dedup();
+        for &j in &drain_mem {
+            let j = j as usize;
+            if self.mem_msg_gen[j] == gen || self.mem_wake[j] <= now {
+                let mem = &mut self.mems[j];
+                mem.drain_outbox(now, &mut outgoing);
+                let busy = !mem.is_quiescent();
+                if busy != self.mem_busy[j] {
+                    self.mem_busy[j] = busy;
+                    if busy {
+                        self.busy_controllers += 1;
+                    } else {
+                        self.busy_controllers -= 1;
+                    }
+                }
+                self.mem_wake[j] = mem.next_event();
+                self.wake_queue.set(memb + j, self.mem_wake[j].as_u64());
+            }
+        }
+        active |= !outgoing.is_empty();
+        for nm in outgoing.drain(..) {
+            let src = self.router_of(nm.src);
+            let dst = self.router_of(nm.dst);
+            let vnet = nm.msg.vnet();
+            let flits = self.cfg.noc.flits_for_payload(nm.msg.payload_bytes());
+            self.mesh.send(now, src, dst, vnet, flits, nm);
+        }
+        self.outgoing = outgoing;
+        self.wake = Cycle::new(self.wake_queue.next_wake(next.as_u64()))
+            .min(self.mesh.next_arrival().unwrap_or(Cycle::MAX));
+
+        self.due_ids = due_ids;
+        self.cand_core = cand_core;
+        self.drain_l1 = drain_l1;
+        self.tick_l2 = tick_l2;
+        self.drain_l2 = drain_l2;
+        self.drain_mem = drain_mem;
+        self.now += 1;
+        active
+    }
+
     /// Whether every core has finished and the machine is quiescent.
     /// O(1): reads the outstanding-work counters maintained by `step`.
     pub fn is_finished(&self) -> bool {
@@ -396,6 +689,7 @@ impl System {
         match self.cfg.stepper {
             Stepper::EventDriven => self.run_event_driven(max_cycles),
             Stepper::Reference => self.run_reference(max_cycles),
+            Stepper::ParallelShards { shards } => self.run_parallel(max_cycles, shards),
         }
     }
 
@@ -422,14 +716,17 @@ impl System {
     }
 
     /// The event-driven scheduler: identical per-cycle semantics to
-    /// [`System::run_reference`], but after each executed step simulated
-    /// time jumps straight to the earliest cycle any component can act,
-    /// instead of single-stepping through the idle window. The skipped
-    /// cycles are exactly those in which the reference loop's step would
-    /// have been a no-op, so both loops produce bit-identical results —
-    /// including timeout and deadlock reporting, which is emulated at
-    /// the cycle the reference loop would have detected it.
+    /// [`System::run_reference`], but each executed step visits only
+    /// due-or-touched components ([`System::step_indexed`]), and after
+    /// it simulated time jumps straight to the earliest cycle any
+    /// component can act — the queue minimum — instead of
+    /// single-stepping through the idle window. The skipped cycles are
+    /// exactly those in which the reference loop's step would have been
+    /// a no-op, so both loops produce bit-identical results — including
+    /// timeout and deadlock reporting, which is emulated at the cycle
+    /// the reference loop would have detected it.
     fn run_event_driven(&mut self, max_cycles: u64) -> Result<RunStats, RunError> {
+        self.prime_queue();
         let mut last_active = self.now;
         loop {
             if self.now - last_active > DEADLOCK_WINDOW {
@@ -441,7 +738,7 @@ impl System {
             if self.now.as_u64() >= max_cycles {
                 return Err(RunError::Timeout { max_cycles });
             }
-            let active = self.step();
+            let active = self.step_indexed();
             if active {
                 last_active = self.now;
             }
@@ -466,6 +763,7 @@ impl System {
         let mut stats = RunStats {
             cycles: self.now.as_u64(),
             noc: self.mesh.stats().clone(),
+            sched: self.wake_queue.stats(),
             ..RunStats::default()
         };
         for l1 in &self.l1s {
@@ -484,6 +782,8 @@ impl System {
         stats
     }
 }
+
+mod parallel;
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,630 @@
+//! The conservative-parallel sharded run loop behind
+//! [`Stepper::ParallelShards`](crate::Stepper::ParallelShards).
+//!
+//! # Design
+//!
+//! Tiles (a core + its L1 + its L2 slice) are split into contiguous
+//! shards, one scoped worker thread each; memory controllers are
+//! chunked across the same shards. The coordinator owns the mesh and
+//! simulated time and advances the machine in **windows** of cycles
+//! bounded by the mesh's minimum message latency
+//! ([`tsocc_noc::NocConfig::min_message_latency`]): a message injected
+//! at cycle `t` cannot arrive anywhere before `t + lookahead`, so
+//! within a window `[T0, E)` with `E <= T0 + lookahead` no component
+//! can observe anything another shard does — each worker can execute
+//! its shard's cycles of the window with no synchronization at all.
+//! This is classic conservative parallel discrete-event simulation
+//! (null-message-free, barrier-per-window).
+//!
+//! # Determinism
+//!
+//! Bit-identical results to the serial steppers — on **any** worker
+//! count — follow from three invariants:
+//!
+//! 1. Inside a window, each worker executes exactly the reference
+//!    stepper's per-cycle phases (deliver, core tick, tile tick,
+//!    drain), restricted to its shard, with the reference conditions
+//!    verbatim. Shards are disjoint and windows end before any
+//!    in-flight or newly injected message can arrive, so restriction
+//!    changes nothing.
+//! 2. Workers never touch the mesh. Every outgoing message is recorded
+//!    with its injection cycle and its global drain position
+//!    `(class, controller index)`; after the window the coordinator
+//!    replays the merged record **stably sorted by that position** —
+//!    the exact injection order the serial steppers produce — so the
+//!    mesh's order-sensitive link-contention and tie-break state
+//!    evolves identically.
+//! 3. Window boundaries are capped at the next in-flight arrival and
+//!    at the serial loop's deadlock/timeout horizons, so arrivals,
+//!    [`RunError::Timeout`] and [`RunError::Deadlock`] are observed at
+//!    exactly the cycles the serial steppers observe them.
+//!
+//! `tests/parallel_stepper_parity.rs` checks the full `RunStats` and
+//! final memory image against [`Stepper::Reference`] across the sweep
+//! matrix; the in-tree tests below cover shard-count edge cases.
+//!
+//! [`Stepper::Reference`]: crate::Stepper::Reference
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use tsocc_coherence::{Agent, CacheController, L1Controller, L2Controller, MemCtrl, NetMsg};
+use tsocc_cpu::Core;
+use tsocc_noc::MeshTopology;
+use tsocc_sim::Cycle;
+
+use super::{RunError, System, DEADLOCK_WINDOW};
+use crate::stats::RunStats;
+
+/// One outgoing message, tagged with its injection cycle and its
+/// global drain position so the coordinator can replay the serial
+/// steppers' exact mesh injection order: ascending cycle, then class
+/// (L1 = 0, L2 = 1, memory = 2), then controller index, preserving
+/// each controller's own outbox order (the sort is stable).
+struct SendRec {
+    cycle: u64,
+    class: u8,
+    idx: u32,
+    msg: NetMsg,
+}
+
+/// Coordinator/worker mailbox, one per shard. Locked by the owner of
+/// the current phase only: workers hold it for the whole window,
+/// the coordinator between windows — the barriers hand it off.
+#[derive(Default)]
+struct Lane {
+    /// Messages arriving at the window's first cycle (in, from the
+    /// coordinator).
+    arrivals: Vec<NetMsg>,
+    /// Messages injected during the window (out, to the coordinator).
+    sends: Vec<SendRec>,
+    /// The shard's earliest self-driven wake cycle after the window.
+    wake: u64,
+    /// Unfinished cores in the shard.
+    running: usize,
+    /// Non-quiescent controllers in the shard.
+    busy: usize,
+    /// Cycles the shard actually executed this window.
+    processed: u64,
+    /// The last cycle index the shard executed this window (valid only
+    /// when `processed > 0`).
+    last_processed: u64,
+}
+
+/// Shared coordinator/worker control block.
+struct Ctl {
+    /// Opens a window (or releases workers to exit when `run` drops).
+    start: Barrier,
+    /// Closes a window: every worker has published its lane.
+    done: Barrier,
+    window_start: AtomicU64,
+    window_end: AtomicU64,
+    run: AtomicBool,
+}
+
+/// One worker's disjoint slice of the machine: a contiguous tile range
+/// (cores, L1s, L2s and their cached-state vectors) plus a chunk of
+/// the memory controllers.
+struct Shard<'a> {
+    /// Global index of the first owned tile.
+    tile_lo: usize,
+    cores: &'a mut [Core],
+    l1s: &'a mut [Box<dyn L1Controller>],
+    l2s: &'a mut [Box<dyn L2Controller>],
+    l1_msg_gen: &'a mut [u64],
+    l2_msg_gen: &'a mut [u64],
+    l1_wake: &'a mut [Cycle],
+    l2_wake: &'a mut [Cycle],
+    l1_busy: &'a mut [bool],
+    l2_busy: &'a mut [bool],
+    core_done: &'a mut [bool],
+    /// Global index of the first owned memory controller.
+    mem_lo: usize,
+    mems: &'a mut [MemCtrl],
+    mem_msg_gen: &'a mut [u64],
+    mem_wake: &'a mut [Cycle],
+    mem_busy: &'a mut [bool],
+    /// Local step-generation counter. Starts at the system's serial
+    /// `steps` so stamps written here stay below every future serial
+    /// generation; each shard counts independently (stamps are only
+    /// ever compared shard-locally while the parallel run lasts).
+    gen: u64,
+    /// Earliest cycle any owned component can act on its own.
+    wake: u64,
+    running: usize,
+    busy: usize,
+    /// Drain scratch (no per-cycle allocation).
+    outbuf: Vec<NetMsg>,
+}
+
+impl Shard<'_> {
+    /// Recomputes every cached value for the shard from component
+    /// state — the per-shard analog of `System::prime_queue`, run once
+    /// by the coordinator before the workers start.
+    fn prime(&mut self, now: Cycle) {
+        let mut running = 0;
+        let mut wake = Cycle::MAX;
+        for (i, core) in self.cores.iter().enumerate() {
+            let done = core.is_done();
+            self.core_done[i] = done;
+            running += usize::from(!done);
+            // Sampled at `now` so cores due at the window's very first
+            // cycle are already covered by `wake`.
+            wake = wake.min(core.next_event(now));
+        }
+        self.running = running;
+        let mut busy = 0;
+        for (i, l1) in self.l1s.iter().enumerate() {
+            self.l1_wake[i] = l1.next_event();
+            self.l1_busy[i] = !l1.is_quiescent();
+            busy += usize::from(self.l1_busy[i]);
+            wake = wake.min(self.l1_wake[i]);
+        }
+        for (i, l2) in self.l2s.iter().enumerate() {
+            self.l2_wake[i] = l2.next_event();
+            self.l2_busy[i] = !l2.is_quiescent();
+            busy += usize::from(self.l2_busy[i]);
+            wake = wake.min(self.l2_wake[i]);
+        }
+        for (j, mem) in self.mems.iter().enumerate() {
+            self.mem_wake[j] = mem.next_event();
+            self.mem_busy[j] = !mem.is_quiescent();
+            busy += usize::from(self.mem_busy[j]);
+            wake = wake.min(self.mem_wake[j]);
+        }
+        self.busy = busy;
+        self.wake = wake.as_u64();
+    }
+
+    /// Executes one simulated cycle for this shard: the reference
+    /// stepper's phases with the reference conditions verbatim,
+    /// restricted to the shard, recording would-be mesh injections
+    /// into `sends` instead of touching the mesh.
+    fn process_cycle(&mut self, t: Cycle, arrivals: &mut Vec<NetMsg>, sends: &mut Vec<SendRec>) {
+        self.gen += 1;
+        let gen = self.gen;
+
+        // 1. Dispatch the window's arrivals (non-empty only at the
+        // window's first cycle), preserving the coordinator's
+        // deterministic delivery order per controller.
+        for nm in arrivals.drain(..) {
+            match nm.dst {
+                Agent::L1(i) => {
+                    let i = i - self.tile_lo;
+                    self.l1s[i].handle_message(t, nm.src, nm.msg);
+                    self.l1_msg_gen[i] = gen;
+                }
+                Agent::L2(i) => {
+                    let i = i - self.tile_lo;
+                    self.l2s[i].handle_message(t, nm.src, nm.msg);
+                    self.l2_msg_gen[i] = gen;
+                }
+                Agent::Mem(j) => {
+                    let j = j - self.mem_lo;
+                    self.mems[j].handle_message(t, nm.src, nm.msg);
+                    self.mem_msg_gen[j] = gen;
+                }
+            }
+        }
+
+        // 2. Cores execute against their L1s.
+        let next = t + 1;
+        let mut wake = Cycle::MAX;
+        let mut running = 0;
+        for (i, (core, l1)) in self.cores.iter_mut().zip(self.l1s.iter_mut()).enumerate() {
+            if self.l1_msg_gen[i] == gen || core.next_event(t) <= t {
+                core.tick(t, l1.as_mut());
+                self.l1_msg_gen[i] = gen;
+            }
+            let done = core.is_done();
+            self.core_done[i] = done;
+            running += usize::from(!done);
+            wake = wake.min(core.next_event(next));
+        }
+        self.running = running;
+
+        // 3. Touched tiles advance (queued-request replay).
+        for (i, l2) in self.l2s.iter_mut().enumerate() {
+            if self.l2_msg_gen[i] == gen {
+                l2.tick(t);
+            }
+        }
+
+        // 4. Drain ready outboxes, tagging each message with its global
+        // drain position for the coordinator's ordered replay.
+        let mut busy = 0;
+        for (i, l1) in self.l1s.iter_mut().enumerate() {
+            if self.l1_msg_gen[i] == gen || self.l1_wake[i] <= t {
+                l1.drain_outbox(t, &mut self.outbuf);
+                for nm in self.outbuf.drain(..) {
+                    sends.push(SendRec {
+                        cycle: t.as_u64(),
+                        class: 0,
+                        idx: (self.tile_lo + i) as u32,
+                        msg: nm,
+                    });
+                }
+                self.l1_busy[i] = !l1.is_quiescent();
+                self.l1_wake[i] = l1.next_event();
+            }
+            busy += usize::from(self.l1_busy[i]);
+            wake = wake.min(self.l1_wake[i]);
+        }
+        for (i, l2) in self.l2s.iter_mut().enumerate() {
+            if self.l2_msg_gen[i] == gen || self.l2_wake[i] <= t {
+                l2.drain_outbox(t, &mut self.outbuf);
+                for nm in self.outbuf.drain(..) {
+                    sends.push(SendRec {
+                        cycle: t.as_u64(),
+                        class: 1,
+                        idx: (self.tile_lo + i) as u32,
+                        msg: nm,
+                    });
+                }
+                self.l2_busy[i] = !l2.is_quiescent();
+                self.l2_wake[i] = l2.next_event();
+            }
+            busy += usize::from(self.l2_busy[i]);
+            wake = wake.min(self.l2_wake[i]);
+        }
+        for (j, mem) in self.mems.iter_mut().enumerate() {
+            if self.mem_msg_gen[j] == gen || self.mem_wake[j] <= t {
+                mem.drain_outbox(t, &mut self.outbuf);
+                for nm in self.outbuf.drain(..) {
+                    sends.push(SendRec {
+                        cycle: t.as_u64(),
+                        class: 2,
+                        idx: (self.mem_lo + j) as u32,
+                        msg: nm,
+                    });
+                }
+                self.mem_busy[j] = !mem.is_quiescent();
+                self.mem_wake[j] = mem.next_event();
+            }
+            busy += usize::from(self.mem_busy[j]);
+            wake = wake.min(self.mem_wake[j]);
+        }
+        self.busy = busy;
+        self.wake = wake.as_u64();
+    }
+}
+
+/// The worker loop: waits for a window, executes the shard's due
+/// cycles within it (event-driven at shard granularity — idle shard
+/// cycles are skipped via the shard's own wake minimum), publishes the
+/// lane and waits for the next window.
+fn worker(mut shard: Shard<'_>, lane: &Mutex<Lane>, ctl: &Ctl) {
+    let mut arrivals: Vec<NetMsg> = Vec::new();
+    loop {
+        ctl.start.wait();
+        if !ctl.run.load(Ordering::Acquire) {
+            return;
+        }
+        let t0 = ctl.window_start.load(Ordering::Acquire);
+        let end = ctl.window_end.load(Ordering::Acquire);
+        let mut lane_g = lane.lock().unwrap();
+        std::mem::swap(&mut arrivals, &mut lane_g.arrivals);
+        lane_g.processed = 0;
+        // Arrivals force the first cycle; otherwise jump straight to
+        // the shard's next self-driven wake.
+        let mut t = if arrivals.is_empty() {
+            shard.wake.max(t0)
+        } else {
+            t0
+        };
+        while t < end {
+            shard.process_cycle(Cycle::new(t), &mut arrivals, &mut lane_g.sends);
+            lane_g.processed += 1;
+            lane_g.last_processed = t;
+            t = shard.wake.max(t + 1);
+        }
+        lane_g.wake = shard.wake;
+        lane_g.running = shard.running;
+        lane_g.busy = shard.busy;
+        drop(lane_g);
+        ctl.done.wait();
+    }
+}
+
+/// Splits `slice` into consecutive chunks of the given sizes.
+fn split_sizes<'a, T>(mut slice: &'a mut [T], sizes: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let (head, tail) = slice.split_at_mut(n);
+        out.push(head);
+        slice = tail;
+    }
+    debug_assert!(slice.is_empty(), "chunk sizes must cover the slice");
+    out
+}
+
+/// Sizes of `n` items split into `parts` contiguous chunks, remainder
+/// spread over the leading chunks.
+fn chunk_sizes(n: usize, parts: usize) -> Vec<usize> {
+    let base = n / parts;
+    let rem = n % parts;
+    (0..parts).map(|i| base + usize::from(i < rem)).collect()
+}
+
+fn router_of(topo: &MeshTopology, agent: Agent) -> usize {
+    match agent {
+        Agent::L1(i) | Agent::L2(i) => i,
+        Agent::Mem(j) => topo.corners()[j % 4],
+    }
+}
+
+impl System {
+    /// The sharded conservative-parallel run loop. Bit-identical to
+    /// [`System::run_reference`] in every simulated outcome for any
+    /// worker count (see the module docs for the argument); host-side
+    /// metrics (`steps_executed`, scheduler counters) naturally differ.
+    pub(super) fn run_parallel(
+        &mut self,
+        max_cycles: u64,
+        shards: usize,
+    ) -> Result<RunStats, RunError> {
+        let n_tiles = self.l2s.len();
+        let workers = if shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            shards
+        }
+        .min(n_tiles);
+        // The trace sink records the serial interleaving; windowed
+        // execution would reorder its lines (simulated outcomes are
+        // identical, recorded order is not), so tracing — like a
+        // degenerate worker count — falls back to the serial scheduler.
+        if workers <= 1 || self.trace.is_enabled() || self.cores.len() != n_tiles {
+            return self.run_event_driven(max_cycles);
+        }
+
+        let tile_sizes = chunk_sizes(n_tiles, workers);
+        let mem_sizes = chunk_sizes(self.mems.len(), workers);
+        let mut shard_of_tile = vec![0u32; n_tiles];
+        let mut shard_of_mem = vec![0u32; self.mems.len()];
+        {
+            let (mut t, mut m) = (0, 0);
+            for w in 0..workers {
+                for _ in 0..tile_sizes[w] {
+                    shard_of_tile[t] = w as u32;
+                    t += 1;
+                }
+                for _ in 0..mem_sizes[w] {
+                    shard_of_mem[m] = w as u32;
+                    m += 1;
+                }
+            }
+        }
+
+        // Split the machine into disjoint &mut shard views.
+        let System {
+            cores,
+            l1s,
+            l2s,
+            mems,
+            mesh,
+            cfg,
+            topo,
+            now,
+            steps,
+            arrivals,
+            l1_msg_gen,
+            l2_msg_gen,
+            mem_msg_gen,
+            l1_wake,
+            l2_wake,
+            mem_wake,
+            l1_busy,
+            l2_busy,
+            mem_busy,
+            core_done,
+            ..
+        } = self;
+        let topo = *topo;
+        let start_gen = *steps;
+        let t_start = now.as_u64();
+
+        let mut cores_s = split_sizes(cores, &tile_sizes).into_iter();
+        let mut l1s_s = split_sizes(l1s, &tile_sizes).into_iter();
+        let mut l2s_s = split_sizes(l2s, &tile_sizes).into_iter();
+        let mut l1g_s = split_sizes(l1_msg_gen, &tile_sizes).into_iter();
+        let mut l2g_s = split_sizes(l2_msg_gen, &tile_sizes).into_iter();
+        let mut l1w_s = split_sizes(l1_wake, &tile_sizes).into_iter();
+        let mut l2w_s = split_sizes(l2_wake, &tile_sizes).into_iter();
+        let mut l1b_s = split_sizes(l1_busy, &tile_sizes).into_iter();
+        let mut l2b_s = split_sizes(l2_busy, &tile_sizes).into_iter();
+        let mut done_s = split_sizes(core_done, &tile_sizes).into_iter();
+        let mut mems_s = split_sizes(mems, &mem_sizes).into_iter();
+        let mut memg_s = split_sizes(mem_msg_gen, &mem_sizes).into_iter();
+        let mut memw_s = split_sizes(mem_wake, &mem_sizes).into_iter();
+        let mut memb_s = split_sizes(mem_busy, &mem_sizes).into_iter();
+
+        let mut shards_v = Vec::with_capacity(workers);
+        let (mut tile_lo, mut mem_lo) = (0, 0);
+        for w in 0..workers {
+            let mut sh = Shard {
+                tile_lo,
+                cores: cores_s.next().unwrap(),
+                l1s: l1s_s.next().unwrap(),
+                l2s: l2s_s.next().unwrap(),
+                l1_msg_gen: l1g_s.next().unwrap(),
+                l2_msg_gen: l2g_s.next().unwrap(),
+                l1_wake: l1w_s.next().unwrap(),
+                l2_wake: l2w_s.next().unwrap(),
+                l1_busy: l1b_s.next().unwrap(),
+                l2_busy: l2b_s.next().unwrap(),
+                core_done: done_s.next().unwrap(),
+                mem_lo,
+                mems: mems_s.next().unwrap(),
+                mem_msg_gen: memg_s.next().unwrap(),
+                mem_wake: memw_s.next().unwrap(),
+                mem_busy: memb_s.next().unwrap(),
+                gen: start_gen,
+                wake: u64::MAX,
+                running: 0,
+                busy: 0,
+                outbuf: Vec::new(),
+            };
+            sh.prime(Cycle::new(t_start));
+            tile_lo += tile_sizes[w];
+            mem_lo += mem_sizes[w];
+            shards_v.push(sh);
+        }
+
+        let lanes: Vec<Mutex<Lane>> = shards_v
+            .iter()
+            .map(|sh| {
+                Mutex::new(Lane {
+                    wake: sh.wake,
+                    running: sh.running,
+                    busy: sh.busy,
+                    ..Lane::default()
+                })
+            })
+            .collect();
+        let ctl = Ctl {
+            start: Barrier::new(workers + 1),
+            done: Barrier::new(workers + 1),
+            window_start: AtomicU64::new(0),
+            window_end: AtomicU64::new(0),
+            run: AtomicBool::new(true),
+        };
+
+        let lookahead = cfg.noc.min_message_latency();
+        let mut total_steps = 0u64;
+        let mut arr = std::mem::take(arrivals);
+
+        let result: Result<u64, RunError> = std::thread::scope(|scope| {
+            for (sh, lane) in shards_v.into_iter().zip(lanes.iter()) {
+                let ctl = &ctl;
+                scope.spawn(move || worker(sh, lane, ctl));
+            }
+
+            let mut t_now = t_start;
+            let mut last_active = t_start;
+            // Only `g_running` can be read before the first merge (the
+            // deadlock arm); busy/wake are recomputed per window.
+            let mut g_running: usize = lanes.iter().map(|l| l.lock().unwrap().running).sum();
+            let mut g_busy: usize;
+            let mut g_wake: u64;
+            let mut sends: Vec<SendRec> = Vec::new();
+
+            let outcome = loop {
+                // Serial-loop-identical termination checks, at the
+                // cycles the serial loop would perform them.
+                if t_now.saturating_sub(last_active) > DEADLOCK_WINDOW {
+                    break Err(RunError::Deadlock {
+                        stalled_at: t_now,
+                        cores_unfinished: g_running,
+                    });
+                }
+                if t_now >= max_cycles {
+                    break Err(RunError::Timeout { max_cycles });
+                }
+
+                // Deliver this cycle's arrivals to their owning shards
+                // (in mesh pop order — per-controller order is what
+                // dispatch order affects, and each controller's
+                // messages stay in sequence within one lane).
+                arr.clear();
+                mesh.deliver_into(Cycle::new(t_now), &mut arr);
+                let delivered = !arr.is_empty();
+                for (_router, nm) in arr.drain(..) {
+                    let s = match nm.dst {
+                        Agent::L1(i) | Agent::L2(i) => shard_of_tile[i],
+                        Agent::Mem(j) => shard_of_mem[j],
+                    } as usize;
+                    lanes[s].lock().unwrap().arrivals.push(nm);
+                }
+
+                // The conservative window: nothing in flight or newly
+                // injected can land before `t_now + lookahead` or the
+                // (post-delivery) next arrival, and the serial loop's
+                // deadlock/timeout horizons bound how far it would run.
+                let next_arr = mesh.next_arrival().map(Cycle::as_u64).unwrap_or(u64::MAX);
+                let end = (t_now + lookahead)
+                    .min(next_arr)
+                    .min(last_active + DEADLOCK_WINDOW + 1)
+                    .min(max_cycles);
+                debug_assert!(end > t_now);
+                ctl.window_start.store(t_now, Ordering::Release);
+                ctl.window_end.store(end, Ordering::Release);
+                ctl.start.wait();
+                // Workers execute the window.
+                ctl.done.wait();
+
+                // Merge lanes: ledgers, wake minimum, send records.
+                (g_running, g_busy, g_wake) = (0, 0, u64::MAX);
+                let mut last_proc: Option<u64> = None;
+                for lane in &lanes {
+                    let mut g = lane.lock().unwrap();
+                    sends.append(&mut g.sends);
+                    g_running += g.running;
+                    g_busy += g.busy;
+                    g_wake = g_wake.min(g.wake);
+                    if g.processed > 0 {
+                        total_steps += g.processed;
+                        last_proc =
+                            Some(last_proc.map_or(g.last_processed, |m| m.max(g.last_processed)));
+                    }
+                }
+
+                // Replay the window's injections in the serial drain
+                // order; stable sort preserves each controller's own
+                // outbox sequence.
+                sends.sort_by_key(|r| (r.cycle, r.class, r.idx));
+                let mut last_send = None;
+                for rec in sends.drain(..) {
+                    let src = router_of(&topo, rec.msg.src);
+                    let dst = router_of(&topo, rec.msg.dst);
+                    let vnet = rec.msg.msg.vnet();
+                    let flits = cfg.noc.flits_for_payload(rec.msg.msg.payload_bytes());
+                    mesh.send(Cycle::new(rec.cycle), src, dst, vnet, flits, rec.msg);
+                    last_send = Some(rec.cycle);
+                }
+
+                // Activity tracking, reference-equivalent: a step at
+                // cycle `c` that delivered or injected makes
+                // `last_active = c + 1`.
+                if delivered {
+                    last_active = last_active.max(t_now + 1);
+                }
+                if let Some(c) = last_send {
+                    last_active = last_active.max(c + 1);
+                }
+
+                if g_running == 0 && g_busy == 0 && mesh.is_idle() {
+                    // Finished: the serial loops return `T + 1` where
+                    // `T` is the last executed cycle (the machine was
+                    // already finished at entry if nothing ran).
+                    break Ok(last_proc.map_or(t_now + 1, |t| t + 1));
+                }
+
+                // Jump to the next cycle with possible work — all of
+                // these are >= `end` (workers ran every due cycle in
+                // the window), so windows never overlap.
+                let next_arr = mesh.next_arrival().map(Cycle::as_u64).unwrap_or(u64::MAX);
+                t_now = g_wake
+                    .min(next_arr)
+                    .min(last_active.saturating_add(DEADLOCK_WINDOW + 1))
+                    .min(max_cycles);
+            };
+
+            // Release the workers to exit, then the scope joins them.
+            ctl.run.store(false, Ordering::Release);
+            ctl.start.wait();
+            outcome
+        });
+
+        *arrivals = arr;
+        *steps += total_steps;
+        *now = Cycle::new(match &result {
+            Ok(final_cycle) => *final_cycle,
+            Err(RunError::Deadlock { stalled_at, .. }) => *stalled_at,
+            Err(RunError::Timeout { .. }) => max_cycles,
+        });
+        result.map(|_| self.collect_stats())
+    }
+}

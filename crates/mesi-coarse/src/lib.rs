@@ -28,7 +28,7 @@
 //! the axis the paper's storage argument (§2, Figure 2) is about.
 
 use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
-use tsocc_mesi::{MesiFactory, MesiL2Config, SharerSet};
+use tsocc_mesi::{check_sharer_capacity, MesiFactory, MesiL2Config, SharerSet};
 
 /// Upper bound on exact sharer pointers per line (the encoding budget:
 /// eight 16-bit pointers fit the 128-bit word a full vector would use).
@@ -164,6 +164,13 @@ impl SharerSet for PtrVector {
             PtrVector::Coarse(bits) => bits & (1u128 << cfg.group_of(core)) != 0,
         }
     }
+
+    fn capacity(cfg: &MesiCoarseConfig) -> Option<usize> {
+        // The coarse fallback has one group bit per `granularity`
+        // consecutive cores in a u128; exact pointers store u16 ids.
+        let coarse = (u128::BITS as usize).saturating_mul(cfg.granularity.max(1) as usize);
+        Some(coarse.min(u16::MAX as usize + 1))
+    }
 }
 
 /// Builds MESI-coarse L1/L2 controllers for any machine shape.
@@ -202,6 +209,11 @@ impl ProtocolFactory for MesiCoarseFactory {
             }
             .build_with::<PtrVector>(self.cfg),
         )
+    }
+
+    fn validate_shape(&self, shape: &MachineShape) -> Result<(), String> {
+        shape.validate()?;
+        check_sharer_capacity::<PtrVector>(&self.cfg, shape.n_cores, &self.cfg.name())
     }
 }
 

@@ -3,6 +3,7 @@
 
 use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
 
+use crate::l2::{check_sharer_capacity, FullVector};
 use crate::{MesiL1Config, MesiL2Config};
 
 /// Builds MESI L1/L2 controllers for any machine shape.
@@ -38,6 +39,11 @@ impl ProtocolFactory for MesiFactory {
             }
             .build(),
         )
+    }
+
+    fn validate_shape(&self, shape: &MachineShape) -> Result<(), String> {
+        shape.validate()?;
+        check_sharer_capacity::<FullVector>(&(), shape.n_cores, "MESI full-vector directory")
     }
 }
 

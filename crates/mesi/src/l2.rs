@@ -38,6 +38,33 @@ pub trait SharerSet: Copy + std::fmt::Debug + Send + Sync + 'static {
 
     /// Whether `core` may hold a copy — the invalidation fan-out test.
     fn may_hold(&self, cfg: &Self::Cfg, core: usize) -> bool;
+
+    /// The largest core count this representation can encode, or `None`
+    /// when unbounded. Factories check the machine shape against this
+    /// **before** construction, turning what would be a shift overflow
+    /// on core ids `>= capacity` into a clean configuration error.
+    fn capacity(cfg: &Self::Cfg) -> Option<usize>;
+}
+
+/// Checks a machine's core count against what the sharer-set
+/// representation `S` can encode — the shared half of every MESI-family
+/// [`tsocc_coherence::ProtocolFactory::validate_shape`] override.
+///
+/// # Errors
+///
+/// Names the representation and both numbers when `n_cores` exceeds the
+/// capacity.
+pub fn check_sharer_capacity<S: SharerSet>(
+    cfg: &S::Cfg,
+    n_cores: usize,
+    representation: &str,
+) -> Result<(), String> {
+    match S::capacity(cfg) {
+        Some(cap) if n_cores > cap => Err(format!(
+            "{representation} encodes at most {cap} cores, machine has {n_cores}"
+        )),
+        _ => Ok(()),
+    }
 }
 
 /// The paper's baseline representation: a full sharing vector, one bit
@@ -63,6 +90,10 @@ impl SharerSet for FullVector {
 
     fn may_hold(&self, _: &(), core: usize) -> bool {
         self.0 & (1u128 << core) != 0
+    }
+
+    fn capacity(_: &()) -> Option<usize> {
+        Some(u128::BITS as usize)
     }
 }
 

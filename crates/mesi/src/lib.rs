@@ -27,7 +27,7 @@ mod l2;
 
 pub use factory::MesiFactory;
 pub use l1::{MesiL1, MesiL1Config, MesiL1Policy};
-pub use l2::{FullVector, MesiL2, MesiL2Config, MesiL2Policy, SharerSet};
+pub use l2::{check_sharer_capacity, FullVector, MesiL2, MesiL2Config, MesiL2Policy, SharerSet};
 
 #[cfg(test)]
 mod tests;

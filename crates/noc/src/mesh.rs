@@ -42,6 +42,20 @@ impl NocConfig {
         let total = payload_bytes + 8;
         total.div_ceil(self.flit_bytes).max(1)
     }
+
+    /// Minimum cycles between injecting any message and its delivery,
+    /// over every (src, dst) pair — the **conservative lookahead** of
+    /// the parallel stepper: a message sent at cycle `t` can never be
+    /// observed before `t + min_message_latency()`, so shards may
+    /// advance that many cycles without exchanging messages.
+    ///
+    /// The minimum is local (src == dst) crossbar delivery, which takes
+    /// `router_latency.max(1)` cycles; every multi-hop route costs at
+    /// least one serialization cycle plus link and router latency on
+    /// top. Always at least 1.
+    pub fn min_message_latency(&self) -> u64 {
+        self.router_latency.max(1)
+    }
 }
 
 /// Traffic statistics, the basis of the paper's Figure 4.
@@ -159,6 +173,12 @@ impl<M> Mesh<M> {
     /// Accumulated traffic statistics.
     pub fn stats(&self) -> &NocStats {
         &self.stats
+    }
+
+    /// The conservative lookahead of this mesh: see
+    /// [`NocConfig::min_message_latency`].
+    pub fn lookahead(&self) -> u64 {
+        self.cfg.min_message_latency()
     }
 
     /// Injects a message of `flits` flits at router `src` destined for
@@ -400,6 +420,36 @@ mod tests {
         let t2 = got.iter().find(|g| g.2 == 2).unwrap().0;
         // The second message waits out the first's 5 flits on link 0->1.
         assert!(m.stats().contention_cycles.get() >= 5, "{t2}");
+    }
+
+    #[test]
+    fn no_arrival_beats_the_advertised_lookahead() {
+        // The parallel stepper's correctness rests on this bound: every
+        // delivery is at least `lookahead` cycles after its send, for
+        // every (src, dst) pair including self-sends, under varied
+        // latency configurations.
+        for (router, link) in [(1u64, 1u64), (3, 0), (0, 2), (2, 5)] {
+            let cfg = NocConfig {
+                router_latency: router,
+                link_latency: link,
+                flit_bytes: 16,
+            };
+            let mut m: Mesh<u32> = Mesh::new(MeshTopology::new(2, 4), cfg);
+            let la = m.lookahead();
+            assert!(la >= 1);
+            let mut id = 0;
+            for src in 0..m.topology().nodes() {
+                for dst in 0..m.topology().nodes() {
+                    m.send(Cycle::new(17), src, dst, VNet::Request, 1, id);
+                    id += 1;
+                }
+            }
+            let first = m.next_arrival().unwrap();
+            assert!(
+                first.as_u64() >= 17 + la,
+                "arrival at {first:?} beats lookahead {la} (router={router}, link={link})"
+            );
+        }
     }
 
     #[test]

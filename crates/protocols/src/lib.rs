@@ -132,6 +132,14 @@ impl ProtocolFactory for Protocol {
             Protocol::TsoCc(cfg) => TsoCcFactory::new(*cfg).l2(tile, shape),
         }
     }
+
+    fn validate_shape(&self, shape: &MachineShape) -> Result<(), String> {
+        match self {
+            Protocol::Mesi => MesiFactory.validate_shape(shape),
+            Protocol::MesiCoarse(cfg) => MesiCoarseFactory::new(*cfg).validate_shape(shape),
+            Protocol::TsoCc(cfg) => TsoCcFactory::new(*cfg).validate_shape(shape),
+        }
+    }
 }
 
 #[cfg(test)]

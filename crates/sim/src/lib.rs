@@ -8,8 +8,10 @@
 //! statistics ([`stats::Counter`], [`stats::Histogram`]) and a lightweight
 //! trace facility ([`trace::TraceSink`]).
 //!
-//! The whole simulator is single-threaded and deterministic given a seed:
-//! this is a deliberate design decision so that litmus-test results and
+//! The simulator is deterministic given a seed — even under the sharded
+//! parallel stepper, whose synchronization protocol is constructed so
+//! that thread scheduling can never influence a simulated outcome. This
+//! is a deliberate design decision so that litmus-test results and
 //! benchmark figures are exactly reproducible across runs and machines.
 //!
 //! # Examples
@@ -29,9 +31,11 @@
 
 pub mod cycle;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod trace;
 
 pub use cycle::Cycle;
 pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use sched::{SchedStats, WakeQueue};
 pub use stats::{Counter, Histogram};

@@ -1,0 +1,169 @@
+//! The sharded parallel stepper's headline contract: for any worker
+//! count, [`Stepper::ParallelShards`] must produce **bit-identical**
+//! results to the cycle-by-cycle reference stepper — the full
+//! [`RunStats`] (cycles, messages, flits, flit-hops, every histogram
+//! and counter) and the final DRAM image — at the larger machine sizes
+//! the conservative windows exist for (16 and 32 cores), across all
+//! three protocol families, including error outcomes (timeouts must
+//! fire at the same cycle).
+//!
+//! [`RunStats`]: tsocc::RunStats
+
+use tsocc::{RunError, RunStats, Stepper, System, SystemConfig};
+use tsocc_bench::sweep::SweepPoint;
+use tsocc_mem::{Addr, LineAddr, LineData};
+use tsocc_mesi_coarse::MesiCoarseConfig;
+use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
+use tsocc_workloads::{Benchmark, Scale};
+
+/// The `BENCH_sweep.json` base seed (`SweepOpts::default().seed`).
+const BASE_SEED: u64 = 0xC0FFEE;
+
+struct Outcome {
+    stats: RunStats,
+    memory: Vec<(LineAddr, LineData)>,
+}
+
+/// Runs one sweep point exactly the way the sweep engine does, under
+/// the given stepper, capturing the final memory image as well.
+fn run_point(point: &SweepPoint, stepper: Stepper, max_cycles: u64) -> Outcome {
+    let seed = point.seed(BASE_SEED);
+    let workload = point.bench.build(point.n_cores, point.scale, seed);
+    let mut cfg = SystemConfig::table2_with_cores(point.protocol, point.n_cores);
+    cfg.seed = seed;
+    cfg.stepper = stepper;
+    let mut sys = System::new(cfg, workload.programs.clone());
+    for &(addr, value) in &workload.init {
+        sys.write_word(Addr::new(addr), value);
+    }
+    let stats = sys.run(max_cycles).unwrap_or_else(|e| {
+        panic!(
+            "{} on {} x{} ({stepper:?}): {e}",
+            point.bench.name(),
+            point.protocol.name(),
+            point.n_cores
+        )
+    });
+    Outcome {
+        stats,
+        memory: sys.memory_image(),
+    }
+}
+
+fn assert_point_parity(point: &SweepPoint, shards: usize) {
+    let parallel = run_point(point, Stepper::ParallelShards { shards }, 200_000_000);
+    let reference = run_point(point, Stepper::Reference, 200_000_000);
+    let label = format!(
+        "{}/{}/x{} shards={shards}",
+        point.bench.name(),
+        point.protocol.name(),
+        point.n_cores
+    );
+    assert_eq!(
+        parallel.stats, reference.stats,
+        "{label}: RunStats diverge between steppers"
+    );
+    assert_eq!(
+        parallel.memory, reference.memory,
+        "{label}: final memory image diverges between steppers"
+    );
+}
+
+/// The satellite pin: 16 and 32 cores, all three protocol families
+/// (full-vector MESI, coarse-directory MESI, TSO-CC), full stats +
+/// memory-image equality. Shard counts deliberately include an uneven
+/// split (5 does not divide 16) and one exceeding the memory-controller
+/// count.
+#[test]
+fn parallel_stepper_matches_reference_at_16_and_32_cores() {
+    let protocols = [
+        Protocol::Mesi,
+        Protocol::MesiCoarse(MesiCoarseConfig::default()),
+        Protocol::TsoCc(TsoCcConfig::default()),
+    ];
+    for &(n_cores, scale, shards) in &[(16, Scale::Small, 5), (32, Scale::Tiny, 3)] {
+        for protocol in protocols {
+            let point = SweepPoint {
+                bench: Benchmark::Fft,
+                protocol,
+                n_cores,
+                scale,
+            };
+            assert_point_parity(&point, shards);
+        }
+    }
+}
+
+/// Multi-cycle windows: with `router_latency = 3` the conservative
+/// lookahead lets every window span three cycles, so workers batch
+/// several cycles between barriers — the window math itself is what
+/// this leg stresses.
+#[test]
+fn multi_cycle_windows_are_bit_identical() {
+    let run = |stepper: Stepper| {
+        let workload = Benchmark::Fft.build(8, Scale::Tiny, 7);
+        let mut cfg = SystemConfig::small_test(8, Protocol::Mesi);
+        cfg.noc.router_latency = 3;
+        cfg.stepper = stepper;
+        let mut sys = System::new(cfg, workload.programs.clone());
+        for &(addr, value) in &workload.init {
+            sys.write_word(Addr::new(addr), value);
+        }
+        let stats = sys.run(50_000_000).expect("run fails");
+        (stats, sys.memory_image())
+    };
+    let reference = run(Stepper::Reference);
+    for shards in [2, 4, 8] {
+        let parallel = run(Stepper::ParallelShards { shards });
+        assert_eq!(parallel.0, reference.0, "shards={shards}");
+        assert_eq!(parallel.1, reference.1, "shards={shards}");
+    }
+}
+
+/// Worker counts beyond the tile count clamp; `0` auto-sizes; `1`
+/// falls back to the serial scheduler — all still bit-identical.
+#[test]
+fn degenerate_shard_counts_fall_back_or_clamp() {
+    let run = |stepper: Stepper| {
+        let workload = Benchmark::Radix.build(4, Scale::Tiny, 3);
+        let mut cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::default()));
+        cfg.stepper = stepper;
+        let mut sys = System::new(cfg, workload.programs.clone());
+        for &(addr, value) in &workload.init {
+            sys.write_word(Addr::new(addr), value);
+        }
+        let stats = sys.run(50_000_000).expect("run fails");
+        (stats, sys.memory_image())
+    };
+    let reference = run(Stepper::Reference);
+    for shards in [0, 1, 2, 64] {
+        let parallel = run(Stepper::ParallelShards { shards });
+        assert_eq!(parallel.0, reference.0, "shards={shards}");
+        assert_eq!(parallel.1, reference.1, "shards={shards}");
+    }
+}
+
+/// Error outcomes are part of the bit-identical contract: a cycle
+/// budget too small for the workload must time out identically (the
+/// parallel loop caps its windows at the budget, never overshooting).
+#[test]
+fn timeouts_fire_identically_across_steppers() {
+    let run = |stepper: Stepper| {
+        let workload = Benchmark::Fft.build(8, Scale::Small, 11);
+        let mut cfg = SystemConfig::small_test(8, Protocol::Mesi);
+        cfg.stepper = stepper;
+        let mut sys = System::new(cfg, workload.programs.clone());
+        for &(addr, value) in &workload.init {
+            sys.write_word(Addr::new(addr), value);
+        }
+        sys.run(2_000)
+    };
+    let reference = run(Stepper::Reference);
+    assert_eq!(
+        reference,
+        Err(RunError::Timeout { max_cycles: 2_000 }),
+        "budget chosen to be insufficient"
+    );
+    assert_eq!(run(Stepper::ParallelShards { shards: 4 }), reference);
+}
