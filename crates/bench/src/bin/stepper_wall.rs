@@ -1,0 +1,91 @@
+//! Best-of-N wall-clock timing of one or more sweep points under
+//! chosen steppers — the measurement harness behind the stepper
+//! performance claims tracked across PRs.
+//!
+//! Unlike `BENCH_sweep.json` (whose rows time the default event-driven
+//! stepper once, incidentally), this bin times *specific* steppers
+//! best-of-N on identical points, so before/after comparisons of the
+//! run-loop itself are apples-to-apples.
+//!
+//! ```text
+//! stepper_wall [--cores 64,128] [--bench fft] [--reps 3] [--shards 4]
+//! ```
+//!
+//! Output: one line per (point, stepper) with the best wall time and
+//! the derived simulated-cycles-per-second.
+
+use std::time::Instant;
+
+use tsocc::Stepper;
+use tsocc_bench::sweep::SweepPoint;
+use tsocc_protocols::Protocol;
+use tsocc_workloads::{Benchmark, Scale};
+
+/// The `BENCH_sweep.json` base seed.
+const BASE_SEED: u64 = 0xC0FFEE;
+
+fn parse_arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cores_spec: String = parse_arg(&args, "--cores", "64,128".to_string());
+    let bench_name: String = parse_arg(&args, "--bench", "fft".to_string());
+    let reps: usize = parse_arg(&args, "--reps", 3);
+    let shards: usize = parse_arg(&args, "--shards", 4);
+
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == bench_name)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench_name}"));
+    let core_counts: Vec<usize> = cores_spec
+        .split(',')
+        .map(|s| s.trim().parse().expect("core count"))
+        .collect();
+
+    let steppers = [
+        ("event_driven", Stepper::EventDriven),
+        ("parallel", Stepper::ParallelShards { shards }),
+    ];
+    let protocols = [
+        Protocol::Mesi,
+        Protocol::MesiCoarse(Default::default()),
+        Protocol::TsoCc(Default::default()),
+    ];
+
+    println!("bench={} reps={reps} shards={shards}", bench.name());
+    for &n_cores in &core_counts {
+        for protocol in protocols {
+            let point = SweepPoint {
+                bench,
+                protocol,
+                n_cores,
+                scale: Scale::Small,
+            };
+            for (label, stepper) in steppers {
+                let mut best = f64::INFINITY;
+                let mut cycles = 0u64;
+                for _ in 0..reps {
+                    let t = Instant::now();
+                    let r = point.run_with_stepper(BASE_SEED, stepper);
+                    let wall = t.elapsed().as_secs_f64();
+                    best = best.min(wall);
+                    cycles = r.stats.cycles;
+                }
+                println!(
+                    "{:<12} x{:<4} {:<13} best {:>8.3}s  {:>12.0} sim-cyc/s",
+                    protocol.name(),
+                    n_cores,
+                    label,
+                    best,
+                    cycles as f64 / best.max(1e-9),
+                );
+            }
+        }
+    }
+}

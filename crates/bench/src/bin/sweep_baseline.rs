@@ -15,8 +15,13 @@
 //! Env: `TSOCC_SCALE` (tiny/small/full, default small like every
 //! other sweep entry point), `TSOCC_SEED`, `TSOCC_THREADS`
 //! (parallel-leg workers; default one per CPU), `TSOCC_SWEEP_CORES`
-//! (comma-separated core counts, default `2,4,8,16,32,64`),
+//! (comma-separated core counts, default `2,4,8,16,32,64,128`),
 //! `TSOCC_OUT` (output path, default `BENCH_sweep.json`).
+//!
+//! Every row also reports the sharded stepper's wall throughput on the
+//! same point (`shards_wall_seconds` / `shards_sim_cycles_per_second`,
+//! from the `ParallelShards{4}` parity leg), so stepper performance is
+//! tracked per point across PRs, not just in aggregate.
 //!
 //! `--check [path]` flips the binary into drift-check mode: instead of
 //! writing an artifact, it loads the committed one (default
@@ -164,7 +169,7 @@ fn main() {
     let opts = SweepOpts::from_env();
     let scale = opts.scale;
     let core_counts: Vec<usize> = std::env::var("TSOCC_SWEEP_CORES")
-        .unwrap_or_else(|_| "2,4,8,16,32,64".to_string())
+        .unwrap_or_else(|_| "2,4,8,16,32,64,128".to_string())
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
@@ -201,11 +206,10 @@ fn main() {
     // Stepper-parity legs: the committed artifact must be one that
     // every stepper reproduces bit-identically — full `RunStats`
     // (host-side scheduler counters excluded by its `PartialEq`) and
-    // the final-memory fingerprint, across the whole matrix.
-    for (stepper, label) in [
-        (Stepper::Reference, "Reference"),
-        (Stepper::ParallelShards { shards: 4 }, "ParallelShards{4}"),
-    ] {
+    // the final-memory fingerprint, across the whole matrix. The
+    // sharded leg's results are kept: its per-point wall times go into
+    // the artifact rows as the stepper-throughput trajectory.
+    let check_leg = |stepper: Stepper, label: &str| -> Vec<_> {
         eprintln!(
             "== stepper parity leg: {label} ({} points) ==",
             points.len()
@@ -222,7 +226,10 @@ fn main() {
                 "{label} stepper final memory diverged on {id}"
             );
         }
-    }
+        leg
+    };
+    check_leg(Stepper::Reference, "Reference");
+    let sharded = check_leg(Stepper::ParallelShards { shards: 4 }, "ParallelShards{4}");
 
     let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
     // Aggregate throughput over the whole matrix (total simulated
@@ -252,7 +259,15 @@ fn main() {
             "stepper_parity",
             "EventDriven == Reference == ParallelShards{4} (RunStats + memory fingerprint)",
         )
-        .raw("points", json::array(parallel.iter().map(|p| p.to_json())))
+        .raw(
+            "points",
+            json::array(parallel.iter().zip(&sharded).map(|(p, s)| {
+                p.to_json_obj()
+                    .f64("shards_wall_seconds", s.wall.as_secs_f64())
+                    .f64("shards_sim_cycles_per_second", s.sim_cycles_per_second())
+                    .build()
+            })),
+        )
         .build();
     std::fs::write(&out_path, doc + "\n").expect("write baseline artifact");
     eprintln!(

@@ -6,6 +6,8 @@
 
 use tsocc::RunStats;
 use tsocc_coherence::SelfInvCause;
+
+use crate::json::Value;
 use tsocc_proto::{StorageModel, TsoCcConfig};
 use tsocc_sim::stats::geometric_mean;
 use tsocc_workloads::Benchmark;
@@ -268,9 +270,139 @@ pub fn print_table3() {
     }
 }
 
+/// The three protocol families whose divergence-with-scale the
+/// `separation` figure tracks: full-vector MESI, the coarse-vector
+/// compromise, and the paper's TSO-CC in its realistic configuration.
+const SEPARATION_CONFIGS: [&str; 3] = ["MESI", "MESI-P4-G4", "TSO-CC-4-12-3"];
+
+/// Where the committed sweep artifact lives: `TSOCC_SWEEP_JSON`
+/// overrides; a repo-root invocation finds `BENCH_sweep.json` in the
+/// working directory; anything else (tests, odd CWDs) falls back to
+/// the copy next to this crate's workspace root.
+fn sweep_artifact_path() -> String {
+    if let Ok(p) = std::env::var("TSOCC_SWEEP_JSON") {
+        return p;
+    }
+    let local = "BENCH_sweep.json";
+    if std::path::Path::new(local).exists() {
+        return local.to_string();
+    }
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json").to_string()
+}
+
+/// The separation figure: execution time and network traffic versus
+/// core count for the three protocol families, read from the
+/// **committed** `BENCH_sweep.json` (no simulation runs — this renders
+/// the artifact CI already pins, so the figure is reproducible from
+/// the repo alone).
+///
+/// # Errors
+///
+/// The artifact is missing, unparseable, or lacks one of the three
+/// configurations.
+pub fn print_separation(path: &str) -> Result<(), String> {
+    let doc = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read sweep artifact {path}: {e}"))?;
+    let v = crate::json::parse(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let bench = v.get("bench").and_then(Value::as_str).unwrap_or("?");
+    let scale = v.get("scale").and_then(Value::as_str).unwrap_or("?");
+    let points = v
+        .get("points")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: no points array"))?;
+
+    // (config -> core count -> (cycles, flits)), core counts sorted.
+    let mut cores: Vec<u64> = Vec::new();
+    let mut series: Vec<Vec<(u64, u64)>> = vec![Vec::new(); SEPARATION_CONFIGS.len()];
+    for p in points {
+        let config = p.get("config").and_then(Value::as_str).unwrap_or("");
+        let Some(slot) = SEPARATION_CONFIGS.iter().position(|c| *c == config) else {
+            continue;
+        };
+        let n = p.get("n_cores").and_then(Value::as_u64).unwrap_or(0);
+        let cycles = p.get("cycles").and_then(Value::as_u64).unwrap_or(0);
+        let flits = p.get("flits").and_then(Value::as_u64).unwrap_or(0);
+        if !cores.contains(&n) {
+            cores.push(n);
+        }
+        series[slot].push((n, cycles));
+        // Flits ride in the high half so one vec carries both metrics.
+        series[slot].push((n | 1 << 63, flits));
+    }
+    cores.sort_unstable();
+    for (slot, config) in SEPARATION_CONFIGS.iter().enumerate() {
+        if series[slot].is_empty() {
+            return Err(format!("{path}: no rows for configuration {config}"));
+        }
+    }
+    let lookup = |slot: usize, key: u64| -> u64 {
+        series[slot]
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+
+    for (title, tag) in [
+        ("execution time (cycles)", 0u64),
+        ("network traffic (total flits)", 1 << 63),
+    ] {
+        println!("\n== Separation: {title} vs cores ({bench}, {scale}) ==");
+        print!("{:<8}", "cores");
+        for config in SEPARATION_CONFIGS {
+            print!(" {config:>16}");
+        }
+        println!(" {:>16}", "TSO-CC/MESI");
+        for &n in &cores {
+            print!("{n:<8}");
+            let base = lookup(0, n | tag).max(1);
+            for slot in 0..SEPARATION_CONFIGS.len() {
+                print!(" {:>16}", lookup(slot, n | tag));
+            }
+            println!(" {:>16.3}", lookup(2, n | tag) as f64 / base as f64);
+        }
+        // The curve itself, one bar row per (core count, config),
+        // scaled to the largest value in the block.
+        let max = cores
+            .iter()
+            .flat_map(|&n| (0..SEPARATION_CONFIGS.len()).map(move |s| (s, n)))
+            .map(|(s, n)| lookup(s, n | tag))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        for &n in &cores {
+            for (slot, config) in SEPARATION_CONFIGS.iter().enumerate() {
+                let value = lookup(slot, n | tag);
+                let width = ((value as f64 / max as f64) * 48.0).round() as usize;
+                let lead = if slot == 0 {
+                    format!("{n:>4}")
+                } else {
+                    "    ".into()
+                };
+                println!(
+                    "{lead} | {config:<14} {:<48} {value}",
+                    "#".repeat(width.max(1))
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Every selection the `figures` binary accepts.
-pub const SELECTIONS: [&str; 12] = [
-    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+pub const SELECTIONS: [&str; 13] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "separation",
     "all",
 ];
 
@@ -318,6 +450,7 @@ pub fn render_all<S: AsRef<str>>(selections: &[S], opts: crate::SweepOpts) -> Re
             "fig7" => print_fig7(ensure_sweep(&mut sweep, opts)),
             "fig8" => print_fig8(ensure_sweep(&mut sweep, opts)),
             "fig9" => print_fig9(ensure_sweep(&mut sweep, opts)),
+            "separation" => print_separation(&sweep_artifact_path())?,
             "all" => {
                 print_table2(&opts);
                 print_table3();
@@ -331,6 +464,7 @@ pub fn render_all<S: AsRef<str>>(selections: &[S], opts: crate::SweepOpts) -> Re
                 print_fig7(sweep);
                 print_fig8(sweep);
                 print_fig9(sweep);
+                print_separation(&sweep_artifact_path())?;
             }
             _ => unreachable!("validated above"),
         }
@@ -381,5 +515,12 @@ mod tests {
         print_table1();
         print_table2(&sweep.opts);
         print_table3();
+    }
+
+    #[test]
+    fn separation_renders_the_committed_artifact() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+        print_separation(path).expect("committed artifact renders");
+        assert!(print_separation("/nonexistent.json").is_err());
     }
 }

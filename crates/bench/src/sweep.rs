@@ -187,6 +187,13 @@ impl PointResult {
 
     /// The point as a JSON object (the `BENCH_sweep.json` row format).
     pub fn to_json(&self) -> String {
+        self.to_json_obj().build()
+    }
+
+    /// The row as a still-open [`json::Object`], so callers can append
+    /// extra fields (`sweep_baseline` adds the sharded stepper's
+    /// per-point wall throughput) before serializing.
+    pub fn to_json_obj(&self) -> json::Object {
         json::Object::new()
             .str("bench", &self.bench)
             .str("config", &self.config)
@@ -203,7 +210,6 @@ impl PointResult {
             .u64("sched_stale_skips", self.stats.sched.stale_skips)
             .f64("wall_seconds", self.wall.as_secs_f64())
             .f64("sim_cycles_per_second", self.sim_cycles_per_second())
-            .build()
     }
 }
 

@@ -142,6 +142,7 @@ pub struct L1Chassis<L, R> {
     id: usize,
     n_cores: usize,
     n_tiles: usize,
+    l2_banks: usize,
     issue_latency: u64,
     /// The data/tag array.
     pub cache: CacheArray<L>,
@@ -159,11 +160,14 @@ pub struct L1Chassis<L, R> {
 
 impl<L: Copy, R> L1Chassis<L, R> {
     /// Creates the chassis for core `id` on a machine with `n_cores`
-    /// cores and `n_tiles` L2 tiles.
+    /// cores and `n_tiles` L2 tiles of `l2_banks` banks each (the
+    /// line→home interleaving granularity; `1` for the paper's Table 2
+    /// machine).
     pub fn new(
         id: usize,
         n_cores: usize,
         n_tiles: usize,
+        l2_banks: usize,
         issue_latency: u64,
         params: CacheParams,
     ) -> Self {
@@ -171,6 +175,7 @@ impl<L: Copy, R> L1Chassis<L, R> {
             id,
             n_cores,
             n_tiles,
+            l2_banks,
             issue_latency,
             cache: CacheArray::new(params),
             mshrs: MshrTable::new(),
@@ -201,9 +206,11 @@ impl<L: Copy, R> L1Chassis<L, R> {
         Agent::L1(self.id)
     }
 
-    /// The home L2 tile of `line`.
+    /// The home L2 tile of `line`. Mirrors
+    /// `MachineShape::home_tile` — the two must agree or requests and
+    /// memory-controller routing diverge.
     pub fn home(&self, line: LineAddr) -> Agent {
-        Agent::L2(line.home(self.n_tiles))
+        Agent::L2(line.home_banked(self.n_tiles, self.l2_banks))
     }
 
     /// Queues `msg` to `dst`, charged with the tag-array issue latency.

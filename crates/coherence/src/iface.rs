@@ -128,6 +128,16 @@ pub struct MachineShape {
     pub n_tiles: usize,
     /// Number of memory controllers.
     pub n_mem: usize,
+    /// The on-chip mesh carrying all traffic; need not be square
+    /// (the paper's 32-core machine is 4×8, the 128-core climb 8×16)
+    /// but must hold exactly [`MachineShape::n_tiles`] routers.
+    pub mesh: tsocc_noc::MeshTopology,
+    /// L2 banks per tile: the line→home-tile interleaving maps `banks`
+    /// consecutive lines to one tile (see [`MachineShape::home_tile`]).
+    /// `1` everywhere the paper's Table 2 machine is concerned; the
+    /// 128-core configuration uses `2` so a tile's slice of a working
+    /// set stays contiguous enough to exploit spatial locality.
+    pub l2_banks: usize,
     /// L1 geometry.
     pub l1_params: tsocc_mem::CacheParams,
     /// L2 tile geometry.
@@ -139,6 +149,17 @@ pub struct MachineShape {
 }
 
 impl MachineShape {
+    /// The home L2 tile of `line` under this machine's interleaving:
+    /// `(line / l2_banks) % n_tiles`. Every agent that maps an address
+    /// to a tile — L1 request routing, the memory-controller choice —
+    /// must go through this one function (or [`L1Chassis::home`], which
+    /// mirrors it) so the mapping can never diverge between layers.
+    ///
+    /// [`L1Chassis::home`]: crate::L1Chassis::home
+    pub fn home_tile(&self, line: tsocc_mem::LineAddr) -> usize {
+        line.home_banked(self.n_tiles, self.l2_banks)
+    }
+
     /// Protocol-independent geometry sanity checks. Protocols layer
     /// their own limits on top via
     /// [`ProtocolFactory::validate_shape`].
@@ -155,6 +176,16 @@ impl MachineShape {
         }
         if self.n_mem == 0 {
             return Err("machine needs at least one memory controller".to_string());
+        }
+        let routers = self.mesh.rows() * self.mesh.cols();
+        if routers != self.n_tiles {
+            return Err(format!(
+                "{} mesh has {} routers for {} L2 tiles",
+                self.mesh, routers, self.n_tiles
+            ));
+        }
+        if self.l2_banks == 0 {
+            return Err("machine needs at least one L2 bank per tile".to_string());
         }
         Ok(())
     }
@@ -239,5 +270,46 @@ mod tests {
         assert_eq!(CoreOp::Load(Addr::new(8)).addr(), Some(Addr::new(8)));
         assert_eq!(CoreOp::Store(Addr::new(16), 1).addr(), Some(Addr::new(16)));
         assert_eq!(CoreOp::Fence.addr(), None);
+    }
+
+    fn shape_4t() -> MachineShape {
+        MachineShape {
+            n_cores: 4,
+            n_tiles: 4,
+            n_mem: 2,
+            mesh: tsocc_noc::MeshTopology::for_tiles(4),
+            l2_banks: 1,
+            l1_params: tsocc_mem::CacheParams::new(8, 2),
+            l2_params: tsocc_mem::CacheParams::new(16, 4),
+            l1_issue_latency: 1,
+            l2_latency: 4,
+        }
+    }
+
+    #[test]
+    fn home_tile_follows_bank_interleaving() {
+        use tsocc_mem::LineAddr;
+        let mut shape = shape_4t();
+        assert_eq!(shape.home_tile(LineAddr::new(5)), 1);
+        shape.l2_banks = 2;
+        // Pairs of lines share a home: 4,5 → tile 2; 6,7 → tile 3.
+        assert_eq!(shape.home_tile(LineAddr::new(4)), 2);
+        assert_eq!(shape.home_tile(LineAddr::new(5)), 2);
+        assert_eq!(shape.home_tile(LineAddr::new(7)), 3);
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_mesh_and_zero_banks() {
+        let mut shape = shape_4t();
+        assert!(shape.validate().is_ok());
+        // Non-square is fine as long as the router count matches.
+        shape.mesh = tsocc_noc::MeshTopology::new(1, 4);
+        assert!(shape.validate().is_ok());
+        shape.mesh = tsocc_noc::MeshTopology::new(2, 3);
+        let err = shape.validate().unwrap_err();
+        assert!(err.contains("6 routers"), "{err}");
+        shape.mesh = tsocc_noc::MeshTopology::for_tiles(4);
+        shape.l2_banks = 0;
+        assert!(shape.validate().is_err());
     }
 }

@@ -43,6 +43,9 @@ pub use iface::{
 };
 pub use memctrl::MemCtrl;
 pub use msg::{Agent, Epoch, Grant, Msg, NetMsg, Ts, TsSource};
+// Re-exported so protocol crates can fill `MachineShape::mesh` without
+// depending on the NoC crate directly.
 pub use outbox::Outbox;
 pub use stats::{L1Stats, L2Stats, SelfInvCause};
+pub use tsocc_noc::MeshTopology;
 pub use wb::WritebackBuffer;

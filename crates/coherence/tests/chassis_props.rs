@@ -68,7 +68,7 @@ struct RefWb {
 /// 1 = PutAck (remove), 2 = forward-mark, 3 = lookup.
 fn drive_writebacks(keys: &[u64], ops: &[(u8, usize, u64)]) {
     let n_tiles = 4;
-    let mut ch: L1Chassis<(), u8> = L1Chassis::new(1, 8, n_tiles, 1, CacheParams::new(4, 2));
+    let mut ch: L1Chassis<(), u8> = L1Chassis::new(1, 8, n_tiles, 1, 1, CacheParams::new(4, 2));
     let mut reference: HashMap<u64, RefWb> = HashMap::new();
     let mut now = Cycle::ZERO;
     let mut puts_expected: Vec<(Agent, bool, u64)> = Vec::new(); // (home, dirty, line)

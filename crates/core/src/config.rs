@@ -46,6 +46,29 @@ impl Stepper {
     pub fn parallel() -> Stepper {
         Stepper::ParallelShards { shards: 0 }
     }
+
+    /// The worker-thread count this stepper will actually use on a
+    /// machine with `n_tiles` tiles: the serial steppers always use
+    /// one; `ParallelShards { shards: 0 }` auto-sizes to
+    /// [`std::thread::available_parallelism`]; every parallel request
+    /// is capped at the tile count (a shard cannot be smaller than one
+    /// tile). This is the exact resolution the run loop applies, so
+    /// callers can predict the fallback-to-serial case (`<= 1`).
+    pub fn effective_shards(self, n_tiles: usize) -> usize {
+        match self {
+            Stepper::EventDriven | Stepper::Reference => 1,
+            Stepper::ParallelShards { shards } => {
+                let requested = if shards == 0 {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                } else {
+                    shards
+                };
+                requested.min(n_tiles).max(1)
+            }
+        }
+    }
 }
 
 /// Full machine configuration.
@@ -65,6 +88,16 @@ pub struct SystemConfig {
     pub n_cores: usize,
     /// Number of memory controllers (mesh corners).
     pub n_mem: usize,
+    /// Explicit mesh dimensions `(rows, cols)`; `None` picks the
+    /// near-square default for the tile count
+    /// ([`tsocc_noc::MeshTopology::for_tiles`]: 32→4×8, 128→8×16).
+    /// Must multiply to the tile count — `rows × cols == n_cores`.
+    pub mesh: Option<(usize, usize)>,
+    /// L2 banks per tile: the line→home interleaving granularity
+    /// (see [`MachineShape::home_tile`]). 1 for the paper's Table 2
+    /// machine; [`SystemConfig::table2_with_cores`] raises it to 2 at
+    /// 128 cores and beyond.
+    pub l2_banks: usize,
     /// Core pipeline/write-buffer parameters.
     pub core: CoreConfig,
     /// L1 geometry.
@@ -91,6 +124,8 @@ impl std::fmt::Debug for SystemConfig {
         f.debug_struct("SystemConfig")
             .field("n_cores", &self.n_cores)
             .field("n_mem", &self.n_mem)
+            .field("mesh", &self.mesh)
+            .field("l2_banks", &self.l2_banks)
             .field("core", &self.core)
             .field("l1_params", &self.l1_params)
             .field("l2_params", &self.l2_params)
@@ -111,6 +146,8 @@ impl SystemConfig {
         SystemConfig {
             n_cores: 32,
             n_mem: 4,
+            mesh: None,
+            l2_banks: 1,
             core: CoreConfig::default(),
             l1_params: CacheParams::from_capacity(32 * 1024, 4),
             l2_params: CacheParams::from_capacity(1024 * 1024, 16),
@@ -123,11 +160,18 @@ impl SystemConfig {
         }
     }
 
-    /// Like [`SystemConfig::table2`] but with `n` cores.
+    /// Like [`SystemConfig::table2`] but with `n` cores. From 128
+    /// cores up the L2 goes two-banked (`l2_banks = 2`): each tile
+    /// serves line pairs instead of single lines, so the per-tile
+    /// stripe of a fixed working set keeps some spatial locality as
+    /// the tile count doubles. Below 128 cores the interleaving is
+    /// Table 2's flat `line % n_tiles` — byte-identical to every
+    /// machine this constructor has ever produced at those sizes.
     pub fn table2_with_cores(protocol: impl Into<ProtocolHandle>, n: usize) -> Self {
         let mut cfg = SystemConfig::table2(protocol);
         cfg.n_cores = n;
         cfg.n_mem = n.clamp(1, 4);
+        cfg.l2_banks = if n >= 128 { 2 } else { 1 };
         cfg
     }
 
@@ -137,6 +181,8 @@ impl SystemConfig {
         SystemConfig {
             n_cores,
             n_mem: n_cores.clamp(1, 2),
+            mesh: None,
+            l2_banks: 1,
             core: CoreConfig {
                 write_buffer_entries: 8,
                 l1_hit_latency: 1,
@@ -179,10 +225,19 @@ impl SystemConfig {
     /// The protocol-independent machine geometry handed to the
     /// [`tsocc_coherence::ProtocolFactory`] when controllers are built.
     pub fn shape(&self) -> MachineShape {
+        use tsocc_coherence::MeshTopology;
+        // `for_tiles` needs a positive tile count; a zero-tile machine
+        // still gets a shape so `validate` can report the real error.
+        let mesh = match self.mesh {
+            Some((rows, cols)) => MeshTopology::new(rows, cols),
+            None => MeshTopology::for_tiles(self.n_tiles().max(1)),
+        };
         MachineShape {
             n_cores: self.n_cores,
             n_tiles: self.n_tiles(),
             n_mem: self.n_mem,
+            mesh,
+            l2_banks: self.l2_banks,
             l1_params: self.l1_params,
             l2_params: self.l2_params,
             l1_issue_latency: 1,
@@ -215,6 +270,35 @@ mod tests {
         assert_eq!(shape.n_tiles, cfg.n_tiles());
         assert_eq!(shape.n_mem, cfg.n_mem);
         assert_eq!(shape.l2_latency, cfg.l2_latency);
+        assert_eq!(shape.l2_banks, 1);
+        assert_eq!((shape.mesh.rows(), shape.mesh.cols()), (2, 2));
+    }
+
+    #[test]
+    fn mesh_override_must_match_tile_count() {
+        let mut cfg = SystemConfig::small_test(4, Protocol::Mesi);
+        cfg.mesh = Some((1, 4));
+        assert!(cfg.validate().is_ok());
+        cfg.mesh = Some((2, 3));
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("routers"), "{err}");
+    }
+
+    #[test]
+    fn l2_goes_two_banked_at_128_cores() {
+        // The paper-size machines keep Table 2's flat interleaving…
+        for n in [2, 16, 32, 64] {
+            assert_eq!(
+                SystemConfig::table2_with_cores(Protocol::Mesi, n).l2_banks,
+                1
+            );
+        }
+        // …and the 128-core climb stripes line pairs across tiles.
+        let cfg = SystemConfig::table2_with_cores(Protocol::Mesi, 128);
+        assert_eq!(cfg.l2_banks, 2);
+        let shape = cfg.shape();
+        assert_eq!((shape.mesh.rows(), shape.mesh.cols()), (8, 16));
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -106,6 +106,12 @@ pub struct System {
     /// cycles as the `*_wake` vectors, so picking the next event is
     /// amortized O(1) instead of a min-scan over every component.
     wake_queue: WakeQueue,
+    /// Per-shard wake queues lent to the parallel stepper's workers
+    /// (empty until the first parallel run, then reused across runs so
+    /// repeated parallel runs never reallocate queue buckets). Each
+    /// shard indexes its queue with shard-local ids over its own tile
+    /// slice; see `system/parallel.rs`.
+    shard_queues: Vec<WakeQueue>,
     /// Cached `is_done()` per core, so `cores_running` updates
     /// incrementally from only the cores a step actually ticks.
     core_done: Vec<bool>,
@@ -138,7 +144,8 @@ impl System {
             programs.len(),
             cfg.n_cores
         );
-        let topo = MeshTopology::for_tiles(cfg.n_tiles());
+        let shape = cfg.shape();
+        let topo = shape.mesh;
         let mut programs = programs;
         while programs.len() < cfg.n_cores {
             programs.push(Program::new(vec![tsocc_isa::Instr::Halt]));
@@ -148,7 +155,6 @@ impl System {
             .enumerate()
             .map(|(i, p)| Core::new(i, p, cfg.core, cfg.seed.wrapping_add(i as u64 * 7919)))
             .collect();
-        let shape = cfg.shape();
         let l1s: Vec<Box<dyn L1Controller>> = (0..cfg.n_cores)
             .map(|i| cfg.protocol.l1(i, &shape))
             .collect();
@@ -188,6 +194,7 @@ impl System {
             l2_busy: vec![false; n_tiles],
             mem_busy: vec![false; cfg_n_mem],
             wake_queue: WakeQueue::new(0),
+            shard_queues: Vec::new(),
             core_done: vec![false; cores_running],
             due_ids: Vec::new(),
             cand_core: Vec::new(),
@@ -219,9 +226,14 @@ impl System {
         &self.cores[i]
     }
 
-    /// The memory controller owning `addr`'s line.
+    /// The memory controller owning `addr`'s line: the one backing the
+    /// line's home L2 tile (L2s target `Agent::Mem(tile % n_mem)`, so
+    /// routing through [`MachineShape::home_tile`] keeps the two maps
+    /// agreeing under any bank interleaving).
+    ///
+    /// [`MachineShape::home_tile`]: tsocc_coherence::MachineShape::home_tile
     fn mem_ctrl_of(&self, addr: Addr) -> usize {
-        let tile = addr.line().home(self.cfg.n_tiles());
+        let tile = self.cfg.shape().home_tile(addr.line());
         tile % self.cfg.n_mem
     }
 
@@ -760,10 +772,16 @@ impl System {
     /// Aggregates all statistics (valid at any point, typically after
     /// [`System::run`]).
     pub fn collect_stats(&self) -> RunStats {
+        let mut sched = self.wake_queue.stats();
+        // A parallel run's queue traffic lives in the per-shard queues;
+        // host-side counters only, so merging is parity-neutral.
+        for q in &self.shard_queues {
+            sched.merge(q.stats());
+        }
         let mut stats = RunStats {
             cycles: self.now.as_u64(),
             noc: self.mesh.stats().clone(),
-            sched: self.wake_queue.stats(),
+            sched,
             ..RunStats::default()
         };
         for l1 in &self.l1s {

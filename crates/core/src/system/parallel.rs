@@ -14,7 +14,35 @@
 //! can observe anything another shard does — each worker can execute
 //! its shard's cycles of the window with no synchronization at all.
 //! This is classic conservative parallel discrete-event simulation
-//! (null-message-free, barrier-per-window).
+//! (null-message-free, window-synchronized).
+//!
+//! # Selective participation
+//!
+//! A window is dispatched only to the shards that can possibly act in
+//! it: a shard participates iff an arrival was delivered to it at the
+//! window's first cycle or its wake queue holds an entry below the
+//! window end. Any other shard would execute zero cycles and leave its
+//! lane untouched (its worker loop starts at `max(wake, T0) >= E`), so
+//! skipping it outright is behavior-identical — the coordinator keeps
+//! a cached copy of each lane's `(wake, running, busy)` and re-reads
+//! only participating lanes. Participants are driven through per-shard
+//! [`Gate`]s rather than a global barrier, and the coordinator runs
+//! the first participant inline — *all* of them when the host has a
+//! single CPU, where handing work to a sleeping thread costs a context
+//! switch and overlaps with nothing.
+//!
+//! # Event-driven shards
+//!
+//! Within a window each worker is **event-driven, not cycle-stepped**:
+//! the shard owns a [`WakeQueue`] over shard-local component ids (its
+//! cores, L1s, L2 slices and memory-controller chunk) plus the same
+//! per-controller wake/busy caches the serial indexed stepper uses, so
+//! a cycle visits only the components that are *due* (popped from the
+//! queue) or *touched* (a window arrival landed on them), and the
+//! worker jumps simulated time straight to the shard's next local wake
+//! instead of polling every owned component every cycle. This is the
+//! per-shard analog of `System::step_indexed`, and the reason 128-core
+//! windows cost O(active components) instead of O(machine).
 //!
 //! # Determinism
 //!
@@ -24,9 +52,12 @@
 //! 1. Inside a window, each worker executes exactly the reference
 //!    stepper's per-cycle phases (deliver, core tick, tile tick,
 //!    drain), restricted to its shard, with the reference conditions
-//!    verbatim. Shards are disjoint and windows end before any
-//!    in-flight or newly injected message can arrive, so restriction
-//!    changes nothing.
+//!    verbatim on the due-or-touched candidate set. Shards are disjoint
+//!    and windows end before any in-flight or newly injected message
+//!    can arrive, so restriction changes nothing; every skipped
+//!    component provably satisfies the same "untouched and not due"
+//!    conditions under which the reference phases are no-ops (the
+//!    `System::step_indexed` argument, applied per shard).
 //! 2. Workers never touch the mesh. Every outgoing message is recorded
 //!    with its injection cycle and its global drain position
 //!    `(class, controller index)`; after the window the coordinator
@@ -45,13 +76,14 @@
 //!
 //! [`Stepper::Reference`]: crate::Stepper::Reference
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Condvar, Mutex};
 
 use tsocc_coherence::{Agent, CacheController, L1Controller, L2Controller, MemCtrl, NetMsg};
 use tsocc_cpu::Core;
 use tsocc_noc::MeshTopology;
-use tsocc_sim::Cycle;
+use tsocc_sim::{Cycle, WakeQueue};
+
+use crate::Stepper;
 
 use super::{RunError, System, DEADLOCK_WINDOW};
 use crate::stats::RunStats;
@@ -91,15 +123,66 @@ struct Lane {
     last_processed: u64,
 }
 
-/// Shared coordinator/worker control block.
-struct Ctl {
-    /// Opens a window (or releases workers to exit when `run` drops).
-    start: Barrier,
-    /// Closes a window: every worker has published its lane.
-    done: Barrier,
-    window_start: AtomicU64,
-    window_end: AtomicU64,
-    run: AtomicBool,
+/// Coordinator-to-worker command, one slot per shard.
+#[derive(Clone, Copy)]
+enum Cmd {
+    /// No window assigned; the worker sleeps.
+    Sleep,
+    /// Execute the window `[start, end)` and publish the lane.
+    Go { start: u64, end: u64 },
+    /// The worker finished its window (lane published).
+    Done,
+    /// The run is over; the worker thread returns.
+    Exit,
+}
+
+/// Per-shard wake-up gate. Unlike a global barrier, gates let the
+/// coordinator wake **only the shards that can possibly act** in a
+/// window (an arrival landed on them, or their own wake queue has an
+/// entry inside the window); every other worker sleeps through the
+/// window untouched, which is what makes one-cycle windows — the common
+/// case under the default single-cycle mesh lookahead — affordable.
+struct Gate {
+    cmd: Mutex<Cmd>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            cmd: Mutex::new(Cmd::Sleep),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Coordinator side: assign a command and wake the worker.
+    fn post(&self, cmd: Cmd) {
+        *self.cmd.lock().unwrap() = cmd;
+        self.cv.notify_all();
+    }
+
+    /// Coordinator side: block until the worker reports `Done`, then
+    /// reset the gate to `Sleep`.
+    fn wait_done(&self) {
+        let mut cmd = self.cmd.lock().unwrap();
+        while !matches!(*cmd, Cmd::Done) {
+            cmd = self.cv.wait(cmd).unwrap();
+        }
+        *cmd = Cmd::Sleep;
+    }
+
+    /// Worker side: block until a window is assigned (`Go`) or the run
+    /// ends (`Exit`).
+    fn await_window(&self) -> Option<(u64, u64)> {
+        let mut cmd = self.cmd.lock().unwrap();
+        loop {
+            match *cmd {
+                Cmd::Go { start, end } => return Some((start, end)),
+                Cmd::Exit => return None,
+                _ => cmd = self.cv.wait(cmd).unwrap(),
+            }
+        }
+    }
 }
 
 /// One worker's disjoint slice of the machine: a contiguous tile range
@@ -135,22 +218,43 @@ struct Shard<'a> {
     busy: usize,
     /// Drain scratch (no per-cycle allocation).
     outbuf: Vec<NetMsg>,
+    /// The shard's indexed pending-event queue, lent from
+    /// `System::shard_queues` so its bucket storage is reused across
+    /// runs. Shard-local id layout over the owned slices: cores
+    /// `0..n`, L1s `n..2n`, L2s `2n..3n`, memory controllers
+    /// `3n..3n + m`.
+    queue: &'a mut WakeQueue,
+    /// Scratch id sets reused by every shard cycle (no per-cycle
+    /// allocation): queue pops, then per-class candidate lists.
+    due_ids: Vec<u32>,
+    cand_core: Vec<u32>,
+    drain_l1: Vec<u32>,
+    tick_l2: Vec<u32>,
+    drain_l2: Vec<u32>,
+    drain_mem: Vec<u32>,
+    /// Window-arrival scratch, swapped with the lane's arrival buffer
+    /// at window start (kept on the shard so the inline and the
+    /// worker-thread execution paths share it).
+    arr_buf: Vec<NetMsg>,
 }
 
 impl Shard<'_> {
     /// Recomputes every cached value for the shard from component
-    /// state — the per-shard analog of `System::prime_queue`, run once
-    /// by the coordinator before the workers start.
+    /// state and (re)builds the shard's wake queue — the per-shard
+    /// analog of `System::prime_queue`, run once by the coordinator
+    /// before the workers start. The one full scan of the run: every
+    /// later shard cycle visits only due-or-touched components.
     fn prime(&mut self, now: Cycle) {
+        let n = self.cores.len();
+        self.queue.reset(3 * n + self.mems.len(), now.as_u64());
         let mut running = 0;
-        let mut wake = Cycle::MAX;
         for (i, core) in self.cores.iter().enumerate() {
             let done = core.is_done();
             self.core_done[i] = done;
             running += usize::from(!done);
             // Sampled at `now` so cores due at the window's very first
-            // cycle are already covered by `wake`.
-            wake = wake.min(core.next_event(now));
+            // cycle are already in the queue.
+            self.queue.set(i, core.next_event(now).as_u64());
         }
         self.running = running;
         let mut busy = 0;
@@ -158,83 +262,142 @@ impl Shard<'_> {
             self.l1_wake[i] = l1.next_event();
             self.l1_busy[i] = !l1.is_quiescent();
             busy += usize::from(self.l1_busy[i]);
-            wake = wake.min(self.l1_wake[i]);
+            self.queue.set(n + i, self.l1_wake[i].as_u64());
         }
         for (i, l2) in self.l2s.iter().enumerate() {
             self.l2_wake[i] = l2.next_event();
             self.l2_busy[i] = !l2.is_quiescent();
             busy += usize::from(self.l2_busy[i]);
-            wake = wake.min(self.l2_wake[i]);
+            self.queue.set(2 * n + i, self.l2_wake[i].as_u64());
         }
         for (j, mem) in self.mems.iter().enumerate() {
             self.mem_wake[j] = mem.next_event();
             self.mem_busy[j] = !mem.is_quiescent();
             busy += usize::from(self.mem_busy[j]);
-            wake = wake.min(self.mem_wake[j]);
+            self.queue.set(3 * n + j, self.mem_wake[j].as_u64());
         }
         self.busy = busy;
-        self.wake = wake.as_u64();
+        self.wake = self.queue.next_wake(now.as_u64());
     }
 
     /// Executes one simulated cycle for this shard: the reference
     /// stepper's phases with the reference conditions verbatim,
-    /// restricted to the shard, recording would-be mesh injections
-    /// into `sends` instead of touching the mesh.
+    /// restricted to the shard's **due-or-touched** components (the
+    /// per-shard `System::step_indexed`), recording would-be mesh
+    /// injections into `sends` instead of touching the mesh.
     fn process_cycle(&mut self, t: Cycle, arrivals: &mut Vec<NetMsg>, sends: &mut Vec<SendRec>) {
         self.gen += 1;
         let gen = self.gen;
+        let n = self.cores.len();
+        let (l1b, l2b, memb) = (n, 2 * n, 3 * n);
+
+        // Components whose queued wake deadline has arrived; each is
+        // re-armed below after its class phase runs.
+        let mut due_ids = std::mem::take(&mut self.due_ids);
+        let mut cand_core = std::mem::take(&mut self.cand_core);
+        let mut drain_l1 = std::mem::take(&mut self.drain_l1);
+        let mut tick_l2 = std::mem::take(&mut self.tick_l2);
+        let mut drain_l2 = std::mem::take(&mut self.drain_l2);
+        let mut drain_mem = std::mem::take(&mut self.drain_mem);
+        due_ids.clear();
+        cand_core.clear();
+        drain_l1.clear();
+        tick_l2.clear();
+        drain_l2.clear();
+        drain_mem.clear();
+        self.queue.pop_due(t.as_u64(), &mut due_ids);
+        for &id in &due_ids {
+            let id = id as usize;
+            if id < l1b {
+                cand_core.push(id as u32);
+            } else if id < l2b {
+                drain_l1.push((id - l1b) as u32);
+            } else if id < memb {
+                drain_l2.push((id - l2b) as u32);
+            } else {
+                drain_mem.push((id - memb) as u32);
+            }
+        }
 
         // 1. Dispatch the window's arrivals (non-empty only at the
         // window's first cycle), preserving the coordinator's
-        // deterministic delivery order per controller.
+        // deterministic delivery order per controller and recording
+        // which components they touch.
         for nm in arrivals.drain(..) {
             match nm.dst {
                 Agent::L1(i) => {
                     let i = i - self.tile_lo;
+                    if self.l1_msg_gen[i] != gen {
+                        cand_core.push(i as u32);
+                    }
                     self.l1s[i].handle_message(t, nm.src, nm.msg);
                     self.l1_msg_gen[i] = gen;
                 }
                 Agent::L2(i) => {
                     let i = i - self.tile_lo;
+                    if self.l2_msg_gen[i] != gen {
+                        tick_l2.push(i as u32);
+                        drain_l2.push(i as u32);
+                    }
                     self.l2s[i].handle_message(t, nm.src, nm.msg);
                     self.l2_msg_gen[i] = gen;
                 }
                 Agent::Mem(j) => {
                     let j = j - self.mem_lo;
+                    if self.mem_msg_gen[j] != gen {
+                        drain_mem.push(j as u32);
+                    }
                     self.mems[j].handle_message(t, nm.src, nm.msg);
                     self.mem_msg_gen[j] = gen;
                 }
             }
         }
 
-        // 2. Cores execute against their L1s.
+        // 2. Cores execute against their L1s. Condition verbatim from
+        // the reference step; candidates outside the due/touched sets
+        // would fail it anyway.
+        cand_core.sort_unstable();
+        cand_core.dedup();
         let next = t + 1;
-        let mut wake = Cycle::MAX;
-        let mut running = 0;
-        for (i, (core, l1)) in self.cores.iter_mut().zip(self.l1s.iter_mut()).enumerate() {
+        for &i in &cand_core {
+            let i = i as usize;
+            let core = &mut self.cores[i];
             if self.l1_msg_gen[i] == gen || core.next_event(t) <= t {
-                core.tick(t, l1.as_mut());
+                core.tick(t, self.l1s[i].as_mut());
                 self.l1_msg_gen[i] = gen;
             }
             let done = core.is_done();
-            self.core_done[i] = done;
-            running += usize::from(!done);
-            wake = wake.min(core.next_event(next));
+            if done != self.core_done[i] {
+                self.core_done[i] = done;
+                if done {
+                    self.running -= 1;
+                } else {
+                    self.running += 1;
+                }
+            }
+            self.queue.set(i, core.next_event(next).as_u64());
         }
-        self.running = running;
 
         // 3. Touched tiles advance (queued-request replay).
-        for (i, l2) in self.l2s.iter_mut().enumerate() {
+        tick_l2.sort_unstable();
+        tick_l2.dedup();
+        for &i in &tick_l2 {
+            let i = i as usize;
             if self.l2_msg_gen[i] == gen {
-                l2.tick(t);
+                self.l2s[i].tick(t);
             }
         }
 
-        // 4. Drain ready outboxes, tagging each message with its global
-        // drain position for the coordinator's ordered replay.
-        let mut busy = 0;
-        for (i, l1) in self.l1s.iter_mut().enumerate() {
+        // 4. Drain ready outboxes — ascending index within each class —
+        // tagging each message with its global drain position for the
+        // coordinator's ordered replay.
+        drain_l1.extend_from_slice(&cand_core);
+        drain_l1.sort_unstable();
+        drain_l1.dedup();
+        for &i in &drain_l1 {
+            let i = i as usize;
             if self.l1_msg_gen[i] == gen || self.l1_wake[i] <= t {
+                let l1 = &mut self.l1s[i];
                 l1.drain_outbox(t, &mut self.outbuf);
                 for nm in self.outbuf.drain(..) {
                     sends.push(SendRec {
@@ -244,14 +407,25 @@ impl Shard<'_> {
                         msg: nm,
                     });
                 }
-                self.l1_busy[i] = !l1.is_quiescent();
+                let busy = !l1.is_quiescent();
+                if busy != self.l1_busy[i] {
+                    self.l1_busy[i] = busy;
+                    if busy {
+                        self.busy += 1;
+                    } else {
+                        self.busy -= 1;
+                    }
+                }
                 self.l1_wake[i] = l1.next_event();
+                self.queue.set(l1b + i, self.l1_wake[i].as_u64());
             }
-            busy += usize::from(self.l1_busy[i]);
-            wake = wake.min(self.l1_wake[i]);
         }
-        for (i, l2) in self.l2s.iter_mut().enumerate() {
+        drain_l2.sort_unstable();
+        drain_l2.dedup();
+        for &i in &drain_l2 {
+            let i = i as usize;
             if self.l2_msg_gen[i] == gen || self.l2_wake[i] <= t {
+                let l2 = &mut self.l2s[i];
                 l2.drain_outbox(t, &mut self.outbuf);
                 for nm in self.outbuf.drain(..) {
                     sends.push(SendRec {
@@ -261,14 +435,25 @@ impl Shard<'_> {
                         msg: nm,
                     });
                 }
-                self.l2_busy[i] = !l2.is_quiescent();
+                let busy = !l2.is_quiescent();
+                if busy != self.l2_busy[i] {
+                    self.l2_busy[i] = busy;
+                    if busy {
+                        self.busy += 1;
+                    } else {
+                        self.busy -= 1;
+                    }
+                }
                 self.l2_wake[i] = l2.next_event();
+                self.queue.set(l2b + i, self.l2_wake[i].as_u64());
             }
-            busy += usize::from(self.l2_busy[i]);
-            wake = wake.min(self.l2_wake[i]);
         }
-        for (j, mem) in self.mems.iter_mut().enumerate() {
+        drain_mem.sort_unstable();
+        drain_mem.dedup();
+        for &j in &drain_mem {
+            let j = j as usize;
             if self.mem_msg_gen[j] == gen || self.mem_wake[j] <= t {
+                let mem = &mut self.mems[j];
                 mem.drain_outbox(t, &mut self.outbuf);
                 for nm in self.outbuf.drain(..) {
                     sends.push(SendRec {
@@ -278,51 +463,71 @@ impl Shard<'_> {
                         msg: nm,
                     });
                 }
-                self.mem_busy[j] = !mem.is_quiescent();
+                let busy = !mem.is_quiescent();
+                if busy != self.mem_busy[j] {
+                    self.mem_busy[j] = busy;
+                    if busy {
+                        self.busy += 1;
+                    } else {
+                        self.busy -= 1;
+                    }
+                }
                 self.mem_wake[j] = mem.next_event();
+                self.queue.set(memb + j, self.mem_wake[j].as_u64());
             }
-            busy += usize::from(self.mem_busy[j]);
-            wake = wake.min(self.mem_wake[j]);
         }
-        self.busy = busy;
-        self.wake = wake.as_u64();
+        // The queue minimum (with the floor capped at the next
+        // executable cycle) replaces the full-scan wake minimum.
+        self.wake = self.queue.next_wake(next.as_u64());
+
+        self.due_ids = due_ids;
+        self.cand_core = cand_core;
+        self.drain_l1 = drain_l1;
+        self.tick_l2 = tick_l2;
+        self.drain_l2 = drain_l2;
+        self.drain_mem = drain_mem;
     }
 }
 
-/// The worker loop: waits for a window, executes the shard's due
-/// cycles within it (event-driven at shard granularity — idle shard
-/// cycles are skipped via the shard's own wake minimum), publishes the
-/// lane and waits for the next window.
-fn worker(mut shard: Shard<'_>, lane: &Mutex<Lane>, ctl: &Ctl) {
-    let mut arrivals: Vec<NetMsg> = Vec::new();
-    loop {
-        ctl.start.wait();
-        if !ctl.run.load(Ordering::Acquire) {
-            return;
-        }
-        let t0 = ctl.window_start.load(Ordering::Acquire);
-        let end = ctl.window_end.load(Ordering::Acquire);
-        let mut lane_g = lane.lock().unwrap();
-        std::mem::swap(&mut arrivals, &mut lane_g.arrivals);
-        lane_g.processed = 0;
-        // Arrivals force the first cycle; otherwise jump straight to
-        // the shard's next self-driven wake.
-        let mut t = if arrivals.is_empty() {
-            shard.wake.max(t0)
-        } else {
-            t0
-        };
-        while t < end {
-            shard.process_cycle(Cycle::new(t), &mut arrivals, &mut lane_g.sends);
-            lane_g.processed += 1;
-            lane_g.last_processed = t;
-            t = shard.wake.max(t + 1);
-        }
-        lane_g.wake = shard.wake;
-        lane_g.running = shard.running;
-        lane_g.busy = shard.busy;
-        drop(lane_g);
-        ctl.done.wait();
+/// Executes one window for one shard: the shard's due cycles within
+/// `[t0, end)`, event-driven at shard granularity (idle shard cycles
+/// are skipped via the shard's wake queue), with results published
+/// into the lane. Called from a worker thread or — for the first (or,
+/// on a host without spare parallelism, every) participating shard —
+/// inline on the coordinator thread; the two paths are identical.
+fn run_window(shard: &mut Shard<'_>, lane: &Mutex<Lane>, t0: u64, end: u64) {
+    let mut arrivals = std::mem::take(&mut shard.arr_buf);
+    let mut lane_g = lane.lock().unwrap();
+    std::mem::swap(&mut arrivals, &mut lane_g.arrivals);
+    lane_g.processed = 0;
+    // Arrivals force the first cycle; otherwise jump straight to
+    // the shard's next self-driven wake.
+    let mut t = if arrivals.is_empty() {
+        shard.wake.max(t0)
+    } else {
+        t0
+    };
+    while t < end {
+        shard.process_cycle(Cycle::new(t), &mut arrivals, &mut lane_g.sends);
+        lane_g.processed += 1;
+        lane_g.last_processed = t;
+        t = shard.wake.max(t + 1);
+    }
+    lane_g.wake = shard.wake;
+    lane_g.running = shard.running;
+    lane_g.busy = shard.busy;
+    drop(lane_g);
+    shard.arr_buf = arrivals;
+}
+
+/// The worker loop: waits for an assigned window, runs it, reports
+/// done and sleeps until the next assignment. The shard lives in a
+/// mutex cell so the coordinator can also run windows for it inline;
+/// the gate protocol guarantees the lock is never contended.
+fn worker(shard: &Mutex<Shard<'_>>, lane: &Mutex<Lane>, gate: &Gate) {
+    while let Some((t0, end)) = gate.await_window() {
+        run_window(&mut shard.lock().unwrap(), lane, t0, end);
+        gate.post(Cmd::Done);
     }
 }
 
@@ -364,14 +569,7 @@ impl System {
         shards: usize,
     ) -> Result<RunStats, RunError> {
         let n_tiles = self.l2s.len();
-        let workers = if shards == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            shards
-        }
-        .min(n_tiles);
+        let workers = Stepper::ParallelShards { shards }.effective_shards(n_tiles);
         // The trace sink records the serial interleaving; windowed
         // execution would reorder its lines (simulated outcomes are
         // identical, recorded order is not), so tracing — like a
@@ -398,6 +596,12 @@ impl System {
             }
         }
 
+        // Queue storage is kept on the system and lent to the shards,
+        // so repeated parallel runs reuse the bucket allocations.
+        if self.shard_queues.len() < workers {
+            self.shard_queues.resize_with(workers, || WakeQueue::new(0));
+        }
+
         // Split the machine into disjoint &mut shard views.
         let System {
             cores,
@@ -420,6 +624,7 @@ impl System {
             l2_busy,
             mem_busy,
             core_done,
+            shard_queues,
             ..
         } = self;
         let topo = *topo;
@@ -440,6 +645,7 @@ impl System {
         let mut memg_s = split_sizes(mem_msg_gen, &mem_sizes).into_iter();
         let mut memw_s = split_sizes(mem_wake, &mem_sizes).into_iter();
         let mut memb_s = split_sizes(mem_busy, &mem_sizes).into_iter();
+        let mut queue_s = shard_queues[..workers].iter_mut();
 
         let mut shards_v = Vec::with_capacity(workers);
         let (mut tile_lo, mut mem_lo) = (0, 0);
@@ -466,6 +672,14 @@ impl System {
                 running: 0,
                 busy: 0,
                 outbuf: Vec::new(),
+                queue: queue_s.next().unwrap(),
+                due_ids: Vec::new(),
+                cand_core: Vec::new(),
+                drain_l1: Vec::new(),
+                tick_l2: Vec::new(),
+                drain_l2: Vec::new(),
+                drain_mem: Vec::new(),
+                arr_buf: Vec::new(),
             };
             sh.prime(Cycle::new(t_start));
             tile_lo += tile_sizes[w];
@@ -484,32 +698,44 @@ impl System {
                 })
             })
             .collect();
-        let ctl = Ctl {
-            start: Barrier::new(workers + 1),
-            done: Barrier::new(workers + 1),
-            window_start: AtomicU64::new(0),
-            window_end: AtomicU64::new(0),
-            run: AtomicBool::new(true),
-        };
+        let gates: Vec<Gate> = (0..workers).map(|_| Gate::new()).collect();
+
+        // Coordinator-cached copy of each lane's (wake, running, busy):
+        // a shard that sits out a window provably leaves its lane
+        // unchanged, so the coordinator reads only participating lanes
+        // and keeps global sums over these caches.
+        let mut wake_c: Vec<u64> = shards_v.iter().map(|sh| sh.wake).collect();
+        let mut running_c: Vec<usize> = shards_v.iter().map(|sh| sh.running).collect();
+        let mut busy_c: Vec<usize> = shards_v.iter().map(|sh| sh.busy).collect();
 
         let lookahead = cfg.noc.min_message_latency();
         let mut total_steps = 0u64;
         let mut arr = std::mem::take(arrivals);
 
+        // Shards live in mutex cells so windows can run on a worker
+        // thread or inline on the coordinator; the gate protocol keeps
+        // every lock acquisition uncontended.
+        let cells: Vec<Mutex<Shard<'_>>> = shards_v.into_iter().map(Mutex::new).collect();
+        // On a host with a single CPU, handing windows to worker
+        // threads only adds context switches (nothing can overlap);
+        // the coordinator then runs every participating shard inline.
+        // With spare CPUs, the coordinator runs the first participant
+        // itself and overlaps with the dispatched rest.
+        let overlap = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+
         let result: Result<u64, RunError> = std::thread::scope(|scope| {
-            for (sh, lane) in shards_v.into_iter().zip(lanes.iter()) {
-                let ctl = &ctl;
-                scope.spawn(move || worker(sh, lane, ctl));
+            for ((cell, lane), gate) in cells.iter().zip(lanes.iter()).zip(gates.iter()) {
+                scope.spawn(move || worker(cell, lane, gate));
             }
 
             let mut t_now = t_start;
             let mut last_active = t_start;
-            // Only `g_running` can be read before the first merge (the
-            // deadlock arm); busy/wake are recomputed per window.
-            let mut g_running: usize = lanes.iter().map(|l| l.lock().unwrap().running).sum();
+            let mut g_running: usize = running_c.iter().sum();
             let mut g_busy: usize;
             let mut g_wake: u64;
             let mut sends: Vec<SendRec> = Vec::new();
+            let mut parts: Vec<usize> = Vec::with_capacity(workers);
+            let mut is_part = vec![false; workers];
 
             let outcome = loop {
                 // Serial-loop-identical termination checks, at the
@@ -527,15 +753,21 @@ impl System {
                 // Deliver this cycle's arrivals to their owning shards
                 // (in mesh pop order — per-controller order is what
                 // dispatch order affects, and each controller's
-                // messages stay in sequence within one lane).
+                // messages stay in sequence within one lane). A shard
+                // with an arrival must participate in the window.
                 arr.clear();
                 mesh.deliver_into(Cycle::new(t_now), &mut arr);
                 let delivered = !arr.is_empty();
+                parts.clear();
                 for (_router, nm) in arr.drain(..) {
                     let s = match nm.dst {
                         Agent::L1(i) | Agent::L2(i) => shard_of_tile[i],
                         Agent::Mem(j) => shard_of_mem[j],
                     } as usize;
+                    if !is_part[s] {
+                        is_part[s] = true;
+                        parts.push(s);
+                    }
                     lanes[s].lock().unwrap().arrivals.push(nm);
                 }
 
@@ -549,27 +781,56 @@ impl System {
                     .min(last_active + DEADLOCK_WINDOW + 1)
                     .min(max_cycles);
                 debug_assert!(end > t_now);
-                ctl.window_start.store(t_now, Ordering::Release);
-                ctl.window_end.store(end, Ordering::Release);
-                ctl.start.wait();
-                // Workers execute the window.
-                ctl.done.wait();
 
-                // Merge lanes: ledgers, wake minimum, send records.
-                (g_running, g_busy, g_wake) = (0, 0, u64::MAX);
+                // A shard with no arrivals and no queued wake inside
+                // the window would execute zero cycles and leave its
+                // lane untouched — skip waking it entirely. Only the
+                // remaining shards are dispatched (and later merged).
+                for (s, &w) in wake_c.iter().enumerate() {
+                    if w < end && !is_part[s] {
+                        is_part[s] = true;
+                        parts.push(s);
+                    }
+                }
+                let dispatched = if overlap {
+                    parts.get(1..).unwrap_or(&[])
+                } else {
+                    &[]
+                };
+                for &s in dispatched {
+                    gates[s].post(Cmd::Go { start: t_now, end });
+                }
+                let inline = if overlap {
+                    parts.get(..1).unwrap_or(&[])
+                } else {
+                    &parts[..]
+                };
+                for &s in inline {
+                    run_window(&mut cells[s].lock().unwrap(), &lanes[s], t_now, end);
+                }
+                for &s in dispatched {
+                    gates[s].wait_done();
+                }
+
+                // Merge participating lanes: ledgers, wake minimum,
+                // send records.
                 let mut last_proc: Option<u64> = None;
-                for lane in &lanes {
-                    let mut g = lane.lock().unwrap();
+                for &s in &parts {
+                    let mut g = lanes[s].lock().unwrap();
                     sends.append(&mut g.sends);
-                    g_running += g.running;
-                    g_busy += g.busy;
-                    g_wake = g_wake.min(g.wake);
+                    wake_c[s] = g.wake;
+                    running_c[s] = g.running;
+                    busy_c[s] = g.busy;
                     if g.processed > 0 {
                         total_steps += g.processed;
                         last_proc =
                             Some(last_proc.map_or(g.last_processed, |m| m.max(g.last_processed)));
                     }
+                    is_part[s] = false;
                 }
+                g_running = running_c.iter().sum();
+                g_busy = busy_c.iter().sum();
+                g_wake = wake_c.iter().copied().min().unwrap_or(u64::MAX);
 
                 // Replay the window's injections in the serial drain
                 // order; stable sort preserves each controller's own
@@ -613,8 +874,9 @@ impl System {
             };
 
             // Release the workers to exit, then the scope joins them.
-            ctl.run.store(false, Ordering::Release);
-            ctl.start.wait();
+            for gate in &gates {
+                gate.post(Cmd::Exit);
+            }
             outcome
         });
 

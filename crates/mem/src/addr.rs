@@ -119,6 +119,23 @@ impl LineAddr {
         assert!(n > 0, "no tiles to map to");
         (self.0 % n as u64) as usize
     }
+
+    /// Home slice for `n` tiles with `banks` L2 banks per tile:
+    /// `banks` consecutive lines share a home (`(line / banks) % n`),
+    /// so each tile serves a `banks`-line-wide stripe of the address
+    /// space. `banks == 1` is exactly [`LineAddr::home`] — large
+    /// machines widen the stripe instead of thinning each tile's slice
+    /// of any fixed working set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `banks == 0`.
+    #[inline]
+    pub fn home_banked(self, n: usize, banks: usize) -> usize {
+        assert!(n > 0, "no tiles to map to");
+        assert!(banks > 0, "no banks to map to");
+        ((self.0 / banks as u64) % n as u64) as usize
+    }
 }
 
 impl fmt::Display for LineAddr {
@@ -163,6 +180,26 @@ mod tests {
     #[should_panic]
     fn home_zero_tiles_panics() {
         let _ = LineAddr::new(1).home(0);
+    }
+
+    #[test]
+    fn banked_home_stripes_pairs_and_reduces_to_home() {
+        // Two banks per tile: consecutive line pairs share a home.
+        assert_eq!(LineAddr::new(0).home_banked(4, 2), 0);
+        assert_eq!(LineAddr::new(1).home_banked(4, 2), 0);
+        assert_eq!(LineAddr::new(2).home_banked(4, 2), 1);
+        assert_eq!(LineAddr::new(9).home_banked(4, 2), 0);
+        // One bank is exactly the flat interleaving.
+        for raw in 0..64 {
+            let line = LineAddr::new(raw);
+            assert_eq!(line.home_banked(5, 1), line.home(5));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn banked_home_zero_banks_panics() {
+        let _ = LineAddr::new(1).home_banked(4, 0);
     }
 
     #[test]

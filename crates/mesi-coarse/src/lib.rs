@@ -220,6 +220,7 @@ impl ProtocolFactory for MesiCoarseFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tsocc_coherence::MeshTopology;
     use tsocc_mem::CacheParams;
 
     fn cfg(pointers: u32, granularity: u32) -> MesiCoarseConfig {
@@ -302,6 +303,8 @@ mod tests {
             n_cores: 4,
             n_tiles: 4,
             n_mem: 2,
+            mesh: MeshTopology::for_tiles(4),
+            l2_banks: 1,
             l1_params: CacheParams::new(8, 2),
             l2_params: CacheParams::new(16, 4),
             l1_issue_latency: 1,

@@ -21,6 +21,7 @@ impl ProtocolFactory for MesiFactory {
                 id: core,
                 n_cores: shape.n_cores,
                 n_tiles: shape.n_tiles,
+                l2_banks: shape.l2_banks,
                 params: shape.l1_params,
                 issue_latency: shape.l1_issue_latency,
             }
@@ -50,6 +51,7 @@ impl ProtocolFactory for MesiFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tsocc_coherence::MeshTopology;
     use tsocc_mem::CacheParams;
 
     fn shape() -> MachineShape {
@@ -57,6 +59,8 @@ mod tests {
             n_cores: 4,
             n_tiles: 4,
             n_mem: 2,
+            mesh: MeshTopology::for_tiles(4),
+            l2_banks: 1,
             l1_params: CacheParams::new(8, 2),
             l2_params: CacheParams::new(16, 4),
             l1_issue_latency: 1,

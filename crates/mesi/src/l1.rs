@@ -53,6 +53,8 @@ pub struct MesiL1Config {
     pub n_cores: usize,
     /// Number of L2 tiles (for home-tile interleaving).
     pub n_tiles: usize,
+    /// L2 banks per tile (home-interleaving granularity; 1 in Table 2).
+    pub l2_banks: usize,
     /// Cache geometry (32 KiB 4-way in Table 2).
     pub params: CacheParams,
     /// Tag-array latency charged before an outgoing request (cycles).
@@ -66,6 +68,7 @@ impl MesiL1Config {
             id,
             n_cores,
             n_tiles,
+            l2_banks: 1,
             params: CacheParams::from_capacity(32 * 1024, 4),
             issue_latency: 1,
         }
@@ -78,6 +81,7 @@ impl MesiL1Config {
                 self.id,
                 self.n_cores,
                 self.n_tiles,
+                self.l2_banks,
                 self.issue_latency,
                 self.params,
             ),

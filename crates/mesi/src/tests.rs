@@ -26,6 +26,7 @@ impl Harness {
                     id: i,
                     n_cores,
                     n_tiles: 1,
+                    l2_banks: 1,
                     params: CacheParams::new(4, 2),
                     issue_latency: 1,
                 }

@@ -191,11 +191,14 @@ mod tests {
 
     #[test]
     fn enum_delegates_to_concrete_factories() {
+        use tsocc_coherence::MeshTopology;
         use tsocc_mem::CacheParams;
         let shape = MachineShape {
             n_cores: 2,
             n_tiles: 2,
             n_mem: 1,
+            mesh: MeshTopology::for_tiles(2),
+            l2_banks: 1,
             l1_params: CacheParams::new(8, 2),
             l2_params: CacheParams::new(16, 4),
             l1_issue_latency: 1,

@@ -31,6 +31,7 @@ impl ProtocolFactory for TsoCcFactory {
                 id: core,
                 n_cores: shape.n_cores,
                 n_tiles: shape.n_tiles,
+                l2_banks: shape.l2_banks,
                 params: shape.l1_params,
                 issue_latency: shape.l1_issue_latency,
                 proto: self.proto,
@@ -57,6 +58,7 @@ impl ProtocolFactory for TsoCcFactory {
 #[cfg(test)]
 mod factory_tests {
     use super::*;
+    use tsocc_coherence::MeshTopology;
     use tsocc_mem::CacheParams;
 
     #[test]
@@ -67,6 +69,8 @@ mod factory_tests {
             n_cores: 2,
             n_tiles: 2,
             n_mem: 1,
+            mesh: MeshTopology::for_tiles(2),
+            l2_banks: 1,
             l1_params: CacheParams::new(8, 2),
             l2_params: CacheParams::new(16, 4),
             l1_issue_latency: 1,

@@ -3,9 +3,9 @@
 //! results to the cycle-by-cycle reference stepper — the full
 //! [`RunStats`] (cycles, messages, flits, flit-hops, every histogram
 //! and counter) and the final DRAM image — at the larger machine sizes
-//! the conservative windows exist for (16 and 32 cores), across all
-//! three protocol families, including error outcomes (timeouts must
-//! fire at the same cycle).
+//! the conservative windows exist for (16, 32 and 128 cores), across
+//! all three protocol families, including error outcomes (timeouts
+//! must fire at the same cycle).
 //!
 //! [`RunStats`]: tsocc::RunStats
 
@@ -95,6 +95,31 @@ fn parallel_stepper_matches_reference_at_16_and_32_cores() {
     }
 }
 
+/// The 128-core climb: the largest machine in the sweep, all three
+/// protocol families. Full-vector MESI at 128 cores is the boundary
+/// configuration — its u128 sharer vector is exactly full, and the
+/// machine runs two-banked L2 interleaving (`l2_banks = 2`) on the
+/// non-square 8×16 mesh, so this leg pins the sharded stepper against
+/// the reference on every geometry feature this size introduces.
+#[test]
+fn parallel_stepper_matches_reference_at_128_cores() {
+    let protocols = [
+        Protocol::Mesi,
+        Protocol::MesiCoarse(MesiCoarseConfig::default()),
+        Protocol::TsoCc(TsoCcConfig::default()),
+    ];
+    for protocol in protocols {
+        let point = SweepPoint {
+            bench: Benchmark::Fft,
+            protocol,
+            n_cores: 128,
+            scale: Scale::Tiny,
+        };
+        // 7 does not divide 128: shard sizes 19×6 + 14.
+        assert_point_parity(&point, 7);
+    }
+}
+
 /// Multi-cycle windows: with `router_latency = 3` the conservative
 /// lookahead lets every window span three cycles, so workers batch
 /// several cycles between barriers — the window math itself is what
@@ -142,6 +167,25 @@ fn degenerate_shard_counts_fall_back_or_clamp() {
         assert_eq!(parallel.0, reference.0, "shards={shards}");
         assert_eq!(parallel.1, reference.1, "shards={shards}");
     }
+    // The resolution the run loop applies is public and predictable:
+    // serial steppers are always one worker, `0` auto-sizes to the
+    // host's available parallelism, and every request clamps to the
+    // tile count.
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    assert_eq!(Stepper::parallel().effective_shards(4), auto.min(4));
+    assert_eq!(Stepper::ParallelShards { shards: 2 }.effective_shards(4), 2);
+    assert_eq!(
+        Stepper::ParallelShards { shards: 64 }.effective_shards(4),
+        4
+    );
+    assert_eq!(
+        Stepper::ParallelShards { shards: 64 }.effective_shards(128),
+        64
+    );
+    assert_eq!(Stepper::EventDriven.effective_shards(4), 1);
+    assert_eq!(Stepper::Reference.effective_shards(4), 1);
 }
 
 /// Error outcomes are part of the bit-identical contract: a cycle
