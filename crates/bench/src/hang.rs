@@ -1,0 +1,327 @@
+//! JSON serialization (and deserialization, for round-trip tests) of
+//! [`tsocc::HangReport`] — the structured deadlock/timeout diagnosis a
+//! fault campaign uploads as a CI artifact.
+//!
+//! Schema `tsocc-hang-report/v1`: every field of the report appears
+//! verbatim; line addresses serialize as raw line numbers (u64).
+
+use tsocc::hang::{HangReport, L1Hang, L2Hang, NetHang, WaitEdge};
+use tsocc_coherence::{BusyProbe, CtrlProbe};
+use tsocc_mem::LineAddr;
+
+use crate::json::{self, Value};
+
+fn lines_json(lines: &[LineAddr]) -> String {
+    json::array(lines.iter().map(|l| l.as_u64().to_string()))
+}
+
+fn probe_json(p: &CtrlProbe) -> String {
+    let busy = p.busy.iter().map(|b| {
+        json::Object::new()
+            .u64("line", b.line.as_u64())
+            .raw(
+                "need_unblock",
+                if b.need_unblock { "true" } else { "false" },
+            )
+            .raw(
+                "need_owner_data",
+                if b.need_owner_data { "true" } else { "false" },
+            )
+            .u64("queued", b.queued as u64)
+            .build()
+    });
+    json::Object::new()
+        .raw("mshr_lines", lines_json(&p.mshr_lines))
+        .raw("wb_lines", lines_json(&p.wb_lines))
+        .raw("busy", json::array(busy))
+        .u64("replay", p.replay as u64)
+        .u64("outbox", p.outbox as u64)
+        .build()
+}
+
+fn edge_json(e: &WaitEdge) -> String {
+    json::Object::new()
+        .str("from", &e.from)
+        .str("to", &e.to)
+        .u64("line", e.line.as_u64())
+        .build()
+}
+
+/// Serializes a hang report as a deterministic JSON document.
+pub fn hang_report_json(r: &HangReport) -> String {
+    let l1s = r.l1s.iter().map(|h| {
+        json::Object::new()
+            .u64("core", h.core as u64)
+            .raw("probe", probe_json(&h.probe))
+            .build()
+    });
+    let l2s = r.l2s.iter().map(|h| {
+        json::Object::new()
+            .u64("tile", h.tile as u64)
+            .raw("probe", probe_json(&h.probe))
+            .build()
+    });
+    let in_flight = r.in_flight.iter().map(|m| {
+        let o = json::Object::new()
+            .u64("at", m.at)
+            .u64("dst", m.dst as u64)
+            .str("kind", m.kind);
+        match m.line {
+            Some(l) => o.u64("line", l.as_u64()),
+            None => o.raw("line", "null"),
+        }
+        .build()
+    });
+    json::Object::new()
+        .str("schema", "tsocc-hang-report/v1")
+        .u64("at_cycle", r.at_cycle)
+        .u64("cores_unfinished", r.cores_unfinished as u64)
+        .u64("busy_controllers", r.busy_controllers as u64)
+        .str("summary", &r.summary())
+        .raw("l1s", json::array(l1s))
+        .raw("l2s", json::array(l2s))
+        .raw("in_flight", json::array(in_flight))
+        .raw("edges", json::array(r.edges.iter().map(edge_json)))
+        .raw("cycle", json::array(r.cycle.iter().map(edge_json)))
+        .build()
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn lines_field(v: &Value, key: &str) -> Result<Vec<LineAddr>, String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing array field {key:?}"))?
+        .iter()
+        .map(|l| {
+            l.as_u64()
+                .map(LineAddr::new)
+                .ok_or_else(|| format!("non-numeric line in {key:?}"))
+        })
+        .collect()
+}
+
+fn parse_probe(v: &Value) -> Result<CtrlProbe, String> {
+    let busy = v
+        .get("busy")
+        .and_then(Value::as_arr)
+        .ok_or("missing busy array")?
+        .iter()
+        .map(|b| {
+            Ok(BusyProbe {
+                line: b
+                    .get("line")
+                    .and_then(Value::as_u64)
+                    .map(LineAddr::new)
+                    .ok_or("busy entry missing line")?,
+                need_unblock: b.get("need_unblock") == Some(&Value::Bool(true)),
+                need_owner_data: b.get("need_owner_data") == Some(&Value::Bool(true)),
+                queued: usize_field(b, "queued")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(CtrlProbe {
+        mshr_lines: lines_field(v, "mshr_lines")?,
+        wb_lines: lines_field(v, "wb_lines")?,
+        busy,
+        replay: usize_field(v, "replay")?,
+        outbox: usize_field(v, "outbox")?,
+    })
+}
+
+fn parse_edges(v: &Value, key: &str) -> Result<Vec<WaitEdge>, String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing array field {key:?}"))?
+        .iter()
+        .map(|e| {
+            Ok(WaitEdge {
+                from: e
+                    .get("from")
+                    .and_then(Value::as_str)
+                    .ok_or("edge missing from")?
+                    .to_string(),
+                to: e
+                    .get("to")
+                    .and_then(Value::as_str)
+                    .ok_or("edge missing to")?
+                    .to_string(),
+                line: e
+                    .get("line")
+                    .and_then(Value::as_u64)
+                    .map(LineAddr::new)
+                    .ok_or("edge missing line")?,
+            })
+        })
+        .collect()
+}
+
+/// Parses a `tsocc-hang-report/v1` document back into a
+/// [`HangReport`]. The inverse of [`hang_report_json`]; round-trip
+/// equality is what the fault-injection tests assert.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed field.
+pub fn parse_hang_report(src: &str) -> Result<HangReport, String> {
+    let v = json::parse(src)?;
+    if v.get("schema").and_then(Value::as_str) != Some("tsocc-hang-report/v1") {
+        return Err("not a tsocc-hang-report/v1 document".to_string());
+    }
+    let l1s = v
+        .get("l1s")
+        .and_then(Value::as_arr)
+        .ok_or("missing l1s")?
+        .iter()
+        .map(|h| {
+            Ok(L1Hang {
+                core: usize_field(h, "core")?,
+                probe: parse_probe(h.get("probe").ok_or("l1 missing probe")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let l2s = v
+        .get("l2s")
+        .and_then(Value::as_arr)
+        .ok_or("missing l2s")?
+        .iter()
+        .map(|h| {
+            Ok(L2Hang {
+                tile: usize_field(h, "tile")?,
+                probe: parse_probe(h.get("probe").ok_or("l2 missing probe")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    // `kind` is `&'static str` on the wire type; map parsed kinds back
+    // onto the small closed set the simulator emits, falling back to a
+    // generic label for forward compatibility.
+    const KINDS: [&str; 20] = [
+        "GetS",
+        "GetX",
+        "PutE",
+        "PutM",
+        "FwdGetS",
+        "FwdGetX",
+        "Inv",
+        "Recall",
+        "Data",
+        "InvAck",
+        "InvAckToL2",
+        "DowngradeData",
+        "TransferAck",
+        "RecallData",
+        "Unblock",
+        "PutAck",
+        "MemRead",
+        "MemWrite",
+        "MemData",
+        "TsReset",
+    ];
+    let in_flight = v
+        .get("in_flight")
+        .and_then(Value::as_arr)
+        .ok_or("missing in_flight")?
+        .iter()
+        .map(|m| {
+            let kind = m
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or("in_flight missing kind")?;
+            Ok(NetHang {
+                at: m
+                    .get("at")
+                    .and_then(Value::as_u64)
+                    .ok_or("in_flight missing at")?,
+                dst: usize_field(m, "dst")?,
+                kind: KINDS
+                    .iter()
+                    .find(|k| **k == kind)
+                    .copied()
+                    .unwrap_or("message"),
+                line: m.get("line").and_then(Value::as_u64).map(LineAddr::new),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(HangReport {
+        at_cycle: v
+            .get("at_cycle")
+            .and_then(Value::as_u64)
+            .ok_or("missing at_cycle")?,
+        cores_unfinished: usize_field(&v, "cores_unfinished")?,
+        busy_controllers: usize_field(&v, "busy_controllers")?,
+        l1s,
+        l2s,
+        in_flight,
+        edges: parse_edges(&v, "edges")?,
+        cycle: parse_edges(&v, "cycle")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HangReport {
+        HangReport {
+            at_cycle: 1234,
+            cores_unfinished: 1,
+            busy_controllers: 2,
+            l1s: vec![L1Hang {
+                core: 1,
+                probe: CtrlProbe {
+                    mshr_lines: vec![LineAddr::new(0x80)],
+                    wb_lines: vec![LineAddr::new(0x81)],
+                    busy: vec![],
+                    replay: 0,
+                    outbox: 1,
+                },
+            }],
+            l2s: vec![L2Hang {
+                tile: 0,
+                probe: CtrlProbe {
+                    mshr_lines: vec![],
+                    wb_lines: vec![],
+                    busy: vec![BusyProbe {
+                        line: LineAddr::new(0x80),
+                        need_unblock: true,
+                        need_owner_data: false,
+                        queued: 3,
+                    }],
+                    replay: 2,
+                    outbox: 0,
+                },
+            }],
+            in_flight: vec![NetHang {
+                at: 1240,
+                dst: 3,
+                kind: "Data",
+                line: Some(LineAddr::new(0x99)),
+            }],
+            edges: vec![WaitEdge {
+                from: "L1#1".to_string(),
+                to: "L2#0".to_string(),
+                line: LineAddr::new(0x80),
+            }],
+            cycle: vec![],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let doc = hang_report_json(&r);
+        let back = parse_hang_report(&doc).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parser_rejects_other_schemas() {
+        assert!(parse_hang_report("{\"schema\": \"something-else\"}").is_err());
+        assert!(parse_hang_report("not json").is_err());
+    }
+}

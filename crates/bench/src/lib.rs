@@ -19,6 +19,7 @@
 //! and parallel runs produce identical results.
 
 pub mod figures;
+pub mod hang;
 pub mod json;
 pub mod sweep;
 

@@ -127,7 +127,21 @@ impl SweepPoint {
         cfg.seed = seed;
         cfg.stepper = stepper;
         let t = Instant::now();
-        let mut sys = System::new(cfg, workload.programs.clone());
+        // Benchmark drivers are batch programs: a rejected machine
+        // configuration is an operator error, reported cleanly with
+        // exit code 2 rather than a panic backtrace.
+        let mut sys = match System::try_new(cfg, workload.programs.clone()) {
+            Ok(sys) => sys,
+            Err(e) => {
+                eprintln!(
+                    "sweep point {} on {} ({} cores): {e}",
+                    self.bench.name(),
+                    self.protocol.name(),
+                    self.n_cores
+                );
+                std::process::exit(2);
+            }
+        };
         for &(addr, value) in &workload.init {
             sys.write_word(Addr::new(addr), value);
         }

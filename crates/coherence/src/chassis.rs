@@ -41,10 +41,13 @@
 
 use std::collections::VecDeque;
 
+use tsocc_faults::FaultState;
 use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, LineMap};
 use tsocc_sim::Cycle;
 
-use crate::iface::{CacheController, Completion, CoreOp, L1Controller, L2Controller, Submit};
+use crate::iface::{
+    BusyProbe, CacheController, Completion, CoreOp, CtrlProbe, L1Controller, L2Controller, Submit,
+};
 use crate::msg::{Agent, Epoch, Msg, NetMsg, Ts};
 use crate::outbox::Outbox;
 use crate::stats::{L1Stats, L2Stats};
@@ -112,6 +115,11 @@ impl<R> MshrTable<R> {
     pub fn len(&self) -> usize {
         self.entries.len()
     }
+
+    /// Iterates over every in-flight transaction.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &R)> {
+        self.entries.iter()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -156,6 +164,10 @@ pub struct L1Chassis<L, R> {
     pub completions: Vec<Completion>,
     /// Per-L1 statistics (the paper's Figures 5–9 breakdowns).
     pub stats: L1Stats,
+    /// The fault-injection seam: inert by default, armed by the
+    /// protocol factory when a [`tsocc_faults::FaultPlan`] targets this
+    /// controller. Policies consult it at their mutation hook sites.
+    pub faults: FaultState,
 }
 
 impl<L: Copy, R> L1Chassis<L, R> {
@@ -183,6 +195,7 @@ impl<L: Copy, R> L1Chassis<L, R> {
             outbox: Outbox::new(),
             completions: Vec::new(),
             stats: L1Stats::default(),
+            faults: FaultState::none(),
         }
     }
 
@@ -357,6 +370,20 @@ impl<P: L1Policy> CacheController for L1Ctl<P> {
         // only self-driven action is injecting queued outbox messages.
         self.chassis.outbox.next_ready()
     }
+
+    fn probe(&self) -> CtrlProbe {
+        let mut mshr_lines: Vec<LineAddr> = self.chassis.mshrs.iter().map(|(l, _)| l).collect();
+        mshr_lines.sort_unstable();
+        let mut wb_lines: Vec<LineAddr> = self.chassis.wb.lines().collect();
+        wb_lines.sort_unstable();
+        CtrlProbe {
+            mshr_lines,
+            wb_lines,
+            busy: Vec::new(),
+            replay: 0,
+            outbox: self.chassis.outbox.len(),
+        }
+    }
 }
 
 impl<P: L1Policy> L1Controller for L1Ctl<P> {
@@ -426,6 +453,10 @@ pub struct L2Chassis<L, K> {
     pub outbox: Outbox,
     /// Per-tile statistics.
     pub stats: L2Stats,
+    /// The fault-injection seam: inert by default, armed by the
+    /// protocol factory when a [`tsocc_faults::FaultPlan`] targets this
+    /// tile. Policies consult it at their mutation hook sites.
+    pub faults: FaultState,
 }
 
 impl<L: Copy, K> L2Chassis<L, K> {
@@ -447,6 +478,7 @@ impl<L: Copy, K> L2Chassis<L, K> {
             replay: VecDeque::new(),
             outbox: Outbox::new(),
             stats: L2Stats::default(),
+            faults: FaultState::none(),
         }
     }
 
@@ -710,6 +742,28 @@ impl<P: L2Policy> CacheController for L2Ctl<P> {
             return Cycle::ZERO;
         }
         self.chassis.outbox.next_ready()
+    }
+
+    fn probe(&self) -> CtrlProbe {
+        let mut busy: Vec<BusyProbe> = self
+            .chassis
+            .busy
+            .iter()
+            .map(|(line, txn)| BusyProbe {
+                line,
+                need_unblock: txn.need_unblock,
+                need_owner_data: txn.need_owner_data,
+                queued: txn.waiting.len(),
+            })
+            .collect();
+        busy.sort_unstable_by_key(|b| b.line);
+        CtrlProbe {
+            mshr_lines: Vec::new(),
+            wb_lines: Vec::new(),
+            busy,
+            replay: self.chassis.replay.len(),
+            outbox: self.chassis.outbox.len(),
+        }
     }
 }
 

@@ -1,7 +1,8 @@
 //! Controller interfaces through which the system assembly drives the
 //! protocols.
 
-use tsocc_mem::Addr;
+use tsocc_faults::FaultPlan;
+use tsocc_mem::{Addr, LineAddr};
 use tsocc_sim::Cycle;
 
 use crate::msg::{Agent, Msg, NetMsg};
@@ -58,6 +59,50 @@ pub enum Completion {
     Store,
 }
 
+/// One in-flight directory transaction as seen by a [`CtrlProbe`]:
+/// which line is blocked and which terminal events it still waits for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusyProbe {
+    /// The blocked line.
+    pub line: LineAddr,
+    /// A requester Unblock is still outstanding.
+    pub need_unblock: bool,
+    /// Owner-supplied data (downgrade/recall/acks) is still
+    /// outstanding.
+    pub need_owner_data: bool,
+    /// Requests queued behind the busy line.
+    pub queued: usize,
+}
+
+/// A deterministic snapshot of a controller's outstanding work, used
+/// by the hang-diagnosis layer to assemble a structured report (and a
+/// wait-for graph) when a run deadlocks or times out. All line lists
+/// are sorted by line address.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CtrlProbe {
+    /// Lines with an in-flight L1 miss (MSHR allocated).
+    pub mshr_lines: Vec<LineAddr>,
+    /// Lines parked in the L1 writeback buffer awaiting a PutAck.
+    pub wb_lines: Vec<LineAddr>,
+    /// In-flight L2 directory transactions.
+    pub busy: Vec<BusyProbe>,
+    /// Requests sitting in the L2 replay queue.
+    pub replay: usize,
+    /// Messages queued in the outbox (latency not yet elapsed).
+    pub outbox: usize,
+}
+
+impl CtrlProbe {
+    /// Whether the controller has no outstanding work at all.
+    pub fn is_empty(&self) -> bool {
+        self.mshr_lines.is_empty()
+            && self.wb_lines.is_empty()
+            && self.busy.is_empty()
+            && self.replay == 0
+            && self.outbox == 0
+    }
+}
+
 /// Common behaviour of every coherence controller (L1, L2 tile, memory
 /// controller): receive network messages, advance internal time, and
 /// emit outgoing messages.
@@ -93,6 +138,14 @@ pub trait CacheController: Send {
     /// controller must be a state-free no-op, so the system may skip
     /// those cycles entirely without changing any simulated outcome.
     fn next_event(&self) -> Cycle;
+
+    /// A snapshot of this controller's outstanding work for hang
+    /// diagnosis. The default (an empty probe) suits controllers with
+    /// no line-granular state worth reporting; the chassis-based L1
+    /// and L2 controllers override it.
+    fn probe(&self) -> CtrlProbe {
+        CtrlProbe::default()
+    }
 }
 
 /// The core-facing interface of an L1 controller, implemented by both
@@ -146,6 +199,11 @@ pub struct MachineShape {
     pub l1_issue_latency: u64,
     /// L2 array access latency (cycles).
     pub l2_latency: u64,
+    /// The fault-injection plan ([`FaultPlan::none`] everywhere real
+    /// experiments are concerned). Factories filter the protocol-layer
+    /// mutation down to per-controller
+    /// [`FaultState`](tsocc_faults::FaultState)s at build time.
+    pub faults: FaultPlan,
 }
 
 impl MachineShape {
@@ -283,6 +341,7 @@ mod tests {
             l2_params: tsocc_mem::CacheParams::new(16, 4),
             l1_issue_latency: 1,
             l2_latency: 4,
+            faults: FaultPlan::none(),
         }
     }
 

@@ -38,8 +38,8 @@ pub use chassis::{
     Install, L1Chassis, L1Ctl, L1Policy, L2Chassis, L2Ctl, L2Policy, MshrTable, Txn,
 };
 pub use iface::{
-    CacheController, Completion, CoreOp, L1Controller, L2Controller, MachineShape, ProtocolFactory,
-    ProtocolHandle, Submit,
+    BusyProbe, CacheController, Completion, CoreOp, CtrlProbe, L1Controller, L2Controller,
+    MachineShape, ProtocolFactory, ProtocolHandle, Submit,
 };
 pub use memctrl::MemCtrl;
 pub use msg::{Agent, Epoch, Grant, Msg, NetMsg, Ts, TsSource};
@@ -47,5 +47,8 @@ pub use msg::{Agent, Epoch, Grant, Msg, NetMsg, Ts, TsSource};
 // depending on the NoC crate directly.
 pub use outbox::Outbox;
 pub use stats::{L1Stats, L2Stats, SelfInvCause};
+// Re-exported so protocol crates and the system assembly share one
+// fault vocabulary without each depending on the faults crate.
+pub use tsocc_faults::{FaultPlan, FaultState, NocFault, ProtocolFault, StepperFault};
 pub use tsocc_noc::MeshTopology;
 pub use wb::WritebackBuffer;

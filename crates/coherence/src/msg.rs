@@ -264,6 +264,61 @@ impl Msg {
         }
     }
 
+    /// The line this message concerns, if any (`TsReset` is the one
+    /// line-less broadcast). Used by hang diagnosis to attribute
+    /// in-flight messages to blocked lines.
+    pub fn line(&self) -> Option<LineAddr> {
+        match self {
+            Msg::GetS { line }
+            | Msg::GetX { line }
+            | Msg::PutE { line }
+            | Msg::PutM { line, .. }
+            | Msg::FwdGetS { line, .. }
+            | Msg::FwdGetX { line, .. }
+            | Msg::Inv { line, .. }
+            | Msg::Recall { line }
+            | Msg::Data { line, .. }
+            | Msg::InvAck { line, .. }
+            | Msg::InvAckToL2 { line, .. }
+            | Msg::DowngradeData { line, .. }
+            | Msg::TransferAck { line, .. }
+            | Msg::RecallData { line, .. }
+            | Msg::Unblock { line, .. }
+            | Msg::PutAck { line }
+            | Msg::MemRead { line }
+            | Msg::MemWrite { line, .. }
+            | Msg::MemData { line, .. } => Some(*line),
+            Msg::TsReset { .. } => None,
+        }
+    }
+
+    /// The variant name, for compact diagnostic output (the derived
+    /// `Debug` of data-bearing variants prints whole cache lines).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Msg::GetS { .. } => "GetS",
+            Msg::GetX { .. } => "GetX",
+            Msg::PutE { .. } => "PutE",
+            Msg::PutM { .. } => "PutM",
+            Msg::FwdGetS { .. } => "FwdGetS",
+            Msg::FwdGetX { .. } => "FwdGetX",
+            Msg::Inv { .. } => "Inv",
+            Msg::Recall { .. } => "Recall",
+            Msg::Data { .. } => "Data",
+            Msg::InvAck { .. } => "InvAck",
+            Msg::InvAckToL2 { .. } => "InvAckToL2",
+            Msg::DowngradeData { .. } => "DowngradeData",
+            Msg::TransferAck { .. } => "TransferAck",
+            Msg::RecallData { .. } => "RecallData",
+            Msg::Unblock { .. } => "Unblock",
+            Msg::PutAck { .. } => "PutAck",
+            Msg::MemRead { .. } => "MemRead",
+            Msg::MemWrite { .. } => "MemWrite",
+            Msg::MemData { .. } => "MemData",
+            Msg::TsReset { .. } => "TsReset",
+        }
+    }
+
     /// The virtual network this message class travels on.
     pub fn vnet(&self) -> VNet {
         match self {

@@ -92,6 +92,11 @@ impl WritebackBuffer {
         self.entries.remove(line)
     }
 
+    /// Iterates over the lines with in-flight evictions.
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.entries.iter().map(|(l, _)| l)
+    }
+
     /// Whether no evictions are in flight.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()

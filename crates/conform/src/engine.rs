@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use tsocc::{System, SystemConfig};
+use tsocc::{FaultPlan, System, SystemConfig};
 use tsocc_isa::RmwOp;
 use tsocc_protocols::Protocol;
 use tsocc_sim::rng::SplitMix64;
@@ -58,6 +58,12 @@ pub struct CampaignOpts {
     /// At most this many violations are shrunk and kept in full (the
     /// rest only count toward `violations_total`).
     pub max_violations: usize,
+    /// Fault-injection plan installed on every simulator run.
+    /// [`FaultPlan::none`] (the default) checks the healthy simulator;
+    /// a protocol mutation turns the campaign into a
+    /// mutation-detection oracle — the mutation is caught when the
+    /// campaign reports violations (model mismatches or hangs).
+    pub faults: FaultPlan,
 }
 
 impl Default for CampaignOpts {
@@ -76,6 +82,7 @@ impl Default for CampaignOpts {
             jitter: 50,
             shrink_iters: 24,
             max_violations: 8,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -282,10 +289,12 @@ fn run_once(
     protocol: Protocol,
     jitter: u32,
     seed: u64,
+    faults: FaultPlan,
 ) -> Result<Vec<u64>, String> {
     let compiled = compile_program(program, pool, jitter);
     let mut cfg = SystemConfig::small_test(program.len().max(1), protocol);
     cfg.seed = seed;
+    cfg.faults = faults;
     let mut sys = System::new(cfg, compiled);
     sys.run(5_000_000).map_err(|e| e.to_string())?;
     Ok(observed_outcome(&sys, program))
@@ -364,16 +373,21 @@ pub fn run_campaign(opts: &CampaignOpts) -> CampaignReport {
                             for it in 0..opts.iters_per_program {
                                 local.sim_runs += 1;
                                 let run_seed = mix(pseed, ((pi as u64) << 32) | it);
-                                let (outcome, error, violated) =
-                                    match run_once(&program, pool, protocol, opts.jitter, run_seed)
-                                    {
-                                        Ok(outcome) => {
-                                            let bad = !en.outcomes.contains(&outcome);
-                                            observed.insert(outcome.clone());
-                                            (Some(outcome), None, bad)
-                                        }
-                                        Err(e) => (None, Some(e), true),
-                                    };
+                                let (outcome, error, violated) = match run_once(
+                                    &program,
+                                    pool,
+                                    protocol,
+                                    opts.jitter,
+                                    run_seed,
+                                    opts.faults,
+                                ) {
+                                    Ok(outcome) => {
+                                        let bad = !en.outcomes.contains(&outcome);
+                                        observed.insert(outcome.clone());
+                                        (Some(outcome), None, bad)
+                                    }
+                                    Err(e) => (None, Some(e), true),
+                                };
                                 if !violated || pair_violated {
                                     continue;
                                 }
@@ -408,7 +422,14 @@ pub fn run_campaign(opts: &CampaignOpts) -> CampaignReport {
                                     };
                                     (0..opts.shrink_iters).any(|sit| {
                                         let seed = mix(run_seed, 0x5_4213 ^ sit);
-                                        match run_once(p, pool, protocol, opts.jitter, seed) {
+                                        match run_once(
+                                            p,
+                                            pool,
+                                            protocol,
+                                            opts.jitter,
+                                            seed,
+                                            opts.faults,
+                                        ) {
                                             Ok(o) => !en.outcomes.contains(&o),
                                             Err(_) => true,
                                         }

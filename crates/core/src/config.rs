@@ -1,9 +1,26 @@
 //! System configuration (the paper's Table 2).
 
-use tsocc_coherence::{MachineShape, ProtocolHandle};
+use tsocc_coherence::{FaultPlan, MachineShape, ProtocolHandle};
 use tsocc_cpu::CoreConfig;
 use tsocc_mem::CacheParams;
 use tsocc_noc::NocConfig;
+
+/// A rejected [`SystemConfig`]: the machine geometry, protocol limits,
+/// or workload wiring are inconsistent.
+///
+/// Produced by [`crate::System::try_new`]; the message is the same
+/// human-readable constraint description [`SystemConfig::validate`]
+/// returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid system configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which run loop drives the machine.
 ///
@@ -117,6 +134,11 @@ pub struct SystemConfig {
     /// Which run loop drives the machine (identical results either
     /// way; see [`Stepper`]).
     pub stepper: Stepper,
+    /// Deterministic fault-injection plan. [`FaultPlan::none`] — the
+    /// default from every constructor — keeps the machine byte-exact
+    /// with the pre-fault-axis simulator; real experiments never set
+    /// this. See `tsocc_faults`.
+    pub faults: FaultPlan,
 }
 
 impl std::fmt::Debug for SystemConfig {
@@ -135,6 +157,7 @@ impl std::fmt::Debug for SystemConfig {
             .field("protocol", &self.protocol.protocol_name())
             .field("seed", &self.seed)
             .field("stepper", &self.stepper)
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -157,6 +180,7 @@ impl SystemConfig {
             protocol: protocol.into(),
             seed: 0xC0FFEE,
             stepper: Stepper::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -195,6 +219,7 @@ impl SystemConfig {
             protocol: protocol.into(),
             seed: 42,
             stepper: Stepper::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -242,6 +267,7 @@ impl SystemConfig {
             l2_params: self.l2_params,
             l1_issue_latency: 1,
             l2_latency: self.l2_latency,
+            faults: self.faults,
         }
     }
 }

@@ -42,9 +42,14 @@
 //! ```
 
 pub mod config;
+pub mod hang;
 pub mod stats;
 pub mod system;
 
-pub use config::{Stepper, SystemConfig};
+pub use config::{ConfigError, Stepper, SystemConfig};
+pub use hang::HangReport;
 pub use stats::RunStats;
 pub use system::{RunError, System};
+// The fault-injection axis, re-exported so experiment drivers can
+// build plans without naming the substrate crates.
+pub use tsocc_coherence::{FaultPlan, NocFault, ProtocolFault, StepperFault};

@@ -7,7 +7,8 @@ use tsocc_mem::{Addr, LineAddr, LineData, MainMemory};
 use tsocc_noc::{Mesh, MeshTopology};
 use tsocc_sim::{trace::TraceSink, Cycle, WakeQueue};
 
-use crate::config::{Stepper, SystemConfig};
+use crate::config::{ConfigError, Stepper, SystemConfig};
+use crate::hang::{HangReport, L1Hang, L2Hang, NetHang};
 use crate::stats::RunStats;
 
 /// Cycles without message movement after which a run with unfinished
@@ -25,12 +26,22 @@ pub enum RunError {
     },
     /// No component made progress for a long time while cores were
     /// still unfinished: a protocol deadlock (this is a simulator bug
-    /// if it ever fires).
+    /// if it ever fires — unless a fault plan injected one on purpose).
     Deadlock {
         /// The cycle at which progress stopped.
         stalled_at: u64,
         /// How many cores were still running.
         cores_unfinished: usize,
+        /// Controllers with outstanding work when progress stopped.
+        /// Filled in by [`System::run`] after the stepper reports the
+        /// deadlock (the steppers construct it as `0`).
+        busy_controllers: usize,
+        /// Messages still in flight in the mesh (same post-hoc fill).
+        msgs_in_flight: usize,
+        /// The smallest blocked line address over every outstanding
+        /// MSHR, parked writeback and busy directory transaction (same
+        /// post-hoc fill) — the first place to look.
+        first_blocked_line: Option<LineAddr>,
     },
 }
 
@@ -43,10 +54,20 @@ impl std::fmt::Display for RunError {
             RunError::Deadlock {
                 stalled_at,
                 cores_unfinished,
-            } => write!(
-                f,
-                "deadlock at cycle {stalled_at} with {cores_unfinished} cores unfinished"
-            ),
+                busy_controllers,
+                msgs_in_flight,
+                first_blocked_line,
+            } => {
+                write!(
+                    f,
+                    "deadlock at cycle {stalled_at} with {cores_unfinished} cores unfinished, \
+                     {busy_controllers} busy controllers, {msgs_in_flight} messages in flight"
+                )?;
+                if let Some(line) = first_blocked_line {
+                    write!(f, "; first blocked line {line}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -123,6 +144,10 @@ pub struct System {
     tick_l2: Vec<u32>,
     drain_l2: Vec<u32>,
     drain_mem: Vec<u32>,
+    /// Times this machine gracefully degraded to a serial stepper
+    /// after a parallel-shard worker failure (surfaced as
+    /// [`RunStats::degraded`]).
+    degraded_events: u64,
 }
 
 impl System {
@@ -133,17 +158,31 @@ impl System {
     ///
     /// Panics if more programs than cores are supplied, or if the
     /// configuration is invalid for the chosen protocol (see
-    /// [`SystemConfig::validate`] to check without panicking).
+    /// [`System::try_new`] for the fallible form).
     pub fn new(cfg: SystemConfig, programs: Vec<Program>) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid system configuration: {e}");
+        match Self::try_new(cfg, programs) {
+            Ok(sys) => sys,
+            Err(e) => panic!("{e}"),
         }
-        assert!(
-            programs.len() <= cfg.n_cores,
-            "{} programs for {} cores",
-            programs.len(),
-            cfg.n_cores
-        );
+    }
+
+    /// Fallible constructor: like [`System::new`], but an invalid
+    /// configuration (or a program/core-count mismatch) is returned as
+    /// a [`ConfigError`] instead of panicking — what binaries use to
+    /// exit with a clean message and a nonzero status.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] describing the first violated constraint.
+    pub fn try_new(cfg: SystemConfig, programs: Vec<Program>) -> Result<Self, ConfigError> {
+        cfg.validate().map_err(ConfigError)?;
+        if programs.len() > cfg.n_cores {
+            return Err(ConfigError(format!(
+                "{} programs for {} cores",
+                programs.len(),
+                cfg.n_cores
+            )));
+        }
         let shape = cfg.shape();
         let topo = shape.mesh;
         let mut programs = programs;
@@ -168,7 +207,7 @@ impl System {
         let cores_running = cores.len();
         let n_tiles = l2s.len();
         let cfg_n_mem = mems.len();
-        System {
+        Ok(System {
             cfg,
             topo,
             cores,
@@ -202,7 +241,8 @@ impl System {
             tick_l2: Vec::new(),
             drain_l2: Vec::new(),
             drain_mem: Vec::new(),
-        }
+            degraded_events: 0,
+        })
     }
 
     /// Enables or disables per-message protocol tracing (off by
@@ -403,7 +443,12 @@ impl System {
             let dst = self.router_of(nm.dst);
             let vnet = nm.msg.vnet();
             let flits = self.cfg.noc.flits_for_payload(nm.msg.payload_bytes());
-            self.mesh.send(now, src, dst, vnet, flits, nm);
+            let extra = self
+                .cfg
+                .faults
+                .noc_extra_delay(now.as_u64(), src, dst, vnet);
+            self.mesh
+                .send_with_delay(now, src, dst, vnet, flits, extra, nm);
         }
         self.outgoing = outgoing;
         self.wake = wake.min(self.mesh.next_arrival().unwrap_or(Cycle::MAX));
@@ -659,7 +704,12 @@ impl System {
             let dst = self.router_of(nm.dst);
             let vnet = nm.msg.vnet();
             let flits = self.cfg.noc.flits_for_payload(nm.msg.payload_bytes());
-            self.mesh.send(now, src, dst, vnet, flits, nm);
+            let extra = self
+                .cfg
+                .faults
+                .noc_extra_delay(now.as_u64(), src, dst, vnet);
+            self.mesh
+                .send_with_delay(now, src, dst, vnet, flits, extra, nm);
         }
         self.outgoing = outgoing;
         self.wake = Cycle::new(self.wake_queue.next_wake(next.as_u64()))
@@ -696,12 +746,86 @@ impl System {
     ///
     /// [`RunError::Timeout`] if the budget is exceeded;
     /// [`RunError::Deadlock`] if nothing moves for a long stretch while
-    /// cores are unfinished.
+    /// cores are unfinished. The deadlock report carries outstanding-
+    /// work counters and the first blocked line; call
+    /// [`System::hang_report`] for the full structured diagnosis.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, RunError> {
-        match self.cfg.stepper {
+        let result = match self.cfg.stepper {
             Stepper::EventDriven => self.run_event_driven(max_cycles),
             Stepper::Reference => self.run_reference(max_cycles),
             Stepper::ParallelShards { shards } => self.run_parallel(max_cycles, shards),
+        };
+        match result {
+            // The steppers report the *where*; the enrichment here
+            // (outside their hot loops and borrow scopes) adds the
+            // *what was outstanding* from the intact post-run machine.
+            Err(RunError::Deadlock {
+                stalled_at,
+                cores_unfinished,
+                ..
+            }) => {
+                let report = self.hang_report();
+                Err(RunError::Deadlock {
+                    stalled_at,
+                    cores_unfinished,
+                    busy_controllers: self.busy_controllers,
+                    msgs_in_flight: self.mesh.in_flight_len(),
+                    first_blocked_line: report.first_blocked_line(),
+                })
+            }
+            other => other,
+        }
+    }
+
+    /// Snapshots the machine's outstanding work into a structured
+    /// [`HangReport`]: per-controller probes, in-flight messages, the
+    /// wait-for graph and (when one exists) its cycle — the deadlock
+    /// witness. Valid at any point; meaningful after [`System::run`]
+    /// returned [`RunError::Deadlock`] or [`RunError::Timeout`].
+    pub fn hang_report(&self) -> HangReport {
+        let l1s: Vec<L1Hang> = self
+            .l1s
+            .iter()
+            .enumerate()
+            .map(|(core, c)| L1Hang {
+                core,
+                probe: CacheController::probe(c.as_ref()),
+            })
+            .filter(|h| !h.probe.is_empty())
+            .collect();
+        let l2s: Vec<L2Hang> = self
+            .l2s
+            .iter()
+            .enumerate()
+            .map(|(tile, c)| L2Hang {
+                tile,
+                probe: CacheController::probe(c.as_ref()),
+            })
+            .filter(|h| !h.probe.is_empty())
+            .collect();
+        let mut in_flight: Vec<NetHang> = self
+            .mesh
+            .in_flight_msgs()
+            .map(|(at, dst, nm)| NetHang {
+                at: at.as_u64(),
+                dst,
+                kind: nm.msg.kind_name(),
+                line: nm.msg.line(),
+            })
+            .collect();
+        in_flight.sort_unstable_by_key(|m| (m.at, m.dst, m.kind));
+        let shape = self.cfg.shape();
+        let (edges, cycle) =
+            crate::hang::wait_graph(self.cores.len(), &l1s, &l2s, |line| shape.home_tile(line));
+        HangReport {
+            at_cycle: self.now.as_u64(),
+            cores_unfinished: self.cores_running,
+            busy_controllers: self.busy_controllers,
+            l1s,
+            l2s,
+            in_flight,
+            edges,
+            cycle,
         }
     }
 
@@ -721,6 +845,9 @@ impl System {
                 return Err(RunError::Deadlock {
                     stalled_at: self.now.as_u64(),
                     cores_unfinished: self.cores_running,
+                    busy_controllers: 0,
+                    msgs_in_flight: 0,
+                    first_blocked_line: None,
                 });
             }
         }
@@ -745,6 +872,9 @@ impl System {
                 return Err(RunError::Deadlock {
                     stalled_at: self.now.as_u64(),
                     cores_unfinished: self.cores_running,
+                    busy_controllers: 0,
+                    msgs_in_flight: 0,
+                    first_blocked_line: None,
                 });
             }
             if self.now.as_u64() >= max_cycles {
@@ -782,6 +912,7 @@ impl System {
             cycles: self.now.as_u64(),
             noc: self.mesh.stats().clone(),
             sched,
+            degraded: self.degraded_events,
             ..RunStats::default()
         };
         for l1 in &self.l1s {

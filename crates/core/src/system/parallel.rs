@@ -76,17 +76,35 @@
 //!
 //! [`Stepper::Reference`]: crate::Stepper::Reference
 
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use tsocc_coherence::{Agent, CacheController, L1Controller, L2Controller, MemCtrl, NetMsg};
 use tsocc_cpu::Core;
+use tsocc_isa::Program;
+use tsocc_mem::{LineAddr, LineData};
 use tsocc_noc::MeshTopology;
 use tsocc_sim::{Cycle, WakeQueue};
 
 use crate::Stepper;
 
+/// What `degrade_and_rerun` needs to rebuild a fresh machine: the
+/// per-core programs and the initial DRAM image, captured at entry
+/// when the run starts from cycle zero.
+type EntrySnapshot = (Vec<Program>, Vec<(LineAddr, LineData)>);
+
 use super::{RunError, System, DEADLOCK_WINDOW};
 use crate::stats::RunStats;
+
+/// Poison-tolerant lock. A panicking shard worker poisons whatever
+/// mutex it held; the panic itself is already captured in the
+/// coordinator's failure flag, so every other thread treats the data
+/// as ordinary (it will be discarded wholesale on degradation) rather
+/// than cascading panics through the gate protocol.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One outgoing message, tagged with its injection cycle and its
 /// global drain position so the coordinator can replay the serial
@@ -157,16 +175,16 @@ impl Gate {
 
     /// Coordinator side: assign a command and wake the worker.
     fn post(&self, cmd: Cmd) {
-        *self.cmd.lock().unwrap() = cmd;
+        *plock(&self.cmd) = cmd;
         self.cv.notify_all();
     }
 
     /// Coordinator side: block until the worker reports `Done`, then
     /// reset the gate to `Sleep`.
     fn wait_done(&self) {
-        let mut cmd = self.cmd.lock().unwrap();
+        let mut cmd = plock(&self.cmd);
         while !matches!(*cmd, Cmd::Done) {
-            cmd = self.cv.wait(cmd).unwrap();
+            cmd = self.cv.wait(cmd).unwrap_or_else(PoisonError::into_inner);
         }
         *cmd = Cmd::Sleep;
     }
@@ -174,12 +192,12 @@ impl Gate {
     /// Worker side: block until a window is assigned (`Go`) or the run
     /// ends (`Exit`).
     fn await_window(&self) -> Option<(u64, u64)> {
-        let mut cmd = self.cmd.lock().unwrap();
+        let mut cmd = plock(&self.cmd);
         loop {
             match *cmd {
                 Cmd::Go { start, end } => return Some((start, end)),
                 Cmd::Exit => return None,
-                _ => cmd = self.cv.wait(cmd).unwrap(),
+                _ => cmd = self.cv.wait(cmd).unwrap_or_else(PoisonError::into_inner),
             }
         }
     }
@@ -236,6 +254,10 @@ struct Shard<'a> {
     /// at window start (kept on the shard so the inline and the
     /// worker-thread execution paths share it).
     arr_buf: Vec<NetMsg>,
+    /// Injected stepper fault ([`tsocc_coherence::StepperFault`]):
+    /// panic before executing any cycle at or after this cycle.
+    /// `None` for a healthy shard.
+    panic_at: Option<u64>,
 }
 
 impl Shard<'_> {
@@ -497,7 +519,7 @@ impl Shard<'_> {
 /// inline on the coordinator thread; the two paths are identical.
 fn run_window(shard: &mut Shard<'_>, lane: &Mutex<Lane>, t0: u64, end: u64) {
     let mut arrivals = std::mem::take(&mut shard.arr_buf);
-    let mut lane_g = lane.lock().unwrap();
+    let mut lane_g = plock(lane);
     std::mem::swap(&mut arrivals, &mut lane_g.arrivals);
     lane_g.processed = 0;
     // Arrivals force the first cycle; otherwise jump straight to
@@ -508,6 +530,11 @@ fn run_window(shard: &mut Shard<'_>, lane: &Mutex<Lane>, t0: u64, end: u64) {
         t0
     };
     while t < end {
+        if let Some(at) = shard.panic_at {
+            if t >= at {
+                panic!("injected stepper fault: shard worker panics at cycle {t}");
+            }
+        }
         shard.process_cycle(Cycle::new(t), &mut arrivals, &mut lane_g.sends);
         lane_g.processed += 1;
         lane_g.last_processed = t;
@@ -524,9 +551,20 @@ fn run_window(shard: &mut Shard<'_>, lane: &Mutex<Lane>, t0: u64, end: u64) {
 /// done and sleeps until the next assignment. The shard lives in a
 /// mutex cell so the coordinator can also run windows for it inline;
 /// the gate protocol guarantees the lock is never contended.
-fn worker(shard: &Mutex<Shard<'_>>, lane: &Mutex<Lane>, gate: &Gate) {
+///
+/// A panic inside the window — a simulator bug or an injected
+/// [`tsocc_coherence::StepperFault`] — is contained here: the flag is
+/// raised for the coordinator and `Done` is still posted, so the gate
+/// protocol never wedges on a dead worker. The coordinator abandons
+/// the parallel run and the caller degrades to a serial re-run.
+fn worker(shard: &Mutex<Shard<'_>>, lane: &Mutex<Lane>, gate: &Gate, panicked: &AtomicBool) {
     while let Some((t0, end)) = gate.await_window() {
-        run_window(&mut shard.lock().unwrap(), lane, t0, end);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_window(&mut plock(shard), lane, t0, end);
+        }));
+        if outcome.is_err() {
+            panicked.store(true, Ordering::SeqCst);
+        }
         gate.post(Cmd::Done);
     }
 }
@@ -577,6 +615,26 @@ impl System {
         if workers <= 1 || self.trace.is_enabled() || self.cores.len() != n_tiles {
             return self.run_event_driven(max_cycles);
         }
+
+        // Entry snapshot for graceful degradation: if a shard worker
+        // panics mid-run the parallel machine state is untrustworthy,
+        // so the system is rebuilt from this and re-run on the serial
+        // reference stepper. Only a fresh machine can be replayed; a
+        // resumed run has in-flight state no snapshot covers (and in
+        // practice every run starts fresh).
+        let snapshot = if self.now == Cycle::ZERO && self.steps == 0 {
+            Some((
+                self.cores
+                    .iter()
+                    .map(|c| c.program().clone())
+                    .collect::<Vec<Program>>(),
+                self.memory_image(),
+            ))
+        } else {
+            None
+        };
+        let stepper_fault = self.cfg.faults.stepper;
+        let panicked = AtomicBool::new(false);
 
         let tile_sizes = chunk_sizes(n_tiles, workers);
         let mem_sizes = chunk_sizes(self.mems.len(), workers);
@@ -680,6 +738,11 @@ impl System {
                 drain_l2: Vec::new(),
                 drain_mem: Vec::new(),
                 arr_buf: Vec::new(),
+                // An out-of-range fault shard clamps to the last
+                // shard, so the fault always lands somewhere.
+                panic_at: stepper_fault
+                    .filter(|f| f.shard.min(workers - 1) == w)
+                    .map(|f| f.at_cycle),
             };
             sh.prime(Cycle::new(t_start));
             tile_lo += tile_sizes[w];
@@ -723,9 +786,10 @@ impl System {
         // itself and overlaps with the dispatched rest.
         let overlap = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
 
+        let panicked = &panicked;
         let result: Result<u64, RunError> = std::thread::scope(|scope| {
             for ((cell, lane), gate) in cells.iter().zip(lanes.iter()).zip(gates.iter()) {
-                scope.spawn(move || worker(cell, lane, gate));
+                scope.spawn(move || worker(cell, lane, gate, panicked));
             }
 
             let mut t_now = t_start;
@@ -741,9 +805,14 @@ impl System {
                 // Serial-loop-identical termination checks, at the
                 // cycles the serial loop would perform them.
                 if t_now.saturating_sub(last_active) > DEADLOCK_WINDOW {
+                    // `System::run` enriches the outstanding-work
+                    // fields from the post-run hang report.
                     break Err(RunError::Deadlock {
                         stalled_at: t_now,
                         cores_unfinished: g_running,
+                        busy_controllers: 0,
+                        msgs_in_flight: 0,
+                        first_blocked_line: None,
                     });
                 }
                 if t_now >= max_cycles {
@@ -768,7 +837,7 @@ impl System {
                         is_part[s] = true;
                         parts.push(s);
                     }
-                    lanes[s].lock().unwrap().arrivals.push(nm);
+                    plock(&lanes[s]).arrivals.push(nm);
                 }
 
                 // The conservative window: nothing in flight or newly
@@ -806,17 +875,31 @@ impl System {
                     &parts[..]
                 };
                 for &s in inline {
-                    run_window(&mut cells[s].lock().unwrap(), &lanes[s], t_now, end);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        run_window(&mut plock(&cells[s]), &lanes[s], t_now, end);
+                    }));
+                    if outcome.is_err() {
+                        panicked.store(true, Ordering::SeqCst);
+                    }
                 }
                 for &s in dispatched {
                     gates[s].wait_done();
+                }
+                if panicked.load(Ordering::SeqCst) {
+                    // A shard died mid-window; its lane and the machine
+                    // state it owned are unreliable. Abandon the
+                    // parallel run — the tail of `run_parallel` checks
+                    // the flag (before the error value, which is a
+                    // placeholder here) and degrades to a serial
+                    // re-run from the entry snapshot.
+                    break Err(RunError::Timeout { max_cycles });
                 }
 
                 // Merge participating lanes: ledgers, wake minimum,
                 // send records.
                 let mut last_proc: Option<u64> = None;
                 for &s in &parts {
-                    let mut g = lanes[s].lock().unwrap();
+                    let mut g = plock(&lanes[s]);
                     sends.append(&mut g.sends);
                     wake_c[s] = g.wake;
                     running_c[s] = g.running;
@@ -842,7 +925,20 @@ impl System {
                     let dst = router_of(&topo, rec.msg.dst);
                     let vnet = rec.msg.msg.vnet();
                     let flits = cfg.noc.flits_for_payload(rec.msg.msg.payload_bytes());
-                    mesh.send(Cycle::new(rec.cycle), src, dst, vnet, flits, rec.msg);
+                    // Same fault-injected jitter as the serial send
+                    // sites: the hash depends only on (cycle, src,
+                    // dst, vnet), so every stepper derives the same
+                    // delay for the same message.
+                    let extra = cfg.faults.noc_extra_delay(rec.cycle, src, dst, vnet);
+                    mesh.send_with_delay(
+                        Cycle::new(rec.cycle),
+                        src,
+                        dst,
+                        vnet,
+                        flits,
+                        extra,
+                        rec.msg,
+                    );
                     last_send = Some(rec.cycle);
                 }
 
@@ -887,6 +983,45 @@ impl System {
             Err(RunError::Deadlock { stalled_at, .. }) => *stalled_at,
             Err(RunError::Timeout { .. }) => max_cycles,
         });
+
+        if panicked.load(Ordering::SeqCst) {
+            // Graceful degradation: the flag outranks `result` (which
+            // holds a placeholder error when a shard died).
+            return self.degrade_and_rerun(snapshot, max_cycles);
+        }
         result.map(|_| self.collect_stats())
+    }
+
+    /// Graceful degradation after a shard-worker panic: the parallel
+    /// machine state is untrustworthy, so rebuild the system from the
+    /// entry snapshot on [`Stepper::Reference`] (with any injected
+    /// stepper fault disarmed) and re-run serially. Because every
+    /// stepper is bit-identical in simulated outcomes, the re-run's
+    /// stats and final memory equal a clean run's; only
+    /// [`RunStats::degraded`] records that the fallback happened.
+    fn degrade_and_rerun(
+        &mut self,
+        snapshot: Option<EntrySnapshot>,
+        max_cycles: u64,
+    ) -> Result<RunStats, RunError> {
+        let Some((programs, image)) = snapshot else {
+            // A resumed run has no replayable snapshot; surface the
+            // failure instead of silently fabricating state.
+            panic!("shard worker panicked on a resumed run; no entry snapshot to degrade from");
+        };
+        let mut cfg = self.cfg.clone();
+        cfg.stepper = Stepper::Reference;
+        cfg.faults.stepper = None;
+        let mut fresh = System::new(cfg, programs);
+        let shape = fresh.cfg.shape();
+        let n_mem = fresh.cfg.n_mem;
+        for (line, data) in image {
+            let ctrl = shape.home_tile(line) % n_mem;
+            fresh.mems[ctrl].memory_mut().write_line(line, data);
+        }
+        fresh.degraded_events = self.degraded_events + 1;
+        let result = fresh.run(max_cycles);
+        *self = fresh;
+        result
     }
 }

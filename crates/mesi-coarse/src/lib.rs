@@ -199,16 +199,16 @@ impl ProtocolFactory for MesiCoarseFactory {
     }
 
     fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller> {
-        Box::new(
-            MesiL2Config {
-                tile,
-                n_cores: shape.n_cores,
-                n_mem: shape.n_mem,
-                params: shape.l2_params,
-                latency: shape.l2_latency,
-            }
-            .build_with::<PtrVector>(self.cfg),
-        )
+        let mut ctl = MesiL2Config {
+            tile,
+            n_cores: shape.n_cores,
+            n_mem: shape.n_mem,
+            params: shape.l2_params,
+            latency: shape.l2_latency,
+        }
+        .build_with::<PtrVector>(self.cfg);
+        ctl.chassis.faults = tsocc_coherence::FaultState::for_l2(&shape.faults, tile);
+        Box::new(ctl)
     }
 
     fn validate_shape(&self, shape: &MachineShape) -> Result<(), String> {
@@ -309,6 +309,7 @@ mod tests {
             l2_params: CacheParams::new(16, 4),
             l1_issue_latency: 1,
             l2_latency: 4,
+            faults: tsocc_coherence::FaultPlan::none(),
         };
         assert!(f.l1(0, &shape).is_quiescent());
         assert!(f.l2(3, &shape).is_quiescent());

@@ -1,7 +1,7 @@
 //! The MESI [`ProtocolFactory`]: how the baseline registers itself with
 //! the protocol-agnostic system assembly.
 
-use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
+use tsocc_coherence::{FaultState, L1Controller, L2Controller, MachineShape, ProtocolFactory};
 
 use crate::l2::{check_sharer_capacity, FullVector};
 use crate::{MesiL1Config, MesiL2Config};
@@ -16,30 +16,30 @@ impl ProtocolFactory for MesiFactory {
     }
 
     fn l1(&self, core: usize, shape: &MachineShape) -> Box<dyn L1Controller> {
-        Box::new(
-            MesiL1Config {
-                id: core,
-                n_cores: shape.n_cores,
-                n_tiles: shape.n_tiles,
-                l2_banks: shape.l2_banks,
-                params: shape.l1_params,
-                issue_latency: shape.l1_issue_latency,
-            }
-            .build(),
-        )
+        let mut ctl = MesiL1Config {
+            id: core,
+            n_cores: shape.n_cores,
+            n_tiles: shape.n_tiles,
+            l2_banks: shape.l2_banks,
+            params: shape.l1_params,
+            issue_latency: shape.l1_issue_latency,
+        }
+        .build();
+        ctl.chassis.faults = FaultState::for_l1(&shape.faults, core);
+        Box::new(ctl)
     }
 
     fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller> {
-        Box::new(
-            MesiL2Config {
-                tile,
-                n_cores: shape.n_cores,
-                n_mem: shape.n_mem,
-                params: shape.l2_params,
-                latency: shape.l2_latency,
-            }
-            .build(),
-        )
+        let mut ctl = MesiL2Config {
+            tile,
+            n_cores: shape.n_cores,
+            n_mem: shape.n_mem,
+            params: shape.l2_params,
+            latency: shape.l2_latency,
+        }
+        .build();
+        ctl.chassis.faults = FaultState::for_l2(&shape.faults, tile);
+        Box::new(ctl)
     }
 
     fn validate_shape(&self, shape: &MachineShape) -> Result<(), String> {
@@ -65,6 +65,7 @@ mod tests {
             l2_params: CacheParams::new(16, 4),
             l1_issue_latency: 1,
             l2_latency: 4,
+            faults: tsocc_coherence::FaultPlan::none(),
         }
     }
 

@@ -122,6 +122,11 @@ impl MesiL1Policy {
 
     /// Completes an MSHR whose data and acks have all arrived.
     fn try_complete(&mut self, ch: &mut Ch, now: Cycle, line: LineAddr) {
+        if ch.faults.hold_mshr(line) {
+            // Injected fault: the MSHR never completes. The request
+            // wedges and the system's hang diagnosis takes over.
+            return;
+        }
         let Some(entry) = ch.mshrs.get(line) else {
             return;
         };
@@ -392,14 +397,19 @@ impl L1Policy for MesiL1Policy {
                     }
                 }
                 let id = ch.id();
-                match ack_to_requester {
-                    Some(r) => {
-                        debug_assert_ne!(r, id);
-                        ch.send(now, Agent::L1(r), Msg::InvAck { line, from: id });
-                    }
-                    None => {
-                        let home = ch.home(line);
-                        ch.send(now, home, Msg::InvAckToL2 { line, from: id });
+                if ch.faults.fire_drop_inv_ack() {
+                    // Injected fault: swallow the acknowledgement. The
+                    // requester (or the L2) waits for it forever.
+                } else {
+                    match ack_to_requester {
+                        Some(r) => {
+                            debug_assert_ne!(r, id);
+                            ch.send(now, Agent::L1(r), Msg::InvAck { line, from: id });
+                        }
+                        None => {
+                            let home = ch.home(line);
+                            ch.send(now, home, Msg::InvAckToL2 { line, from: id });
+                        }
                     }
                 }
             }

@@ -393,6 +393,12 @@ impl<S: SharerSet> L2Policy for MesiL2Policy<S> {
                 let mut acks = 0u32;
                 for core in 0..ch.n_cores() {
                     if core != requester && sharers.may_hold(&self.dir_cfg, core) {
+                        if ch.faults.fire_corrupt_sharers() {
+                            // Injected fault: this sharer vanishes from
+                            // the fan-out. It keeps a stale Shared copy
+                            // while the requester is granted Exclusive.
+                            continue;
+                        }
                         ch.send(
                             now,
                             Agent::L1(core),

@@ -189,6 +189,27 @@ impl<M> Mesh<M> {
     ///
     /// Panics if `src`/`dst` are out of range or `flits == 0`.
     pub fn send(&mut self, now: Cycle, src: usize, dst: usize, vnet: VNet, flits: u32, payload: M) {
+        self.send_with_delay(now, src, dst, vnet, flits, 0, payload)
+    }
+
+    /// Like [`Mesh::send`], but the message arrives `extra_delay`
+    /// cycles later than the modelled latency — the seam through which
+    /// deterministic NoC fault injection adds jitter. The delay applies
+    /// to the final arrival time only: link serialization (and thus
+    /// contention seen by *other* messages) is unaffected, and because
+    /// it can only add latency the conservative lookahead bound
+    /// ([`NocConfig::min_message_latency`]) still holds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_with_delay(
+        &mut self,
+        now: Cycle,
+        src: usize,
+        dst: usize,
+        vnet: VNet,
+        flits: u32,
+        extra_delay: u64,
+        payload: M,
+    ) {
         assert!(
             src < self.topo.nodes() && dst < self.topo.nodes(),
             "router out of range"
@@ -232,7 +253,7 @@ impl<M> Mesh<M> {
         }
         self.seq += 1;
         self.in_flight.push(Reverse(Arrival {
-            at: t,
+            at: t + extra_delay,
             seq: self.seq,
             dst,
             payload,
@@ -269,6 +290,20 @@ impl<M> Mesh<M> {
     /// through quiescent periods).
     pub fn next_arrival(&self) -> Option<Cycle> {
         self.in_flight.peek().map(|Reverse(a)| a.at)
+    }
+
+    /// Number of messages still in flight.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Visits every in-flight message as `(arrival, dst, payload)`, in
+    /// unspecified (heap) order — callers wanting determinism sort by
+    /// arrival time. Used by hang diagnosis to snapshot the network.
+    pub fn in_flight_msgs(&self) -> impl Iterator<Item = (Cycle, usize, &M)> {
+        self.in_flight
+            .iter()
+            .map(|Reverse(a)| (a.at, a.dst, &a.payload))
     }
 }
 
@@ -450,6 +485,35 @@ mod tests {
                 "arrival at {first:?} beats lookahead {la} (router={router}, link={link})"
             );
         }
+    }
+
+    #[test]
+    fn extra_delay_shifts_arrival_only() {
+        let mut a = mesh();
+        let mut b = mesh();
+        a.send(Cycle::ZERO, 0, 3, VNet::Request, 1, 1);
+        b.send_with_delay(Cycle::ZERO, 0, 3, VNet::Request, 1, 11, 1);
+        let base = a.next_arrival().unwrap().as_u64();
+        assert_eq!(b.next_arrival().unwrap().as_u64(), base + 11);
+        // Link occupancy is identical: a trailing message on the same
+        // route is not pushed back by the jitter.
+        a.send(Cycle::ZERO, 0, 3, VNet::Request, 1, 2);
+        b.send(Cycle::ZERO, 0, 3, VNet::Request, 1, 2);
+        assert_eq!(
+            a.stats().contention_cycles.get(),
+            b.stats().contention_cycles.get()
+        );
+        assert_eq!(b.in_flight_len(), 2);
+        // The trailing (undelayed) messages arrive at the same time in
+        // both meshes.
+        let second = |m: &Mesh<u32>| {
+            m.in_flight_msgs()
+                .filter(|(_, _, p)| **p == 2)
+                .map(|(t, _, _)| t.as_u64())
+                .next()
+                .unwrap()
+        };
+        assert_eq!(second(&a), second(&b));
     }
 
     #[test]

@@ -203,6 +203,7 @@ mod tests {
             l2_params: CacheParams::new(16, 4),
             l1_issue_latency: 1,
             l2_latency: 4,
+            faults: tsocc_coherence::FaultPlan::none(),
         };
         for p in Protocol::sweep_configs() {
             assert!(p.l1(0, &shape).is_quiescent(), "{}", p.name());

@@ -1,7 +1,7 @@
 //! The TSO-CC [`ProtocolFactory`]: how the paper's protocol registers
 //! itself with the protocol-agnostic system assembly.
 
-use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
+use tsocc_coherence::{FaultState, L1Controller, L2Controller, MachineShape, ProtocolFactory};
 
 use crate::{TsoCcConfig, TsoCcL1Config, TsoCcL2Config};
 
@@ -26,32 +26,32 @@ impl ProtocolFactory for TsoCcFactory {
     }
 
     fn l1(&self, core: usize, shape: &MachineShape) -> Box<dyn L1Controller> {
-        Box::new(
-            TsoCcL1Config {
-                id: core,
-                n_cores: shape.n_cores,
-                n_tiles: shape.n_tiles,
-                l2_banks: shape.l2_banks,
-                params: shape.l1_params,
-                issue_latency: shape.l1_issue_latency,
-                proto: self.proto,
-            }
-            .build(),
-        )
+        let mut ctl = TsoCcL1Config {
+            id: core,
+            n_cores: shape.n_cores,
+            n_tiles: shape.n_tiles,
+            l2_banks: shape.l2_banks,
+            params: shape.l1_params,
+            issue_latency: shape.l1_issue_latency,
+            proto: self.proto,
+        }
+        .build();
+        ctl.chassis.faults = FaultState::for_l1(&shape.faults, core);
+        Box::new(ctl)
     }
 
     fn l2(&self, tile: usize, shape: &MachineShape) -> Box<dyn L2Controller> {
-        Box::new(
-            TsoCcL2Config {
-                tile,
-                n_cores: shape.n_cores,
-                n_mem: shape.n_mem,
-                params: shape.l2_params,
-                latency: shape.l2_latency,
-                proto: self.proto,
-            }
-            .build(),
-        )
+        let mut ctl = TsoCcL2Config {
+            tile,
+            n_cores: shape.n_cores,
+            n_mem: shape.n_mem,
+            params: shape.l2_params,
+            latency: shape.l2_latency,
+            proto: self.proto,
+        }
+        .build();
+        ctl.chassis.faults = FaultState::for_l2(&shape.faults, tile);
+        Box::new(ctl)
     }
 }
 
@@ -75,6 +75,7 @@ mod factory_tests {
             l2_params: CacheParams::new(16, 4),
             l1_issue_latency: 1,
             l2_latency: 4,
+            faults: tsocc_coherence::FaultPlan::none(),
         };
         assert!(f.l1(1, &shape).is_quiescent());
         assert!(f.l2(0, &shape).is_quiescent());

@@ -177,6 +177,15 @@ impl TsoCcL1Policy {
     /// Wraps the timestamp source: new epoch, broadcast, restart just
     /// above the smallest valid timestamp (§3.5).
     fn reset_ts(&mut self, ch: &mut Ch, now: Cycle) {
+        if ch.faults.skip_ts_reset() {
+            // Injected fault: wrap the source silently — no epoch
+            // advance, no broadcast. Small post-wrap timestamps then
+            // defeat remote `ts >= last_seen` acquire checks, so stale
+            // lines survive where the protocol demands
+            // self-invalidation.
+            self.ts_src = Ts::SMALLEST_VALID.next();
+            return;
+        }
         self.epoch = self.epoch.next(self.proto.epoch_bits);
         self.ts_src = Ts::SMALLEST_VALID.next();
         ch.stats.ts_resets.inc();
@@ -335,6 +344,11 @@ impl TsoCcL1Policy {
         grant: Grant,
         ack_required: bool,
     ) {
+        if ch.faults.hold_mshr(line) {
+            // Injected fault: the MSHR never completes. The request
+            // wedges and the system's hang diagnosis takes over.
+            return;
+        }
         let mshr = ch
             .mshrs
             .remove(line)

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use tsocc::{System, SystemConfig};
+use tsocc::{FaultPlan, HangReport, System, SystemConfig};
 use tsocc_coherence::ProtocolHandle;
 use tsocc_isa::{Asm, Program, Reg};
 
@@ -369,6 +369,53 @@ fn mp_spin() -> LitmusTest {
     }
 }
 
+/// MP across two communication rounds: the producer publishes
+/// `(Y, X) = (1, 1)` and later `(Y, X) = (2, 2)`; the consumer
+/// observes round 1, then spins for round 2's flag and re-reads the
+/// data line. `flag = 2 ∧ data ≠ 2` is forbidden under TSO.
+///
+/// The second round is what distinguishes this from plain `MP+spin`:
+/// once the consumer has seen the producer once, a lazy-coherence
+/// protocol must *keep* self-invalidating on later acquires. TSO-CC
+/// does so via timestamp-reset broadcasts (§3.5); a timestamp source
+/// that silently wraps (see `ProtocolFault::SkipTsReset`) makes
+/// round-2 stamps look old, the stale round-1 data line survives, and
+/// this test catches it — no single-round test can.
+fn mp_rounds() -> LitmusTest {
+    let mut t0 = asm_with_jitter();
+    t0.movi(Reg::R10, 1);
+    t0.store_abs(Reg::R10, Y);
+    t0.store_abs(Reg::R10, X);
+    t0.delay(200);
+    t0.movi(Reg::R10, 2);
+    t0.store_abs(Reg::R10, Y);
+    t0.store_abs(Reg::R10, X);
+    t0.halt();
+    let mut t1 = asm_with_jitter();
+    // Round 1: observe both lines (values unconstrained), establishing
+    // the consumer's cached copies and per-writer timestamp tracking.
+    // The fixed delay biases these reads to land after the producer's
+    // round-1 stores, inside its inter-round gap.
+    t1.delay(80);
+    t1.load_abs(Reg::R11, X);
+    t1.load_abs(Reg::R12, Y);
+    // Round 2: spin until the flag shows 2, then the data line must
+    // show 2 as well.
+    let spin = t1.new_label();
+    t1.bind(spin);
+    t1.load_abs(Reg::R1, X);
+    t1.bne_imm(Reg::R1, 2, spin);
+    t1.load_abs(Reg::R2, Y);
+    t1.halt();
+    LitmusTest {
+        name: "MP+rounds",
+        programs: vec![t0.finish(), t1.finish()],
+        observed: vec![0, 2],
+        forbidden: |o| o[0] == 2 && o[1] != 2,
+        relaxed_witness: None,
+    }
+}
+
 /// 2+2W: two threads each write both locations in opposite orders;
 /// each then reads the *other* location. Under TSO the two loads
 /// cannot both see the respective first (overwritten) values.
@@ -513,6 +560,7 @@ pub fn litmus_suite() -> Vec<LitmusTest> {
         mp(),
         mp_fence(),
         mp_spin(),
+        mp_rounds(),
         mp_same_line(),
         lb(),
         s_test(),
@@ -570,6 +618,82 @@ pub fn run_litmus(
         *report.outcomes.entry(outcome).or_insert(0) += 1;
     }
     report
+}
+
+/// The verdict of one fault-injected litmus run: which oracle (if any)
+/// caught the mutation.
+#[derive(Clone, Debug)]
+pub enum FaultVerdict {
+    /// Every iteration terminated with no forbidden outcome — the
+    /// injected fault (if any) escaped this test's oracles.
+    Clean,
+    /// Forbidden outcomes appeared: the TSO safety oracle caught it.
+    Forbidden {
+        /// Iterations whose outcome was forbidden.
+        count: u64,
+        /// Iterations executed.
+        iterations: u64,
+    },
+    /// A run failed to terminate: the liveness oracle (deadlock or
+    /// cycle-budget detector) caught it.
+    Hung {
+        /// The run error's display string.
+        error: String,
+        /// Structured diagnosis of what the machine was waiting on.
+        report: Box<HangReport>,
+    },
+}
+
+impl FaultVerdict {
+    /// Whether any oracle flagged the run.
+    pub fn detected(&self) -> bool {
+        !matches!(self, FaultVerdict::Clean)
+    }
+}
+
+/// Like [`run_litmus`], but with a [`FaultPlan`] installed and a
+/// non-panicking verdict: a fault-injection campaign *expects* some
+/// runs to deadlock or produce forbidden outcomes — those are
+/// detections, not harness failures.
+pub fn run_litmus_faulted(
+    test: &LitmusTest,
+    protocol: impl Into<ProtocolHandle>,
+    iterations: u64,
+    seed: u64,
+    faults: FaultPlan,
+) -> FaultVerdict {
+    let protocol = protocol.into();
+    let n = test.programs.len();
+    let mut forbidden = 0u64;
+    for it in 0..iterations {
+        let mut cfg = SystemConfig::small_test(n.max(2), protocol.clone());
+        cfg.seed = seed ^ (it.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        cfg.faults = faults;
+        let mut sys = System::new(cfg, test.programs.clone());
+        if let Err(e) = sys.run(10_000_000) {
+            return FaultVerdict::Hung {
+                error: e.to_string(),
+                report: Box::new(sys.hang_report()),
+            };
+        }
+        let mut outcome = Vec::new();
+        for (t, &n_obs) in test.observed.iter().enumerate() {
+            for &obs in &OBS[..n_obs] {
+                outcome.push(sys.core(t).thread().reg(obs));
+            }
+        }
+        if (test.forbidden)(&outcome) {
+            forbidden += 1;
+        }
+    }
+    if forbidden > 0 {
+        FaultVerdict::Forbidden {
+            count: forbidden,
+            iterations,
+        }
+    } else {
+        FaultVerdict::Clean
+    }
 }
 
 #[cfg(test)]

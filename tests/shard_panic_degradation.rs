@@ -1,0 +1,77 @@
+//! Graceful degradation of the sharded parallel stepper: an injected
+//! shard-worker panic must be contained, and the run must re-execute
+//! on the serial reference stepper from the entry snapshot — with
+//! bit-identical results to a clean run and `RunStats::degraded`
+//! recording the fallback.
+
+use tsocc::{FaultPlan, RunStats, Stepper, StepperFault, System, SystemConfig};
+use tsocc_mem::{Addr, LineAddr, LineData};
+use tsocc_proto::TsoCcConfig;
+use tsocc_protocols::Protocol;
+use tsocc_workloads::{Benchmark, Scale};
+
+fn run_point(
+    protocol: Protocol,
+    stepper: Stepper,
+    faults: FaultPlan,
+) -> (RunStats, Vec<(LineAddr, LineData)>) {
+    let workload = Benchmark::LuCont.build(16, Scale::Tiny, 7);
+    let mut cfg = SystemConfig::table2_with_cores(protocol, 16);
+    cfg.seed = 7;
+    cfg.stepper = stepper;
+    cfg.faults = faults;
+    let mut sys = System::new(cfg, workload.programs.clone());
+    for &(addr, value) in &workload.init {
+        sys.write_word(Addr::new(addr), value);
+    }
+    let stats = sys.run(10_000_000).expect("run must complete");
+    (stats, sys.memory_image())
+}
+
+#[test]
+fn injected_shard_panic_degrades_to_reference_with_identical_stats() {
+    let sharded = Stepper::ParallelShards { shards: 4 };
+    for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::default())] {
+        let (clean, clean_mem) = run_point(protocol, Stepper::Reference, FaultPlan::none());
+        assert_eq!(clean.degraded, 0);
+
+        let plan = FaultPlan {
+            stepper: Some(StepperFault {
+                shard: 0,
+                at_cycle: 500,
+            }),
+            ..FaultPlan::none()
+        };
+        let (degraded, degraded_mem) = run_point(protocol, sharded, plan);
+        assert_eq!(
+            degraded.degraded,
+            1,
+            "fallback must be recorded on {}",
+            protocol.name()
+        );
+        // `degraded` itself is excluded from PartialEq (host-side
+        // bookkeeping, like `sched`), so this compares the full
+        // simulation-visible stats.
+        assert_eq!(degraded, clean, "stats must match on {}", protocol.name());
+        assert_eq!(degraded_mem, clean_mem);
+    }
+}
+
+#[test]
+fn out_of_range_fault_shard_still_degrades() {
+    // A fault aimed past the last shard clamps onto a real worker —
+    // the plan can never silently miss.
+    let plan = FaultPlan {
+        stepper: Some(StepperFault {
+            shard: 999,
+            at_cycle: 500,
+        }),
+        ..FaultPlan::none()
+    };
+    let (clean, clean_mem) = run_point(Protocol::Mesi, Stepper::Reference, FaultPlan::none());
+    let (degraded, degraded_mem) =
+        run_point(Protocol::Mesi, Stepper::ParallelShards { shards: 4 }, plan);
+    assert_eq!(degraded.degraded, 1);
+    assert_eq!(degraded, clean);
+    assert_eq!(degraded_mem, clean_mem);
+}
