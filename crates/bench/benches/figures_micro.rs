@@ -14,7 +14,12 @@ const CORES: usize = 4;
 
 fn run(bench: Benchmark, protocol: Protocol) -> tsocc::RunStats {
     let w = bench.build(CORES, Scale::Tiny, 3);
-    let cfg = SystemConfig::small_test(CORES, protocol);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(CORES)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     run_workload(&w, cfg).expect("terminates")
 }
 

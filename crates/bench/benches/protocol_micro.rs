@@ -38,7 +38,12 @@ fn bench_message_passing(c: &mut Criterion) {
     ] {
         group.bench_function(protocol.name(), |b| {
             b.iter(|| {
-                let cfg = SystemConfig::small_test(2, protocol);
+                let cfg = SystemConfig::builder()
+                    .small()
+                    .cores(2)
+                    .protocol(protocol)
+                    .build()
+                    .expect("valid config");
                 let mut sys = System::new(cfg, mp_programs());
                 black_box(sys.run(1_000_000).expect("terminates"))
             })
@@ -67,7 +72,12 @@ fn bench_contended_rmw(c: &mut Criterion) {
     ] {
         group.bench_function(protocol.name(), |b| {
             b.iter(|| {
-                let cfg = SystemConfig::small_test(4, protocol);
+                let cfg = SystemConfig::builder()
+                    .small()
+                    .cores(4)
+                    .protocol(protocol)
+                    .build()
+                    .expect("valid config");
                 let mut sys = System::new(cfg, vec![make(), make(), make(), make()]);
                 black_box(sys.run(10_000_000).expect("terminates"))
             })

@@ -20,7 +20,11 @@ use tsocc_workloads::{Benchmark, Scale};
 fn run_once(n_cores: usize, stepper: Stepper) -> (u64, u64) {
     let seed = 0xC0FFEE;
     let workload = Benchmark::Fft.build(n_cores, Scale::Small, seed);
-    let mut cfg = SystemConfig::table2_with_cores(Protocol::TsoCc(Default::default()), n_cores);
+    let mut cfg = SystemConfig::builder()
+        .cores(n_cores)
+        .protocol(Protocol::TsoCc(Default::default()))
+        .build()
+        .expect("valid config");
     cfg.seed = seed;
     cfg.stepper = stepper;
     let mut sys = System::new(cfg, workload.programs.clone());

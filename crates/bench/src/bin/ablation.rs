@@ -56,7 +56,11 @@ fn parse_args() -> Args {
 
 fn run(protocol: Protocol, n_cores: usize, bench: Benchmark, seed: u64) -> tsocc::RunStats {
     let w = bench.build(n_cores, Scale::Small, seed);
-    let mut cfg = SystemConfig::table2_with_cores(protocol, n_cores);
+    let mut cfg = SystemConfig::builder()
+        .cores(n_cores)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     cfg.seed = seed;
     run_workload(&w, cfg).expect("terminates")
 }
@@ -197,7 +201,12 @@ fn main() {
         // Small caches force evictions, which is how the L2's last-seen
         // timestamp table learns that writers have moved on (decay is
         // driven by that table, §3.4).
-        let sys_cfg = SystemConfig::small_test(2, Protocol::TsoCc(cfg));
+        let sys_cfg = SystemConfig::builder()
+            .small()
+            .cores(2)
+            .protocol(Protocol::TsoCc(cfg))
+            .build()
+            .expect("valid config");
         let s = run_workload(&decay_workload(), sys_cfg).expect("terminates");
         let label = decay.map_or("off".to_string(), |d| d.to_string());
         println!(

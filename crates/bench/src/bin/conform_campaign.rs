@@ -25,6 +25,7 @@
 
 use std::time::Duration;
 
+use tsocc_bench::cli::Cli;
 use tsocc_bench::json;
 use tsocc_conform::{litmus_text, op_count, run_campaign, CampaignOpts, GenConfig};
 use tsocc_proto::TsoCcConfig;
@@ -32,70 +33,66 @@ use tsocc_protocols::Protocol;
 use tsocc_workloads::tso_model::ModelMode;
 
 fn parse_args() -> (CampaignOpts, String) {
+    let args = Cli::new(
+        "conform_campaign",
+        "budgeted randomized litmus campaign against the TSO/SC oracle",
+    )
+    .campaign_flags()
+    .protocol_flags()
+    .opt("--threads", "N", "sweep worker threads")
+    .opt("--min-programs", "N", "minimum programs to check")
+    .opt("--max-programs", "N", "maximum programs to check")
+    .opt("--cores", "N", "threads per generated program")
+    .opt("--iters", "N", "simulator runs per (program, protocol)")
+    .opt(
+        "--oracle",
+        "tso|sc",
+        "memory-model oracle (sc injects a deliberate mismatch)",
+    )
+    .parse();
     let mut opts = CampaignOpts {
         budget: Duration::from_millis(2000),
         min_programs: 500,
-        protocols: vec![
-            Protocol::Mesi,
-            Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
-        ],
         gen: GenConfig {
             threads: 3,
             ..GenConfig::default()
         },
         ..Default::default()
     };
-    let mut out = "CONFORM_report.json".to_string();
-    let mut explicit_protocols = false;
-    let mut all_configs = false;
-    let mut args = std::env::args().skip(1);
-    let num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
-        args.next()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
-    };
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--budget-ms" => opts.budget = Duration::from_millis(num(&mut args, "--budget-ms")),
-            "--seed" => opts.seed = num(&mut args, "--seed"),
-            "--threads" => opts.workers = num(&mut args, "--threads") as usize,
-            "--min-programs" => opts.min_programs = num(&mut args, "--min-programs") as usize,
-            "--max-programs" => opts.max_programs = num(&mut args, "--max-programs") as usize,
-            "--cores" => opts.gen.threads = num(&mut args, "--cores") as usize,
-            "--iters" => opts.iters_per_program = num(&mut args, "--iters"),
-            "--oracle" => {
-                opts.oracle = match args.next().as_deref() {
-                    Some("tso") => ModelMode::Tso,
-                    Some("sc") => ModelMode::Sc,
-                    other => panic!("--oracle must be tso or sc, got {other:?}"),
-                }
-            }
-            "--all-configs" => {
-                assert!(
-                    !explicit_protocols,
-                    "--all-configs and --protocol are mutually exclusive"
-                );
-                all_configs = true;
-                opts.protocols = Protocol::sweep_configs();
-            }
-            "--protocol" => {
-                assert!(
-                    !all_configs,
-                    "--all-configs and --protocol are mutually exclusive"
-                );
-                let name = args.next().expect("--protocol needs a configuration name");
-                let p = Protocol::from_name(&name)
-                    .unwrap_or_else(|| panic!("unknown protocol configuration {name:?}"));
-                if !explicit_protocols {
-                    opts.protocols.clear();
-                    explicit_protocols = true;
-                }
-                opts.protocols.push(p);
-            }
-            "--out" => out = args.next().expect("--out needs a path"),
-            other => panic!("unknown flag {other:?}"),
-        }
+    if let Some(ms) = args.u64("--budget-ms") {
+        opts.budget = Duration::from_millis(ms);
     }
+    if let Some(seed) = args.u64("--seed") {
+        opts.seed = seed;
+    }
+    if let Some(workers) = args.usize("--threads") {
+        opts.workers = workers;
+    }
+    if let Some(n) = args.usize("--min-programs") {
+        opts.min_programs = n;
+    }
+    if let Some(n) = args.usize("--max-programs") {
+        opts.max_programs = n;
+    }
+    if let Some(n) = args.usize("--cores") {
+        opts.gen.threads = n;
+    }
+    if let Some(n) = args.u64("--iters") {
+        opts.iters_per_program = n;
+    }
+    opts.oracle = match args.str("--oracle") {
+        None | Some("tso") => ModelMode::Tso,
+        Some("sc") => ModelMode::Sc,
+        Some(other) => panic!("--oracle must be tso or sc, got {other:?}"),
+    };
+    opts.protocols = args.protocols(vec![
+        Protocol::Mesi,
+        Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
+    ]);
+    let out = args
+        .str("--out")
+        .unwrap_or("CONFORM_report.json")
+        .to_string();
     (opts, out)
 }
 

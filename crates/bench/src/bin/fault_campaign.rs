@@ -33,6 +33,7 @@
 use std::time::{Duration, Instant};
 
 use tsocc::{FaultPlan, NocFault, ProtocolFault};
+use tsocc_bench::cli::Cli;
 use tsocc_bench::hang::hang_report_json;
 use tsocc_bench::json;
 use tsocc_conform::{run_campaign, CampaignOpts, GenConfig};
@@ -198,25 +199,22 @@ struct LegResult {
 }
 
 fn main() {
-    let mut budget = Duration::MAX;
-    let mut seed = 7u64;
-    let mut iters = 8u64;
-    let mut out = "FAULT_campaign.json".to_string();
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        let mut num = |flag: &str| -> u64 {
-            args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
-        };
-        match flag.as_str() {
-            "--budget-ms" => budget = Duration::from_millis(num("--budget-ms")),
-            "--seed" => seed = num("--seed"),
-            "--iters" => iters = num("--iters"),
-            "--out" => out = args.next().expect("--out needs a path"),
-            other => panic!("unknown flag {other:?}"),
-        }
-    }
+    let args = Cli::new(
+        "fault_campaign",
+        "mutation testing of the verification oracles via injected protocol faults",
+    )
+    .campaign_flags()
+    .opt("--iters", "N", "iterations per (mutation, litmus test)")
+    .parse();
+    let budget = args
+        .u64("--budget-ms")
+        .map_or(Duration::MAX, Duration::from_millis);
+    let seed = args.u64("--seed").unwrap_or(7);
+    let iters = args.u64("--iters").unwrap_or(8);
+    let out = args
+        .str("--out")
+        .unwrap_or("FAULT_campaign.json")
+        .to_string();
 
     let start = Instant::now();
     let suite = litmus_suite();

@@ -18,6 +18,7 @@
 //! deterministic per-point seeds (see [`sweep::run_points`]); serial
 //! and parallel runs produce identical results.
 
+pub mod cli;
 pub mod figures;
 pub mod hang;
 pub mod json;

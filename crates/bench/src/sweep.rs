@@ -123,7 +123,11 @@ impl SweepPoint {
     pub fn run_with_stepper(&self, base_seed: u64, stepper: Stepper) -> PointResult {
         let seed = self.seed(base_seed);
         let workload = self.bench.build(self.n_cores, self.scale, seed);
-        let mut cfg = SystemConfig::table2_with_cores(self.protocol, self.n_cores);
+        let mut cfg = SystemConfig::builder()
+            .cores(self.n_cores)
+            .protocol(self.protocol)
+            .build()
+            .expect("valid config");
         cfg.seed = seed;
         cfg.stepper = stepper;
         let t = Instant::now();

@@ -46,7 +46,8 @@ use tsocc_mem::{CacheArray, CacheParams, InsertOutcome, LineAddr, LineData, Line
 use tsocc_sim::Cycle;
 
 use crate::iface::{
-    BusyProbe, CacheController, Completion, CoreOp, CtrlProbe, L1Controller, L2Controller, Submit,
+    BusyProbe, CacheController, Completion, CoreOp, CtrlProbe, L1Controller, L2Controller,
+    LineAccess, Submit,
 };
 use crate::msg::{Agent, Epoch, Msg, NetMsg, Ts};
 use crate::outbox::Outbox;
@@ -328,6 +329,14 @@ pub trait L1Policy: Send {
         src: Agent,
         msg: Msg,
     );
+
+    /// Classifies a resident line's current core-facing permission for
+    /// [`CacheController::access_lines`]. The conservative default
+    /// (read-only) keeps every axiom trivially satisfied for policies
+    /// that don't opt in; MESI and TSO-CC override it.
+    fn line_access(&self, _line: &Self::Line) -> LineAccess {
+        LineAccess::Read
+    }
 }
 
 /// An L1 controller assembled from an [`L1Chassis`] and an
@@ -383,6 +392,17 @@ impl<P: L1Policy> CacheController for L1Ctl<P> {
             replay: 0,
             outbox: self.chassis.outbox.len(),
         }
+    }
+
+    fn access_lines(&self) -> Vec<(LineAddr, LineAccess)> {
+        let mut lines: Vec<(LineAddr, LineAccess)> = self
+            .chassis
+            .cache
+            .iter()
+            .map(|(line, l)| (line, self.policy.line_access(l)))
+            .collect();
+        lines.sort_unstable();
+        lines
     }
 }
 

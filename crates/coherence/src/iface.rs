@@ -59,6 +59,38 @@ pub enum Completion {
     Store,
 }
 
+/// The access permission a resident cache line currently grants, as
+/// reported by [`CacheController::access_lines`]. The model checker's
+/// coherence axioms are phrased over this classification: at most one
+/// L1 may hold [`LineAccess::Write`] on a line at any instant, and
+/// under an eager ([`CoherenceDiscipline::Eager`]) protocol a writer
+/// excludes every reader.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LineAccess {
+    /// The line may be read but not written (Shared/SharedRO states).
+    Read,
+    /// The line may be written (Exclusive/Modified states — Exclusive
+    /// counts because the upgrade to Modified is silent).
+    Write,
+}
+
+/// How a protocol propagates writes to sharers, declared by
+/// [`ProtocolFactory::coherence_discipline`] so protocol-agnostic
+/// verifiers know which coherence axioms apply.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CoherenceDiscipline {
+    /// Invalidation-based: a write eagerly invalidates every sharer, so
+    /// a writer and a reader of the same line never coexist (strict
+    /// single-writer/multiple-reader). MESI and its variants.
+    #[default]
+    Eager,
+    /// Consistency-directed lazy coherence: sharers may legally hold
+    /// stale copies while a writer proceeds (self-invalidation plus
+    /// timestamps bound the staleness instead). TSO-CC. Only the
+    /// one-writer-at-a-time half of SWMR applies.
+    Lazy,
+}
+
 /// One in-flight directory transaction as seen by a [`CtrlProbe`]:
 /// which line is blocked and which terminal events it still waits for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -145,6 +177,17 @@ pub trait CacheController: Send {
     /// and L2 controllers override it.
     fn probe(&self) -> CtrlProbe {
         CtrlProbe::default()
+    }
+
+    /// Every resident line together with the access permission it
+    /// currently grants — the enabled-transition/permission view the
+    /// model checker's coherence axioms are evaluated over. Sorted by
+    /// line address. The default (no lines) suits controllers without
+    /// core-facing permissions (L2 tiles, memory controllers); the
+    /// chassis-based L1 overrides it via
+    /// [`L1Policy::line_access`](crate::L1Policy::line_access).
+    fn access_lines(&self) -> Vec<(LineAddr, LineAccess)> {
+        Vec::new()
     }
 }
 
@@ -285,6 +328,15 @@ pub trait ProtocolFactory: Send + Sync {
     /// A human-readable description of the first violated constraint.
     fn validate_shape(&self, shape: &MachineShape) -> Result<(), String> {
         shape.validate()
+    }
+
+    /// Which coherence axioms this protocol promises (see
+    /// [`CoherenceDiscipline`]). The default is the classic eager
+    /// invalidation discipline; lazy consistency-directed protocols
+    /// (TSO-CC) override it so verifiers don't flag their legal stale
+    /// sharers.
+    fn coherence_discipline(&self) -> CoherenceDiscipline {
+        CoherenceDiscipline::Eager
     }
 }
 

@@ -38,8 +38,8 @@ pub use chassis::{
     Install, L1Chassis, L1Ctl, L1Policy, L2Chassis, L2Ctl, L2Policy, MshrTable, Txn,
 };
 pub use iface::{
-    BusyProbe, CacheController, Completion, CoreOp, CtrlProbe, L1Controller, L2Controller,
-    MachineShape, ProtocolFactory, ProtocolHandle, Submit,
+    BusyProbe, CacheController, CoherenceDiscipline, Completion, CoreOp, CtrlProbe, L1Controller,
+    L2Controller, LineAccess, MachineShape, ProtocolFactory, ProtocolHandle, Submit,
 };
 pub use memctrl::MemCtrl;
 pub use msg::{Agent, Epoch, Grant, Msg, NetMsg, Ts, TsSource};

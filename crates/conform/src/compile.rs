@@ -16,7 +16,9 @@
 //!   stay free for the assembler's own conventions.
 
 use tsocc::System;
+use tsocc_coherence::CoreOp;
 use tsocc_isa::{Asm, Program, Reg, RmwOp};
+use tsocc_mem::Addr;
 use tsocc_workloads::tso_model::{ModelOp, ModelProgram};
 
 /// The default campaign address pool: two words sharing line A, one
@@ -101,6 +103,26 @@ pub fn compile_model_thread(ops: &[ModelOp], pool: &[u64], jitter: u32) -> Progr
     a.finish()
 }
 
+/// Lowers one model thread to the coherence-layer [`CoreOp`] sequence
+/// the model checker's scheduler executes directly — the same
+/// pool-indexed address mapping as [`compile_model_thread`], minus the
+/// TVM register conventions (the checker's store-buffer shim records
+/// observations itself, so no observation registers are needed).
+///
+/// # Panics
+///
+/// Panics if an op's location index is out of `pool`'s bounds.
+pub fn core_ops(ops: &[ModelOp], pool: &[u64]) -> Vec<CoreOp> {
+    ops.iter()
+        .map(|op| match *op {
+            ModelOp::Store { addr, value } => CoreOp::Store(Addr::new(pool[addr as usize]), value),
+            ModelOp::Load { addr } => CoreOp::Load(Addr::new(pool[addr as usize])),
+            ModelOp::Fence => CoreOp::Fence,
+            ModelOp::Rmw { addr, rmw } => CoreOp::Rmw(Addr::new(pool[addr as usize]), rmw),
+        })
+        .collect()
+}
+
 /// Compiles every thread of `program` against `pool` with the same
 /// `jitter`.
 pub fn compile_program(program: &ModelProgram, pool: &[u64], jitter: u32) -> Vec<Program> {
@@ -155,7 +177,12 @@ mod tests {
         let allowed = allowed_outcomes(&program);
         for seed in 0..10u64 {
             let compiled = compile_program(&program, &DEFAULT_POOL, 30);
-            let mut cfg = SystemConfig::small_test(2, Protocol::Mesi);
+            let mut cfg = SystemConfig::builder()
+                .small()
+                .cores(2)
+                .protocol(Protocol::Mesi)
+                .build()
+                .expect("valid config");
             cfg.seed = seed;
             let mut sys = System::new(cfg, compiled);
             sys.run(5_000_000).unwrap();

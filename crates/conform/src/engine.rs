@@ -292,7 +292,12 @@ fn run_once(
     faults: FaultPlan,
 ) -> Result<Vec<u64>, String> {
     let compiled = compile_program(program, pool, jitter);
-    let mut cfg = SystemConfig::small_test(program.len().max(1), protocol);
+    let mut cfg = SystemConfig::builder()
+        .small()
+        .cores(program.len().max(1))
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     cfg.seed = seed;
     cfg.faults = faults;
     let mut sys = System::new(cfg, compiled);

@@ -35,7 +35,10 @@ pub mod gen;
 pub mod shrink;
 pub mod version;
 
-pub use compile::{compile_model_thread, observation_count, observed_outcome, DEFAULT_POOL};
+pub use compile::{
+    compile_model_thread, compile_program, core_ops, observation_count, observed_outcome,
+    DEFAULT_POOL, MAX_OBSERVATIONS,
+};
 pub use engine::{litmus_text, run_campaign, CampaignOpts, CampaignReport, Violation};
 pub use gen::{generate_program, GenConfig};
 pub use shrink::{op_count, shrink};

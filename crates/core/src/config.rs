@@ -162,9 +162,231 @@ impl std::fmt::Debug for SystemConfig {
     }
 }
 
+/// Typed constructor for [`SystemConfig`], the one blessed way to build
+/// a machine. Starts from the paper's Table 2 preset; [`Self::small`]
+/// switches to the small test machine. Geometry that the presets derive
+/// from the core count (`n_mem`, `l2_banks`, the mesh, the seed) stays
+/// derived unless set explicitly, so
+/// `SystemConfig::builder().cores(n).protocol(p).build()` is
+/// field-identical to the historical `table2_with_cores(p, n)` at every
+/// `n` — the builder migration cannot perturb a single simulated
+/// metric.
+///
+/// ```
+/// use tsocc::{Stepper, SystemConfig};
+/// use tsocc_protocols::Protocol;
+///
+/// let cfg = SystemConfig::builder()
+///     .small()
+///     .cores(2)
+///     .protocol(Protocol::Mesi)
+///     .stepper(Stepper::EventDriven)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.n_cores, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemConfigBuilder {
+    n_cores: usize,
+    n_mem: Option<usize>,
+    mesh: Option<(usize, usize)>,
+    l2_banks: Option<usize>,
+    core: CoreConfig,
+    l1_params: CacheParams,
+    l2_params: CacheParams,
+    l2_latency: u64,
+    mem_latency: u64,
+    noc: NocConfig,
+    protocol: Option<ProtocolHandle>,
+    seed: Option<u64>,
+    stepper: Stepper,
+    faults: FaultPlan,
+    small: bool,
+}
+
+impl SystemConfigBuilder {
+    /// Switches every preset field to the small test machine: tiny
+    /// caches (8×2 L1, 16×4 L2) force evictions, short latencies keep
+    /// litmus iteration fast. Call **before** overriding individual
+    /// fields — the preset replaces the cache geometry, the latencies,
+    /// and the core parameters wholesale.
+    pub fn small(mut self) -> Self {
+        self.core = CoreConfig {
+            write_buffer_entries: 8,
+            l1_hit_latency: 1,
+        };
+        self.l1_params = CacheParams::new(8, 2);
+        self.l2_params = CacheParams::new(16, 4);
+        self.l2_latency = 4;
+        self.mem_latency = 20;
+        self.small = true;
+        self
+    }
+
+    /// Sets the core count. Unless overridden, `n_mem`, `l2_banks`, and
+    /// the mesh keep deriving from it exactly as the presets always
+    /// have.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.n_cores = n;
+        self
+    }
+
+    /// Sets the coherence protocol (required).
+    pub fn protocol(mut self, protocol: impl Into<ProtocolHandle>) -> Self {
+        self.protocol = Some(protocol.into());
+        self
+    }
+
+    /// Sets the run loop (defaults to [`Stepper::EventDriven`]).
+    pub fn stepper(mut self, stepper: Stepper) -> Self {
+        self.stepper = stepper;
+        self
+    }
+
+    /// Sets the deterministic fault-injection plan (defaults to
+    /// [`FaultPlan::none`]).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the seed for all deterministic randomness (defaults to the
+    /// preset's seed: `0xC0FFEE` for Table 2, `42` for the small
+    /// machine).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Overrides the memory-controller count (defaults to the preset's
+    /// core-count clamp).
+    pub fn mem_controllers(mut self, n_mem: usize) -> Self {
+        self.n_mem = Some(n_mem);
+        self
+    }
+
+    /// Overrides the mesh dimensions (defaults to the near-square mesh
+    /// for the tile count).
+    pub fn mesh(mut self, rows: usize, cols: usize) -> Self {
+        self.mesh = Some((rows, cols));
+        self
+    }
+
+    /// Overrides the L2 bank count (defaults to the preset rule: 2 from
+    /// 128 cores up on the Table 2 machine, 1 otherwise).
+    pub fn l2_banks(mut self, banks: usize) -> Self {
+        self.l2_banks = Some(banks);
+        self
+    }
+
+    /// Overrides the core pipeline/write-buffer parameters.
+    pub fn core(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Overrides the L1 geometry.
+    pub fn l1_params(mut self, params: CacheParams) -> Self {
+        self.l1_params = params;
+        self
+    }
+
+    /// Overrides the L2 tile geometry.
+    pub fn l2_params(mut self, params: CacheParams) -> Self {
+        self.l2_params = params;
+        self
+    }
+
+    /// Overrides the L2 array access latency (cycles).
+    pub fn l2_latency(mut self, cycles: u64) -> Self {
+        self.l2_latency = cycles;
+        self
+    }
+
+    /// Overrides the memory access latency (cycles).
+    pub fn mem_latency(mut self, cycles: u64) -> Self {
+        self.mem_latency = cycles;
+        self
+    }
+
+    /// Overrides the network parameters.
+    pub fn noc(mut self, noc: NocConfig) -> Self {
+        self.noc = noc;
+        self
+    }
+
+    /// Resolves the derived fields and validates the machine against
+    /// both the protocol-independent geometry constraints and the
+    /// configured protocol's own limits ([`SystemConfig::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when no protocol was set or the assembled
+    /// configuration violates a constraint (mesh/tile mismatch,
+    /// zero-core machine, directory capacity, …).
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        let Some(protocol) = self.protocol else {
+            return Err(ConfigError(
+                "no protocol set: SystemConfig::builder() needs .protocol(…)".to_string(),
+            ));
+        };
+        let n = self.n_cores;
+        let (auto_mem, auto_banks, auto_seed) = if self.small {
+            (n.clamp(1, 2), 1, 42)
+        } else {
+            (n.clamp(1, 4), if n >= 128 { 2 } else { 1 }, 0xC0FFEE)
+        };
+        let cfg = SystemConfig {
+            n_cores: n,
+            n_mem: self.n_mem.unwrap_or(auto_mem),
+            mesh: self.mesh,
+            l2_banks: self.l2_banks.unwrap_or(auto_banks),
+            core: self.core,
+            l1_params: self.l1_params,
+            l2_params: self.l2_params,
+            l2_latency: self.l2_latency,
+            mem_latency: self.mem_latency,
+            noc: self.noc,
+            protocol,
+            seed: self.seed.unwrap_or(auto_seed),
+            stepper: self.stepper,
+            faults: self.faults,
+        };
+        cfg.validate().map_err(ConfigError)?;
+        Ok(cfg)
+    }
+}
+
 impl SystemConfig {
+    /// A typed builder starting from the paper's Table 2 machine:
+    /// 32 cores, 32 KiB 4-way L1s, 1 MiB 16-way L2 tiles, 2D mesh, 4
+    /// memory controllers. See [`SystemConfigBuilder`].
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            n_cores: 32,
+            n_mem: None,
+            mesh: None,
+            l2_banks: None,
+            core: CoreConfig::default(),
+            l1_params: CacheParams::from_capacity(32 * 1024, 4),
+            l2_params: CacheParams::from_capacity(1024 * 1024, 16),
+            l2_latency: 20,
+            mem_latency: 150,
+            noc: NocConfig::default(),
+            protocol: None,
+            seed: None,
+            stepper: Stepper::default(),
+            faults: FaultPlan::none(),
+            small: false,
+        }
+    }
+
     /// The paper's Table 2 machine: 32 cores, 32KiB 4-way L1s, 1MiB
     /// 16-way L2 tiles, 2D mesh, 4 memory controllers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SystemConfig::builder().protocol(p).build() — one PR of grace, then this goes"
+    )]
     pub fn table2(protocol: impl Into<ProtocolHandle>) -> Self {
         SystemConfig {
             n_cores: 32,
@@ -191,7 +413,12 @@ impl SystemConfig {
     /// the tile count doubles. Below 128 cores the interleaving is
     /// Table 2's flat `line % n_tiles` — byte-identical to every
     /// machine this constructor has ever produced at those sizes.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SystemConfig::builder().cores(n).protocol(p).build() — one PR of grace, then this goes"
+    )]
     pub fn table2_with_cores(protocol: impl Into<ProtocolHandle>, n: usize) -> Self {
+        #[allow(deprecated)]
         let mut cfg = SystemConfig::table2(protocol);
         cfg.n_cores = n;
         cfg.n_mem = n.clamp(1, 4);
@@ -201,6 +428,10 @@ impl SystemConfig {
 
     /// A small machine for tests: tiny caches force evictions, small
     /// latencies keep litmus iteration fast.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SystemConfig::builder().small().cores(n).protocol(p).build() — one PR of grace, then this goes"
+    )]
     pub fn small_test(n_cores: usize, protocol: impl Into<ProtocolHandle>) -> Self {
         SystemConfig {
             n_cores,
@@ -277,9 +508,13 @@ mod tests {
     use super::*;
     use tsocc_protocols::Protocol;
 
+    fn mesi() -> SystemConfigBuilder {
+        SystemConfig::builder().protocol(Protocol::Mesi)
+    }
+
     #[test]
     fn table2_matches_paper() {
-        let cfg = SystemConfig::table2(Protocol::Mesi);
+        let cfg = mesi().build().unwrap();
         assert_eq!(cfg.n_cores, 32);
         assert_eq!(cfg.core.write_buffer_entries, 32);
         assert_eq!(cfg.l1_params.lines() * 64, 32 * 1024);
@@ -290,7 +525,7 @@ mod tests {
 
     #[test]
     fn shape_mirrors_config() {
-        let cfg = SystemConfig::small_test(4, Protocol::Mesi);
+        let cfg = mesi().small().cores(4).build().unwrap();
         let shape = cfg.shape();
         assert_eq!(shape.n_cores, 4);
         assert_eq!(shape.n_tiles, cfg.n_tiles());
@@ -302,25 +537,19 @@ mod tests {
 
     #[test]
     fn mesh_override_must_match_tile_count() {
-        let mut cfg = SystemConfig::small_test(4, Protocol::Mesi);
-        cfg.mesh = Some((1, 4));
-        assert!(cfg.validate().is_ok());
-        cfg.mesh = Some((2, 3));
-        let err = cfg.validate().unwrap_err();
-        assert!(err.contains("routers"), "{err}");
+        assert!(mesi().small().cores(4).mesh(1, 4).build().is_ok());
+        let err = mesi().small().cores(4).mesh(2, 3).build().unwrap_err();
+        assert!(err.0.contains("routers"), "{err}");
     }
 
     #[test]
     fn l2_goes_two_banked_at_128_cores() {
         // The paper-size machines keep Table 2's flat interleaving…
         for n in [2, 16, 32, 64] {
-            assert_eq!(
-                SystemConfig::table2_with_cores(Protocol::Mesi, n).l2_banks,
-                1
-            );
+            assert_eq!(mesi().cores(n).build().unwrap().l2_banks, 1);
         }
         // …and the 128-core climb stripes line pairs across tiles.
-        let cfg = SystemConfig::table2_with_cores(Protocol::Mesi, 128);
+        let cfg = mesi().cores(128).build().unwrap();
         assert_eq!(cfg.l2_banks, 2);
         let shape = cfg.shape();
         assert_eq!((shape.mesh.rows(), shape.mesh.cols()), (8, 16));
@@ -332,13 +561,15 @@ mod tests {
         // MESI's one-bit-per-core u128 sharer vector caps the machine
         // at 128 cores; 129+ must be a clean config error, not a shift
         // overflow during directory construction.
-        assert!(SystemConfig::table2_with_cores(Protocol::Mesi, 128)
-            .validate()
-            .is_ok());
-        let err = SystemConfig::table2_with_cores(Protocol::Mesi, 129)
-            .validate()
-            .unwrap_err();
-        assert!(err.contains("128") && err.contains("129"), "{err}");
+        assert!(mesi().cores(128).build().is_ok());
+        let err = mesi().cores(129).build().unwrap_err();
+        assert!(err.0.contains("128") && err.0.contains("129"), "{err}");
+    }
+
+    #[test]
+    fn builder_without_protocol_is_rejected() {
+        let err = SystemConfig::builder().cores(4).build().unwrap_err();
+        assert!(err.0.contains("protocol"), "{err}");
     }
 
     #[test]
@@ -346,31 +577,84 @@ mod tests {
         use tsocc_mesi_coarse::MesiCoarseConfig;
         // One group bit per 4 cores: up to 512 cores fit the u128.
         let p4g4 = Protocol::MesiCoarse(MesiCoarseConfig::new(4, 4));
-        assert!(SystemConfig::table2_with_cores(p4g4, 512)
-            .validate()
-            .is_ok());
-        assert!(SystemConfig::table2_with_cores(p4g4, 513)
-            .validate()
-            .is_err());
+        let coarse = |n| SystemConfig::builder().protocol(p4g4).cores(n).build();
+        assert!(coarse(512).is_ok());
+        assert!(coarse(513).is_err());
         // TSO-CC has no sharer vector: no core-count cap.
         let tsocc = Protocol::TsoCc(tsocc_proto::TsoCcConfig::default());
-        assert!(SystemConfig::table2_with_cores(tsocc, 1024)
-            .validate()
+        assert!(SystemConfig::builder()
+            .protocol(tsocc)
+            .cores(1024)
+            .build()
             .is_ok());
     }
 
     #[test]
     fn zero_core_machine_is_rejected() {
-        let mut cfg = SystemConfig::small_test(2, Protocol::Mesi);
-        cfg.n_cores = 0;
-        assert!(cfg.validate().is_err());
+        assert!(mesi().small().cores(0).build().is_err());
     }
 
     #[test]
     fn config_is_cloneable_and_debuggable() {
-        let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+        let cfg = mesi().small().cores(2).build().unwrap();
         let cfg2 = cfg.clone();
         assert_eq!(cfg2.n_cores, 2);
         assert!(format!("{cfg2:?}").contains("MESI"));
+    }
+
+    /// The builder must be field-identical to the deprecated
+    /// constructors — `sweep_baseline --check` holds the simulated
+    /// metrics byte-exact across the migration, and this pins the
+    /// config layer it rests on.
+    #[test]
+    #[allow(deprecated)]
+    fn builder_reproduces_deprecated_constructors_exactly() {
+        let same = |a: &SystemConfig, b: &SystemConfig| {
+            // `Debug` prints every field (including the protocol name),
+            // so string equality is full structural equality.
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        };
+        same(
+            &SystemConfig::table2(Protocol::Mesi),
+            &mesi().build().unwrap(),
+        );
+        for n in [1, 2, 4, 32, 64, 128] {
+            same(
+                &SystemConfig::table2_with_cores(Protocol::Mesi, n),
+                &mesi().cores(n).build().unwrap(),
+            );
+            same(
+                &SystemConfig::small_test(n, Protocol::Mesi),
+                &mesi().small().cores(n).build().unwrap(),
+            );
+        }
+        let tsocc = Protocol::TsoCc(tsocc_proto::TsoCcConfig::default());
+        same(
+            &SystemConfig::small_test(3, tsocc),
+            &SystemConfig::builder()
+                .small()
+                .cores(3)
+                .protocol(tsocc)
+                .build()
+                .unwrap(),
+        );
+    }
+
+    /// Explicit overrides beat the preset's derived fields.
+    #[test]
+    fn builder_overrides_beat_derived_defaults() {
+        let cfg = mesi()
+            .small()
+            .cores(4)
+            .seed(7)
+            .mem_controllers(1)
+            .l2_banks(2)
+            .stepper(Stepper::parallel())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.n_mem, 1);
+        assert_eq!(cfg.l2_banks, 2);
+        assert_eq!(cfg.stepper, Stepper::ParallelShards { shards: 0 });
     }
 }

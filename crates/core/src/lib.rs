@@ -34,7 +34,12 @@
 //! asm.load_abs(Reg::R2, 0x1000);
 //! asm.halt();
 //!
-//! let cfg = SystemConfig::small_test(2, Protocol::TsoCc(Default::default()));
+//! let cfg = SystemConfig::builder()
+//!     .small()
+//!     .cores(2)
+//!     .protocol(Protocol::TsoCc(Default::default()))
+//!     .build()
+//!     .expect("valid config");
 //! let mut sys = System::new(cfg, vec![asm.finish()]);
 //! let stats = sys.run(100_000).expect("terminates");
 //! assert_eq!(sys.core(0).thread().reg(Reg::R2), 99);
@@ -43,11 +48,15 @@
 
 pub mod config;
 pub mod hang;
+pub mod scheduler;
 pub mod stats;
 pub mod system;
 
-pub use config::{ConfigError, Stepper, SystemConfig};
+pub use config::{ConfigError, Stepper, SystemConfig, SystemConfigBuilder};
 pub use hang::HangReport;
+pub use scheduler::{
+    Channel, Choice, ReplaySchedule, ScheduledSystem, Scheduler, StepInfo, Terminal,
+};
 pub use stats::RunStats;
 pub use system::{RunError, System};
 // The fault-injection axis, re-exported so experiment drivers can

@@ -12,7 +12,12 @@ fn all_protocols() -> Vec<Protocol> {
 
 fn run_programs(protocol: Protocol, programs: Vec<Program>) -> (System, RunStats) {
     let n = programs.len().max(2);
-    let cfg = SystemConfig::small_test(n, protocol);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(n)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, programs);
     let stats = sys
         .run(2_000_000)
@@ -290,7 +295,12 @@ fn timeout_reported_for_infinite_programs() {
     a.bind(top);
     a.load_abs(Reg::R1, 0x4000);
     a.jump(top);
-    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(Protocol::Mesi)
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![a.finish()]);
     match sys.run(5_000) {
         Err(RunError::Timeout { max_cycles }) => assert_eq!(max_cycles, 5_000),
@@ -301,7 +311,12 @@ fn timeout_reported_for_infinite_programs() {
 #[test]
 #[should_panic]
 fn too_many_programs_panics() {
-    let cfg = SystemConfig::small_test(1, Protocol::Mesi);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(1)
+        .protocol(Protocol::Mesi)
+        .build()
+        .expect("valid config");
     let p = || Program::new(vec![tsocc_isa::Instr::Halt]);
     let _ = System::new(cfg, vec![p(), p(), p()]);
 }
@@ -312,7 +327,12 @@ fn memory_image_is_sorted_and_complete() {
     // `MainMemory::lines` underneath) is what parity tests compare
     // across steppers and protocols; pin it with scrambled writes that
     // land on different memory controllers and far-apart pages.
-    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(Protocol::Mesi)
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![]);
     let addrs = [0x9_0000u64, 0x40, 0x10_0000, 0x0, 0x80, 0x4_1000, 0xc0];
     for (i, &a) in addrs.iter().enumerate() {
@@ -336,7 +356,12 @@ fn memory_word_init_visible_to_programs() {
     let mut a = Asm::new();
     a.load_abs(Reg::R1, 0x7000);
     a.halt();
-    let cfg = SystemConfig::small_test(2, Protocol::TsoCc(TsoCcConfig::basic()));
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(Protocol::TsoCc(TsoCcConfig::basic()))
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![a.finish()]);
     sys.write_word(Addr::new(0x7000), 4242);
     sys.run(1_000_000).unwrap();
@@ -350,7 +375,12 @@ fn protocol_trace_records_message_flow() {
     a.store_abs(Reg::R1, 0x4000);
     a.load_abs(Reg::R2, 0x4040);
     a.halt();
-    let cfg = SystemConfig::small_test(2, Protocol::TsoCc(TsoCcConfig::default()));
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(Protocol::TsoCc(TsoCcConfig::default()))
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![a.finish()]);
     sys.set_trace(true);
     sys.run(1_000_000).unwrap();
@@ -371,7 +401,12 @@ fn trace_disabled_by_default() {
     let mut a = Asm::new();
     a.store_abs(Reg::R0, 0x4000);
     a.halt();
-    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(Protocol::Mesi)
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![a.finish()]);
     sys.run(1_000_000).unwrap();
     assert!(sys.trace().lines().is_empty());
@@ -404,7 +439,12 @@ fn steppers_are_bit_identical_on_all_protocols() {
             vec![a.finish(), b.finish()]
         };
         let run = |stepper: Stepper| {
-            let mut cfg = SystemConfig::small_test(2, protocol);
+            let mut cfg = SystemConfig::builder()
+                .small()
+                .cores(2)
+                .protocol(protocol)
+                .build()
+                .expect("valid config");
             cfg.stepper = stepper;
             let mut sys = System::new(cfg, programs());
             let stats = sys.run(2_000_000).unwrap();
@@ -439,7 +479,12 @@ fn steppers_agree_on_timeout() {
         a.finish()
     };
     let run = |stepper: Stepper| {
-        let mut cfg = SystemConfig::small_test(2, Protocol::Mesi);
+        let mut cfg = SystemConfig::builder()
+            .small()
+            .cores(2)
+            .protocol(Protocol::Mesi)
+            .build()
+            .expect("valid config");
         cfg.stepper = stepper;
         let mut sys = System::new(cfg, vec![program()]);
         let err = sys.run(5_000).unwrap_err();
@@ -460,7 +505,12 @@ fn event_driven_skips_idle_memory_latency() {
         a.load_abs(Reg::R1, 0x4000 + i * 0x1000);
     }
     a.halt();
-    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(Protocol::Mesi)
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![a.finish()]);
     let stats = sys.run(2_000_000).unwrap();
     assert!(

@@ -2,7 +2,8 @@
 //! [`L1Chassis`].
 
 use tsocc_coherence::{
-    Agent, Completion, CoreOp, Epoch, Grant, Install, L1Chassis, L1Ctl, L1Policy, Msg, Submit, Ts,
+    Agent, Completion, CoreOp, Epoch, Grant, Install, L1Chassis, L1Ctl, L1Policy, LineAccess, Msg,
+    Submit, Ts,
 };
 use tsocc_isa::RmwOp;
 use tsocc_mem::{Addr, CacheParams, LineAddr, LineData};
@@ -304,6 +305,16 @@ impl L1Policy for MesiL1Policy {
             CoreOp::Load(addr) => self.submit_load(ch, now, addr),
             CoreOp::Store(addr, value) => self.submit_store(ch, now, addr, value),
             CoreOp::Rmw(addr, rmw) => self.submit_rmw(ch, now, addr, rmw),
+        }
+    }
+
+    fn line_access(&self, line: &Line) -> LineAccess {
+        match line.state {
+            State::Shared => LineAccess::Read,
+            // Exclusive counts as write permission: the E→M upgrade is
+            // silent, so an Exclusive holder excludes every other copy
+            // exactly like a Modified one.
+            State::Exclusive | State::Modified => LineAccess::Write,
         }
     }
 

@@ -27,7 +27,9 @@
 //! `ProtocolFactory` in its own crate and pass the factory wherever a
 //! `Protocol` would go.
 
-use tsocc_coherence::{L1Controller, L2Controller, MachineShape, ProtocolFactory};
+use tsocc_coherence::{
+    CoherenceDiscipline, L1Controller, L2Controller, MachineShape, ProtocolFactory,
+};
 use tsocc_mesi::MesiFactory;
 use tsocc_mesi_coarse::{MesiCoarseConfig, MesiCoarseFactory};
 use tsocc_proto::{TsoCcConfig, TsoCcFactory};
@@ -138,6 +140,14 @@ impl ProtocolFactory for Protocol {
             Protocol::Mesi => MesiFactory.validate_shape(shape),
             Protocol::MesiCoarse(cfg) => MesiCoarseFactory::new(*cfg).validate_shape(shape),
             Protocol::TsoCc(cfg) => TsoCcFactory::new(*cfg).validate_shape(shape),
+        }
+    }
+
+    fn coherence_discipline(&self) -> CoherenceDiscipline {
+        match self {
+            Protocol::Mesi => MesiFactory.coherence_discipline(),
+            Protocol::MesiCoarse(cfg) => MesiCoarseFactory::new(*cfg).coherence_discipline(),
+            Protocol::TsoCc(cfg) => TsoCcFactory::new(*cfg).coherence_discipline(),
         }
     }
 }

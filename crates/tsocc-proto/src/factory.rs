@@ -1,7 +1,9 @@
 //! The TSO-CC [`ProtocolFactory`]: how the paper's protocol registers
 //! itself with the protocol-agnostic system assembly.
 
-use tsocc_coherence::{FaultState, L1Controller, L2Controller, MachineShape, ProtocolFactory};
+use tsocc_coherence::{
+    CoherenceDiscipline, FaultState, L1Controller, L2Controller, MachineShape, ProtocolFactory,
+};
 
 use crate::{TsoCcConfig, TsoCcL1Config, TsoCcL2Config};
 
@@ -52,6 +54,12 @@ impl ProtocolFactory for TsoCcFactory {
         .build();
         ctl.chassis.faults = FaultState::for_l2(&shape.faults, tile);
         Box::new(ctl)
+    }
+
+    fn coherence_discipline(&self) -> CoherenceDiscipline {
+        // Writers proceed while sharers keep bounded-stale copies; only
+        // the one-writer-at-a-time half of SWMR applies (§3.1).
+        CoherenceDiscipline::Lazy
     }
 }
 

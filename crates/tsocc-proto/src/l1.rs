@@ -2,7 +2,7 @@
 //! [`L1Chassis`].
 
 use tsocc_coherence::{
-    Agent, Completion, CoreOp, Epoch, Grant, Install, L1Chassis, L1Ctl, L1Policy, Msg,
+    Agent, Completion, CoreOp, Epoch, Grant, Install, L1Chassis, L1Ctl, L1Policy, LineAccess, Msg,
     SelfInvCause, Submit, Ts, TsSource,
 };
 use tsocc_isa::RmwOp;
@@ -438,6 +438,13 @@ impl L1Policy for TsoCcL1Policy {
             CoreOp::Load(addr) => self.submit_load(ch, now, addr),
             CoreOp::Store(addr, value) => self.submit_store(ch, now, addr, value),
             CoreOp::Rmw(addr, rmw) => self.submit_rmw(ch, now, addr, rmw),
+        }
+    }
+
+    fn line_access(&self, line: &Line) -> LineAccess {
+        match line.state {
+            State::Shared | State::SharedRO => LineAccess::Read,
+            State::Exclusive | State::Modified => LineAccess::Write,
         }
     }
 

@@ -23,7 +23,13 @@
 //! use tsocc_workloads::{Benchmark, Scale, run_workload};
 //!
 //! let w = Benchmark::Fft.build(4, Scale::Tiny, 7);
-//! let stats = run_workload(&w, SystemConfig::small_test(4, Protocol::Mesi)).unwrap();
+//! let cfg = SystemConfig::builder()
+//!     .small()
+//!     .cores(4)
+//!     .protocol(Protocol::Mesi)
+//!     .build()
+//!     .expect("valid config");
+//! let stats = run_workload(&w, cfg).unwrap();
 //! assert!(stats.cycles > 0);
 //! ```
 

@@ -594,7 +594,12 @@ pub fn run_litmus(
     let mut report = LitmusReport::default();
     let n = test.programs.len();
     for it in 0..iterations {
-        let mut cfg = SystemConfig::small_test(n.max(2), protocol.clone());
+        let mut cfg = SystemConfig::builder()
+            .small()
+            .cores(n.max(2))
+            .protocol(protocol.clone())
+            .build()
+            .expect("valid config");
         cfg.seed = seed ^ (it.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut sys = System::new(cfg, test.programs.clone());
         sys.run(10_000_000).unwrap_or_else(|e| {
@@ -666,7 +671,12 @@ pub fn run_litmus_faulted(
     let n = test.programs.len();
     let mut forbidden = 0u64;
     for it in 0..iterations {
-        let mut cfg = SystemConfig::small_test(n.max(2), protocol.clone());
+        let mut cfg = SystemConfig::builder()
+            .small()
+            .cores(n.max(2))
+            .protocol(protocol.clone())
+            .build()
+            .expect("valid config");
         cfg.seed = seed ^ (it.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         cfg.faults = faults;
         let mut sys = System::new(cfg, test.programs.clone());

@@ -42,7 +42,12 @@ mod tests {
                 Protocol::Mesi,
                 Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
             ] {
-                let cfg = SystemConfig::small_test(4, protocol);
+                let cfg = SystemConfig::builder()
+                    .small()
+                    .cores(4)
+                    .protocol(protocol)
+                    .build()
+                    .expect("valid config");
                 let stats = run_workload(&w, cfg)
                     .unwrap_or_else(|e| panic!("{} on {}: {e}", b.name(), protocol.name()));
                 assert!(stats.instructions > 0, "{}", b.name());
@@ -54,7 +59,12 @@ mod tests {
     fn stamp_kernels_complete_on_all_tsocc_variants() {
         let w = Benchmark::Intruder.build(4, Scale::Tiny, 5);
         for protocol in Protocol::paper_configs() {
-            let cfg = SystemConfig::small_test(4, protocol);
+            let cfg = SystemConfig::builder()
+                .small()
+                .cores(4)
+                .protocol(protocol)
+                .build()
+                .expect("valid config");
             let stats =
                 run_workload(&w, cfg).unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
             assert!(stats.rmw_latency.count() > 0, "STM commits use CAS");

@@ -24,7 +24,11 @@ fn main() {
             Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
         ] {
             let w = Benchmark::Fft.build(n, Scale::Small, 5);
-            let cfg = SystemConfig::table2_with_cores(protocol, n);
+            let cfg = SystemConfig::builder()
+                .cores(n)
+                .protocol(protocol)
+                .build()
+                .expect("valid config");
             let stats = run_workload(&w, cfg).expect("kernel terminates");
             let model = StorageModel::paper(n);
             let bits = match protocol {

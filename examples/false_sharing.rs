@@ -31,7 +31,11 @@ fn main() {
         let mut cycles = Vec::new();
         for bench in [Benchmark::LuCont, Benchmark::LuNonCont] {
             let w = bench.build(n, Scale::Small, 7);
-            let cfg = SystemConfig::table2_with_cores(protocol, n);
+            let cfg = SystemConfig::builder()
+                .cores(n)
+                .protocol(protocol)
+                .build()
+                .expect("valid config");
             let stats = run_workload(&w, cfg).expect("kernel terminates");
             cycles.push(stats.cycles);
         }

@@ -34,7 +34,12 @@ fn main() {
     consumer.halt();
 
     let protocol = Protocol::TsoCc(TsoCcConfig::realistic(12, 3));
-    let cfg = SystemConfig::small_test(2, protocol);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![producer.finish(), consumer.finish()]);
     let stats = sys
         .run(1_000_000)

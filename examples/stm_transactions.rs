@@ -23,7 +23,11 @@ fn main() {
     );
     let mut mesi_rmw = 0.0;
     for protocol in Protocol::paper_configs() {
-        let cfg = SystemConfig::table2_with_cores(protocol, n);
+        let cfg = SystemConfig::builder()
+            .cores(n)
+            .protocol(protocol)
+            .build()
+            .expect("valid config");
         let stats = run_workload(&w, cfg).expect("kernel terminates");
         let rmw = stats.rmw_latency.mean();
         if protocol.name() == "MESI" {

@@ -30,7 +30,12 @@ fn main() {
     consumer.load_abs(Reg::R2, data);
     consumer.halt();
 
-    let cfg = SystemConfig::small_test(2, Protocol::TsoCc(TsoCcConfig::realistic(12, 3)));
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(Protocol::TsoCc(TsoCcConfig::realistic(12, 3)))
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![producer.finish(), consumer.finish()]);
     sys.set_trace(true);
     sys.run(1_000_000).expect("terminates");

@@ -12,7 +12,11 @@ fn suite_completes_on_eight_core_table2_machine() {
     for bench in Benchmark::ALL {
         let w = bench.build(8, Scale::Tiny, 13);
         for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::default())] {
-            let cfg = SystemConfig::table2_with_cores(protocol, 8);
+            let cfg = SystemConfig::builder()
+                .cores(8)
+                .protocol(protocol)
+                .build()
+                .expect("valid config");
             let stats = run_workload(&w, cfg)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), protocol.name()));
             assert!(stats.cycles > 0);
@@ -28,7 +32,12 @@ fn runs_are_bit_deterministic() {
         Protocol::Mesi,
         Protocol::TsoCc(TsoCcConfig::realistic(9, 3)),
     ] {
-        let cfg = SystemConfig::small_test(4, protocol);
+        let cfg = SystemConfig::builder()
+            .small()
+            .cores(4)
+            .protocol(protocol)
+            .build()
+            .expect("valid config");
         let a = run_workload(&w, cfg.clone()).unwrap();
         let b = run_workload(&w, cfg).unwrap();
         assert_eq!(a.cycles, b.cycles, "{}", protocol.name());
@@ -43,7 +52,12 @@ fn tsocc_sharedro_serves_read_only_data() {
     // raytrace's scene is read-only: under TSO-CC most scene reads must
     // end up as SharedRO hits (the Figure 6 pattern).
     let w = Benchmark::Raytrace.build(4, Scale::Small, 3);
-    let cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::realistic(12, 3)));
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(4)
+        .protocol(Protocol::TsoCc(TsoCcConfig::realistic(12, 3)))
+        .build()
+        .expect("valid config");
     let stats = run_workload(&w, cfg).unwrap();
     assert!(
         stats.l1.read_hit_sharedro.get() > stats.l1.read_miss_shared.get(),
@@ -57,7 +71,12 @@ fn tsocc_sharedro_serves_read_only_data() {
 #[test]
 fn mesi_reports_no_tsocc_specific_events() {
     let w = Benchmark::Fft.build(4, Scale::Tiny, 5);
-    let cfg = SystemConfig::small_test(4, Protocol::Mesi);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(4)
+        .protocol(Protocol::Mesi)
+        .build()
+        .expect("valid config");
     let stats = run_workload(&w, cfg).unwrap();
     assert_eq!(stats.l1.selfinv_total(), 0);
     assert_eq!(stats.l1.read_hit_sharedro.get(), 0);
@@ -68,7 +87,12 @@ fn mesi_reports_no_tsocc_specific_events() {
 #[test]
 fn cc_shared_to_l2_never_hits_shared_lines() {
     let w = Benchmark::LuCont.build(4, Scale::Tiny, 5);
-    let cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::cc_shared_to_l2()));
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(4)
+        .protocol(Protocol::TsoCc(TsoCcConfig::cc_shared_to_l2()))
+        .build()
+        .expect("valid config");
     let stats = run_workload(&w, cfg).unwrap();
     assert_eq!(
         stats.l1.read_hit_shared.get(),
@@ -82,7 +106,12 @@ fn shared_hits_are_bounded_by_access_counter() {
     // Total Shared hits can be at most max_acc times the number of
     // Shared-line acquisitions (misses that installed Shared lines).
     let w = Benchmark::X264.build(4, Scale::Small, 5);
-    let cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::realistic(12, 3)));
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(4)
+        .protocol(Protocol::TsoCc(TsoCcConfig::realistic(12, 3)))
+        .build()
+        .expect("valid config");
     let stats = run_workload(&w, cfg).unwrap();
     let installs = stats.l1.read_misses() + stats.l1.write_misses();
     assert!(
@@ -104,7 +133,11 @@ fn false_sharing_hurts_tsocc_less_than_mesi() {
         Protocol::Mesi,
         Protocol::TsoCc(TsoCcConfig::realistic(12, 3)),
     ] {
-        let cfg = SystemConfig::table2_with_cores(protocol, n);
+        let cfg = SystemConfig::builder()
+            .cores(n)
+            .protocol(protocol)
+            .build()
+            .expect("valid config");
         let cont = run_workload(&Benchmark::LuCont.build(n, Scale::Small, 7), cfg.clone()).unwrap();
         let non = run_workload(&Benchmark::LuNonCont.build(n, Scale::Small, 7), cfg).unwrap();
         penalty.push(non.cycles as f64 / cont.cycles as f64);
@@ -120,7 +153,12 @@ fn false_sharing_hurts_tsocc_less_than_mesi() {
 #[test]
 fn decay_transitions_occur_on_read_mostly_data() {
     let w = Benchmark::WaterNsq.build(4, Scale::Small, 9);
-    let cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::realistic(12, 0)));
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(4)
+        .protocol(Protocol::TsoCc(TsoCcConfig::realistic(12, 0)))
+        .build()
+        .expect("valid config");
     let stats = run_workload(&w, cfg).unwrap();
     // decay needs enough writes; water's force phase supplies them.
     assert!(

@@ -57,7 +57,11 @@ fn tsocc_run_stats_survive_the_chassis_refactor_field_for_field() {
 fn run_fixed(protocol: Protocol, n_cores: usize, bench: Benchmark) -> (tsocc::RunStats, Vec<u64>) {
     let seed = 0x5EED;
     let workload = bench.build(n_cores, Scale::Tiny, seed);
-    let mut cfg = SystemConfig::table2_with_cores(protocol, n_cores);
+    let mut cfg = SystemConfig::builder()
+        .cores(n_cores)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     cfg.seed = seed;
     let mut sys = System::new(cfg, workload.programs.clone());
     for &(addr, value) in &workload.init {

@@ -82,7 +82,12 @@ fn run_axiom_check(protocol: Protocol, seed: u64, writes: u64, pace: u32) {
         reader(k, pace),
         reader(k, pace / 2 + 1),
     ];
-    let mut cfg = SystemConfig::small_test(4, protocol);
+    let mut cfg = SystemConfig::builder()
+        .small()
+        .cores(4)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     cfg.seed = seed;
     let mut sys = System::new(cfg, programs);
     sys.run(50_000_000)

@@ -26,7 +26,12 @@ fn protocols() -> Vec<Protocol> {
 /// Runs a single program on the full system and returns (registers,
 /// final value of the probed words).
 fn run_on_system(protocol: Protocol, program: Program, probes: &[u64]) -> (Vec<u64>, Vec<u64>) {
-    let cfg = SystemConfig::small_test(2, protocol);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![program.clone()]);
     sys.run(20_000_000).expect("terminates");
     let regs = (0..32)
@@ -111,7 +116,12 @@ fn lock_protected_counter_is_exact() {
             a.halt();
             a.finish()
         };
-        let cfg = SystemConfig::small_test(4, protocol);
+        let cfg = SystemConfig::builder()
+            .small()
+            .cores(4)
+            .protocol(protocol)
+            .build()
+            .expect("valid config");
         let mut sys = System::new(cfg, vec![make(), make(), make(), make()]);
         sys.run(50_000_000)
             .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
@@ -151,7 +161,12 @@ fn disjoint_threads_match_reference() {
                 a.finish()
             })
             .collect();
-        let cfg = SystemConfig::small_test(4, protocol);
+        let cfg = SystemConfig::builder()
+            .small()
+            .cores(4)
+            .protocol(protocol)
+            .build()
+            .expect("valid config");
         let mut sys = System::new(cfg, programs.clone());
         sys.run(50_000_000).expect("terminates");
         for (t, program) in programs.iter().enumerate() {
@@ -174,7 +189,12 @@ fn memory_init_then_readback_via_mem_word() {
     a.store_abs(Reg::R1, 0x9000);
     a.fence();
     a.halt();
-    let cfg = SystemConfig::small_test(2, Protocol::Mesi);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(Protocol::Mesi)
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, vec![a.finish()]);
     sys.write_word(Addr::new(0x9040), 55);
     sys.run(1_000_000).unwrap();
@@ -207,7 +227,7 @@ proptest! {
         let mut ref_mem = HashMap::new();
         let ref_regs = run_ref(&program, &mut ref_mem, 1_000_000).unwrap();
         for protocol in [Protocol::Mesi, Protocol::TsoCc(TsoCcConfig::realistic(12, 3))] {
-            let cfg = SystemConfig::small_test(2, protocol);
+            let cfg = SystemConfig::builder().small().cores(2).protocol(protocol).build().expect("valid config");
             let mut sys = System::new(cfg, vec![program.clone()]);
             sys.run(50_000_000).unwrap();
             for r in [Reg::R11, Reg::R13, Reg::R14] {

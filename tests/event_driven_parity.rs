@@ -29,7 +29,11 @@ struct Outcome {
 fn run_point(point: &SweepPoint, stepper: Stepper) -> Outcome {
     let seed = point.seed(BASE_SEED);
     let workload = point.bench.build(point.n_cores, point.scale, seed);
-    let mut cfg = SystemConfig::table2_with_cores(point.protocol, point.n_cores);
+    let mut cfg = SystemConfig::builder()
+        .cores(point.n_cores)
+        .protocol(point.protocol)
+        .build()
+        .expect("valid config");
     cfg.seed = seed;
     cfg.stepper = stepper;
     let mut sys = System::new(cfg, workload.programs.clone());

@@ -31,7 +31,12 @@ fn wedge_programs() -> Vec<Program> {
 }
 
 fn held_mshr_system(protocol: Protocol) -> System {
-    let mut cfg = SystemConfig::small_test(2, protocol);
+    let mut cfg = SystemConfig::builder()
+        .small()
+        .cores(2)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     cfg.faults = FaultPlan {
         protocol: Some(ProtocolFault::HoldMshr {
             core: 0,
@@ -126,7 +131,12 @@ fn litmus_flags_the_held_mshr_as_hung() {
 /// Runs one small benchmark under `stepper` with the given plan.
 fn run_fft(plan: FaultPlan, stepper: Stepper) -> (RunStats, Vec<(LineAddr, LineData)>) {
     let workload = Benchmark::Fft.build(4, Scale::Tiny, 7);
-    let mut cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::default()));
+    let mut cfg = SystemConfig::builder()
+        .small()
+        .cores(4)
+        .protocol(Protocol::TsoCc(TsoCcConfig::default()))
+        .build()
+        .expect("valid config");
     cfg.stepper = stepper;
     cfg.faults = plan;
     let mut sys = System::new(cfg, workload.programs.clone());

@@ -30,7 +30,11 @@ struct Outcome {
 fn run_point(point: &SweepPoint, stepper: Stepper, max_cycles: u64) -> Outcome {
     let seed = point.seed(BASE_SEED);
     let workload = point.bench.build(point.n_cores, point.scale, seed);
-    let mut cfg = SystemConfig::table2_with_cores(point.protocol, point.n_cores);
+    let mut cfg = SystemConfig::builder()
+        .cores(point.n_cores)
+        .protocol(point.protocol)
+        .build()
+        .expect("valid config");
     cfg.seed = seed;
     cfg.stepper = stepper;
     let mut sys = System::new(cfg, workload.programs.clone());
@@ -128,7 +132,12 @@ fn parallel_stepper_matches_reference_at_128_cores() {
 fn multi_cycle_windows_are_bit_identical() {
     let run = |stepper: Stepper| {
         let workload = Benchmark::Fft.build(8, Scale::Tiny, 7);
-        let mut cfg = SystemConfig::small_test(8, Protocol::Mesi);
+        let mut cfg = SystemConfig::builder()
+            .small()
+            .cores(8)
+            .protocol(Protocol::Mesi)
+            .build()
+            .expect("valid config");
         cfg.noc.router_latency = 3;
         cfg.stepper = stepper;
         let mut sys = System::new(cfg, workload.programs.clone());
@@ -152,7 +161,12 @@ fn multi_cycle_windows_are_bit_identical() {
 fn degenerate_shard_counts_fall_back_or_clamp() {
     let run = |stepper: Stepper| {
         let workload = Benchmark::Radix.build(4, Scale::Tiny, 3);
-        let mut cfg = SystemConfig::small_test(4, Protocol::TsoCc(TsoCcConfig::default()));
+        let mut cfg = SystemConfig::builder()
+            .small()
+            .cores(4)
+            .protocol(Protocol::TsoCc(TsoCcConfig::default()))
+            .build()
+            .expect("valid config");
         cfg.stepper = stepper;
         let mut sys = System::new(cfg, workload.programs.clone());
         for &(addr, value) in &workload.init {
@@ -195,7 +209,12 @@ fn degenerate_shard_counts_fall_back_or_clamp() {
 fn timeouts_fire_identically_across_steppers() {
     let run = |stepper: Stepper| {
         let workload = Benchmark::Fft.build(8, Scale::Small, 11);
-        let mut cfg = SystemConfig::small_test(8, Protocol::Mesi);
+        let mut cfg = SystemConfig::builder()
+            .small()
+            .cores(8)
+            .protocol(Protocol::Mesi)
+            .build()
+            .expect("valid config");
         cfg.stepper = stepper;
         let mut sys = System::new(cfg, workload.programs.clone());
         for &(addr, value) in &workload.init {

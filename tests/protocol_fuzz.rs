@@ -99,7 +99,12 @@ fn run_scenario(protocol: Protocol, seed: u64) -> Vec<Vec<u64>> {
         programs.push(p);
         recorded.push(r);
     }
-    let mut cfg = SystemConfig::small_test(n_cores, protocol);
+    let mut cfg = SystemConfig::builder()
+        .small()
+        .cores(n_cores)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     cfg.seed = seed ^ 0xDEAD_BEEF;
     let mut sys = System::new(cfg, programs);
     // Oracle 1: termination (Deadlock/Timeout fail here).

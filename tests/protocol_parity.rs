@@ -91,7 +91,12 @@ fn factories_agree_on_final_memory_state() {
 
     let mut final_states: Vec<(&'static str, Vec<u64>)> = Vec::new();
     for (label, factory) in factories() {
-        let cfg = SystemConfig::small_test(2, factory);
+        let cfg = SystemConfig::builder()
+            .small()
+            .cores(2)
+            .protocol(factory)
+            .build()
+            .expect("valid config");
         let mut sys = System::new(cfg, deterministic_programs());
         let stats = sys
             .run(5_000_000)

@@ -16,7 +16,11 @@ fn run_point(
     faults: FaultPlan,
 ) -> (RunStats, Vec<(LineAddr, LineData)>) {
     let workload = Benchmark::LuCont.build(16, Scale::Tiny, 7);
-    let mut cfg = SystemConfig::table2_with_cores(protocol, 16);
+    let mut cfg = SystemConfig::builder()
+        .cores(16)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     cfg.seed = 7;
     cfg.stepper = stepper;
     cfg.faults = faults;

@@ -33,7 +33,12 @@ fn sweep(protocol: Protocol, ops_per_thread: usize, iters: u64, stride: usize) {
         for it in 0..iters {
             let seed = (pi as u64) << 8 | it;
             let compiled = vec![compile(&program[0], 50), compile(&program[1], 50)];
-            let mut cfg = SystemConfig::small_test(2, protocol);
+            let mut cfg = SystemConfig::builder()
+                .small()
+                .cores(2)
+                .protocol(protocol)
+                .build()
+                .expect("valid config");
             cfg.seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let mut sys = System::new(cfg, compiled);
             sys.run(5_000_000)
@@ -101,7 +106,12 @@ fn classic_shapes_full_iteration_counts() {
             let allowed = allowed_outcomes(program);
             for it in 0..25u64 {
                 let compiled = vec![compile(&program[0], 60), compile(&program[1], 60)];
-                let mut cfg = SystemConfig::small_test(2, protocol);
+                let mut cfg = SystemConfig::builder()
+                    .small()
+                    .cores(2)
+                    .protocol(protocol)
+                    .build()
+                    .expect("valid config");
                 cfg.seed = (si as u64) << 32 | it;
                 let mut sys = System::new(cfg, compiled);
                 sys.run(5_000_000).unwrap();

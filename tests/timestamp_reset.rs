@@ -46,7 +46,12 @@ fn writer_reader_pair(writes: u64) -> Vec<Program> {
 }
 
 fn run(protocol: Protocol, programs: Vec<Program>) -> (System, RunStats) {
-    let cfg = SystemConfig::small_test(programs.len().max(2), protocol);
+    let cfg = SystemConfig::builder()
+        .small()
+        .cores(programs.len().max(2))
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     let mut sys = System::new(cfg, programs);
     let stats = sys.run(50_000_000).expect("terminates under resets");
     (sys, stats)

@@ -10,7 +10,11 @@ use tsocc_workloads::{run_workload, Benchmark, Scale};
 fn run(bench: Benchmark, protocol: Protocol) -> RunStats {
     let n = 8;
     let w = bench.build(n, Scale::Small, 23);
-    let cfg = SystemConfig::table2_with_cores(protocol, n);
+    let cfg = SystemConfig::builder()
+        .cores(n)
+        .protocol(protocol)
+        .build()
+        .expect("valid config");
     run_workload(&w, cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
 }
 
