@@ -15,9 +15,12 @@
 //! Defaults: 16 cores, seed 7 (the same flag vocabulary as
 //! `sweep_baseline`/`conform_campaign`; the old `TSOCC_CORES` /
 //! `TSOCC_SEED` env knobs are gone). `--json` additionally writes every
-//! row as a machine-readable `tsocc-ablation/v1` report.
+//! row as a machine-readable `tsocc-ablation/v1` report. Flags parse
+//! through the shared [`tsocc_bench::cli`] surface: `--help` documents
+//! them and anything undeclared exits 2.
 
 use tsocc::SystemConfig;
+use tsocc_bench::cli::Cli;
 use tsocc_bench::json;
 use tsocc_proto::{TsParams, TsoCcConfig};
 use tsocc_protocols::Protocol;
@@ -30,28 +33,23 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut parsed = Args {
-        cores: 16,
-        seed: 7,
-        json_out: None,
-    };
-    let mut args = std::env::args().skip(1);
-    let num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
-        args.next()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
-    };
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--cores" => parsed.cores = num(&mut args, "--cores") as usize,
-            "--seed" => parsed.seed = num(&mut args, "--seed"),
-            "--json" => parsed.json_out = Some(args.next().expect("--json needs a path")),
-            other => panic!(
-                "unknown flag {other:?}; usage: ablation [--cores N] [--seed N] [--json PATH]"
-            ),
-        }
+    let args = Cli::new(
+        "ablation",
+        "ablation sweeps over TSO-CC's design parameters",
+    )
+    .opt("--cores", "N", "core count")
+    .opt("--seed", "N", "base simulation seed")
+    .opt(
+        "--json",
+        "PATH",
+        "also write a tsocc-ablation/v1 JSON report",
+    )
+    .parse();
+    Args {
+        cores: args.usize("--cores").unwrap_or(16),
+        seed: args.u64("--seed").unwrap_or(7),
+        json_out: args.str("--json").map(str::to_string),
     }
-    parsed
 }
 
 fn run(protocol: Protocol, n_cores: usize, bench: Benchmark, seed: u64) -> tsocc::RunStats {

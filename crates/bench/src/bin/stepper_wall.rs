@@ -12,11 +12,14 @@
 //! ```
 //!
 //! Output: one line per (point, stepper) with the best wall time and
-//! the derived simulated-cycles-per-second.
+//! the derived simulated-cycles-per-second. Flags parse through the
+//! shared [`tsocc_bench::cli`] surface: `--help` documents them and
+//! anything undeclared exits 2.
 
 use std::time::Instant;
 
 use tsocc::Stepper;
+use tsocc_bench::cli::Cli;
 use tsocc_bench::sweep::SweepPoint;
 use tsocc_protocols::Protocol;
 use tsocc_workloads::{Benchmark, Scale};
@@ -24,20 +27,20 @@ use tsocc_workloads::{Benchmark, Scale};
 /// The `BENCH_sweep.json` base seed.
 const BASE_SEED: u64 = 0xC0FFEE;
 
-fn parse_arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cores_spec: String = parse_arg(&args, "--cores", "64,128".to_string());
-    let bench_name: String = parse_arg(&args, "--bench", "fft".to_string());
-    let reps: usize = parse_arg(&args, "--reps", 3);
-    let shards: usize = parse_arg(&args, "--shards", 4);
+    let args = Cli::new(
+        "stepper_wall",
+        "best-of-N wall-clock timing of sweep points under chosen steppers",
+    )
+    .opt("--cores", "LIST", "comma-separated core counts")
+    .opt("--bench", "NAME", "benchmark to time")
+    .opt("--reps", "N", "repetitions per (point, stepper); best kept")
+    .opt("--shards", "N", "worker shards for the parallel stepper")
+    .parse();
+    let cores_spec = args.str("--cores").unwrap_or("64,128");
+    let bench_name = args.str("--bench").unwrap_or("fft");
+    let reps = args.usize("--reps").unwrap_or(3);
+    let shards = args.usize("--shards").unwrap_or(4);
 
     let bench = Benchmark::ALL
         .into_iter()

@@ -23,40 +23,23 @@
 //! from the `ParallelShards{4}` parity leg), so stepper performance is
 //! tracked per point across PRs, not just in aggregate.
 //!
-//! `--check [path]` flips the binary into drift-check mode: instead of
+//! `--check [PATH]` flips the binary into drift-check mode: instead of
 //! writing an artifact, it loads the committed one (default
 //! `BENCH_sweep.json`), re-runs the *same* matrix — scale, seed and
 //! core counts come from the artifact, not the environment — and exits
 //! nonzero if any **simulated** metric (cycles, instructions, messages,
 //! flits, flit-hops, per-point seeds) differs. Wall-clock fields are
-//! ignored: hosts differ, simulations must not.
+//! ignored: hosts differ, simulations must not. Flags parse through the
+//! shared [`tsocc_bench::cli`] surface: `--help` documents them and
+//! anything undeclared exits 2.
 
 use std::time::Instant;
 
 use tsocc::Stepper;
+use tsocc_bench::cli::Cli;
 use tsocc_bench::json::{self, Value};
-use tsocc_bench::sweep::{run_points, run_points_with, SweepOpts, SweepPoint};
-use tsocc_protocols::Protocol;
+use tsocc_bench::sweep::{baseline_matrix, run_points, run_points_with, SweepOpts};
 use tsocc_workloads::{Benchmark, Scale};
-
-/// The baseline matrix: every sweep protocol configuration (the seven
-/// paper configs plus the MESI-coarse directory points) at each core
-/// count. The writer and the drift checker both build the matrix
-/// through this one function, so they can never disagree on its shape.
-fn baseline_matrix(scale: Scale, core_counts: &[usize]) -> Vec<SweepPoint> {
-    let mut points = Vec::new();
-    for &n_cores in core_counts {
-        for protocol in Protocol::sweep_configs() {
-            points.push(SweepPoint {
-                bench: Benchmark::Fft,
-                protocol,
-                n_cores,
-                scale,
-            });
-        }
-    }
-    points
-}
 
 /// Re-runs the committed artifact's matrix and diffs simulated metrics.
 /// Returns the number of mismatches.
@@ -148,12 +131,18 @@ fn check_against(path: &str) -> usize {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("--check") {
-        let path = args
-            .get(1)
-            .map(String::as_str)
-            .unwrap_or("BENCH_sweep.json");
+    let args = Cli::new(
+        "sweep_baseline",
+        "emit (or drift-check) the committed sweep baseline artifact",
+    )
+    .opt_default(
+        "--check",
+        "PATH",
+        "drift-check against a committed artifact instead of writing one",
+    )
+    .parse();
+    if args.present("--check") {
+        let path = args.str("--check").unwrap_or("BENCH_sweep.json");
         let mismatches = check_against(path);
         if mismatches > 0 {
             eprintln!("{mismatches} simulated metric(s) drifted from {path}");
@@ -162,10 +151,6 @@ fn main() {
         eprintln!("all simulated metrics match {path}");
         return;
     }
-    assert!(
-        args.is_empty(),
-        "unknown arguments {args:?}; only --check [path] is supported"
-    );
     let opts = SweepOpts::from_env();
     let scale = opts.scale;
     let core_counts: Vec<usize> = std::env::var("TSOCC_SWEEP_CORES")

@@ -20,6 +20,10 @@ use tsocc_protocols::Protocol;
 struct FlagSpec {
     name: &'static str,
     value: Option<&'static str>,
+    /// The value may be omitted (`--check` vs `--check PATH`); the next
+    /// argument is consumed as the value only when it does not look
+    /// like another flag.
+    value_optional: bool,
     help: &'static str,
 }
 
@@ -57,6 +61,25 @@ impl Cli {
         self.specs.push(FlagSpec {
             name,
             value: Some(value),
+            value_optional: false,
+            help,
+        });
+        self
+    }
+
+    /// Declares a flag whose value may be omitted (`--check` or
+    /// `--check PATH`): the following argument is consumed as the value
+    /// only when it does not start with `-`.
+    pub fn opt_default(
+        mut self,
+        name: &'static str,
+        value: &'static str,
+        help: &'static str,
+    ) -> Self {
+        self.specs.push(FlagSpec {
+            name,
+            value: Some(value),
+            value_optional: true,
             help,
         });
         self
@@ -67,6 +90,7 @@ impl Cli {
         self.specs.push(FlagSpec {
             name,
             value: None,
+            value_optional: false,
             help,
         });
         self
@@ -97,6 +121,14 @@ impl Cli {
     /// stderr, exit 2).
     pub fn parse(self) -> ParsedArgs {
         let args: Vec<String> = std::env::args().skip(1).collect();
+        self.parse_rest(args)
+    }
+
+    /// [`Cli::parse`] over a caller-supplied argument list — the entry
+    /// point for binaries with subcommands, which strip the leading
+    /// subcommand word themselves and hand the remainder here. Same
+    /// strictness and `--help` handling as `parse`.
+    pub fn parse_rest(self, args: Vec<String>) -> ParsedArgs {
         if args.iter().any(|a| a == "--help" || a == "-h") {
             print!("{}", self.usage());
             std::process::exit(0);
@@ -113,7 +145,7 @@ impl Cli {
     /// The fallible core of [`Cli::parse`], separated for unit tests.
     fn try_parse(&self, args: &[String]) -> Result<ParsedArgs, String> {
         let mut values = Vec::new();
-        let mut iter = args.iter();
+        let mut iter = args.iter().peekable();
         while let Some(arg) = iter.next() {
             let spec = self
                 .specs
@@ -121,6 +153,14 @@ impl Cli {
                 .find(|s| s.name == arg.as_str())
                 .ok_or_else(|| format!("unknown flag {arg:?}"))?;
             let value = match spec.value {
+                Some(_) if spec.value_optional => {
+                    // Only a non-flag-looking argument binds as the
+                    // value; `--check --fast` leaves `--check` bare.
+                    match iter.peek() {
+                        Some(next) if !next.starts_with('-') => iter.next().cloned(),
+                        _ => None,
+                    }
+                }
                 Some(_) => Some(
                     iter.next()
                         .ok_or_else(|| format!("{} needs an argument", spec.name))?
@@ -141,6 +181,7 @@ impl Cli {
         let mut page = format!("{} — {}\n\nusage: {}", self.bin, self.about, self.bin);
         for spec in &self.specs {
             match spec.value {
+                Some(v) if spec.value_optional => page.push_str(&format!(" [{} [{v}]]", spec.name)),
                 Some(v) => page.push_str(&format!(" [{} {v}]", spec.name)),
                 None => page.push_str(&format!(" [{}]", spec.name)),
             }
@@ -149,11 +190,12 @@ impl Cli {
         let width = self
             .specs
             .iter()
-            .map(|s| s.name.len() + s.value.map_or(0, |v| v.len() + 1))
+            .map(|s| s.name.len() + s.value.map_or(0, |v| v.len() + 3))
             .max()
             .unwrap_or(0);
         for spec in &self.specs {
             let head = match spec.value {
+                Some(v) if spec.value_optional => format!("{} [{v}]", spec.name),
                 Some(v) => format!("{} {v}", spec.name),
                 None => spec.name.to_string(),
             };
@@ -241,6 +283,7 @@ mod tests {
             .campaign_flags()
             .protocol_flags()
             .switch("--fast", "a switch")
+            .opt_default("--check", "PATH", "an optional-value flag")
     }
 
     fn parse(args: &[&str]) -> Result<ParsedArgs, String> {
@@ -282,6 +325,21 @@ mod tests {
     fn unknown_flags_and_missing_values_are_rejected() {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--seed"]).is_err());
+    }
+
+    #[test]
+    fn optional_value_flags_bind_only_non_flag_arguments() {
+        // Bare: flag present, no value.
+        let args = parse(&["--check"]).unwrap();
+        assert!(args.present("--check"));
+        assert_eq!(args.str("--check"), None);
+        // With a value.
+        let args = parse(&["--check", "a.json"]).unwrap();
+        assert_eq!(args.str("--check"), Some("a.json"));
+        // Followed by another flag: the flag is not eaten as a value.
+        let args = parse(&["--check", "--fast"]).unwrap();
+        assert!(args.present("--check") && args.present("--fast"));
+        assert_eq!(args.str("--check"), None);
     }
 
     #[test]

@@ -116,6 +116,26 @@ impl SweepPoint {
         self.run_with_stepper(base_seed, Stepper::default())
     }
 
+    /// The exact [`SystemConfig`] this point runs under (with its
+    /// derived per-point seed installed) — exposed so the orchestrator
+    /// can content-address a point by the *resolved* machine, including
+    /// every field the builder derives from the core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's configuration is invalid (the run path
+    /// reports that case with exit code 2 instead; see
+    /// [`SweepPoint::run_with_stepper`]).
+    pub fn system_config(&self, base_seed: u64) -> SystemConfig {
+        let mut cfg = SystemConfig::builder()
+            .cores(self.n_cores)
+            .protocol(self.protocol)
+            .build()
+            .expect("valid config");
+        cfg.seed = self.seed(base_seed);
+        cfg
+    }
+
     /// Runs this point under a specific [`Stepper`] — the hook behind
     /// the baseline's stepper-parity leg, which re-runs the whole
     /// matrix under `Reference` and `ParallelShards` and diffs the
@@ -123,12 +143,7 @@ impl SweepPoint {
     pub fn run_with_stepper(&self, base_seed: u64, stepper: Stepper) -> PointResult {
         let seed = self.seed(base_seed);
         let workload = self.bench.build(self.n_cores, self.scale, seed);
-        let mut cfg = SystemConfig::builder()
-            .cores(self.n_cores)
-            .protocol(self.protocol)
-            .build()
-            .expect("valid config");
-        cfg.seed = seed;
+        let mut cfg = self.system_config(base_seed);
         cfg.stepper = stepper;
         let t = Instant::now();
         // Benchmark drivers are batch programs: a rejected machine
@@ -229,6 +244,27 @@ impl PointResult {
             .f64("wall_seconds", self.wall.as_secs_f64())
             .f64("sim_cycles_per_second", self.sim_cycles_per_second())
     }
+}
+
+/// The committed-baseline matrix (`BENCH_sweep.json`): every sweep
+/// protocol configuration ([`Protocol::sweep_configs`]) at each core
+/// count, on the fft benchmark. The `sweep_baseline` writer, its drift
+/// checker, and the orchestrator's `sweep` subcommand all build the
+/// matrix through this one function, so they can never disagree on its
+/// shape.
+pub fn baseline_matrix(scale: Scale, core_counts: &[usize]) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &n_cores in core_counts {
+        for protocol in Protocol::sweep_configs() {
+            points.push(SweepPoint {
+                bench: Benchmark::Fft,
+                protocol,
+                n_cores,
+                scale,
+            });
+        }
+    }
+    points
 }
 
 /// How many workers a fan-out should actually use.

@@ -42,3 +42,10 @@ pub use compile::{
 pub use engine::{litmus_text, run_campaign, CampaignOpts, CampaignReport, Violation};
 pub use gen::{generate_program, GenConfig};
 pub use shrink::{op_count, shrink};
+
+/// This crate's compiled version. The orchestrator (`tsocc-orch`) folds
+/// the versions of every simulated-metric-affecting crate into the
+/// code-version fingerprint that content-addresses cached results, so
+/// bumping a crate version invalidates exactly the results its code
+/// could have changed.
+pub const CRATE_VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -96,9 +96,10 @@ impl Stepper {
 /// or the `tsocc_protocols::Protocol` enum, which converts into a
 /// handle — to the constructors.
 ///
-/// [`SystemConfig::table2`] reproduces the paper's simulated machine;
-/// [`SystemConfig::small_test`] shrinks the caches so unit and litmus
-/// tests exercise evictions and run fast.
+/// Build through [`SystemConfig::builder`]: the default preset
+/// reproduces the paper's simulated machine; [`SystemConfigBuilder::small`]
+/// shrinks the caches so unit and litmus tests exercise evictions and
+/// run fast.
 #[derive(Clone)]
 pub struct SystemConfig {
     /// Number of cores (32 in Table 2); one L2 tile per core.
@@ -112,8 +113,8 @@ pub struct SystemConfig {
     pub mesh: Option<(usize, usize)>,
     /// L2 banks per tile: the line→home interleaving granularity
     /// (see [`MachineShape::home_tile`]). 1 for the paper's Table 2
-    /// machine; [`SystemConfig::table2_with_cores`] raises it to 2 at
-    /// 128 cores and beyond.
+    /// machine; the builder's preset raises it to 2 at 128 cores and
+    /// beyond.
     pub l2_banks: usize,
     /// Core pipeline/write-buffer parameters.
     pub core: CoreConfig,
@@ -381,79 +382,6 @@ impl SystemConfig {
         }
     }
 
-    /// The paper's Table 2 machine: 32 cores, 32KiB 4-way L1s, 1MiB
-    /// 16-way L2 tiles, 2D mesh, 4 memory controllers.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SystemConfig::builder().protocol(p).build() — one PR of grace, then this goes"
-    )]
-    pub fn table2(protocol: impl Into<ProtocolHandle>) -> Self {
-        SystemConfig {
-            n_cores: 32,
-            n_mem: 4,
-            mesh: None,
-            l2_banks: 1,
-            core: CoreConfig::default(),
-            l1_params: CacheParams::from_capacity(32 * 1024, 4),
-            l2_params: CacheParams::from_capacity(1024 * 1024, 16),
-            l2_latency: 20,
-            mem_latency: 150,
-            noc: NocConfig::default(),
-            protocol: protocol.into(),
-            seed: 0xC0FFEE,
-            stepper: Stepper::default(),
-            faults: FaultPlan::none(),
-        }
-    }
-
-    /// Like [`SystemConfig::table2`] but with `n` cores. From 128
-    /// cores up the L2 goes two-banked (`l2_banks = 2`): each tile
-    /// serves line pairs instead of single lines, so the per-tile
-    /// stripe of a fixed working set keeps some spatial locality as
-    /// the tile count doubles. Below 128 cores the interleaving is
-    /// Table 2's flat `line % n_tiles` — byte-identical to every
-    /// machine this constructor has ever produced at those sizes.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SystemConfig::builder().cores(n).protocol(p).build() — one PR of grace, then this goes"
-    )]
-    pub fn table2_with_cores(protocol: impl Into<ProtocolHandle>, n: usize) -> Self {
-        #[allow(deprecated)]
-        let mut cfg = SystemConfig::table2(protocol);
-        cfg.n_cores = n;
-        cfg.n_mem = n.clamp(1, 4);
-        cfg.l2_banks = if n >= 128 { 2 } else { 1 };
-        cfg
-    }
-
-    /// A small machine for tests: tiny caches force evictions, small
-    /// latencies keep litmus iteration fast.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SystemConfig::builder().small().cores(n).protocol(p).build() — one PR of grace, then this goes"
-    )]
-    pub fn small_test(n_cores: usize, protocol: impl Into<ProtocolHandle>) -> Self {
-        SystemConfig {
-            n_cores,
-            n_mem: n_cores.clamp(1, 2),
-            mesh: None,
-            l2_banks: 1,
-            core: CoreConfig {
-                write_buffer_entries: 8,
-                l1_hit_latency: 1,
-            },
-            l1_params: CacheParams::new(8, 2),
-            l2_params: CacheParams::new(16, 4),
-            l2_latency: 4,
-            mem_latency: 20,
-            noc: NocConfig::default(),
-            protocol: protocol.into(),
-            seed: 42,
-            stepper: Stepper::default(),
-            faults: FaultPlan::none(),
-        }
-    }
-
     /// Number of L2 tiles (one per core).
     pub fn n_tiles(&self) -> usize {
         self.n_cores
@@ -602,42 +530,32 @@ mod tests {
         assert!(format!("{cfg2:?}").contains("MESI"));
     }
 
-    /// The builder must be field-identical to the deprecated
-    /// constructors — `sweep_baseline --check` holds the simulated
-    /// metrics byte-exact across the migration, and this pins the
+    /// The builder's derived fields must keep producing exactly the
+    /// machines the (now removed) `table2_with_cores`/`small_test`
+    /// constructors produced — `sweep_baseline --check` holds the
+    /// simulated metrics byte-exact across history, and this pins the
     /// config layer it rests on.
     #[test]
-    #[allow(deprecated)]
-    fn builder_reproduces_deprecated_constructors_exactly() {
-        let same = |a: &SystemConfig, b: &SystemConfig| {
-            // `Debug` prints every field (including the protocol name),
-            // so string equality is full structural equality.
-            assert_eq!(format!("{a:?}"), format!("{b:?}"));
-        };
-        same(
-            &SystemConfig::table2(Protocol::Mesi),
-            &mesi().build().unwrap(),
-        );
-        for n in [1, 2, 4, 32, 64, 128] {
-            same(
-                &SystemConfig::table2_with_cores(Protocol::Mesi, n),
-                &mesi().cores(n).build().unwrap(),
-            );
-            same(
-                &SystemConfig::small_test(n, Protocol::Mesi),
-                &mesi().small().cores(n).build().unwrap(),
-            );
+    fn builder_pins_the_historical_presets() {
+        for n in [1usize, 2, 4, 32, 64, 128] {
+            let t2 = mesi().cores(n).build().unwrap();
+            assert_eq!(t2.n_mem, n.clamp(1, 4), "table2 n_mem at {n} cores");
+            assert_eq!(t2.l2_banks, if n >= 128 { 2 } else { 1 });
+            assert_eq!(t2.seed, 0xC0FFEE);
+            assert_eq!(t2.core.write_buffer_entries, 32);
+            assert_eq!(t2.l1_params.lines() * 64, 32 * 1024);
+            assert_eq!(t2.l2_params.lines() * 64, 1024 * 1024);
+            assert_eq!((t2.l2_latency, t2.mem_latency), (20, 150));
+
+            let small = mesi().small().cores(n).build().unwrap();
+            assert_eq!(small.n_mem, n.clamp(1, 2), "small n_mem at {n} cores");
+            assert_eq!(small.l2_banks, 1);
+            assert_eq!(small.seed, 42);
+            assert_eq!(small.core.write_buffer_entries, 8);
+            assert_eq!(small.l1_params.lines(), 8 * 2);
+            assert_eq!(small.l2_params.lines(), 16 * 4);
+            assert_eq!((small.l2_latency, small.mem_latency), (4, 20));
         }
-        let tsocc = Protocol::TsoCc(tsocc_proto::TsoCcConfig::default());
-        same(
-            &SystemConfig::small_test(3, tsocc),
-            &SystemConfig::builder()
-                .small()
-                .cores(3)
-                .protocol(tsocc)
-                .build()
-                .unwrap(),
-        );
     }
 
     /// Explicit overrides beat the preset's derived fields.

@@ -7,6 +7,7 @@
 //!                  [--min-programs N] [--max-programs N]
 //!                  [--cores N] [--iters N] [--oracle tso|sc]
 //!                  [--all-configs] [--protocol NAME]... [--out PATH]
+//!                  [--cache-dir PATH] [--no-cache]
 //! ```
 //!
 //! Defaults: 2000 ms budget, ≥ 500 programs, 3 threads per program,
@@ -19,35 +20,44 @@
 //! demonstrates (and in CI smoke-tests) the catcher + shrinker end to
 //! end.
 //!
+//! `--cache-dir` serves an unchanged *clean* TSO-oracle run from the
+//! orchestrator's content-addressed result store (summary metrics in an
+//! abbreviated report, exit 0) instead of recomputing; violating runs
+//! and `--oracle sc` runs are never cached, so their full diagnostics
+//! are always regenerated.
+//!
 //! Exit status: nonzero iff violations were found under the TSO oracle
 //! (under `--oracle sc` violations are the expected outcome and the
 //! exit flips: zero iff at least one violation was caught and shrunk).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tsocc_bench::cli::Cli;
 use tsocc_bench::json;
 use tsocc_conform::{litmus_text, op_count, run_campaign, CampaignOpts, GenConfig};
+use tsocc_orch::{BinCache, JobSpec};
 use tsocc_proto::TsoCcConfig;
 use tsocc_protocols::Protocol;
 use tsocc_workloads::tso_model::ModelMode;
 
-fn parse_args() -> (CampaignOpts, String) {
-    let args = Cli::new(
-        "conform_campaign",
-        "budgeted randomized litmus campaign against the TSO/SC oracle",
-    )
-    .campaign_flags()
-    .protocol_flags()
-    .opt("--threads", "N", "sweep worker threads")
-    .opt("--min-programs", "N", "minimum programs to check")
-    .opt("--max-programs", "N", "maximum programs to check")
-    .opt("--cores", "N", "threads per generated program")
-    .opt("--iters", "N", "simulator runs per (program, protocol)")
-    .opt(
-        "--oracle",
-        "tso|sc",
-        "memory-model oracle (sc injects a deliberate mismatch)",
+fn parse_args() -> (CampaignOpts, String, BinCache) {
+    let args = BinCache::flags(
+        Cli::new(
+            "conform_campaign",
+            "budgeted randomized litmus campaign against the TSO/SC oracle",
+        )
+        .campaign_flags()
+        .protocol_flags()
+        .opt("--threads", "N", "sweep worker threads")
+        .opt("--min-programs", "N", "minimum programs to check")
+        .opt("--max-programs", "N", "maximum programs to check")
+        .opt("--cores", "N", "threads per generated program")
+        .opt("--iters", "N", "simulator runs per (program, protocol)")
+        .opt(
+            "--oracle",
+            "tso|sc",
+            "memory-model oracle (sc injects a deliberate mismatch)",
+        ),
     )
     .parse();
     let mut opts = CampaignOpts {
@@ -93,11 +103,53 @@ fn parse_args() -> (CampaignOpts, String) {
         .str("--out")
         .unwrap_or("CONFORM_report.json")
         .to_string();
-    (opts, out)
+    (opts, out, BinCache::from_args(&args))
 }
 
+/// The cached summary metrics, in record order.
+const CACHED_METRICS: [&str; 6] = [
+    "programs_checked",
+    "programs_skipped",
+    "sim_runs",
+    "allowed_outcomes_total",
+    "observed_outcomes_total",
+    "violations_total",
+];
+
 fn main() {
-    let (opts, out_path) = parse_args();
+    let (opts, out_path, cache) = parse_args();
+    // The job identity is the orchestrator's: same canonical string,
+    // same cache records, whether a run arrives through this binary or
+    // through `orchestrate campaign`.
+    let canonical = JobSpec::Conform {
+        label: "conform_campaign".to_string(),
+        opts: opts.clone(),
+    }
+    .canonical();
+    if let Some(record) = cache.lookup("conform", &canonical) {
+        let doc = json::Object::new()
+            .str("schema", "tsocc-conform-campaign/v1")
+            .raw("cached", "true")
+            .str("canonical", &canonical)
+            .raw(
+                "metrics",
+                record
+                    .metrics
+                    .iter()
+                    .fold(json::Object::new(), |o, (k, v)| o.u64(k, *v))
+                    .build(),
+            )
+            .raw("compute_wall_seconds", &record.wall_raw)
+            .raw("cache", cache.stats_json())
+            .build();
+        std::fs::write(&out_path, doc + "\n").expect("write campaign report");
+        eprintln!(
+            "conform campaign served from cache (originally {}s); wrote abbreviated {out_path}",
+            record.wall_raw
+        );
+        return;
+    }
+    let t = Instant::now();
     let report = run_campaign(&opts);
     eprintln!("{}", report.summary());
 
@@ -153,10 +205,37 @@ fn main() {
         .u64("observed_outcomes_total", report.observed_outcomes_total)
         .u64("violations_total", report.violations_total)
         .raw("violations", json::array(violations))
+        .raw("cache", cache.stats_json())
         .f64("elapsed_seconds", report.elapsed.as_secs_f64())
         .build();
     std::fs::write(&out_path, doc + "\n").expect("write campaign report");
     eprintln!("wrote {out_path}");
+
+    // Only a clean real-oracle run is worth serving later; SC runs
+    // exist to produce violations and violating runs need their full
+    // diagnostics regenerated.
+    if opts.oracle == ModelMode::Tso && report.violations_total == 0 {
+        let values = [
+            report.programs_checked as u64,
+            report.programs_skipped as u64,
+            report.sim_runs,
+            report.allowed_outcomes_total,
+            report.observed_outcomes_total,
+            report.violations_total,
+        ];
+        let metrics = CACHED_METRICS
+            .iter()
+            .zip(values)
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        cache.store_clean(
+            "conform",
+            "conform_campaign",
+            &canonical,
+            metrics,
+            t.elapsed().as_secs_f64(),
+        );
+    }
 
     let failed = match opts.oracle {
         // Real oracle: any violation is a conformance bug.

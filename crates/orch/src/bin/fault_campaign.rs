@@ -7,10 +7,14 @@
 //!
 //! ```text
 //! fault_campaign [--budget-ms N] [--seed N] [--iters N] [--out PATH]
+//!                [--cache-dir PATH] [--no-cache]
 //! ```
 //!
 //! Defaults: no time budget, seed 7, 8 iterations per (mutation,
-//! litmus test), `FAULT_campaign.json`.
+//! litmus test), `FAULT_campaign.json`. `--cache-dir` serves an
+//! unchanged all-ok run from the orchestrator's content-addressed
+//! result store (summary metrics, exit 0); any run with a failing leg
+//! is never cached, so its diagnostics are always regenerated.
 //!
 //! The matrix has two kinds of legs:
 //!
@@ -39,6 +43,7 @@ use tsocc_bench::json;
 use tsocc_conform::{run_campaign, CampaignOpts, GenConfig};
 use tsocc_mem::LineAddr;
 use tsocc_mesi_coarse::MesiCoarseConfig;
+use tsocc_orch::BinCache;
 use tsocc_proto::TsoCcConfig;
 use tsocc_protocols::Protocol;
 use tsocc_workloads::litmus::{litmus_suite, run_litmus_faulted, FaultVerdict};
@@ -199,12 +204,14 @@ struct LegResult {
 }
 
 fn main() {
-    let args = Cli::new(
-        "fault_campaign",
-        "mutation testing of the verification oracles via injected protocol faults",
+    let args = BinCache::flags(
+        Cli::new(
+            "fault_campaign",
+            "mutation testing of the verification oracles via injected protocol faults",
+        )
+        .campaign_flags()
+        .opt("--iters", "N", "iterations per (mutation, litmus test)"),
     )
-    .campaign_flags()
-    .opt("--iters", "N", "iterations per (mutation, litmus test)")
     .parse();
     let budget = args
         .u64("--budget-ms")
@@ -215,6 +222,41 @@ fn main() {
         .str("--out")
         .unwrap_or("FAULT_campaign.json")
         .to_string();
+    let cache = BinCache::from_args(&args);
+    // The leg matrix is code, so it lives in the fingerprint, not the
+    // key; the budget shapes how far each leg walks the litmus suite,
+    // so it is part of the identity.
+    let canonical = format!(
+        "kind=fault;seed={seed};iters={iters};budget_ms={}",
+        if budget == Duration::MAX {
+            u64::MAX
+        } else {
+            budget.as_millis() as u64
+        }
+    );
+    if let Some(record) = cache.lookup("fault", &canonical) {
+        let doc = json::Object::new()
+            .str("schema", "tsocc-fault-campaign/v1")
+            .raw("cached", "true")
+            .str("canonical", &canonical)
+            .raw(
+                "metrics",
+                record
+                    .metrics
+                    .iter()
+                    .fold(json::Object::new(), |o, (k, v)| o.u64(k, *v))
+                    .build(),
+            )
+            .raw("compute_wall_seconds", &record.wall_raw)
+            .raw("cache", cache.stats_json())
+            .build();
+        std::fs::write(&out, doc + "\n").expect("write fault campaign report");
+        eprintln!(
+            "fault campaign served from cache (originally {}s); wrote abbreviated {out}",
+            record.wall_raw
+        );
+        return;
+    }
 
     let start = Instant::now();
     let suite = litmus_suite();
@@ -356,6 +398,7 @@ fn main() {
         .u64("mutations_detected", caught as u64)
         .raw("all_ok", if all_ok { "true" } else { "false" })
         .raw("legs", json::array(legs))
+        .raw("cache", cache.stats_json())
         .f64("elapsed_seconds", start.elapsed().as_secs_f64())
         .build();
     std::fs::write(&out, doc + "\n").expect("write fault campaign report");
@@ -366,4 +409,15 @@ fn main() {
     if !all_ok {
         std::process::exit(1);
     }
+    cache.store_clean(
+        "fault",
+        "fault_campaign",
+        &canonical,
+        vec![
+            ("legs".to_string(), results.len() as u64),
+            ("mutations".to_string(), mutations as u64),
+            ("mutations_detected".to_string(), caught as u64),
+        ],
+        start.elapsed().as_secs_f64(),
+    );
 }

@@ -1,0 +1,89 @@
+//! The code-version fingerprint folded into every cache key.
+//!
+//! A cached simulation result is only valid as long as the *code* that
+//! produced it would still produce the same simulated metrics. The
+//! fingerprint pins that: it hashes the compiled version of every crate
+//! whose code can change a simulated metric (cycle counts, message
+//! counts, final memory), plus an explicit [`SIM_EPOCH`] bump constant
+//! and the build profile. Any version bump — the workspace shares one
+//! version, so any release — or an epoch bump invalidates every cached
+//! record at lookup time; stale records simply miss and are recomputed.
+//!
+//! Crates that only *drive* simulations (this crate, `tsocc-bench`'s
+//! CLI/reporting layer) are deliberately not part of the fingerprint:
+//! changing how results are scheduled or serialized must not throw away
+//! results that are still correct.
+
+use crate::hash::Fnv;
+
+/// Manual invalidation epoch for simulated-metric changes that ship
+/// without a version bump (e.g. a bug fix during development on an
+/// unreleased tree). Bump it to orphan every existing cache record.
+pub const SIM_EPOCH: u64 = 1;
+
+/// The `(crate, version)` pairs the fingerprint covers: every crate on
+/// the path from a job description to a simulated metric.
+pub fn versioned_crates() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("tsocc", tsocc::CRATE_VERSION),
+        ("tsocc-sim", tsocc_sim::CRATE_VERSION),
+        ("tsocc-mem", tsocc_mem::CRATE_VERSION),
+        ("tsocc-noc", tsocc_noc::CRATE_VERSION),
+        ("tsocc-cpu", tsocc_cpu::CRATE_VERSION),
+        ("tsocc-isa", tsocc_isa::CRATE_VERSION),
+        ("tsocc-coherence", tsocc_coherence::CRATE_VERSION),
+        ("tsocc-mesi", tsocc_mesi::CRATE_VERSION),
+        ("tsocc-mesi-coarse", tsocc_mesi_coarse::CRATE_VERSION),
+        ("tsocc-proto", tsocc_proto::CRATE_VERSION),
+        ("tsocc-protocols", tsocc_protocols::CRATE_VERSION),
+        ("tsocc-workloads", tsocc_workloads::CRATE_VERSION),
+        ("tsocc-faults", tsocc_faults::CRATE_VERSION),
+        ("tsocc-conform", tsocc_conform::CRATE_VERSION),
+        ("tsocc-check", tsocc_check::CRATE_VERSION),
+    ]
+}
+
+/// The fingerprint as 16 lowercase hex digits.
+///
+/// Debug and release builds fingerprint differently: the simulator's
+/// metrics are profile-independent by contract, but debug trees are
+/// where unreleased changes live, so they must never poison a release
+/// cache (or vice versa).
+pub fn code_fingerprint() -> String {
+    let mut h = Fnv::new();
+    h.eat_str("tsocc-orch-fingerprint/v1");
+    h.eat_u64(SIM_EPOCH);
+    h.eat_str(if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    });
+    for (name, version) in versioned_crates() {
+        h.eat_str(name);
+        h.eat_str(version);
+    }
+    format!("{:016x}", h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(code_fingerprint(), code_fingerprint());
+        assert_eq!(code_fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_simulation_crate() {
+        // The workspace pins one shared version; every entry must
+        // resolve to it (a drifted entry would mean a crate left the
+        // workspace version without the fingerprint noticing).
+        let versions = versioned_crates();
+        assert_eq!(versions.len(), 15);
+        for (name, version) in &versions {
+            assert_eq!(*version, tsocc::CRATE_VERSION, "{name} version drifted");
+        }
+    }
+}

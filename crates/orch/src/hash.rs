@@ -1,0 +1,97 @@
+//! The orchestrator's content hash: FNV-1a, doubled up to 128 bits for
+//! cache keys.
+//!
+//! The store only ever compares a record's *stored canonical
+//! description* against the query before serving (see
+//! [`crate::cache::ResultCache::lookup`]), so a key collision can cost
+//! a false miss, never a wrong result — which is why a seeded
+//! non-cryptographic hash is acceptable here.
+
+/// Incremental FNV-1a over bytes.
+#[derive(Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the standard offset basis.
+    pub fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    /// A hasher whose basis is perturbed by `salt` (the second lane of
+    /// the 128-bit key).
+    pub fn with_salt(salt: u64) -> Fnv {
+        let mut h = Fnv(Self::OFFSET);
+        h.eat_u64(salt);
+        h
+    }
+
+    /// Folds raw bytes in.
+    pub fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a string in, length-prefixed so `("ab","c")` and
+    /// `("a","bc")` hash differently.
+    pub fn eat_str(&mut self, s: &str) {
+        self.eat_u64(s.len() as u64);
+        self.eat(s.as_bytes());
+    }
+
+    /// Folds a little-endian `u64` in.
+    pub fn eat_u64(&mut self, v: u64) {
+        self.eat(&v.to_le_bytes());
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// 128-bit content hash over a sequence of length-prefixed parts, as
+/// 32 lowercase hex digits.
+pub fn hex128_parts(parts: &[&str]) -> String {
+    let mut a = Fnv::new();
+    let mut b = Fnv::with_salt(0x9e37_79b9_7f4a_7c15);
+    for part in parts {
+        a.eat_str(part);
+        b.eat_str(part);
+    }
+    format!("{:016x}{:016x}", a.finish(), b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex128_is_stable_and_input_sensitive() {
+        assert_eq!(hex128_parts(&["abc"]), hex128_parts(&["abc"]));
+        assert_eq!(hex128_parts(&["abc"]).len(), 32);
+        assert_ne!(hex128_parts(&["abc"]), hex128_parts(&["abd"]));
+        assert_ne!(hex128_parts(&[""]), hex128_parts(&[" "]));
+        assert_ne!(hex128_parts(&["ab", "c"]), hex128_parts(&["a", "bc"]));
+    }
+
+    #[test]
+    fn length_prefix_separates_concatenations() {
+        let mut a = Fnv::new();
+        a.eat_str("ab");
+        a.eat_str("c");
+        let mut b = Fnv::new();
+        b.eat_str("a");
+        b.eat_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

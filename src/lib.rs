@@ -14,7 +14,9 @@
 //! litmus tests). The evaluation harness, including the parallel sweep
 //! engine, lives in [`tsocc_bench`]; the conformance campaign engine
 //! (N-thread litmus generation, model-oracle checking, counterexample
-//! shrinking) lives in [`tsocc_conform`].
+//! shrinking) lives in [`tsocc_conform`]. Campaign orchestration — the
+//! content-addressed result cache and the work-stealing job executor
+//! behind the `orchestrate` bin — lives in [`tsocc_orch`].
 
 pub use tsocc;
 pub use tsocc_bench;
@@ -26,6 +28,7 @@ pub use tsocc_mem;
 pub use tsocc_mesi;
 pub use tsocc_mesi_coarse;
 pub use tsocc_noc;
+pub use tsocc_orch;
 pub use tsocc_proto;
 pub use tsocc_protocols;
 pub use tsocc_sim;
